@@ -1,0 +1,39 @@
+// Extension: click-through cluster baseline (paper Section II). The paper
+// argues cluster-based approaches find *similar* queries — right for query
+// substitution, wrong for recommending what a user asks *next*. This bench
+// quantifies that argument by scoring the click-cluster model with the
+// paper's next-query evaluation.
+
+#include <iostream>
+
+#include "eval/coverage.h"
+#include "eval/evaluator.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Extension: click-through cluster baseline",
+              "cluster-based recommendation trails the session-based "
+              "methods on next-query accuracy (the paper's Section II "
+              "argument, quantified)");
+
+  const std::vector<PredictionModel*> models = {
+      harness.ClickCluster(), harness.Cooccurrence(), harness.Adjacency(),
+      harness.Mvmm()};
+  TablePrinter table({"model", "NDCG@1", "NDCG@5", "coverage", "states"});
+  for (PredictionModel* model : models) {
+    const ModelAccuracy acc =
+        EvaluateAccuracy(*model, harness.truth(), AccuracyOptions{});
+    const CoverageResult coverage = MeasureCoverage(*model, harness.truth());
+    table.AddRow({std::string(model->Name()),
+                  FormatDouble(acc.ndcg_overall.at(1)),
+                  FormatDouble(acc.ndcg_overall.at(5)),
+                  FormatPercent(coverage.overall),
+                  std::to_string(model->Stats().num_states)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

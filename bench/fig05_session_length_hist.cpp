@@ -1,0 +1,36 @@
+// Figure 5: session count versus session length for the training and test
+// splits (before data reduction).
+
+#include <algorithm>
+#include <iostream>
+
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "log/session_stats.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Figure 5: session count vs session length",
+              "mode at short sessions (length 1-2) with a heavy tail of "
+              "longer sessions");
+
+  const auto train_hist = SessionLengthHistogram(harness.train_unreduced());
+  const auto test_hist = SessionLengthHistogram(harness.test_unreduced());
+  size_t max_length = 0;
+  for (const auto& [len, count] : train_hist) {
+    max_length = std::max(max_length, len);
+  }
+
+  TablePrinter table({"session length", "train sessions", "test sessions"});
+  for (size_t len = 1; len <= max_length; ++len) {
+    const uint64_t train_count =
+        train_hist.count(len) ? train_hist.at(len) : 0;
+    const uint64_t test_count = test_hist.count(len) ? test_hist.at(len) : 0;
+    table.AddRow({std::to_string(len), std::to_string(train_count),
+                  std::to_string(test_count)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

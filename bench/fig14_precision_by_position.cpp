@@ -1,0 +1,42 @@
+// Figure 14: user-evaluation precision at each of the top-5 recommendation
+// positions. Paper: sequence-based models are strongest at position 1 (the
+// position that matters most); pair-wise methods are inconsistent across
+// positions.
+
+#include <iostream>
+
+#include "eval/table_printer.h"
+#include "eval/user_study.h"
+#include "harness.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Figure 14: precision over top-5 positions",
+              "sequence models strongest at position 1; pair-wise methods "
+              "inconsistent");
+
+  std::vector<const PredictionModel*> models;
+  for (PredictionModel* model : harness.UserStudyMethods()) {
+    models.push_back(model);
+  }
+  const UserStudyResult result =
+      RunUserStudy(models, harness.truth(), harness.dictionary(),
+                   harness.oracle(), UserStudyOptions{});
+
+  TablePrinter table({"model", "pos 1", "pos 2", "pos 3", "pos 4", "pos 5"});
+  for (const MethodUserEval& eval : result.methods) {
+    std::vector<std::string> row{eval.model};
+    for (size_t pos = 0; pos < eval.precision_by_position.size(); ++pos) {
+      if (eval.predicted_by_position[pos] == 0) {
+        row.push_back("-");
+      } else {
+        row.push_back(FormatPercent(eval.precision_by_position[pos]));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,132 @@
+#ifndef SQP_BENCH_HARNESS_H_
+#define SQP_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_factory.h"
+#include "log/context_builder.h"
+#include "log/data_reduction.h"
+#include "log/query_dictionary.h"
+#include "log/session_aggregator.h"
+#include "synth/log_synthesizer.h"
+
+namespace sqp::bench {
+
+/// Shared experiment configuration. Every bench binary regenerates the same
+/// deterministic corpus from these seeds, so results are comparable across
+/// binaries and runs. Scale with SQP_BENCH_TRAIN_SESSIONS /
+/// SQP_BENCH_TEST_SESSIONS environment variables.
+struct HarnessConfig {
+  size_t train_sessions = 50000;   // the paper's 120-day split
+  size_t test_sessions = 12500;    // the paper's 30-day split (1/4)
+  size_t vmm_max_depth = 5;        // "D is typically around 5" (Sec. V-G)
+  uint64_t vocabulary_seed = 20091;
+  uint64_t topic_seed = 20092;
+  uint64_t train_seed = 20093;
+  uint64_t test_seed = 20094;
+  uint64_t reduction_min_frequency = 1;  // scaled-down analog of the <=5 cut
+  size_t reduction_max_length = 10;
+
+  /// Temporal drift between splits: training samples the most popular
+  /// `established_intent_fraction` of intents; the test period additionally
+  /// draws `test_novel_fraction` of its sessions from intents unseen in
+  /// training (real logs churn: most of the paper's 356M unique test
+  /// queries never occur in the training months).
+  double established_intent_fraction = 0.7;
+  double test_novel_fraction = 0.35;
+
+  static HarnessConfig FromEnv();
+};
+
+/// Builds the full experimental substrate once per process: synthetic raw
+/// logs for a train and a test period, the log-processing pipeline outputs,
+/// and lazily-trained models.
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config = HarnessConfig::FromEnv());
+
+  const HarnessConfig& config() const { return config_; }
+  const QueryDictionary& dictionary() const { return dictionary_; }
+  const RelatednessOracle& oracle() const { return oracle_; }
+  const TopicModel& topics() const { return *topics_; }
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+
+  /// Latent generated sessions (with pattern labels) for each split.
+  const std::vector<GeneratedSession>& train_generated() const {
+    return train_corpus_.sessions;
+  }
+  const std::vector<RawLogRecord>& train_records() const {
+    return train_corpus_.records;
+  }
+  const std::vector<RawLogRecord>& test_records() const {
+    return test_corpus_.records;
+  }
+
+  /// Pipeline outputs.
+  const SessionSummary& train_summary() const { return train_summary_; }
+  const SessionSummary& test_summary() const { return test_summary_; }
+  const std::vector<AggregatedSession>& train_unreduced() const {
+    return train_unreduced_;
+  }
+  const std::vector<AggregatedSession>& test_unreduced() const {
+    return test_unreduced_;
+  }
+  const std::vector<AggregatedSession>& train() const { return train_; }
+  const std::vector<AggregatedSession>& test() const { return test_; }
+  const ReductionReport& train_reduction_report() const {
+    return train_reduction_report_;
+  }
+  const std::vector<GroundTruthEntry>& truth() const { return truth_; }
+  const QueryRoles& roles() const { return roles_; }
+  TrainingData training_data() const;
+
+  /// Lazily-trained models, cached per harness.
+  PredictionModel* Adjacency();
+  PredictionModel* Cooccurrence();
+  PredictionModel* Ngram();
+  PredictionModel* Vmm(double epsilon);
+  PredictionModel* Mvmm();
+  /// Extensions: the click-through cluster baseline (related work) and the
+  /// HMM (future work).
+  PredictionModel* ClickCluster();
+  PredictionModel* Hmm();
+
+  /// The four methods of the paper's user study (Section V-H).
+  std::vector<PredictionModel*> UserStudyMethods();
+  /// All seven evaluated models (Figs. 8-10, Table VII).
+  std::vector<PredictionModel*> AllMethods();
+
+ private:
+  PredictionModel* GetOrTrain(const std::string& key,
+                              const ModelConfig& config);
+
+  HarnessConfig config_;
+  std::unique_ptr<Vocabulary> vocabulary_;
+  std::unique_ptr<TopicModel> topics_;
+  RelatednessOracle oracle_;
+  SynthCorpus train_corpus_;
+  SynthCorpus test_corpus_;
+  QueryDictionary dictionary_;
+  SessionSummary train_summary_;
+  SessionSummary test_summary_;
+  std::vector<AggregatedSession> train_unreduced_;
+  std::vector<AggregatedSession> test_unreduced_;
+  std::vector<AggregatedSession> train_;
+  std::vector<AggregatedSession> test_;
+  ReductionReport train_reduction_report_;
+  std::vector<GroundTruthEntry> truth_;
+  QueryRoles roles_;
+  std::map<std::string, std::unique_ptr<PredictionModel>> models_;
+};
+
+/// Prints the standard bench banner ("Reproduces <what> of He et al.,
+/// ICDE 2009" plus corpus scale).
+void PrintBanner(const Harness& harness, const std::string& what,
+                 const std::string& expectation);
+
+}  // namespace sqp::bench
+
+#endif  // SQP_BENCH_HARNESS_H_

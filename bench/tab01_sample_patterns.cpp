@@ -1,0 +1,35 @@
+// Table I: one sample query chain per search-sequence pattern type.
+
+#include <iostream>
+
+#include "eval/table_printer.h"
+#include "harness.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Table I: sample search sequence patterns",
+              "one plausible reformulation chain per pattern type");
+
+  PatternGenerator generator(&harness.topics());
+  Rng rng(2009);
+  TablePrinter table({"search sequence pattern", "example"});
+  for (size_t t = 0; t < kNumPatternTypes; ++t) {
+    const PatternType type = static_cast<PatternType>(t);
+    // Find an intent that supports the pattern (synonym needs aliases).
+    size_t intent = rng.UniformInt(harness.topics().num_intents());
+    while (!generator.Supports(type, intent)) {
+      intent = rng.UniformInt(harness.topics().num_intents());
+    }
+    const PatternResult result = generator.Generate(type, intent, &rng);
+    std::string example;
+    for (const std::string& query : result.queries) {
+      if (!example.empty()) example += " => ";
+      example += query;
+    }
+    table.AddRow({std::string(PatternTypeName(type)), example});
+  }
+  table.Print(std::cout);
+  return 0;
+}

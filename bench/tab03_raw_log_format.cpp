@@ -1,0 +1,39 @@
+// Table III: the raw search-log record format (machine id, query
+// timestamp, query, clicked URLs with click timestamps), shown on real
+// synthesized records in the TSV serialization.
+
+#include <iostream>
+
+#include "eval/table_printer.h"
+#include "harness.h"
+#include "log/log_record.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Table III: raw search-log record format",
+              "machine id | query timestamp | query | clicks "
+              "(timestamp, url)*");
+
+  TablePrinter table(
+      {"machine", "query ts (ms)", "query", "#clicks", "first click"});
+  size_t shown = 0;
+  for (const RawLogRecord& record : harness.train_records()) {
+    if (record.clicks.empty() && shown % 2 == 0) continue;  // mix both kinds
+    std::string first_click = "-";
+    if (!record.clicks.empty()) {
+      first_click = std::to_string(record.clicks[0].timestamp_ms) + " " +
+                    record.clicks[0].url;
+    }
+    table.AddRow({std::to_string(record.machine_id),
+                  std::to_string(record.timestamp_ms), record.query,
+                  std::to_string(record.clicks.size()), first_click});
+    if (++shown >= 6) break;
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nTSV wire format of the first record:\n  "
+            << RecordToTsv(harness.train_records().front()) << "\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table V: sample sessions of each length (2..5), rendered from the
+// aggregated training corpus.
+
+#include <iostream>
+
+#include "eval/table_printer.h"
+#include "harness.h"
+
+int main() {
+  using namespace sqp;
+  using namespace sqp::bench;
+  Harness harness;
+  PrintBanner(harness, "Table V: sample sessions by length",
+              "plausible refinement chains of lengths 2-5");
+
+  TablePrinter table({"length", "frequency", "session"});
+  for (size_t target_length = 2; target_length <= 5; ++target_length) {
+    // The aggregate is sorted by descending frequency: the first hit is the
+    // most popular session of that length.
+    for (const AggregatedSession& session : harness.train_unreduced()) {
+      if (session.queries.size() != target_length) continue;
+      std::string rendered;
+      for (QueryId q : session.queries) {
+        if (!rendered.empty()) rendered += " => ";
+        rendered += harness.dictionary().Text(q);
+      }
+      table.AddRow({std::to_string(target_length),
+                    std::to_string(session.frequency), rendered});
+      break;
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// End-to-end reproduction of the paper's offline pipeline on synthetic
+// search logs:
+//
+//   synthesize raw click-stream -> write TSV log file -> read it back ->
+//   segment into sessions (30-minute rule) -> aggregate identical sessions
+//   -> data reduction -> train the model suite -> evaluate NDCG + coverage.
+//
+//   $ ./build/examples/log_pipeline [num_train_sessions]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "core/model_factory.h"
+#include "eval/coverage.h"
+#include "eval/evaluator.h"
+#include "eval/table_printer.h"
+#include "log/data_reduction.h"
+#include "log/log_io.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "log/session_stats.h"
+#include "synth/log_synthesizer.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace sqp;
+  const size_t train_sessions =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 30000;
+
+  std::printf("== 1. Synthesize raw search logs ==\n");
+  Vocabulary vocabulary(
+      VocabularyConfig{.num_terms = 2500, .synonym_fraction = 0.3}, 1);
+  TopicModel topics(&vocabulary, TopicModelConfig{}, 2);
+  SynthesizerConfig synth_config;
+  synth_config.num_sessions = train_sessions;
+  synth_config.num_machines = train_sessions / 25 + 1;
+  // Temporal drift between the splits, as in real logs: training samples
+  // the established intents; the test period adds novel ones.
+  synth_config.session.head_intents = topics.num_intents() * 7 / 10;
+  LogSynthesizer synthesizer(&topics, synth_config);
+  RelatednessOracle oracle;
+  const SynthCorpus train_corpus = synthesizer.Synthesize(3, &oracle);
+
+  SynthesizerConfig test_config = synth_config;
+  test_config.num_sessions = train_sessions / 4;  // 120-day vs 30-day split
+  test_config.session.novel_fraction = 0.35;
+  LogSynthesizer test_synthesizer(&topics, test_config);
+  const SynthCorpus test_corpus = test_synthesizer.Synthesize(4, &oracle);
+  std::printf("  train records: %zu, test records: %zu\n",
+              train_corpus.records.size(), test_corpus.records.size());
+
+  std::printf("== 2. Round-trip the raw log through the TSV file format ==\n");
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sqp_example_log.tsv")
+          .string();
+  SQP_CHECK_OK(WriteLogFile(path, train_corpus.records));
+  std::vector<RawLogRecord> records;
+  SQP_CHECK_OK(ReadLogFile(path, &records));
+  std::printf("  wrote+read %zu records at %s\n", records.size(),
+              path.c_str());
+  std::remove(path.c_str());
+
+  std::printf("== 3. Segment sessions (30-minute rule) ==\n");
+  QueryDictionary dictionary;
+  SessionSegmenter segmenter;
+  std::vector<Session> train_segmented;
+  std::vector<Session> test_segmented;
+  SQP_CHECK_OK(segmenter.Segment(records, &dictionary, &train_segmented));
+  SQP_CHECK_OK(
+      segmenter.Segment(test_corpus.records, &dictionary, &test_segmented));
+  std::printf("  train sessions: %zu, test sessions: %zu, unique queries: %zu\n",
+              train_segmented.size(), test_segmented.size(),
+              dictionary.size());
+
+  std::printf("== 4. Aggregate + reduce ==\n");
+  SessionAggregator train_aggregator;
+  train_aggregator.Add(train_segmented);
+  SessionAggregator test_aggregator;
+  test_aggregator.Add(test_segmented);
+  ReductionOptions reduction;
+  reduction.min_frequency_exclusive = 1;  // scaled-down analog of the
+                                          // paper's <=5 cut
+  reduction.max_session_length = 10;
+  ReductionReport report;
+  const std::vector<AggregatedSession> train =
+      ReduceSessions(train_aggregator.Finish(), reduction, &report);
+  const std::vector<AggregatedSession> test =
+      ReduceSessions(test_aggregator.Finish(), reduction, nullptr);
+  std::printf("  kept %llu/%llu unique sessions (%.1f%% of weight); mean "
+              "length %.2f; power-law alpha %.2f\n",
+              static_cast<unsigned long long>(report.sessions_kept),
+              static_cast<unsigned long long>(report.sessions_in),
+              100.0 * report.kept_weight_fraction(), MeanSessionLength(train),
+              FrequencyPowerLawAlpha(train));
+
+  std::printf("== 5. Train the paper suite ==\n");
+  TrainingData data;
+  data.sessions = &train;
+  data.vocabulary_size = dictionary.size();
+  const auto suite = CreatePaperSuite(/*vmm_max_depth=*/5);
+  for (const auto& model : suite) {
+    WallTimer timer;
+    SQP_CHECK_OK(model->Train(data));
+    std::printf("  trained %-22s in %7.1f ms (%llu states)\n",
+                std::string(model->Name()).c_str(), timer.ElapsedMillis(),
+                static_cast<unsigned long long>(model->Stats().num_states));
+  }
+
+  std::printf("== 6. Evaluate ==\n");
+  const std::vector<GroundTruthEntry> truth = BuildGroundTruth(test, 5);
+  AccuracyOptions accuracy_options;
+  TablePrinter table({"model", "NDCG@1", "NDCG@3", "NDCG@5", "coverage"});
+  for (const auto& model : suite) {
+    const ModelAccuracy acc = EvaluateAccuracy(*model, truth, accuracy_options);
+    const CoverageResult cov = MeasureCoverage(*model, truth);
+    table.AddRow({std::string(model->Name()),
+                  FormatDouble(acc.ndcg_overall.at(1)),
+                  FormatDouble(acc.ndcg_overall.at(3)),
+                  FormatDouble(acc.ndcg_overall.at(5)),
+                  FormatPercent(cov.overall)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

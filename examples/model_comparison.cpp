@@ -1,0 +1,112 @@
+// Side-by-side comparison of all five model families on one synthetic
+// workload, including per-context-length accuracy — a compact version of
+// the paper's Figures 8-11 for interactive exploration.
+//
+//   $ ./build/examples/model_comparison
+
+#include <iostream>
+
+#include "core/model_factory.h"
+#include "eval/coverage.h"
+#include "eval/evaluator.h"
+#include "eval/log_loss.h"
+#include "eval/table_printer.h"
+#include "log/data_reduction.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "synth/log_synthesizer.h"
+
+int main() {
+  using namespace sqp;
+
+  // Build a mid-sized corpus.
+  Vocabulary vocabulary(
+      VocabularyConfig{.num_terms = 2000, .synonym_fraction = 0.3}, 11);
+  TopicModel topics(&vocabulary, TopicModelConfig{}, 12);
+  SynthesizerConfig config;
+  config.num_sessions = 40000;
+  config.num_machines = 1500;
+  config.session.head_intents = topics.num_intents() * 7 / 10;
+  LogSynthesizer synthesizer(&topics, config);
+  const SynthCorpus train_corpus = synthesizer.Synthesize(13, nullptr);
+  SynthesizerConfig test_config = config;
+  test_config.num_sessions = 10000;
+  test_config.session.novel_fraction = 0.35;
+  LogSynthesizer test_synthesizer(&topics, test_config);
+  const SynthCorpus test_corpus = test_synthesizer.Synthesize(14, nullptr);
+
+  QueryDictionary dictionary;
+  SessionSegmenter segmenter;
+  std::vector<Session> train_segmented;
+  std::vector<Session> test_segmented;
+  SQP_CHECK_OK(
+      segmenter.Segment(train_corpus.records, &dictionary, &train_segmented));
+  SQP_CHECK_OK(
+      segmenter.Segment(test_corpus.records, &dictionary, &test_segmented));
+  SessionAggregator train_aggregator;
+  train_aggregator.Add(train_segmented);
+  SessionAggregator test_aggregator;
+  test_aggregator.Add(test_segmented);
+  ReductionOptions reduction;
+  reduction.min_frequency_exclusive = 1;
+  const std::vector<AggregatedSession> train =
+      ReduceSessions(train_aggregator.Finish(), reduction, nullptr);
+  const std::vector<AggregatedSession> test =
+      ReduceSessions(test_aggregator.Finish(), reduction, nullptr);
+  const std::vector<GroundTruthEntry> truth = BuildGroundTruth(test, 5);
+
+  TrainingData data;
+  data.sessions = &train;
+  data.vocabulary_size = dictionary.size();
+  const auto suite = CreatePaperSuite(/*vmm_max_depth=*/5);
+  SQP_CHECK_OK(TrainAll(suite, data));
+
+  std::cout << "Overall quality (test split: " << truth.size()
+            << " unique contexts)\n";
+  TablePrinter overall(
+      {"model", "NDCG@1", "NDCG@5", "coverage", "log-loss", "states",
+       "memory (MB)"});
+  for (const auto& model : suite) {
+    const ModelAccuracy acc =
+        EvaluateAccuracy(*model, truth, AccuracyOptions{});
+    const CoverageResult cov = MeasureCoverage(*model, truth);
+    const ModelStats stats = model->Stats();
+    overall.AddRow(
+        {std::string(model->Name()), FormatDouble(acc.ndcg_overall.at(1)),
+         FormatDouble(acc.ndcg_overall.at(5)), FormatPercent(cov.overall),
+         FormatDouble(AverageLogLoss(*model, test), 3),
+         std::to_string(stats.num_states),
+         FormatDouble(static_cast<double>(stats.memory_bytes) / 1048576.0,
+                      1)});
+  }
+  overall.Print(std::cout);
+
+  std::cout << "\nNDCG@5 by context length (paper Fig. 8/9 shape)\n";
+  TablePrinter by_length({"model", "len 1", "len 2", "len 3", "len 4"});
+  for (const auto& model : suite) {
+    const ModelAccuracy acc =
+        EvaluateAccuracy(*model, truth, AccuracyOptions{});
+    std::vector<std::string> row{std::string(model->Name())};
+    for (size_t len = 1; len <= 4; ++len) {
+      const auto& ndcg5 = acc.ndcg.at(5);
+      row.push_back(ndcg5.count(len) ? FormatDouble(ndcg5.at(len)) : "-");
+    }
+    by_length.AddRow(std::move(row));
+  }
+  by_length.Print(std::cout);
+
+  std::cout << "\nCoverage by context length (paper Fig. 11 shape)\n";
+  TablePrinter coverage_table({"model", "len 1", "len 2", "len 3", "len 4"});
+  for (const auto& model : suite) {
+    const CoverageResult cov = MeasureCoverage(*model, truth);
+    std::vector<std::string> row{std::string(model->Name())};
+    for (size_t len = 1; len <= 4; ++len) {
+      row.push_back(cov.by_context_length.count(len)
+                        ? FormatPercent(cov.by_context_length.at(len))
+                        : "-");
+    }
+    coverage_table.AddRow(std::move(row));
+  }
+  coverage_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: train an MVMM query recommender on a handful of sessions and
+// ask it for next-query recommendations.
+//
+//   $ ./build/examples/quickstart
+//
+// The sessions below follow the paper's Table V style (refinement chains).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/mvmm_model.h"
+#include "log/query_dictionary.h"
+#include "log/session_aggregator.h"
+
+int main() {
+  using namespace sqp;
+
+  // 1. Intern queries and build aggregated sessions. In a real deployment
+  //    these come from the log pipeline (see examples/log_pipeline.cpp).
+  QueryDictionary dictionary;
+  const std::vector<std::pair<std::vector<const char*>, uint64_t>> raw = {
+      {{"kidney stones", "kidney stone symptoms"}, 40},
+      {{"kidney stones", "kidney stone symptoms",
+        "kidney stone symptoms in women"}, 15},
+      {{"kidney stones", "kidney stone treatment"}, 12},
+      {{"sign language", "learn sign language"}, 30},
+      {{"nokia n73", "nokia n73 themes", "free themes nokia n73"}, 22},
+      {{"nokia n73", "nokia n73 review"}, 9},
+      {{"indonesia", "java", "java island"}, 18},
+      {{"sun microsystems", "java", "sun java"}, 14},
+  };
+
+  SessionAggregator aggregator;
+  for (const auto& [queries, times] : raw) {
+    Session session;
+    for (const char* q : queries) {
+      session.queries.push_back(dictionary.Intern(q));
+    }
+    for (uint64_t i = 0; i < times; ++i) aggregator.AddSession(session);
+  }
+  const std::vector<AggregatedSession> sessions = aggregator.Finish();
+
+  // 2. Train the paper's best model, the MVMM (11 VMM components with
+  //    epsilon in {0.0, 0.01, ..., 0.1}).
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = dictionary.size();
+  MvmmModel model;
+  SQP_CHECK_OK(model.Train(data));
+
+  // 3. Recommend. Note the context sensitivity: "java" alone is ambiguous,
+  //    but "indonesia -> java" disambiguates toward the island (the paper's
+  //    motivating example).
+  const std::vector<std::vector<const char*>> contexts = {
+      {"kidney stones"},
+      {"kidney stones", "kidney stone symptoms"},
+      {"java"},
+      {"indonesia", "java"},
+      {"sun microsystems", "java"},
+  };
+  for (const auto& context_strings : contexts) {
+    std::vector<QueryId> context;
+    std::string rendered;
+    for (const char* q : context_strings) {
+      context.push_back(*dictionary.Lookup(q));
+      if (!rendered.empty()) rendered += " => ";
+      rendered += q;
+    }
+    const Recommendation rec = model.Recommend(context, 3);
+    std::printf("context: [%s]\n", rendered.c_str());
+    if (!rec.covered) {
+      std::printf("  (no recommendation: context not covered)\n");
+      continue;
+    }
+    for (size_t i = 0; i < rec.queries.size(); ++i) {
+      std::printf("  %zu. %-35s score %.4f\n", i + 1,
+                  dictionary.Text(rec.queries[i].query).c_str(),
+                  rec.queries[i].score);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Interactive query recommender: trains an MVMM on a synthetic corpus,
+// then reads query sessions from stdin and prints top-5 recommendations
+// after every query — the paper's "online query recommendation phase".
+//
+//   $ ./build/examples/recommender_cli            # interactive
+//   $ printf "first query\nsecond query\n" | ./build/examples/recommender_cli
+//
+// An empty line resets the session context. Because the corpus is
+// synthetic, useful inputs are queries the trainer has seen; the program
+// prints a few popular example queries at startup for copy/paste.
+
+#include <iostream>
+#include <string>
+
+#include "core/mvmm_model.h"
+#include "log/data_reduction.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "synth/log_synthesizer.h"
+
+int main() {
+  using namespace sqp;
+
+  std::cerr << "training MVMM on a synthetic corpus..." << std::flush;
+  Vocabulary vocabulary(
+      VocabularyConfig{.num_terms = 1500, .synonym_fraction = 0.3}, 21);
+  TopicModel topics(&vocabulary, TopicModelConfig{}, 22);
+  SynthesizerConfig config;
+  config.num_sessions = 30000;
+  config.num_machines = 1000;
+  LogSynthesizer synthesizer(&topics, config);
+  const SynthCorpus corpus = synthesizer.Synthesize(23, nullptr);
+
+  QueryDictionary dictionary;
+  SessionSegmenter segmenter;
+  std::vector<Session> segmented;
+  SQP_CHECK_OK(segmenter.Segment(corpus.records, &dictionary, &segmented));
+  SessionAggregator aggregator;
+  aggregator.Add(segmented);
+  ReductionOptions reduction;
+  reduction.min_frequency_exclusive = 1;
+  const std::vector<AggregatedSession> sessions =
+      ReduceSessions(aggregator.Finish(), reduction, nullptr);
+
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = dictionary.size();
+  MvmmOptions options;
+  options.default_max_depth = 5;
+  MvmmModel model(options);
+  SQP_CHECK_OK(model.Train(data));
+  std::cerr << " done (" << sessions.size() << " unique sessions, "
+            << dictionary.size() << " unique queries)\n";
+
+  std::cerr << "example queries you can try:\n";
+  for (size_t i = 0; i < sessions.size() && i < 5; ++i) {
+    std::cerr << "  " << dictionary.Text(sessions[i].queries[0]) << "\n";
+  }
+  std::cerr << "enter queries (empty line = new session, EOF = quit):\n";
+
+  std::vector<QueryId> context;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string normalized = QueryDictionary::Normalize(line);
+    if (normalized.empty()) {
+      context.clear();
+      std::cout << "-- new session --\n";
+      continue;
+    }
+    const auto id = dictionary.Lookup(normalized);
+    if (!id.has_value()) {
+      std::cout << "(query \"" << normalized
+                << "\" is outside the trained vocabulary; session continues)"
+                << "\n";
+      continue;
+    }
+    context.push_back(*id);
+    const Recommendation rec = model.Recommend(context, 5);
+    if (!rec.covered) {
+      std::cout << "(no recommendation for this context)\n";
+      continue;
+    }
+    std::cout << "recommendations (used last " << rec.matched_length
+              << " queries):\n";
+    for (size_t i = 0; i < rec.queries.size(); ++i) {
+      std::cout << "  " << (i + 1) << ". "
+                << dictionary.Text(rec.queries[i].query) << "  ["
+                << rec.queries[i].score << "]\n";
+    }
+  }
+  return 0;
+}

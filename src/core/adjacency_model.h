@@ -1,0 +1,36 @@
+#ifndef SQP_CORE_ADJACENCY_MODEL_H_
+#define SQP_CORE_ADJACENCY_MODEL_H_
+
+#include <unordered_map>
+
+#include "core/prediction_model.h"
+
+namespace sqp {
+
+/// Pair-wise **Adjacency** baseline (paper Section V-B, after Jones et al.):
+/// given the user's last query q, recommends the queries that most often
+/// immediately follow q anywhere in a training session. Order-sensitive but
+/// blind to anything before the final context query.
+class AdjacencyModel : public PredictionModel {
+ public:
+  AdjacencyModel() = default;
+
+  std::string_view Name() const override { return "Adjacency"; }
+  Status Train(const TrainingData& data) override;
+  Recommendation Recommend(std::span<const QueryId> context,
+                           size_t top_n) const override;
+  bool Covers(std::span<const QueryId> context) const override;
+  double ConditionalProb(std::span<const QueryId> context,
+                         QueryId next) const override;
+  ModelStats Stats() const override;
+
+ private:
+  const ContextEntry* Find(std::span<const QueryId> context) const;
+
+  std::unordered_map<QueryId, ContextEntry> table_;
+  size_t vocabulary_size_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_ADJACENCY_MODEL_H_

@@ -1,0 +1,214 @@
+#include "core/click_cluster_model.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace sqp {
+namespace {
+
+/// Plain union-find over dense query ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int32_t>(i);
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int32_t a, int32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[static_cast<size_t>(b)] = a;
+  }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+double Jaccard(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t both = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t either = a.size() + b.size() - both;
+  return either == 0 ? 0.0
+                     : static_cast<double>(both) / static_cast<double>(either);
+}
+
+}  // namespace
+
+ClickClusterModel::ClickClusterModel(ClickClusterOptions options)
+    : options_(options) {}
+
+Status ClickClusterModel::Train(const TrainingData& data) {
+  if (data.records == nullptr || data.dictionary == nullptr) {
+    return Status::InvalidArgument(
+        "ClickClusterModel requires TrainingData.records and .dictionary");
+  }
+  if (data.vocabulary_size == 0) {
+    return Status::InvalidArgument("TrainingData.vocabulary_size is 0");
+  }
+  cluster_of_.clear();
+  clusters_.clear();
+  num_clusters_ = 0;
+  vocabulary_size_ = data.vocabulary_size;
+
+  // Per-query clicked-URL sets (hashed) and click totals.
+  std::unordered_map<QueryId, std::vector<uint64_t>> urls_of;
+  std::unordered_map<QueryId, uint64_t> clicks_of;
+  std::unordered_map<uint64_t, std::vector<QueryId>> queries_of_url;
+  for (const RawLogRecord& record : *data.records) {
+    if (record.clicks.empty()) continue;
+    const auto id = data.dictionary->Lookup(record.query);
+    if (!id.has_value()) continue;
+    for (const UrlClick& click : record.clicks) {
+      const uint64_t url = HashString(click.url);
+      urls_of[*id].push_back(url);
+      ++clicks_of[*id];
+    }
+  }
+  for (auto& [query, urls] : urls_of) {
+    std::sort(urls.begin(), urls.end());
+    urls.erase(std::unique(urls.begin(), urls.end()), urls.end());
+    if (clicks_of[query] < options_.min_clicks) continue;
+    for (uint64_t url : urls) queries_of_url[url].push_back(query);
+  }
+
+  // Candidate pairs come from shared URLs; very high fan-out URLs (portal
+  // pages) are truncated to their most-clicked queries, standard practice
+  // for click-graph clustering at scale.
+  constexpr size_t kMaxUrlFanout = 64;
+  UnionFind uf(data.vocabulary_size);
+  for (auto& [url, queries] : queries_of_url) {
+    if (queries.size() < 2) continue;
+    if (queries.size() > kMaxUrlFanout) {
+      std::sort(queries.begin(), queries.end(),
+                [&](QueryId a, QueryId b) {
+                  if (clicks_of[a] != clicks_of[b]) {
+                    return clicks_of[a] > clicks_of[b];
+                  }
+                  return a < b;
+                });
+      queries.resize(kMaxUrlFanout);
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      for (size_t j = i + 1; j < queries.size(); ++j) {
+        const int32_t a = static_cast<int32_t>(queries[i]);
+        const int32_t b = static_cast<int32_t>(queries[j]);
+        if (uf.Find(a) == uf.Find(b)) continue;
+        if (Jaccard(urls_of[queries[i]], urls_of[queries[j]]) >=
+            options_.min_jaccard) {
+          uf.Union(a, b);
+        }
+      }
+    }
+  }
+
+  // Materialize clusters of size >= 2.
+  std::unordered_map<int32_t, std::vector<Member>> by_root;
+  for (const auto& [query, clicks] : clicks_of) {
+    if (clicks < options_.min_clicks) continue;
+    by_root[uf.Find(static_cast<int32_t>(query))].push_back(
+        Member{query, clicks});
+  }
+  for (auto& [root, members] : by_root) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end(),
+              [](const Member& a, const Member& b) {
+                if (a.clicks != b.clicks) return a.clicks > b.clicks;
+                return a.query < b.query;
+              });
+    const int32_t cluster_id = static_cast<int32_t>(clusters_.size());
+    for (const Member& member : members) {
+      cluster_of_[member.query] = cluster_id;
+    }
+    clusters_.push_back(std::move(members));
+  }
+  num_clusters_ = clusters_.size();
+  return Status::OK();
+}
+
+int32_t ClickClusterModel::ClusterOf(QueryId query) const {
+  auto it = cluster_of_.find(query);
+  return it == cluster_of_.end() ? -1 : it->second;
+}
+
+Recommendation ClickClusterModel::Recommend(std::span<const QueryId> context,
+                                            size_t top_n) const {
+  Recommendation rec;
+  if (context.empty()) return rec;
+  const int32_t cluster = ClusterOf(context.back());
+  if (cluster < 0) return rec;
+  const std::vector<Member>& members =
+      clusters_[static_cast<size_t>(cluster)];
+  uint64_t total = 0;
+  for (const Member& member : members) {
+    if (member.query != context.back()) total += member.clicks;
+  }
+  if (total == 0) return rec;
+  rec.covered = true;
+  rec.matched_length = 1;
+  for (const Member& member : members) {
+    if (member.query == context.back()) continue;
+    rec.queries.push_back(ScoredQuery{
+        member.query,
+        static_cast<double>(member.clicks) / static_cast<double>(total)});
+    if (rec.queries.size() >= top_n) break;
+  }
+  return rec;
+}
+
+bool ClickClusterModel::Covers(std::span<const QueryId> context) const {
+  if (context.empty()) return false;
+  const int32_t cluster = ClusterOf(context.back());
+  if (cluster < 0) return false;
+  return clusters_[static_cast<size_t>(cluster)].size() >= 2;
+}
+
+double ClickClusterModel::ConditionalProb(std::span<const QueryId> context,
+                                          QueryId next) const {
+  const double uniform =
+      1.0 / static_cast<double>(vocabulary_size_ == 0 ? 1 : vocabulary_size_);
+  if (context.empty()) return uniform;
+  const int32_t cluster = ClusterOf(context.back());
+  if (cluster < 0) return uniform;
+  std::vector<NextQueryCount> nexts;
+  uint64_t total = 0;
+  for (const Member& member : clusters_[static_cast<size_t>(cluster)]) {
+    if (member.query == context.back()) continue;
+    nexts.push_back(NextQueryCount{member.query, member.clicks});
+    total += member.clicks;
+  }
+  return internal::SmoothedProb(nexts, total, vocabulary_size_, next);
+}
+
+ModelStats ClickClusterModel::Stats() const {
+  ModelStats stats;
+  stats.name = std::string(Name());
+  stats.num_states = num_clusters_;
+  for (const auto& cluster : clusters_) {
+    stats.num_entries += cluster.size();
+  }
+  stats.memory_bytes =
+      stats.num_entries * (sizeof(Member) + sizeof(QueryId) + 8) +
+      clusters_.size() * sizeof(std::vector<Member>);
+  return stats;
+}
+
+}  // namespace sqp

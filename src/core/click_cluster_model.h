@@ -1,0 +1,68 @@
+#ifndef SQP_CORE_CLICK_CLUSTER_MODEL_H_
+#define SQP_CORE_CLICK_CLUSTER_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/prediction_model.h"
+
+namespace sqp {
+
+/// Configuration of the click-through cluster baseline.
+struct ClickClusterOptions {
+  /// Minimum Jaccard similarity of two queries' clicked-URL sets for them
+  /// to be joined into one cluster. High enough that ambiguous queries
+  /// (clicking URLs of several topics) do not bridge otherwise-unrelated
+  /// clusters into giant components.
+  double min_jaccard = 0.5;
+  /// Queries with fewer clicks than this never join a cluster.
+  size_t min_clicks = 2;
+};
+
+/// Click-through **cluster-based** baseline (paper Section II, after
+/// Beeferman & Berger / Wen et al. / Baeza-Yates et al.): two queries are
+/// related if they share many clicked URLs; related queries are grouped
+/// into clusters and recommended for each other.
+///
+/// The paper's point about this family — reproduced by the
+/// `ext_cluster_baseline` bench — is that click clusters find *similar*
+/// queries, which suits query substitution, while query recommendation
+/// wants the query a user asks *next*; so this model scores well below the
+/// session-based methods on next-query prediction.
+///
+/// Requires TrainingData.records and TrainingData.dictionary.
+class ClickClusterModel : public PredictionModel {
+ public:
+  explicit ClickClusterModel(ClickClusterOptions options = {});
+
+  std::string_view Name() const override { return "Click-cluster"; }
+  Status Train(const TrainingData& data) override;
+  Recommendation Recommend(std::span<const QueryId> context,
+                           size_t top_n) const override;
+  bool Covers(std::span<const QueryId> context) const override;
+  double ConditionalProb(std::span<const QueryId> context,
+                         QueryId next) const override;
+  ModelStats Stats() const override;
+
+  /// Number of non-singleton clusters found (for tests/benches).
+  size_t num_clusters() const { return num_clusters_; }
+  /// Cluster id of a query, or -1 if unclustered.
+  int32_t ClusterOf(QueryId query) const;
+
+ private:
+  struct Member {
+    QueryId query = kInvalidQueryId;
+    uint64_t clicks = 0;  // popularity inside the cluster
+  };
+
+  ClickClusterOptions options_;
+  // query -> cluster id; clusters_ lists members sorted by clicks desc.
+  std::unordered_map<QueryId, int32_t> cluster_of_;
+  std::vector<std::vector<Member>> clusters_;
+  size_t num_clusters_ = 0;
+  size_t vocabulary_size_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_CLICK_CLUSTER_MODEL_H_

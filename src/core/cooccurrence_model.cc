@@ -1,0 +1,89 @@
+#include "core/cooccurrence_model.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+Status CooccurrenceModel::Train(const TrainingData& data) {
+  SQP_RETURN_IF_ERROR(internal::ValidateTrainingData(data));
+  table_.clear();
+  vocabulary_size_ = data.vocabulary_size;
+
+  std::unordered_map<QueryId, std::unordered_map<QueryId, uint64_t>> counts;
+  for (const AggregatedSession& s : *data.sessions) {
+    const auto& q = s.queries;
+    if (q.size() < 2) continue;
+    for (size_t i = 0; i < q.size(); ++i) {
+      for (size_t j = 0; j < q.size(); ++j) {
+        if (i == j || q[i] == q[j]) continue;
+        counts[q[i]][q[j]] += s.frequency;
+      }
+    }
+  }
+  table_.reserve(counts.size());
+  for (auto& [query, other_map] : counts) {
+    ContextEntry entry;
+    entry.context = {query};
+    entry.nexts.reserve(other_map.size());
+    for (const auto& [other, count] : other_map) {
+      entry.nexts.push_back(NextQueryCount{other, count});
+      entry.total_count += count;
+    }
+    std::sort(entry.nexts.begin(), entry.nexts.end(),
+              [](const NextQueryCount& a, const NextQueryCount& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.query < b.query;
+              });
+    table_.emplace(query, std::move(entry));
+  }
+  return Status::OK();
+}
+
+const ContextEntry* CooccurrenceModel::Find(
+    std::span<const QueryId> context) const {
+  if (context.empty()) return nullptr;
+  auto it = table_.find(context.back());
+  if (it == table_.end()) return nullptr;
+  return &it->second;
+}
+
+Recommendation CooccurrenceModel::Recommend(std::span<const QueryId> context,
+                                            size_t top_n) const {
+  Recommendation rec;
+  const ContextEntry* entry = Find(context);
+  if (entry == nullptr) return rec;
+  rec.covered = true;
+  rec.matched_length = 1;
+  internal::FillTopN(entry->nexts, entry->total_count, top_n, &rec);
+  return rec;
+}
+
+bool CooccurrenceModel::Covers(std::span<const QueryId> context) const {
+  return Find(context) != nullptr;
+}
+
+double CooccurrenceModel::ConditionalProb(std::span<const QueryId> context,
+                                          QueryId next) const {
+  const ContextEntry* entry = Find(context);
+  if (entry == nullptr) {
+    return 1.0 / static_cast<double>(vocabulary_size_ == 0 ? 1
+                                                           : vocabulary_size_);
+  }
+  return internal::SmoothedProb(entry->nexts, entry->total_count,
+                                vocabulary_size_, next);
+}
+
+ModelStats CooccurrenceModel::Stats() const {
+  ModelStats stats;
+  stats.name = std::string(Name());
+  stats.num_states = table_.size();
+  for (const auto& [query, entry] : table_) {
+    stats.num_entries += entry.nexts.size();
+  }
+  stats.memory_bytes =
+      table_.size() * (sizeof(QueryId) + sizeof(ContextEntry) + 16) +
+      stats.num_entries * sizeof(NextQueryCount);
+  return stats;
+}
+
+}  // namespace sqp

@@ -1,0 +1,36 @@
+#ifndef SQP_CORE_COOCCURRENCE_MODEL_H_
+#define SQP_CORE_COOCCURRENCE_MODEL_H_
+
+#include <unordered_map>
+
+#include "core/prediction_model.h"
+
+namespace sqp {
+
+/// Pair-wise **Co-occurrence** baseline (paper Section V-B, after Huang et
+/// al.): given the user's last query q, recommends the queries that most
+/// often co-occur with q in the same training session, regardless of order
+/// or adjacency. Highest coverage of all methods, but order-blind.
+class CooccurrenceModel : public PredictionModel {
+ public:
+  CooccurrenceModel() = default;
+
+  std::string_view Name() const override { return "Co-occurrence"; }
+  Status Train(const TrainingData& data) override;
+  Recommendation Recommend(std::span<const QueryId> context,
+                           size_t top_n) const override;
+  bool Covers(std::span<const QueryId> context) const override;
+  double ConditionalProb(std::span<const QueryId> context,
+                         QueryId next) const override;
+  ModelStats Stats() const override;
+
+ private:
+  const ContextEntry* Find(std::span<const QueryId> context) const;
+
+  std::unordered_map<QueryId, ContextEntry> table_;
+  size_t vocabulary_size_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_COOCCURRENCE_MODEL_H_

@@ -1,0 +1,269 @@
+#include "core/hmm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace sqp {
+
+HmmModel::HmmModel(HmmOptions options) : options_(options) {}
+
+double HmmModel::Emission(size_t state, QueryId query) const {
+  if (query >= vocabulary_size_) return 1e-12;
+  return emission_[state * vocabulary_size_ + query];
+}
+
+Status HmmModel::Train(const TrainingData& data) {
+  SQP_RETURN_IF_ERROR(internal::ValidateTrainingData(data));
+  if (options_.num_states == 0) {
+    return Status::InvalidArgument("HMM needs at least one hidden state");
+  }
+  vocabulary_size_ = data.vocabulary_size;
+  const size_t s = options_.num_states;
+  const size_t v = vocabulary_size_;
+  seen_queries_.clear();
+  log_likelihood_.clear();
+
+  for (const AggregatedSession& session : *data.sessions) {
+    for (QueryId q : session.queries) {
+      if (q < v) seen_queries_.insert(q);
+    }
+  }
+
+  // Random-but-deterministic initialization: near-uniform with jitter so EM
+  // can break symmetry; transitions start sticky (intents persist within a
+  // session).
+  Rng rng(options_.seed);
+  initial_.assign(s, 1.0);
+  transition_.assign(s * s, 0.0);
+  emission_.assign(s * v, 0.0);
+  for (double& value : initial_) value = 1.0 + 0.1 * rng.UniformDouble();
+  NormalizeInPlace(&initial_);
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = 0; j < s; ++j) {
+      transition_[i * s + j] =
+          (i == j ? 4.0 : 1.0) + 0.1 * rng.UniformDouble();
+    }
+  }
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t q = 0; q < v; ++q) {
+      emission_[i * v + q] = 1.0 + rng.UniformDouble();
+    }
+  }
+  // Row-normalize transition/emission.
+  auto normalize_rows = [](std::vector<double>* matrix, size_t rows,
+                           size_t cols) {
+    for (size_t r = 0; r < rows; ++r) {
+      double total = 0.0;
+      for (size_t c = 0; c < cols; ++c) total += (*matrix)[r * cols + c];
+      if (total <= 0.0) continue;
+      for (size_t c = 0; c < cols; ++c) (*matrix)[r * cols + c] /= total;
+    }
+  };
+  normalize_rows(&transition_, s, s);
+  normalize_rows(&emission_, s, v);
+
+  // Baum-Welch over frequency-weighted unique sessions.
+  std::vector<double> next_initial(s);
+  std::vector<double> next_transition(s * s);
+  std::vector<double> next_emission(s * v);
+  for (size_t iteration = 0; iteration < options_.em_iterations; ++iteration) {
+    std::fill(next_initial.begin(), next_initial.end(), 0.0);
+    std::fill(next_transition.begin(), next_transition.end(), 0.0);
+    std::fill(next_emission.begin(), next_emission.end(), 0.0);
+    double log_likelihood = 0.0;
+
+    for (const AggregatedSession& session : *data.sessions) {
+      const auto& q = session.queries;
+      if (q.empty()) continue;
+      const double weight = static_cast<double>(session.frequency);
+      const size_t len = q.size();
+
+      // Scaled forward-backward.
+      std::vector<double> alpha(len * s);
+      std::vector<double> beta(len * s);
+      std::vector<double> scale(len);
+      for (size_t i = 0; i < s; ++i) {
+        alpha[i] = initial_[i] * Emission(i, q[0]);
+      }
+      for (size_t t = 0; t < len; ++t) {
+        if (t > 0) {
+          for (size_t j = 0; j < s; ++j) {
+            double sum = 0.0;
+            for (size_t i = 0; i < s; ++i) {
+              sum += alpha[(t - 1) * s + i] * transition_[i * s + j];
+            }
+            alpha[t * s + j] = sum * Emission(j, q[t]);
+          }
+        }
+        double total = 0.0;
+        for (size_t i = 0; i < s; ++i) total += alpha[t * s + i];
+        if (total <= 0.0) total = 1e-300;
+        scale[t] = total;
+        for (size_t i = 0; i < s; ++i) alpha[t * s + i] /= total;
+        log_likelihood += weight * std::log(total);
+      }
+      for (size_t i = 0; i < s; ++i) beta[(len - 1) * s + i] = 1.0;
+      for (size_t t = len - 1; t-- > 0;) {
+        for (size_t i = 0; i < s; ++i) {
+          double sum = 0.0;
+          for (size_t j = 0; j < s; ++j) {
+            sum += transition_[i * s + j] * Emission(j, q[t + 1]) *
+                   beta[(t + 1) * s + j];
+          }
+          beta[t * s + i] = sum / scale[t + 1];
+        }
+      }
+
+      // Accumulate expected counts.
+      for (size_t t = 0; t < len; ++t) {
+        double gamma_total = 0.0;
+        for (size_t i = 0; i < s; ++i) {
+          gamma_total += alpha[t * s + i] * beta[t * s + i];
+        }
+        if (gamma_total <= 0.0) continue;
+        for (size_t i = 0; i < s; ++i) {
+          const double gamma =
+              alpha[t * s + i] * beta[t * s + i] / gamma_total;
+          if (t == 0) next_initial[i] += weight * gamma;
+          if (q[t] < v) next_emission[i * v + q[t]] += weight * gamma;
+        }
+      }
+      for (size_t t = 0; t + 1 < len; ++t) {
+        double xi_total = 0.0;
+        std::vector<double> xi(s * s);
+        for (size_t i = 0; i < s; ++i) {
+          for (size_t j = 0; j < s; ++j) {
+            const double value = alpha[t * s + i] * transition_[i * s + j] *
+                                 Emission(j, q[t + 1]) *
+                                 beta[(t + 1) * s + j];
+            xi[i * s + j] = value;
+            xi_total += value;
+          }
+        }
+        if (xi_total <= 0.0) continue;
+        for (size_t i = 0; i < s * s; ++i) {
+          next_transition[i] += weight * xi[i] / xi_total;
+        }
+      }
+    }
+
+    log_likelihood_.push_back(log_likelihood);
+
+    // Re-estimate with additive smoothing.
+    for (size_t i = 0; i < s; ++i) initial_[i] = next_initial[i] + options_.smoothing;
+    NormalizeInPlace(&initial_);
+    for (size_t i = 0; i < s * s; ++i) {
+      transition_[i] = next_transition[i] + options_.smoothing;
+    }
+    for (size_t i = 0; i < s * v; ++i) {
+      emission_[i] = next_emission[i] + options_.smoothing / static_cast<double>(v);
+    }
+    normalize_rows(&transition_, s, s);
+    normalize_rows(&emission_, s, v);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> HmmModel::StateDistribution(
+    std::span<const QueryId> context) const {
+  const size_t s = options_.num_states;
+  std::vector<double> state = initial_;
+  std::vector<double> next(s);
+  for (size_t t = 0; t < context.size(); ++t) {
+    if (t > 0) {
+      for (size_t j = 0; j < s; ++j) {
+        double sum = 0.0;
+        for (size_t i = 0; i < s; ++i) {
+          sum += state[i] * transition_[i * s + j];
+        }
+        next[j] = sum;
+      }
+      state = next;
+    }
+    for (size_t i = 0; i < s; ++i) state[i] *= Emission(i, context[t]);
+    NormalizeInPlace(&state);
+  }
+  return state;
+}
+
+std::vector<double> HmmModel::PredictiveDistribution(
+    std::span<const QueryId> context) const {
+  const size_t s = options_.num_states;
+  const std::vector<double> state = StateDistribution(context);
+  std::vector<double> next_state(s, 0.0);
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = 0; j < s; ++j) {
+      next_state[j] += state[i] * transition_[i * s + j];
+    }
+  }
+  std::vector<double> predictive(vocabulary_size_, 0.0);
+  for (size_t j = 0; j < s; ++j) {
+    const double w = next_state[j];
+    if (w <= 0.0) continue;
+    const double* row = &emission_[j * vocabulary_size_];
+    for (size_t q = 0; q < vocabulary_size_; ++q) {
+      predictive[q] += w * row[q];
+    }
+  }
+  NormalizeInPlace(&predictive);
+  return predictive;
+}
+
+Recommendation HmmModel::Recommend(std::span<const QueryId> context,
+                                   size_t top_n) const {
+  Recommendation rec;
+  if (!trained_ || context.empty() || !Covers(context)) return rec;
+  const std::vector<double> predictive = PredictiveDistribution(context);
+  std::vector<ScoredQuery> ranked;
+  ranked.reserve(vocabulary_size_);
+  for (size_t q = 0; q < vocabulary_size_; ++q) {
+    if (predictive[q] <= 0.0) continue;
+    ranked.push_back(ScoredQuery{static_cast<QueryId>(q), predictive[q]});
+  }
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<ptrdiff_t>(
+                                         std::min(top_n, ranked.size())),
+                    ranked.end(),
+                    [](const ScoredQuery& a, const ScoredQuery& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.query < b.query;
+                    });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  rec.queries = std::move(ranked);
+  rec.covered = true;
+  rec.matched_length = context.size();
+  return rec;
+}
+
+bool HmmModel::Covers(std::span<const QueryId> context) const {
+  // Comparable coverage semantics to the other models: the current query
+  // must be known from training.
+  if (!trained_ || context.empty()) return false;
+  return seen_queries_.count(context.back()) > 0;
+}
+
+double HmmModel::ConditionalProb(std::span<const QueryId> context,
+                                 QueryId next) const {
+  if (!trained_ || next >= vocabulary_size_) {
+    return 1.0 / static_cast<double>(vocabulary_size_ == 0 ? 1
+                                                           : vocabulary_size_);
+  }
+  const std::vector<double> predictive = PredictiveDistribution(context);
+  return std::max(predictive[next], 1e-300);
+}
+
+ModelStats HmmModel::Stats() const {
+  ModelStats stats;
+  stats.name = std::string(Name());
+  stats.num_states = options_.num_states;
+  stats.num_entries = options_.num_states * vocabulary_size_;
+  stats.memory_bytes =
+      (initial_.size() + transition_.size() + emission_.size()) *
+      sizeof(double);
+  return stats;
+}
+
+}  // namespace sqp

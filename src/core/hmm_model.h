@@ -1,0 +1,81 @@
+#ifndef SQP_CORE_HMM_MODEL_H_
+#define SQP_CORE_HMM_MODEL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "util/random.h"
+
+namespace sqp {
+
+/// Configuration of the HMM query predictor.
+struct HmmOptions {
+  /// Number of hidden states ("true user intents, an underlying semantic
+  /// concept", paper Section VI).
+  size_t num_states = 24;
+  /// Baum-Welch iterations.
+  size_t em_iterations = 8;
+  /// Additive smoothing for the emission/transition re-estimates.
+  double smoothing = 1e-3;
+  /// Seed of the random initialization (training is deterministic given
+  /// the seed).
+  uint64_t seed = 2009;
+};
+
+/// Hidden Markov Model for sequential query prediction — the paper's
+/// future-work direction (Section VI: "more sophisticated Markov models
+/// such as HMM ... modeling hidden states that represent true user
+/// intent"). Hidden states play the role of latent search intents; queries
+/// are emissions. Trained with Baum-Welch over the aggregated sessions
+/// (frequency-weighted); prediction runs one normalized forward pass over
+/// the context and ranks queries by the one-step predictive distribution
+///
+///   P(q | context) = sum_{s'} P(s_t = s | context) A[s][s'] B[s'][q].
+///
+/// The `ext_hmm_future_work` bench evaluates whether this raises the bar
+/// over the MVMM, as the paper left open.
+class HmmModel : public PredictionModel {
+ public:
+  explicit HmmModel(HmmOptions options = {});
+
+  std::string_view Name() const override { return "HMM"; }
+  Status Train(const TrainingData& data) override;
+  Recommendation Recommend(std::span<const QueryId> context,
+                           size_t top_n) const override;
+  bool Covers(std::span<const QueryId> context) const override;
+  double ConditionalProb(std::span<const QueryId> context,
+                         QueryId next) const override;
+  ModelStats Stats() const override;
+
+  size_t num_states() const { return options_.num_states; }
+  /// Per-iteration weighted log-likelihood of the training data (natural
+  /// log); must be non-decreasing up to numerical noise (EM invariant).
+  const std::vector<double>& log_likelihood_curve() const {
+    return log_likelihood_;
+  }
+
+ private:
+  /// Normalized forward pass; returns the state distribution after
+  /// consuming `context` (uniform-smoothed for unseen queries).
+  std::vector<double> StateDistribution(std::span<const QueryId> context) const;
+
+  /// Full one-step predictive distribution over the vocabulary.
+  std::vector<double> PredictiveDistribution(
+      std::span<const QueryId> context) const;
+
+  double Emission(size_t state, QueryId query) const;
+
+  HmmOptions options_;
+  size_t vocabulary_size_ = 0;
+  std::vector<double> initial_;     // [state]
+  std::vector<double> transition_;  // [state * num_states + state']
+  std::vector<double> emission_;    // [state * vocabulary + query]
+  std::unordered_set<QueryId> seen_queries_;
+  std::vector<double> log_likelihood_;
+  bool trained_ = false;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_HMM_MODEL_H_

@@ -1,0 +1,74 @@
+#include "core/model_factory.h"
+
+#include "core/adjacency_model.h"
+#include "core/cooccurrence_model.h"
+
+namespace sqp {
+
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kAdjacency:
+      return "Adjacency";
+    case ModelKind::kCooccurrence:
+      return "Co-occurrence";
+    case ModelKind::kNgram:
+      return "N-gram";
+    case ModelKind::kVmm:
+      return "VMM";
+    case ModelKind::kMvmm:
+      return "MVMM";
+    case ModelKind::kClickCluster:
+      return "Click-cluster";
+    case ModelKind::kHmm:
+      return "HMM";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<PredictionModel> CreateModel(const ModelConfig& config) {
+  switch (config.kind) {
+    case ModelKind::kAdjacency:
+      return std::make_unique<AdjacencyModel>();
+    case ModelKind::kCooccurrence:
+      return std::make_unique<CooccurrenceModel>();
+    case ModelKind::kNgram:
+      return std::make_unique<NgramModel>(config.ngram);
+    case ModelKind::kVmm:
+      return std::make_unique<VmmModel>(config.vmm);
+    case ModelKind::kMvmm:
+      return std::make_unique<MvmmModel>(config.mvmm);
+    case ModelKind::kClickCluster:
+      return std::make_unique<ClickClusterModel>(config.click_cluster);
+    case ModelKind::kHmm:
+      return std::make_unique<HmmModel>(config.hmm);
+  }
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<PredictionModel>> CreatePaperSuite(
+    size_t vmm_max_depth) {
+  std::vector<std::unique_ptr<PredictionModel>> models;
+  models.push_back(std::make_unique<AdjacencyModel>());
+  models.push_back(std::make_unique<CooccurrenceModel>());
+  models.push_back(std::make_unique<NgramModel>());
+  for (double epsilon : {0.0, 0.05, 0.1}) {
+    VmmOptions vmm;
+    vmm.epsilon = epsilon;
+    vmm.max_depth = vmm_max_depth;
+    models.push_back(std::make_unique<VmmModel>(vmm));
+  }
+  MvmmOptions mvmm;
+  mvmm.default_max_depth = vmm_max_depth;
+  models.push_back(std::make_unique<MvmmModel>(mvmm));
+  return models;
+}
+
+Status TrainAll(const std::vector<std::unique_ptr<PredictionModel>>& models,
+                const TrainingData& data) {
+  for (const auto& model : models) {
+    SQP_RETURN_IF_ERROR(model->Train(data));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqp

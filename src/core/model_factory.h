@@ -1,0 +1,59 @@
+#ifndef SQP_CORE_MODEL_FACTORY_H_
+#define SQP_CORE_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/click_cluster_model.h"
+#include "core/hmm_model.h"
+#include "core/mvmm_model.h"
+#include "core/ngram_model.h"
+#include "core/prediction_model.h"
+#include "core/vmm_model.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// The model families evaluated in the paper, plus the extensions this
+/// library implements (click-through clusters from the related work, HMM
+/// from the future work).
+enum class ModelKind {
+  kAdjacency,
+  kCooccurrence,
+  kNgram,
+  kVmm,
+  kMvmm,
+  kClickCluster,
+  kHmm,
+};
+
+std::string_view ModelKindName(ModelKind kind);
+
+/// Union-style configuration for CreateModel; only the member matching
+/// `kind` is consulted.
+struct ModelConfig {
+  ModelKind kind = ModelKind::kMvmm;
+  NgramOptions ngram;
+  VmmOptions vmm;
+  MvmmOptions mvmm;
+  ClickClusterOptions click_cluster;
+  HmmOptions hmm;
+};
+
+/// Creates an untrained model of the requested kind.
+std::unique_ptr<PredictionModel> CreateModel(const ModelConfig& config);
+
+/// Creates the seven-model suite of the paper's evaluation section:
+/// Adjacency, Co-occurrence, N-gram, VMM(0.0), VMM(0.05), VMM(0.1), MVMM.
+/// `vmm_max_depth` bounds the VMM/MVMM context length (0 = unbounded).
+std::vector<std::unique_ptr<PredictionModel>> CreatePaperSuite(
+    size_t vmm_max_depth = 0);
+
+/// Trains every model in `models` on `data`; fails fast on the first error.
+Status TrainAll(const std::vector<std::unique_ptr<PredictionModel>>& models,
+                const TrainingData& data);
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_MODEL_FACTORY_H_

@@ -1,0 +1,418 @@
+#include "core/mvmm_model.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <unordered_set>
+
+#include "util/edit_distance.h"
+#include "util/hash.h"
+#include "util/math_util.h"
+
+namespace sqp {
+
+std::vector<VmmOptions> MvmmOptions::DefaultComponents(size_t max_depth) {
+  // Paper Section IV-C.2 trains "K D-bounded VMM models, {P_D, D=1..K}",
+  // each "with a range of epsilon values"; Section V-D uses 11 components.
+  // The default crosses D = 1..deepest with epsilon in {0.0, 0.05} and adds
+  // one (deepest, 0.1) component: 11 components at the default depth 5,
+  // covering both the depth and the epsilon axes of the model family.
+  const size_t deepest = max_depth == 0 ? 5 : max_depth;
+  std::vector<VmmOptions> components;
+  components.reserve(2 * deepest + 1);
+  for (size_t depth = 1; depth <= deepest; ++depth) {
+    for (double epsilon : {0.0, 0.05}) {
+      VmmOptions vmm;
+      vmm.epsilon = epsilon;
+      vmm.max_depth = depth;
+      components.push_back(vmm);
+    }
+  }
+  VmmOptions last;
+  last.epsilon = 0.1;
+  last.max_depth = deepest;
+  components.push_back(last);
+  return components;
+}
+
+MvmmModel::MvmmModel(MvmmOptions options) : options_(std::move(options)) {
+  if (options_.components.empty()) {
+    options_.components =
+        MvmmOptions::DefaultComponents(options_.default_max_depth);
+  }
+}
+
+Status MvmmModel::Train(const TrainingData& data) {
+  SQP_RETURN_IF_ERROR(internal::ValidateTrainingData(data));
+  if (options_.components.empty()) {
+    return Status::InvalidArgument("MVMM needs at least one component");
+  }
+  vocabulary_size_ = data.vocabulary_size;
+  components_.clear();
+
+  // One shared counting pass for all components. Depth must accommodate the
+  // deepest component; any unbounded component forces an unbounded index.
+  size_t shared_depth = 0;
+  bool any_unbounded = false;
+  for (const VmmOptions& c : options_.components) {
+    if (c.max_depth == 0) any_unbounded = true;
+    shared_depth = std::max(shared_depth, c.max_depth);
+  }
+  ContextIndex shared_index;
+  shared_index.Build(*data.sessions, ContextIndex::Mode::kSubstring,
+                     any_unbounded ? 0 : shared_depth);
+
+  TrainingData component_data = data;
+  component_data.substring_index = &shared_index;
+  for (const VmmOptions& c : options_.components) {
+    components_.push_back(std::make_unique<VmmModel>(c));
+  }
+  if (options_.training_threads <= 1) {
+    for (const auto& vmm : components_) {
+      SQP_RETURN_IF_ERROR(vmm->Train(component_data));
+    }
+  } else {
+    // Components are independent given the shared (read-only) index; shard
+    // them across workers (paper Section V-F.1).
+    std::vector<Status> statuses(components_.size());
+    std::vector<std::thread> workers;
+    const size_t num_workers =
+        std::min(options_.training_threads, components_.size());
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= components_.size()) return;
+          statuses[i] = components_[i]->Train(component_data);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const Status& status : statuses) {
+      SQP_RETURN_IF_ERROR(status);
+    }
+  }
+
+  sigmas_.assign(components_.size(), options_.initial_sigma);
+  if (options_.weighting == MixtureWeighting::kGaussianEditDistance) {
+    FitSigmas(*data.sessions);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> MvmmModel::RawWeights(
+    std::span<const QueryId> context,
+    const std::vector<VmmMatch>& matches) const {
+  std::vector<double> weights(components_.size(), 0.0);
+  switch (options_.weighting) {
+    case MixtureWeighting::kGaussianEditDistance: {
+      for (size_t c = 0; c < components_.size(); ++c) {
+        const double d = static_cast<double>(
+            EditDistance(context, matches[c].state->context));
+        weights[c] = GaussianPdf(d, sigmas_[c]);
+      }
+      // With a tightly fitted sigma the Gaussian can underflow for every
+      // component (all matches far from the context); fall back to
+      // weighting by match depth so the mixture stays well defined.
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 1e-280) {
+        for (size_t c = 0; c < components_.size(); ++c) {
+          weights[c] = 1.0 + static_cast<double>(matches[c].matched_length);
+        }
+      }
+      break;
+    }
+    case MixtureWeighting::kUniform:
+      weights.assign(components_.size(), 1.0);
+      break;
+    case MixtureWeighting::kLongestMatch: {
+      size_t best = 0;
+      for (const VmmMatch& match : matches) {
+        best = std::max(best, match.matched_length);
+      }
+      for (size_t c = 0; c < components_.size(); ++c) {
+        weights[c] = matches[c].matched_length == best ? 1.0 : 0.0;
+      }
+      break;
+    }
+  }
+  return weights;
+}
+
+void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
+  fit_report_ = MvmmFitReport{};
+  // Pseudo-test sample: the most frequent multi-query sessions, with
+  // P(X_T) proportional to their aggregated frequency (Eq. 8/9).
+  std::vector<const AggregatedSession*> pool;
+  for (const AggregatedSession& s : sessions) {
+    if (s.queries.size() >= 2) pool.push_back(&s);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const AggregatedSession* a, const AggregatedSession* b) {
+              if (a->frequency != b->frequency) {
+                return a->frequency > b->frequency;
+              }
+              return a->queries < b->queries;
+            });
+  if (pool.size() > options_.weight_sample_size) {
+    pool.resize(options_.weight_sample_size);
+  }
+  if (pool.empty()) return;
+
+  const size_t k = components_.size();
+  std::vector<WeightSample> samples;
+  samples.reserve(pool.size());
+  double weight_total = 0.0;
+  for (const AggregatedSession* s : pool) {
+    WeightSample sample;
+    sample.weight = static_cast<double>(s->frequency);
+    weight_total += sample.weight;
+    sample.edit_distance.resize(k);
+    sample.sequence_prob.resize(k);
+    const std::span<const QueryId> full_context(
+        s->queries.data(), s->queries.size() - 1);
+    for (size_t c = 0; c < k; ++c) {
+      const VmmMatch match = components_[c]->Match(full_context);
+      sample.edit_distance[c] = static_cast<double>(
+          EditDistance(full_context, match.state->context));
+      sample.sequence_prob[c] = components_[c]->SequenceProb(s->queries);
+    }
+    samples.push_back(std::move(sample));
+  }
+  for (WeightSample& s : samples) s.weight /= weight_total;
+
+  // Maximize f(sigma) = sum_X P(X) log sum_D g(d_D; sigma_D) P_D(X).
+  // Damped Newton with a numerically differenced Hessian of the analytic
+  // gradient; gradient-ascent fallback keeps every accepted step an
+  // improvement.
+  double f = Objective(samples, sigmas_);
+  fit_report_.initial_objective = f;
+  const double kFdStep = 1e-4;
+  for (size_t iter = 0; iter < options_.max_newton_iterations; ++iter) {
+    const std::vector<double> grad = Gradient(samples, sigmas_);
+    double grad_norm = 0.0;
+    for (double g : grad) grad_norm += g * g;
+    grad_norm = std::sqrt(grad_norm);
+    if (grad_norm < 1e-9) break;
+
+    // Hessian via central differences of the gradient.
+    std::vector<double> hessian(k * k, 0.0);
+    for (size_t j = 0; j < k; ++j) {
+      std::vector<double> plus = sigmas_;
+      std::vector<double> minus = sigmas_;
+      plus[j] += kFdStep;
+      minus[j] = std::max(options_.min_sigma, minus[j] - kFdStep);
+      const double denom = plus[j] - minus[j];
+      const std::vector<double> gp = Gradient(samples, plus);
+      const std::vector<double> gm = Gradient(samples, minus);
+      for (size_t i = 0; i < k; ++i) {
+        hessian[i * k + j] = (gp[i] - gm[i]) / denom;
+      }
+    }
+
+    std::vector<double> step;
+    bool have_newton =
+        SolveLinearSystem(hessian, grad, k, &step);  // H * step = grad
+    // At a maximum H is negative definite, so sigma_new = sigma - step
+    // (Eq. 10). Reject the Newton direction if it is not an ascent move.
+    bool accepted = false;
+    if (have_newton) {
+      double damping = 1.0;
+      for (int attempt = 0; attempt < 8 && !accepted; ++attempt) {
+        std::vector<double> trial = sigmas_;
+        for (size_t i = 0; i < k; ++i) {
+          trial[i] = std::max(options_.min_sigma,
+                              trial[i] - damping * step[i]);
+        }
+        const double ft = Objective(samples, trial);
+        if (ft > f) {
+          sigmas_ = std::move(trial);
+          f = ft;
+          accepted = true;
+          fit_report_.used_newton = true;
+        }
+        damping *= 0.5;
+      }
+    }
+    if (!accepted) {
+      // Backtracking gradient ascent.
+      double lr = 0.5;
+      for (int attempt = 0; attempt < 12 && !accepted; ++attempt) {
+        std::vector<double> trial = sigmas_;
+        for (size_t i = 0; i < k; ++i) {
+          trial[i] = std::max(options_.min_sigma, trial[i] + lr * grad[i]);
+        }
+        const double ft = Objective(samples, trial);
+        if (ft > f) {
+          sigmas_ = std::move(trial);
+          f = ft;
+          accepted = true;
+        }
+        lr *= 0.5;
+      }
+    }
+    ++fit_report_.iterations;
+    if (!accepted) break;  // converged (no improving step)
+  }
+  fit_report_.final_objective = f;
+}
+
+double MvmmModel::Objective(const std::vector<WeightSample>& samples,
+                            const std::vector<double>& sigmas) const {
+  double f = 0.0;
+  for (const WeightSample& s : samples) {
+    double mix = 0.0;
+    for (size_t c = 0; c < sigmas.size(); ++c) {
+      mix += GaussianPdf(s.edit_distance[c], sigmas[c]) * s.sequence_prob[c];
+    }
+    if (mix <= 0.0) mix = 1e-300;
+    f += s.weight * std::log(mix);
+  }
+  return f;
+}
+
+std::vector<double> MvmmModel::Gradient(
+    const std::vector<WeightSample>& samples,
+    const std::vector<double>& sigmas) const {
+  std::vector<double> grad(sigmas.size(), 0.0);
+  for (const WeightSample& s : samples) {
+    double mix = 0.0;
+    std::vector<double> g(sigmas.size());
+    for (size_t c = 0; c < sigmas.size(); ++c) {
+      g[c] = GaussianPdf(s.edit_distance[c], sigmas[c]);
+      mix += g[c] * s.sequence_prob[c];
+    }
+    if (mix <= 0.0) continue;
+    for (size_t c = 0; c < sigmas.size(); ++c) {
+      const double d = s.edit_distance[c];
+      const double sigma = sigmas[c];
+      // d/dsigma of the Gaussian density.
+      const double dg = g[c] * (d * d / (sigma * sigma * sigma) - 1.0 / sigma);
+      grad[c] += s.weight * dg * s.sequence_prob[c] / mix;
+    }
+  }
+  return grad;
+}
+
+std::vector<double> MvmmModel::MixtureWeights(
+    std::span<const QueryId> context) const {
+  SQP_CHECK(trained_);
+  std::vector<VmmMatch> matches(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    matches[c] = components_[c]->Match(context);
+  }
+  std::vector<double> weights = RawWeights(context, matches);
+  NormalizeInPlace(&weights);
+  return weights;
+}
+
+Recommendation MvmmModel::Recommend(std::span<const QueryId> context,
+                                    size_t top_n) const {
+  Recommendation rec;
+  if (!trained_ || context.empty()) return rec;
+
+  std::vector<VmmMatch> matches(components_.size());
+  size_t best_matched = 0;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    matches[c] = components_[c]->Match(context);
+    best_matched = std::max(best_matched, matches[c].matched_length);
+  }
+  if (best_matched == 0) return rec;  // uncovered, like its components
+  std::vector<double> weights = RawWeights(context, matches);
+  NormalizeInPlace(&weights);
+
+  // Combine escape-weighted generative scores across components (paper
+  // Section IV-C.3: predicted queries of all components are re-ranked
+  // w.r.t. generative probabilities and model weights). Each component
+  // also contributes its matched state's suffix ancestors at
+  // escape-discounted weight (Eq. 5 applied to ranking): deep states often
+  // carry very few continuations, and the recursion fills the list with
+  // shallower-context candidates without disturbing the deep ranking.
+  std::unordered_map<QueryId, double> scores;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    if (weights[c] <= 0.0 || matches[c].matched_length == 0) continue;
+    const Pst& pst = components_[c]->pst();
+    const Pst::Node* node = matches[c].state;
+    double level_weight = weights[c] * matches[c].escape_weight;
+    while (node != nullptr && !node->context.empty()) {
+      if (node->total_count > 0) {
+        const double scale =
+            level_weight / static_cast<double>(node->total_count);
+        for (const NextQueryCount& nc : node->nexts) {
+          scores[nc.query] += scale * static_cast<double>(nc.count);
+        }
+      }
+      level_weight *= components_[c]->options().default_escape;
+      node = node->parent >= 0
+                 ? &pst.nodes()[static_cast<size_t>(node->parent)]
+                 : nullptr;
+    }
+  }
+  if (scores.empty()) return rec;
+
+  rec.covered = true;
+  rec.matched_length = best_matched;
+  std::vector<ScoredQuery> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [query, score] : scores) {
+    ranked.push_back(ScoredQuery{query, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredQuery& a, const ScoredQuery& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.query < b.query;
+            });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  rec.queries = std::move(ranked);
+  return rec;
+}
+
+bool MvmmModel::Covers(std::span<const QueryId> context) const {
+  if (!trained_) return false;
+  for (const auto& component : components_) {
+    if (component->Covers(context)) return true;
+  }
+  return false;
+}
+
+double MvmmModel::ConditionalProb(std::span<const QueryId> context,
+                                  QueryId next) const {
+  if (!trained_) return 0.0;
+  const std::vector<double> weights = MixtureWeights(context);
+  double p = 0.0;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    p += weights[c] * components_[c]->ConditionalProb(context, next);
+  }
+  return p;
+}
+
+ModelStats MvmmModel::Stats() const {
+  ModelStats stats;
+  stats.name = std::string(Name());
+  // Merged-PST accounting (paper Section V-F.2): structurally identical
+  // nodes across components are stored once; each merged node carries a
+  // per-component membership tag (4 bits suffice for 11 components; we
+  // charge 2 bytes).
+  std::unordered_set<std::vector<QueryId>, IdSequenceHash> merged;
+  for (const auto& component : components_) {
+    for (const Pst::Node& node : component->pst().nodes()) {
+      if (merged.insert(node.context).second) {
+        stats.memory_bytes += sizeof(Pst::Node) +
+                              node.context.size() * sizeof(QueryId) +
+                              node.nexts.size() * sizeof(NextQueryCount) +
+                              node.children.size() *
+                                  (sizeof(QueryId) + sizeof(int32_t) + 16);
+        stats.num_entries += node.nexts.size();
+      }
+      stats.memory_bytes += 2;  // membership tag per (node, component)
+    }
+  }
+  stats.num_states = merged.size();
+  return stats;
+}
+
+}  // namespace sqp

@@ -1,0 +1,125 @@
+#ifndef SQP_CORE_MVMM_MODEL_H_
+#define SQP_CORE_MVMM_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "core/vmm_model.h"
+
+namespace sqp {
+
+/// How MVMM weighs its components for an online context. The paper uses
+/// the Gaussian-of-edit-distance scheme (Eq. 4); the alternatives exist for
+/// ablation studies.
+enum class MixtureWeighting {
+  kGaussianEditDistance,  // paper Eq. 4, sigmas learned by Newton iteration
+  kUniform,               // every component weighs the same
+  kLongestMatch,          // all weight on the deepest-matching component(s)
+};
+
+/// Configuration of the Mixture Variable Memory Markov model (paper
+/// Section IV-C). The default component set mirrors the paper's experiment:
+/// 11 VMMs with epsilon in {0.0, 0.01, ..., 0.1}.
+struct MvmmOptions {
+  /// Component VMM configurations. Empty = the paper's 11-epsilon default.
+  std::vector<VmmOptions> components;
+
+  /// Component weighting scheme (ablation switch; the paper's is default).
+  MixtureWeighting weighting = MixtureWeighting::kGaussianEditDistance;
+
+  /// Depth bound applied to default components (0 = unbounded).
+  size_t default_max_depth = 0;
+
+  /// Number of training sequences (most frequent first) used to fit the
+  /// per-component Gaussian widths sigma_D.
+  size_t weight_sample_size = 2000;
+
+  /// Newton iterations for the sigma fit (Eq. 10).
+  size_t max_newton_iterations = 25;
+
+  /// Lower clamp on sigma (the Gaussian degenerates below this).
+  double min_sigma = 0.05;
+
+  /// Initial sigma for every component.
+  double initial_sigma = 1.0;
+
+  /// Train the K component VMMs on worker threads (paper Section V-F.1:
+  /// "each of the K models can be independently trained in parallel").
+  /// 0 = sequential; otherwise the number of worker threads.
+  size_t training_threads = 0;
+
+  /// Returns the paper's default component set.
+  static std::vector<VmmOptions> DefaultComponents(size_t max_depth);
+};
+
+/// Diagnostics from the sigma (mixture-weight) optimization.
+struct MvmmFitReport {
+  size_t iterations = 0;
+  double initial_objective = 0.0;
+  double final_objective = 0.0;
+  bool used_newton = false;  // false = fell back to gradient ascent only
+};
+
+/// Mixture Variable Memory Markov model: a linearly weighted combination of
+/// VMM components whose weights adapt to the online context. For a context
+/// s, component D contributes weight proportional to a Gaussian of the edit
+/// distance between s and the state s_D the component matched (Eq. 4); the
+/// Gaussian widths are learned offline by Newton iteration on the KL
+/// redundancy objective (Eq. 7-10).
+class MvmmModel : public PredictionModel {
+ public:
+  explicit MvmmModel(MvmmOptions options = {});
+
+  std::string_view Name() const override { return "MVMM"; }
+  Status Train(const TrainingData& data) override;
+  Recommendation Recommend(std::span<const QueryId> context,
+                           size_t top_n) const override;
+  bool Covers(std::span<const QueryId> context) const override;
+  double ConditionalProb(std::span<const QueryId> context,
+                         QueryId next) const override;
+
+  /// Stats() reports the *merged* PST accounting of the paper's Table VII:
+  /// components share structurally identical nodes, and each merged node
+  /// carries a small per-component membership tag.
+  ModelStats Stats() const override;
+
+  /// Per-context mixture weights (normalized); exposed for tests/benches.
+  std::vector<double> MixtureWeights(std::span<const QueryId> context) const;
+
+  const std::vector<std::unique_ptr<VmmModel>>& components() const {
+    return components_;
+  }
+  const std::vector<double>& sigmas() const { return sigmas_; }
+  const MvmmFitReport& fit_report() const { return fit_report_; }
+  const MvmmOptions& options() const { return options_; }
+
+ private:
+  struct WeightSample {
+    double weight = 0.0;                 // P(X_T), normalized
+    std::vector<double> edit_distance;   // d_D(X_T) per component
+    std::vector<double> sequence_prob;   // \hat{P}_D(X_T) per component
+  };
+
+  void FitSigmas(const std::vector<AggregatedSession>& sessions);
+  double Objective(const std::vector<WeightSample>& samples,
+                   const std::vector<double>& sigmas) const;
+  std::vector<double> Gradient(const std::vector<WeightSample>& samples,
+                               const std::vector<double>& sigmas) const;
+
+  /// Unnormalized component weights for a context under the configured
+  /// weighting scheme; `matches` holds the per-component VmmMatch results.
+  std::vector<double> RawWeights(std::span<const QueryId> context,
+                                 const std::vector<VmmMatch>& matches) const;
+
+  MvmmOptions options_;
+  std::vector<std::unique_ptr<VmmModel>> components_;
+  std::vector<double> sigmas_;
+  MvmmFitReport fit_report_;
+  size_t vocabulary_size_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_MVMM_MODEL_H_

@@ -1,0 +1,75 @@
+#include "core/ngram_model.h"
+
+namespace sqp {
+
+NgramModel::NgramModel(NgramOptions options) : options_(options) {}
+
+Status NgramModel::Train(const TrainingData& data) {
+  SQP_RETURN_IF_ERROR(internal::ValidateTrainingData(data));
+  table_.clear();
+  vocabulary_size_ = data.vocabulary_size;
+
+  ContextIndex index;
+  index.Build(*data.sessions, ContextIndex::Mode::kPrefix,
+              options_.max_context_length);
+  table_.reserve(index.size());
+  for (const ContextEntry* entry : index.SortedEntries()) {
+    table_.emplace(entry->context, *entry);
+  }
+  return Status::OK();
+}
+
+const ContextEntry* NgramModel::Find(std::span<const QueryId> context) const {
+  if (context.empty()) return nullptr;
+  if (options_.max_context_length != 0 &&
+      context.size() > options_.max_context_length) {
+    return nullptr;  // no i-gram model of that order was trained
+  }
+  std::vector<QueryId> key(context.begin(), context.end());
+  auto it = table_.find(key);
+  if (it == table_.end()) return nullptr;
+  return &it->second;
+}
+
+Recommendation NgramModel::Recommend(std::span<const QueryId> context,
+                                     size_t top_n) const {
+  Recommendation rec;
+  const ContextEntry* entry = Find(context);
+  if (entry == nullptr) return rec;
+  rec.covered = true;
+  rec.matched_length = context.size();
+  internal::FillTopN(entry->nexts, entry->total_count, top_n, &rec);
+  return rec;
+}
+
+bool NgramModel::Covers(std::span<const QueryId> context) const {
+  return Find(context) != nullptr;
+}
+
+double NgramModel::ConditionalProb(std::span<const QueryId> context,
+                                   QueryId next) const {
+  const ContextEntry* entry = Find(context);
+  if (entry == nullptr) {
+    return 1.0 / static_cast<double>(vocabulary_size_ == 0 ? 1
+                                                           : vocabulary_size_);
+  }
+  return internal::SmoothedProb(entry->nexts, entry->total_count,
+                                vocabulary_size_, next);
+}
+
+ModelStats NgramModel::Stats() const {
+  ModelStats stats;
+  stats.name = std::string(Name());
+  stats.num_states = table_.size();
+  uint64_t context_ids = 0;
+  for (const auto& [context, entry] : table_) {
+    stats.num_entries += entry.nexts.size();
+    context_ids += context.size();
+  }
+  stats.memory_bytes = table_.size() * (sizeof(ContextEntry) + 16) +
+                       context_ids * sizeof(QueryId) +
+                       stats.num_entries * sizeof(NextQueryCount);
+  return stats;
+}
+
+}  // namespace sqp

@@ -1,0 +1,51 @@
+#ifndef SQP_CORE_NGRAM_MODEL_H_
+#define SQP_CORE_NGRAM_MODEL_H_
+
+#include <unordered_map>
+
+#include "core/prediction_model.h"
+#include "util/hash.h"
+
+namespace sqp {
+
+/// Configuration of the variable-length N-gram model.
+struct NgramOptions {
+  /// Longest context stored as a state (0 = unbounded). The paper's
+  /// variable-length N-gram keeps a series of fixed-N models; contexts
+  /// longer than the longest trained state are simply uncovered.
+  size_t max_context_length = 0;
+};
+
+/// The naive **variable-length N-gram** model (paper Section IV-A): for a
+/// user context of i-1 queries, predicts from the i-gram model, i.e. only an
+/// exact match of the *entire* context (as a session prefix) counts as
+/// evidence. With context length 1 this degenerates to Adjacency restricted
+/// to prefix positions. High accuracy on matched contexts; very low
+/// coverage on long ones (paper Figs. 8, 10, 11).
+class NgramModel : public PredictionModel {
+ public:
+  explicit NgramModel(NgramOptions options = {});
+
+  std::string_view Name() const override { return "N-gram"; }
+  Status Train(const TrainingData& data) override;
+  Recommendation Recommend(std::span<const QueryId> context,
+                           size_t top_n) const override;
+  bool Covers(std::span<const QueryId> context) const override;
+  double ConditionalProb(std::span<const QueryId> context,
+                         QueryId next) const override;
+  ModelStats Stats() const override;
+
+  const NgramOptions& options() const { return options_; }
+
+ private:
+  const ContextEntry* Find(std::span<const QueryId> context) const;
+
+  NgramOptions options_;
+  std::unordered_map<std::vector<QueryId>, ContextEntry, IdSequenceHash>
+      table_;
+  size_t vocabulary_size_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_NGRAM_MODEL_H_

@@ -1,0 +1,54 @@
+#include "core/prediction_model.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+bool PredictionModel::Covers(std::span<const QueryId> context) const {
+  return Recommend(context, 1).covered;
+}
+
+namespace internal {
+
+double SmoothedProb(const std::vector<NextQueryCount>& nexts,
+                    uint64_t total_count, size_t vocabulary_size,
+                    QueryId next) {
+  SQP_CHECK(vocabulary_size > 0);
+  const double v = static_cast<double>(vocabulary_size);
+  if (total_count == 0 || nexts.empty()) return 1.0 / v;
+  const size_t observed = nexts.size();
+  const double unobserved =
+      observed >= vocabulary_size
+          ? 0.0
+          : static_cast<double>(vocabulary_size - observed);
+  const double denom = static_cast<double>(total_count) + unobserved / v;
+  for (const NextQueryCount& nc : nexts) {
+    if (nc.query == next) return static_cast<double>(nc.count) / denom;
+  }
+  return (1.0 / v) / denom;
+}
+
+void FillTopN(const std::vector<NextQueryCount>& nexts, uint64_t total_count,
+              size_t top_n, Recommendation* rec) {
+  if (nexts.empty() || total_count == 0) return;
+  const size_t take = std::min(top_n, nexts.size());
+  rec->queries.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    rec->queries.push_back(ScoredQuery{
+        nexts[i].query,
+        static_cast<double>(nexts[i].count) / static_cast<double>(total_count)});
+  }
+}
+
+Status ValidateTrainingData(const TrainingData& data) {
+  if (data.sessions == nullptr) {
+    return Status::InvalidArgument("TrainingData.sessions is null");
+  }
+  if (data.vocabulary_size == 0) {
+    return Status::InvalidArgument("TrainingData.vocabulary_size is 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace sqp

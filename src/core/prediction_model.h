@@ -1,0 +1,117 @@
+#ifndef SQP_CORE_PREDICTION_MODEL_H_
+#define SQP_CORE_PREDICTION_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/context_builder.h"
+#include "log/query_dictionary.h"
+#include "log/types.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// Everything a model may train from. `sessions` is the reduced, aggregated
+/// training corpus. `vocabulary_size` (|Q|) drives the 1/|Q| smoothing of
+/// the paper's PST stage (c). `substring_index` is an optional prebuilt
+/// kSubstring ContextIndex so that several models (e.g. the components of an
+/// MVMM) can share one counting pass; models fall back to building their own
+/// when it is absent or incompatible.
+struct TrainingData {
+  const std::vector<AggregatedSession>* sessions = nullptr;
+  size_t vocabulary_size = 0;
+  const ContextIndex* substring_index = nullptr;
+  /// Raw records with click-through information, required only by
+  /// click-based models (e.g. ClickClusterModel); session-based models
+  /// ignore it. Queries in the records are resolved through `dictionary`.
+  const std::vector<RawLogRecord>* records = nullptr;
+  const QueryDictionary* dictionary = nullptr;
+};
+
+/// One recommended query with its model score (higher is better; scores are
+/// comparable only within a single Recommendation).
+struct ScoredQuery {
+  QueryId query = kInvalidQueryId;
+  double score = 0.0;
+};
+
+/// The result of one online recommendation request.
+struct Recommendation {
+  /// Top-N queries in descending score order (ties broken by ascending
+  /// QueryId for determinism). Empty iff the context is not covered.
+  std::vector<ScoredQuery> queries;
+  /// True iff the model had training evidence applicable to this context.
+  bool covered = false;
+  /// Number of trailing context queries the model actually used (the length
+  /// of the matched state); e.g. always <= 1 for pair-wise models.
+  size_t matched_length = 0;
+};
+
+/// Size accounting for the paper's Table VII.
+struct ModelStats {
+  std::string name;
+  uint64_t memory_bytes = 0;  // estimated resident footprint
+  uint64_t num_states = 0;    // trained states (PST nodes / context keys)
+  uint64_t num_entries = 0;   // (state, next-query) count entries
+};
+
+/// Abstract sequential query predictor (paper Definition 1): estimates
+/// P(next | context) from search logs and serves ranked recommendations.
+///
+/// Usage: construct, Train once, then call the const query methods from any
+/// number of readers. Models are not thread-safe during Train.
+class PredictionModel {
+ public:
+  virtual ~PredictionModel() = default;
+
+  /// Stable model name ("Adjacency", "VMM (0.05)", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// Builds the model from the training corpus. Returns InvalidArgument if
+  /// `data.sessions` is null or `vocabulary_size` is 0.
+  virtual Status Train(const TrainingData& data) = 0;
+
+  /// Recommends up to `top_n` next queries for `context` (the user's queries
+  /// so far, oldest first). Never fails: an uncovered context yields an
+  /// empty, covered=false result.
+  virtual Recommendation Recommend(std::span<const QueryId> context,
+                                   size_t top_n) const = 0;
+
+  /// True iff the model can produce at least one recommendation for
+  /// `context`. Default implementation runs Recommend(context, 1).
+  virtual bool Covers(std::span<const QueryId> context) const;
+
+  /// Smoothed conditional probability P(next | context): observed
+  /// continuations get count/(total + u/|Q|) and each unobserved query gets
+  /// (1/|Q|)/(total + u/|Q|), where u is the number of unobserved queries,
+  /// so the distribution sums to 1 over the vocabulary (paper PST stage c).
+  /// For a completely uncovered context returns the uniform 1/|Q|.
+  virtual double ConditionalProb(std::span<const QueryId> context,
+                                 QueryId next) const = 0;
+
+  /// Size accounting (Table VII).
+  virtual ModelStats Stats() const = 0;
+};
+
+namespace internal {
+
+/// Shared helper implementing the smoothing contract of ConditionalProb for
+/// a sorted ContextEntry-style count list.
+double SmoothedProb(const std::vector<NextQueryCount>& nexts,
+                    uint64_t total_count, size_t vocabulary_size,
+                    QueryId next);
+
+/// Extracts the top-N of a count list as a Recommendation (scores are
+/// maximum-likelihood probabilities).
+void FillTopN(const std::vector<NextQueryCount>& nexts, uint64_t total_count,
+              size_t top_n, Recommendation* rec);
+
+Status ValidateTrainingData(const TrainingData& data);
+
+}  // namespace internal
+}  // namespace sqp
+
+#endif  // SQP_CORE_PREDICTION_MODEL_H_

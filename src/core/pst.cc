@@ -1,0 +1,230 @@
+#include "core/pst.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/math_util.h"
+
+namespace sqp {
+namespace {
+
+void SortNexts(std::vector<NextQueryCount>* nexts) {
+  std::sort(nexts->begin(), nexts->end(),
+            [](const NextQueryCount& a, const NextQueryCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.query < b.query;
+            });
+}
+
+}  // namespace
+
+double PstGrowthKl(const ContextEntry& parent, const ContextEntry& child) {
+  // Union support of both distributions, then KL(parent || child).
+  std::unordered_map<QueryId, std::pair<double, double>> joint;
+  for (const NextQueryCount& nc : parent.nexts) {
+    joint[nc.query].first = static_cast<double>(nc.count);
+  }
+  for (const NextQueryCount& nc : child.nexts) {
+    joint[nc.query].second = static_cast<double>(nc.count);
+  }
+  std::vector<double> p;
+  std::vector<double> q;
+  p.reserve(joint.size());
+  q.reserve(joint.size());
+  for (const auto& [query, counts] : joint) {
+    p.push_back(counts.first);
+    q.push_back(counts.second);
+  }
+  return KlDivergenceLog10(p, q);
+}
+
+Status Pst::Build(const ContextIndex& index, const PstOptions& options) {
+  if (index.mode() != ContextIndex::Mode::kSubstring) {
+    return Status::InvalidArgument(
+        "Pst::Build requires a kSubstring ContextIndex");
+  }
+  if (options.max_depth != 0 && index.max_context_length() != 0 &&
+      index.max_context_length() < options.max_depth) {
+    return Status::InvalidArgument(
+        "ContextIndex is shallower than the requested PST depth");
+  }
+  if (options.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  nodes_.clear();
+  options_ = options;
+
+  // Root node: the prior over next queries, pooled across all positions
+  // (paper Fig. 3: "the conditional probabilities given the empty sequence e
+  // is based on the priori probability of each query").
+  nodes_.emplace_back();
+  Node& root = nodes_[0];
+  {
+    std::unordered_map<QueryId, uint64_t> prior;
+    for (const ContextEntry* entry : index.SortedEntries()) {
+      if (entry->context.size() != 1) continue;
+      // Occurrences of the query at session start (position 0)...
+      prior[entry->context[0]] += entry->start_count;
+      // ...plus occurrences at any later position (as someone's next query).
+      for (const NextQueryCount& nc : entry->nexts) {
+        prior[nc.query] += nc.count;
+      }
+    }
+    root.nexts.reserve(prior.size());
+    for (const auto& [query, count] : prior) {
+      root.nexts.push_back(NextQueryCount{query, count});
+      root.total_count += count;
+    }
+    SortNexts(&root.nexts);
+  }
+
+  // Candidate selection: every indexed context within depth/support bounds.
+  // Length-1 contexts are always states; a longer context s becomes a state
+  // iff KL(P(.|parent(s)) || P(.|s)) > epsilon. Adding s also adds all of
+  // its suffixes (suffix closure), even if they fail the KL test themselves.
+  const std::vector<const ContextEntry*> entries = index.SortedEntries();
+  std::unordered_set<std::vector<QueryId>, IdSequenceHash> accepted;
+  for (const ContextEntry* entry : entries) {
+    const size_t len = entry->context.size();
+    if (options.max_depth != 0 && len > options.max_depth) continue;
+    if (entry->total_count < options.min_support) continue;
+    if (len == 1) {
+      accepted.insert(entry->context);
+      continue;
+    }
+    const std::vector<QueryId> parent_key(entry->context.begin() + 1,
+                                          entry->context.end());
+    const ContextEntry* parent = index.Lookup(parent_key);
+    if (parent == nullptr) continue;  // cannot happen for substring indexes
+    // ">=" so that epsilon = 0 keeps every observed context (the paper's
+    // Fig. 4 "infinitely bounded VMM"), including fully redundant nodes
+    // whose KL is exactly zero.
+    if (PstGrowthKl(*parent, *entry) >= options.epsilon) {
+      // Accept s and its whole suffix chain.
+      std::vector<QueryId> suffix = entry->context;
+      while (!suffix.empty()) {
+        accepted.insert(suffix);
+        suffix.erase(suffix.begin());
+      }
+    }
+  }
+
+  // Materialize nodes in increasing context length so parents exist first.
+  std::vector<const ContextEntry*> to_add;
+  to_add.reserve(accepted.size());
+  for (const ContextEntry* entry : entries) {
+    if (accepted.count(entry->context) > 0) to_add.push_back(entry);
+  }
+  // `entries` is already sorted by (length, lexicographic), so `to_add` is
+  // in a parent-before-child safe order.
+  for (const ContextEntry* entry : to_add) {
+    GetOrAddNode(index, entry->context);
+  }
+  return Status::OK();
+}
+
+int32_t Pst::GetOrAddNode(const ContextIndex& index,
+                          std::span<const QueryId> context) {
+  if (context.empty()) return 0;
+  // Find the parent (the suffix without the oldest query), then this node.
+  const int32_t parent_id = GetOrAddNode(index, context.subspan(1));
+  const QueryId oldest = context.front();
+  auto it = nodes_[parent_id].children.find(oldest);
+  if (it != nodes_[parent_id].children.end()) return it->second;
+
+  const ContextEntry* entry = index.Lookup(context);
+  SQP_CHECK(entry != nullptr);
+  Node node;
+  node.context.assign(context.begin(), context.end());
+  node.nexts = entry->nexts;
+  node.total_count = entry->total_count;
+  node.start_count = entry->start_count;
+  node.parent = parent_id;
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[parent_id].children.emplace(oldest, id);
+  return id;
+}
+
+Status Pst::InitFromNodes(std::vector<Node> nodes, const PstOptions& options) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("PST needs at least a root node");
+  }
+  if (!nodes[0].context.empty() || nodes[0].parent != -1) {
+    return Status::InvalidArgument("node 0 must be the root (empty context)");
+  }
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    Node& node = nodes[i];
+    if (node.context.empty()) {
+      return Status::InvalidArgument("non-root node with empty context");
+    }
+    if (node.parent < 0 || static_cast<size_t>(node.parent) >= i) {
+      return Status::InvalidArgument(
+          "node parents must precede their children");
+    }
+    const Node& parent = nodes[static_cast<size_t>(node.parent)];
+    if (parent.context.size() + 1 != node.context.size() ||
+        !std::equal(node.context.begin() + 1, node.context.end(),
+                    parent.context.begin())) {
+      return Status::InvalidArgument(
+          "node context must extend its parent by one oldest query");
+    }
+  }
+  // Rebuild child maps.
+  for (Node& node : nodes) node.children.clear();
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    const QueryId oldest = nodes[i].context.front();
+    auto [it, inserted] = nodes[static_cast<size_t>(nodes[i].parent)]
+                              .children.emplace(oldest,
+                                                static_cast<int32_t>(i));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate child edge in node list");
+    }
+  }
+  nodes_ = std::move(nodes);
+  options_ = options;
+  return Status::OK();
+}
+
+const Pst::Node* Pst::MatchLongestSuffix(std::span<const QueryId> context,
+                                         size_t* matched_length) const {
+  SQP_CHECK(!nodes_.empty());
+  int32_t cur = 0;
+  size_t matched = 0;
+  for (size_t back = 0; back < context.size(); ++back) {
+    const QueryId q = context[context.size() - 1 - back];
+    auto it = nodes_[cur].children.find(q);
+    if (it == nodes_[cur].children.end()) break;
+    cur = it->second;
+    ++matched;
+  }
+  if (matched_length != nullptr) *matched_length = matched;
+  return &nodes_[cur];
+}
+
+const Pst::Node* Pst::FindNode(std::span<const QueryId> context) const {
+  size_t matched = 0;
+  const Node* node = MatchLongestSuffix(context, &matched);
+  if (matched != context.size()) return nullptr;
+  return node;
+}
+
+uint64_t Pst::num_entries() const {
+  uint64_t entries = 0;
+  for (const Node& node : nodes_) entries += node.nexts.size();
+  return entries;
+}
+
+uint64_t Pst::memory_bytes() const {
+  uint64_t bytes = 0;
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node);
+    bytes += node.context.size() * sizeof(QueryId);
+    bytes += node.nexts.size() * sizeof(NextQueryCount);
+    bytes += node.children.size() * (sizeof(QueryId) + sizeof(int32_t) + 16);
+  }
+  return bytes;
+}
+
+}  // namespace sqp

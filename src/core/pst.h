@@ -1,0 +1,100 @@
+#ifndef SQP_CORE_PST_H_
+#define SQP_CORE_PST_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "log/context_builder.h"
+#include "log/types.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// Parameters of PST construction (paper Section IV-B.1). Only `epsilon` is
+/// tuned in the paper; the rest mirror its fixed conventions.
+struct PstOptions {
+  /// KL-divergence growth threshold: a context s (|s| >= 2) becomes a state
+  /// iff D_KL( P(.|parent(s)) || P(.|s) ) >= epsilon in log base 10, where
+  /// parent(s) drops the oldest query. epsilon -> +inf degenerates to an
+  /// order-1 (Adjacency-like) model; epsilon = 0 keeps every observed
+  /// context (paper Fig. 4).
+  double epsilon = 0.05;
+
+  /// Maximum context length D (0 = unbounded). A D-bounded PST never stores
+  /// contexts longer than D.
+  size_t max_depth = 0;
+
+  /// Candidate contexts with fewer weighted occurrences than this are
+  /// filtered before the KL test (paper stage (a), "a user threshold could
+  /// be set to filter those infrequent training sequences").
+  uint64_t min_support = 1;
+};
+
+/// A Prediction Suffix Tree over query sequences.
+///
+/// Nodes are contexts (oldest query first). The parent of node s is its
+/// longest proper suffix (s minus its oldest query); the tree therefore
+/// deepens *backwards in time*, and matching a test context walks from the
+/// most recent query toward older ones. The suffix-closure invariant holds:
+/// if s is a node, every suffix of s is a node.
+class Pst {
+ public:
+  struct Node {
+    std::vector<QueryId> context;            // empty for the root
+    std::vector<NextQueryCount> nexts;       // sorted desc by count
+    uint64_t total_count = 0;                // sum of nexts counts
+    uint64_t start_count = 0;                // occurrences at session start
+    int32_t parent = -1;                     // node index; -1 for root
+    std::unordered_map<QueryId, int32_t> children;  // keyed by prepended query
+  };
+
+  Pst() = default;
+
+  /// Builds the tree from a kSubstring ContextIndex. The index must have
+  /// been built with max_context_length == 0 or >= options.max_depth.
+  /// Returns InvalidArgument on mode/depth mismatch.
+  Status Build(const ContextIndex& index, const PstOptions& options);
+
+  /// Restores a tree from serialized nodes (see core/serialization.h).
+  /// `nodes` must list the root first and every parent before its children;
+  /// child maps are rebuilt. Returns InvalidArgument on malformed input.
+  Status InitFromNodes(std::vector<Node> nodes, const PstOptions& options);
+
+  /// Walks the longest suffix of `context` present in the tree. Returns the
+  /// matched node (possibly the root) and sets `*matched_length` to the
+  /// number of trailing context queries matched.
+  const Node* MatchLongestSuffix(std::span<const QueryId> context,
+                                 size_t* matched_length) const;
+
+  /// Exact node lookup by context; nullptr if not a state.
+  const Node* FindNode(std::span<const QueryId> context) const;
+
+  const Node& root() const { return nodes_[0]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  const PstOptions& options() const { return options_; }
+
+  /// Sum of (state, next) entries across nodes.
+  uint64_t num_entries() const;
+
+  /// Estimated resident bytes (Table VII accounting).
+  uint64_t memory_bytes() const;
+
+ private:
+  int32_t GetOrAddNode(const ContextIndex& index,
+                       std::span<const QueryId> context);
+
+  std::vector<Node> nodes_;
+  PstOptions options_;
+};
+
+/// KL divergence between the next-query distributions of a parent and child
+/// context, D_KL(parent || child), in log base 10 — the PST growth statistic
+/// (validated against the paper's worked example: D_KL(q0 || q1q0) = 0.3449,
+/// D_KL(q1 || q0q1) = 0.0837).
+double PstGrowthKl(const ContextEntry& parent, const ContextEntry& child);
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_PST_H_

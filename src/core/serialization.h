@@ -1,0 +1,32 @@
+#ifndef SQP_CORE_SERIALIZATION_H_
+#define SQP_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/vmm_model.h"
+#include "log/query_dictionary.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// Persists a trained VMM (its PST, options and vocabulary size) to a
+/// versioned binary file, so an online server can load models trained
+/// offline (the paper's two-phase deployment, Section I-B).
+Status SaveVmmModel(const VmmModel& model, const std::string& path);
+
+/// Restores a VMM saved by SaveVmmModel. `model` is overwritten; its
+/// configured options are replaced by the persisted ones.
+Status LoadVmmModel(const std::string& path, VmmModel* model);
+
+/// Persists the query dictionary (one normalized query per line, in id
+/// order) next to a saved model.
+Status SaveDictionary(const QueryDictionary& dictionary,
+                      const std::string& path);
+
+/// Restores a dictionary saved by SaveDictionary; ids are reassigned in
+/// file order, so they match the saving process exactly.
+Status LoadDictionary(const std::string& path, QueryDictionary* dictionary);
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_SERIALIZATION_H_

@@ -1,0 +1,76 @@
+#include "eval/coverage.h"
+
+namespace sqp {
+
+CoverageResult MeasureCoverage(const PredictionModel& model,
+                               std::span<const GroundTruthEntry> contexts) {
+  CoverageResult result;
+  std::map<size_t, uint64_t> weight_by_length;
+  std::map<size_t, uint64_t> covered_by_length;
+  uint64_t covered_weight = 0;
+  for (const GroundTruthEntry& entry : contexts) {
+    const size_t len = entry.context.size();
+    weight_by_length[len] += entry.support;
+    result.total_weight += entry.support;
+    if (model.Covers(entry.context)) {
+      covered_by_length[len] += entry.support;
+      covered_weight += entry.support;
+    }
+  }
+  if (result.total_weight > 0) {
+    result.overall = static_cast<double>(covered_weight) /
+                     static_cast<double>(result.total_weight);
+  }
+  for (const auto& [len, weight] : weight_by_length) {
+    const uint64_t covered = covered_by_length.count(len) > 0
+                                 ? covered_by_length.at(len)
+                                 : 0;
+    result.by_context_length[len] =
+        weight == 0 ? 0.0
+                    : static_cast<double>(covered) /
+                          static_cast<double>(weight);
+  }
+  return result;
+}
+
+std::string_view UnpredictableReasonName(UnpredictableReason reason) {
+  switch (reason) {
+    case UnpredictableReason::kCovered:
+      return "covered";
+    case UnpredictableReason::kNewQuery:
+      return "(1) new query";
+    case UnpredictableReason::kOnlySingletonSessions:
+      return "(2) only in length-1 sessions";
+    case UnpredictableReason::kOnlyLastPosition:
+      return "(3) only at last position";
+    case UnpredictableReason::kUntrainedContext:
+      return "(4) context not a trained state";
+  }
+  return "unknown";
+}
+
+ReasonBreakdown ClassifyUnpredictable(
+    const PredictionModel& model, const QueryRoles& training_roles,
+    std::span<const GroundTruthEntry> contexts) {
+  ReasonBreakdown breakdown;
+  for (const GroundTruthEntry& entry : contexts) {
+    breakdown.total_weight += entry.support;
+    UnpredictableReason reason = UnpredictableReason::kCovered;
+    if (!model.Covers(entry.context)) {
+      const QueryId last = entry.context.back();
+      if (training_roles.seen.count(last) == 0) {
+        reason = UnpredictableReason::kNewQuery;
+      } else if (training_roles.in_multi_session.count(last) == 0) {
+        reason = UnpredictableReason::kOnlySingletonSessions;
+      } else if (training_roles.at_non_last.count(last) == 0) {
+        reason = UnpredictableReason::kOnlyLastPosition;
+      } else {
+        reason = UnpredictableReason::kUntrainedContext;
+      }
+    }
+    breakdown.weight[static_cast<size_t>(reason)] += entry.support;
+  }
+  return breakdown;
+}
+
+}  // namespace sqp

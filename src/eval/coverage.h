@@ -1,0 +1,55 @@
+#ifndef SQP_EVAL_COVERAGE_H_
+#define SQP_EVAL_COVERAGE_H_
+
+#include <array>
+#include <map>
+#include <span>
+#include <string_view>
+
+#include "core/prediction_model.h"
+#include "log/context_builder.h"
+
+namespace sqp {
+
+/// Coverage of a model over a set of test contexts, weighted by context
+/// support (paper Section V-E): the fraction of test query sequences for
+/// which the model can produce a recommendation.
+struct CoverageResult {
+  double overall = 0.0;
+  std::map<size_t, double> by_context_length;
+  uint64_t total_weight = 0;
+};
+
+CoverageResult MeasureCoverage(const PredictionModel& model,
+                               std::span<const GroundTruthEntry> contexts);
+
+/// Why a test context cannot be served (paper Table VI). `q` below is the
+/// user's current query, i.e. the last query of the context.
+enum class UnpredictableReason {
+  kCovered = 0,             // not unpredictable
+  kNewQuery,                // (1) q never appears in training
+  kOnlySingletonSessions,   // (2) q appears only in length-1 sessions
+  kOnlyLastPosition,        // (3) q never precedes another query
+  kUntrainedContext,        // (4) the exact context is not a trained state
+};
+
+inline constexpr size_t kNumUnpredictableReasons = 5;
+
+std::string_view UnpredictableReasonName(UnpredictableReason reason);
+
+/// Support-weighted tally of reasons for one model over the test contexts.
+struct ReasonBreakdown {
+  std::array<uint64_t, kNumUnpredictableReasons> weight = {};
+  uint64_t total_weight = 0;
+};
+
+/// Classifies every test context: covered, else reasons (1)-(3) from the
+/// training-corpus roles of the last context query, else reason (4) (only
+/// reachable for models with exact-context states, i.e. N-gram).
+ReasonBreakdown ClassifyUnpredictable(const PredictionModel& model,
+                                      const QueryRoles& training_roles,
+                                      std::span<const GroundTruthEntry> contexts);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_COVERAGE_H_

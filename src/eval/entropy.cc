@@ -1,0 +1,35 @@
+#include "eval/entropy.h"
+
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace sqp {
+
+double ContextEntropy(const ContextEntry& entry) {
+  std::vector<double> probs;
+  probs.reserve(entry.nexts.size());
+  for (const NextQueryCount& nc : entry.nexts) {
+    probs.push_back(static_cast<double>(nc.count));
+  }
+  return EntropyLog10(probs);
+}
+
+std::map<size_t, double> AveragePredictionEntropyByLength(
+    const ContextIndex& index) {
+  std::map<size_t, double> weighted_entropy;
+  std::map<size_t, double> weight;
+  for (const ContextEntry* entry : index.SortedEntries()) {
+    const size_t len = entry->context.size();
+    const double w = static_cast<double>(entry->total_count);
+    weighted_entropy[len] += w * ContextEntropy(*entry);
+    weight[len] += w;
+  }
+  std::map<size_t, double> out;
+  for (const auto& [len, sum] : weighted_entropy) {
+    out[len] = weight[len] == 0.0 ? 0.0 : sum / weight[len];
+  }
+  return out;
+}
+
+}  // namespace sqp

@@ -1,0 +1,23 @@
+#ifndef SQP_EVAL_ENTROPY_H_
+#define SQP_EVAL_ENTROPY_H_
+
+#include <map>
+
+#include "log/context_builder.h"
+
+namespace sqp {
+
+/// Average prediction entropy of the next query given contexts of each
+/// length (paper Fig. 2; the worked example: "java" followed by "sun java"
+/// 60x and "java island" 40x has entropy 0.29 in log base 10). Contexts are
+/// weighted by their support. Requires a kPrefix or kSubstring index; Fig. 2
+/// uses prefix contexts.
+std::map<size_t, double> AveragePredictionEntropyByLength(
+    const ContextIndex& index);
+
+/// Entropy (log base 10) of one context's next-query distribution.
+double ContextEntropy(const ContextEntry& entry);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_ENTROPY_H_

@@ -1,0 +1,64 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "eval/ndcg.h"
+
+namespace sqp {
+
+ModelAccuracy EvaluateAccuracy(const PredictionModel& model,
+                               std::span<const GroundTruthEntry> ground_truth,
+                               const AccuracyOptions& options) {
+  ModelAccuracy out;
+  out.model = std::string(model.Name());
+
+  const size_t max_position =
+      options.ndcg_positions.empty()
+          ? 5
+          : *std::max_element(options.ndcg_positions.begin(),
+                              options.ndcg_positions.end());
+
+  // Accumulators: [position][length] -> (weighted ndcg, weight).
+  std::map<size_t, std::map<size_t, std::pair<double, double>>> acc;
+  std::map<size_t, std::pair<double, double>> acc_overall;
+
+  for (const GroundTruthEntry& entry : ground_truth) {
+    const size_t len = entry.context.size();
+    if (options.max_context_length != 0 && len > options.max_context_length) {
+      continue;
+    }
+    if (entry.ranked_next.empty()) continue;
+    const Recommendation rec = model.Recommend(entry.context, max_position);
+    if (options.covered_only && !rec.covered) continue;
+    out.evaluated_weight += entry.support;
+
+    std::vector<QueryId> predicted;
+    predicted.reserve(rec.queries.size());
+    for (const ScoredQuery& sq : rec.queries) predicted.push_back(sq.query);
+
+    const double w = static_cast<double>(entry.support);
+    for (size_t position : options.ndcg_positions) {
+      const double ndcg = NdcgAtN(predicted, entry, position);
+      auto& [sum, weight] = acc[position][len];
+      sum += w * ndcg;
+      weight += w;
+      auto& [osum, oweight] = acc_overall[position];
+      osum += w * ndcg;
+      oweight += w;
+    }
+  }
+
+  for (const auto& [position, by_length] : acc) {
+    for (const auto& [len, sum_weight] : by_length) {
+      const auto& [sum, weight] = sum_weight;
+      out.ndcg[position][len] = weight == 0.0 ? 0.0 : sum / weight;
+    }
+  }
+  for (const auto& [position, sum_weight] : acc_overall) {
+    const auto& [sum, weight] = sum_weight;
+    out.ndcg_overall[position] = weight == 0.0 ? 0.0 : sum / weight;
+  }
+  return out;
+}
+
+}  // namespace sqp

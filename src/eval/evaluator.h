@@ -1,0 +1,42 @@
+#ifndef SQP_EVAL_EVALUATOR_H_
+#define SQP_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "log/context_builder.h"
+
+namespace sqp {
+
+/// Controls for the NDCG accuracy sweep (paper Figs. 8-9).
+struct AccuracyOptions {
+  std::vector<size_t> ndcg_positions = {1, 3, 5};
+  /// Contexts longer than this are skipped (paper plots lengths 1..4).
+  size_t max_context_length = 4;
+  /// If true (the paper's setting), NDCG is averaged over contexts the
+  /// model covers; coverage is reported separately. If false, uncovered
+  /// contexts score 0.
+  bool covered_only = true;
+};
+
+/// NDCG results: ndcg[position][context_length] = support-weighted mean.
+struct ModelAccuracy {
+  std::string model;
+  std::map<size_t, std::map<size_t, double>> ndcg;
+  /// ndcg_overall[position] = support-weighted mean over all lengths.
+  std::map<size_t, double> ndcg_overall;
+  uint64_t evaluated_weight = 0;
+};
+
+/// Runs the paper's data-centric accuracy protocol for one model over the
+/// test ground truth.
+ModelAccuracy EvaluateAccuracy(const PredictionModel& model,
+                               std::span<const GroundTruthEntry> ground_truth,
+                               const AccuracyOptions& options);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_EVALUATOR_H_

@@ -1,0 +1,28 @@
+#include "eval/log_loss.h"
+
+#include <cmath>
+
+namespace sqp {
+
+double AverageLogLoss(const PredictionModel& model,
+                      std::span<const AggregatedSession> test_sessions) {
+  double loss = 0.0;
+  double weight = 0.0;
+  for (const AggregatedSession& session : test_sessions) {
+    const auto& q = session.queries;
+    if (q.size() < 2) continue;
+    double session_loss = 0.0;
+    for (size_t j = 1; j < q.size(); ++j) {
+      const std::span<const QueryId> prefix(q.data(), j);
+      double p = model.ConditionalProb(prefix, q[j]);
+      if (p < 1e-300) p = 1e-300;
+      session_loss -= std::log10(p);
+    }
+    const double f = static_cast<double>(session.frequency);
+    loss += f * session_loss / static_cast<double>(q.size());
+    weight += f;
+  }
+  return weight == 0.0 ? 0.0 : loss / weight;
+}
+
+}  // namespace sqp

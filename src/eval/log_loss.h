@@ -1,0 +1,20 @@
+#ifndef SQP_EVAL_LOG_LOSS_H_
+#define SQP_EVAL_LOG_LOSS_H_
+
+#include <span>
+
+#include "core/prediction_model.h"
+#include "log/types.h"
+
+namespace sqp {
+
+/// Average log-loss rate of a model over test sessions (Eq. 1, log base
+/// 10): l = -(1/|T|) sum_s (1/|s|) sum_{j>=2} log10 P(q_j | q_1..q_{j-1}).
+/// Sessions are weighted by their aggregated frequency; sessions shorter
+/// than 2 queries contribute nothing. Lower is better.
+double AverageLogLoss(const PredictionModel& model,
+                      std::span<const AggregatedSession> test_sessions);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_LOG_LOSS_H_

@@ -1,0 +1,53 @@
+#include "eval/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sqp {
+namespace {
+
+double Gain(double rating) { return std::exp2(rating) - 1.0; }
+
+double Discount(size_t position_1based) {
+  return std::log(1.0 + static_cast<double>(position_1based));
+}
+
+}  // namespace
+
+double GroundTruthRating(const GroundTruthEntry& truth, QueryId query,
+                         size_t n) {
+  const size_t limit = std::min(n, truth.ranked_next.size());
+  for (size_t j = 0; j < limit; ++j) {
+    if (truth.ranked_next[j] == query) {
+      return static_cast<double>(n - j);
+    }
+  }
+  return 0.0;
+}
+
+double NdcgAtN(std::span<const QueryId> predicted,
+               const GroundTruthEntry& truth, size_t n) {
+  SQP_CHECK(n > 0);
+  if (truth.ranked_next.empty()) return 0.0;
+
+  double dcg = 0.0;
+  const size_t prediction_limit = std::min(n, predicted.size());
+  for (size_t j = 0; j < prediction_limit; ++j) {
+    const double rating = GroundTruthRating(truth, predicted[j], n);
+    dcg += Gain(rating) / Discount(j + 1);
+  }
+
+  // Ideal DCG: ground-truth ratings are n, n-1, ... by construction, so the
+  // ideal ordering is the ground-truth order itself.
+  double ideal = 0.0;
+  const size_t truth_limit = std::min(n, truth.ranked_next.size());
+  for (size_t j = 0; j < truth_limit; ++j) {
+    ideal += Gain(static_cast<double>(n - j)) / Discount(j + 1);
+  }
+  if (ideal <= 0.0) return 0.0;
+  return dcg / ideal;
+}
+
+}  // namespace sqp

@@ -1,0 +1,26 @@
+#ifndef SQP_EVAL_NDCG_H_
+#define SQP_EVAL_NDCG_H_
+
+#include <span>
+
+#include "log/context_builder.h"
+#include "log/types.h"
+
+namespace sqp {
+
+/// Rating of a predicted query under a ground-truth entry: the j-th ranked
+/// ground-truth query (0-based) rates n - j (5..1 for n = 5); queries
+/// outside the ground-truth top-n rate 0 (paper Section V-C.2).
+double GroundTruthRating(const GroundTruthEntry& truth, QueryId query,
+                         size_t n);
+
+/// NDCG@n of a predicted ranking against a ground-truth entry (Eq. 11):
+/// N(n) = Z_n * sum_j (2^r(j) - 1) / log(1 + j). The normalizer Z_n makes
+/// the ideal ordering score 1, so NDCG is invariant to the log base.
+/// Returns 0 for an empty prediction; requires a non-empty ground truth.
+double NdcgAtN(std::span<const QueryId> predicted,
+               const GroundTruthEntry& truth, size_t n);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_NDCG_H_

@@ -1,0 +1,2 @@
+// precision_recall is header-only; this TU anchors the target.
+#include "eval/precision_recall.h"

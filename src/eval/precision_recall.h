@@ -1,0 +1,30 @@
+#ifndef SQP_EVAL_PRECISION_RECALL_H_
+#define SQP_EVAL_PRECISION_RECALL_H_
+
+#include <cstdint>
+
+namespace sqp {
+
+/// Standard precision/recall pair with the raw counts it was computed from
+/// (paper Section V-H step 3: precision = approved / predicted, recall =
+/// approved / |pooled ground truth|).
+struct PrecisionRecall {
+  uint64_t num_predicted = 0;
+  uint64_t num_approved = 0;
+  uint64_t ground_truth_size = 0;
+
+  double precision() const {
+    return num_predicted == 0 ? 0.0
+                              : static_cast<double>(num_approved) /
+                                    static_cast<double>(num_predicted);
+  }
+  double recall() const {
+    return ground_truth_size == 0 ? 0.0
+                                  : static_cast<double>(num_approved) /
+                                        static_cast<double>(ground_truth_size);
+  }
+};
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_PRECISION_RECALL_H_

@@ -1,0 +1,70 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace sqp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << "+";
+    for (size_t width : widths) out << std::string(width + 2, '-') << '+';
+    out << '\n';
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void TablePrinter::PrintCsv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      if (row[c].find(',') != std::string::npos) {
+        out << '"' << row[c] << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return StrFormat("%.*f%%", digits, fraction * 100.0);
+}
+
+}  // namespace sqp

@@ -1,0 +1,40 @@
+#ifndef SQP_EVAL_TABLE_PRINTER_H_
+#define SQP_EVAL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sqp {
+
+/// Fixed-width console table used by every bench binary to print the
+/// paper's rows. Also emits CSV for downstream plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders an aligned ASCII table.
+  void Print(std::ostream& out) const;
+
+  /// Renders comma-separated values (cells containing commas are quoted).
+  void PrintCsv(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits = 4);
+
+/// Formats a fraction as a percentage string ("56.8%").
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_TABLE_PRINTER_H_

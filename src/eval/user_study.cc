@@ -1,0 +1,121 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace sqp {
+namespace {
+
+/// Majority vote of a noisy labeler panel over the oracle's verdict.
+bool PanelApproves(bool oracle_verdict, const UserStudyOptions& options,
+                   Rng* rng) {
+  size_t approvals = 0;
+  for (size_t labeler = 0; labeler < options.num_labelers; ++labeler) {
+    const bool flips = rng->Bernoulli(options.labeler_noise);
+    const bool vote = flips ? !oracle_verdict : oracle_verdict;
+    if (vote) ++approvals;
+  }
+  return approvals * 2 > options.num_labelers;
+}
+
+}  // namespace
+
+UserStudyResult RunUserStudy(
+    const std::vector<const PredictionModel*>& models,
+    std::span<const GroundTruthEntry> test_contexts,
+    const QueryDictionary& dictionary, const RelatednessOracle& oracle,
+    const UserStudyOptions& options) {
+  Rng rng(options.seed);
+  UserStudyResult result;
+
+  // Step 1: stratified context sample. Within each length bucket, prefer
+  // high-support contexts (they are what users actually type), then fill
+  // randomly for variety.
+  std::vector<const GroundTruthEntry*> sample;
+  for (size_t length : options.context_lengths) {
+    std::vector<const GroundTruthEntry*> bucket;
+    for (const GroundTruthEntry& entry : test_contexts) {
+      if (entry.context.size() == length) bucket.push_back(&entry);
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [](const GroundTruthEntry* a, const GroundTruthEntry* b) {
+                if (a->support != b->support) return a->support > b->support;
+                return a->context < b->context;
+              });
+    const size_t head = std::min(bucket.size(), options.contexts_per_length / 2);
+    std::vector<const GroundTruthEntry*> chosen(bucket.begin(),
+                                                bucket.begin() + head);
+    if (bucket.size() > head) {
+      std::vector<const GroundTruthEntry*> tail(bucket.begin() + head,
+                                                bucket.end());
+      rng.Shuffle(&tail);
+      const size_t fill =
+          std::min(tail.size(), options.contexts_per_length - head);
+      chosen.insert(chosen.end(), tail.begin(), tail.begin() + fill);
+    }
+    sample.insert(sample.end(), chosen.begin(), chosen.end());
+  }
+  result.num_contexts = sample.size();
+
+  // Step 2: predict and label. Approved (context, query) pairs pool into
+  // the shared ground truth.
+  struct MethodCounts {
+    uint64_t predicted = 0;
+    uint64_t approved = 0;
+    std::vector<uint64_t> predicted_at;
+    std::vector<uint64_t> approved_at;
+  };
+  std::vector<MethodCounts> counts(models.size());
+  for (MethodCounts& c : counts) {
+    c.predicted_at.assign(options.top_n, 0);
+    c.approved_at.assign(options.top_n, 0);
+  }
+  std::unordered_set<uint64_t> pooled;  // hash of (context, query)
+
+  for (const GroundTruthEntry* entry : sample) {
+    for (size_t m = 0; m < models.size(); ++m) {
+      const Recommendation rec =
+          models[m]->Recommend(entry->context, options.top_n);
+      for (size_t pos = 0; pos < rec.queries.size(); ++pos) {
+        const QueryId predicted = rec.queries[pos].query;
+        ++counts[m].predicted;
+        ++counts[m].predicted_at[pos];
+        const bool oracle_verdict =
+            oracle.IsRelatedIds(dictionary, entry->context, predicted);
+        if (PanelApproves(oracle_verdict, options, &rng)) {
+          ++counts[m].approved;
+          ++counts[m].approved_at[pos];
+          const uint64_t key =
+              HashCombine(HashIdSequence(entry->context), predicted + 1);
+          pooled.insert(key);
+        }
+      }
+    }
+  }
+  result.pooled_ground_truth = pooled.size();
+
+  // Step 3: per-method precision/recall against the pooled ground truth.
+  for (size_t m = 0; m < models.size(); ++m) {
+    MethodUserEval eval;
+    eval.model = std::string(models[m]->Name());
+    eval.overall.num_predicted = counts[m].predicted;
+    eval.overall.num_approved = counts[m].approved;
+    eval.overall.ground_truth_size = result.pooled_ground_truth;
+    eval.predicted_by_position = counts[m].predicted_at;
+    eval.approved_by_position = counts[m].approved_at;
+    eval.precision_by_position.assign(options.top_n, 0.0);
+    for (size_t pos = 0; pos < options.top_n; ++pos) {
+      if (counts[m].predicted_at[pos] > 0) {
+        eval.precision_by_position[pos] =
+            static_cast<double>(counts[m].approved_at[pos]) /
+            static_cast<double>(counts[m].predicted_at[pos]);
+      }
+    }
+    result.methods.push_back(std::move(eval));
+  }
+  return result;
+}
+
+}  // namespace sqp

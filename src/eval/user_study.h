@@ -1,0 +1,64 @@
+#ifndef SQP_EVAL_USER_STUDY_H_
+#define SQP_EVAL_USER_STUDY_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "eval/precision_recall.h"
+#include "log/context_builder.h"
+#include "log/query_dictionary.h"
+#include "synth/oracle.h"
+#include "util/random.h"
+
+namespace sqp {
+
+/// Parameters of the simulated user evaluation (paper Section V-H).
+struct UserStudyOptions {
+  /// Sampled contexts per context length (paper: 500 each of 1..4).
+  size_t contexts_per_length = 500;
+  std::vector<size_t> context_lengths = {1, 2, 3, 4};
+  size_t top_n = 5;
+  /// Panel size and per-labeler disagreement rate with the latent oracle
+  /// (emulates the paper's 30 human volunteers); a prediction is approved
+  /// if a strict majority of labelers approves.
+  size_t num_labelers = 30;
+  double labeler_noise = 0.1;
+  uint64_t seed = 20090329;  // first day of ICDE'09
+};
+
+/// Per-method outcome (paper Table VIII + Figs. 13-14).
+struct MethodUserEval {
+  std::string model;
+  PrecisionRecall overall;
+  /// Precision at each recommendation rank 1..top_n (Fig. 14).
+  std::vector<double> precision_by_position;
+  std::vector<uint64_t> predicted_by_position;
+  std::vector<uint64_t> approved_by_position;
+};
+
+struct UserStudyResult {
+  std::vector<MethodUserEval> methods;
+  uint64_t pooled_ground_truth = 0;  // unique approved (context, query) pairs
+  uint64_t num_contexts = 0;
+};
+
+/// Runs the three-step protocol: (1) sample test contexts stratified by
+/// length, (2) have every model predict top-N and a noisy labeler panel
+/// judge each prediction against the latent relatedness oracle, (3) pool
+/// the approved predictions into a deduplicated ground-truth set and score
+/// precision/recall per method.
+///
+/// Note: the paper deduplicates pooled ground truth by *query string*; we
+/// deduplicate by (context, query) pair since approval is context-specific.
+/// This scales both recalls identically and preserves the ranking.
+UserStudyResult RunUserStudy(
+    const std::vector<const PredictionModel*>& models,
+    std::span<const GroundTruthEntry> test_contexts,
+    const QueryDictionary& dictionary, const RelatednessOracle& oracle,
+    const UserStudyOptions& options);
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_USER_STUDY_H_

@@ -1,0 +1,135 @@
+#include "log/context_builder.h"
+
+#include <algorithm>
+
+namespace sqp {
+namespace {
+
+/// Sorts next-query counts by descending count, ascending id.
+void SortNexts(std::vector<NextQueryCount>* nexts) {
+  std::sort(nexts->begin(), nexts->end(),
+            [](const NextQueryCount& a, const NextQueryCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.query < b.query;
+            });
+}
+
+}  // namespace
+
+void ContextIndex::Build(const std::vector<AggregatedSession>& sessions,
+                         Mode mode, size_t max_context_length) {
+  entries_.clear();
+  mode_ = mode;
+  max_context_length_ = max_context_length;
+  total_occurrences_ = 0;
+
+  // First pass: raw counts per (context, next) in nested maps.
+  std::unordered_map<std::vector<QueryId>,
+                     std::unordered_map<QueryId, uint64_t>, IdSequenceHash>
+      counts;
+  std::unordered_map<std::vector<QueryId>, uint64_t, IdSequenceHash>
+      start_counts;
+
+  std::vector<QueryId> key;
+  for (const AggregatedSession& session : sessions) {
+    const std::vector<QueryId>& q = session.queries;
+    if (q.size() < 2) continue;  // no prediction evidence
+    // `end` indexes the predicted query; the context is q[start..end).
+    for (size_t end = 1; end < q.size(); ++end) {
+      const size_t max_len =
+          max_context_length == 0 ? end : std::min(end, max_context_length);
+      if (mode == Mode::kPrefix) {
+        // Only the full prefix [0, end).
+        if (max_context_length != 0 && end > max_context_length) continue;
+        key.assign(q.begin(), q.begin() + static_cast<ptrdiff_t>(end));
+        counts[key][q[end]] += session.frequency;
+        start_counts[key] += session.frequency;  // prefixes start the session
+      } else {
+        for (size_t len = 1; len <= max_len; ++len) {
+          const size_t start = end - len;
+          key.assign(q.begin() + static_cast<ptrdiff_t>(start),
+                     q.begin() + static_cast<ptrdiff_t>(end));
+          counts[key][q[end]] += session.frequency;
+          if (start == 0) start_counts[key] += session.frequency;
+        }
+      }
+    }
+  }
+
+  // Second pass: flatten into sorted ContextEntry values.
+  entries_.reserve(counts.size());
+  for (auto& [context, next_map] : counts) {
+    ContextEntry entry;
+    entry.context = context;
+    entry.nexts.reserve(next_map.size());
+    for (const auto& [next, count] : next_map) {
+      entry.nexts.push_back(NextQueryCount{next, count});
+      entry.total_count += count;
+    }
+    SortNexts(&entry.nexts);
+    auto it = start_counts.find(context);
+    entry.start_count = it == start_counts.end() ? 0 : it->second;
+    total_occurrences_ += entry.total_count;
+    entries_.emplace(context, std::move(entry));
+  }
+}
+
+const ContextEntry* ContextIndex::Lookup(
+    std::span<const QueryId> context) const {
+  // unordered_map lookup needs a vector key; this copy is on the cold path
+  // (model training / evaluation), not in the online recommendation loop.
+  std::vector<QueryId> key(context.begin(), context.end());
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<const ContextEntry*> ContextIndex::SortedEntries() const {
+  std::vector<const ContextEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [context, entry] : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const ContextEntry* a, const ContextEntry* b) {
+              if (a->context.size() != b->context.size()) {
+                return a->context.size() < b->context.size();
+              }
+              return a->context < b->context;
+            });
+  return out;
+}
+
+std::vector<GroundTruthEntry> BuildGroundTruth(
+    const std::vector<AggregatedSession>& test_sessions, size_t n,
+    size_t max_context_length) {
+  ContextIndex index;
+  index.Build(test_sessions, ContextIndex::Mode::kPrefix, max_context_length);
+  std::vector<GroundTruthEntry> out;
+  out.reserve(index.size());
+  for (const ContextEntry* entry : index.SortedEntries()) {
+    GroundTruthEntry gt;
+    gt.context = entry->context;
+    gt.support = entry->total_count;
+    const size_t take = std::min(n, entry->nexts.size());
+    gt.ranked_next.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      gt.ranked_next.push_back(entry->nexts[i].query);
+    }
+    out.push_back(std::move(gt));
+  }
+  return out;
+}
+
+QueryRoles ComputeQueryRoles(const std::vector<AggregatedSession>& sessions) {
+  QueryRoles roles;
+  for (const AggregatedSession& s : sessions) {
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      const QueryId q = s.queries[i];
+      roles.seen.insert(q);
+      if (s.queries.size() >= 2) roles.in_multi_session.insert(q);
+      if (i + 1 < s.queries.size()) roles.at_non_last.insert(q);
+    }
+  }
+  return roles;
+}
+
+}  // namespace sqp

@@ -1,0 +1,90 @@
+#ifndef SQP_LOG_CONTEXT_BUILDER_H_
+#define SQP_LOG_CONTEXT_BUILDER_H_
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "log/types.h"
+#include "util/hash.h"
+
+namespace sqp {
+
+/// An index of (context -> next-query counts), built from aggregated
+/// sessions. Two construction modes:
+///
+///  * kPrefix: a context occurrence is a *session prefix* [q1..qk] followed
+///    by q_{k+1} (paper Section V-A.5, "aggregating training contexts").
+///    This is what the variable-length N-gram trains on and what test-side
+///    ground truth is built from.
+///
+///  * kSubstring: a context occurrence is any *contiguous* subsequence
+///    followed by a query (the counting used in the paper's PST example,
+///    Table II / Fig. 3, where e.g. P(q0|q0) pools every position at which
+///    q0 precedes another query). This is what Adjacency (length-1) and the
+///    PST/VMM family train on.
+///
+/// Every occurrence is weighted by the aggregated session frequency.
+class ContextIndex {
+ public:
+  enum class Mode { kPrefix, kSubstring };
+
+  ContextIndex() = default;
+
+  /// Builds the index. `max_context_length` bounds the indexed context
+  /// length (0 = unbounded). Existing contents are discarded.
+  void Build(const std::vector<AggregatedSession>& sessions, Mode mode,
+             size_t max_context_length = 0);
+
+  /// Returns the entry for `context`, or nullptr if unseen.
+  const ContextEntry* Lookup(std::span<const QueryId> context) const;
+
+  /// All entries in deterministic order (by context length, then
+  /// lexicographic context).
+  std::vector<const ContextEntry*> SortedEntries() const;
+
+  size_t size() const { return entries_.size(); }
+  Mode mode() const { return mode_; }
+  size_t max_context_length() const { return max_context_length_; }
+
+  /// Total weighted context occurrences (sum over entries of total_count).
+  uint64_t total_occurrences() const { return total_occurrences_; }
+
+ private:
+  std::unordered_map<std::vector<QueryId>, ContextEntry, IdSequenceHash>
+      entries_;
+  Mode mode_ = Mode::kPrefix;
+  size_t max_context_length_ = 0;
+  uint64_t total_occurrences_ = 0;
+};
+
+/// Ground truth for one test context: the queries observed to follow it in
+/// the test period, ranked by frequency. ratings[j] = n - j for the j-th
+/// ranked query (5,4,3,2,1 for n=5), per the paper's NDCG setup.
+struct GroundTruthEntry {
+  std::vector<QueryId> context;
+  std::vector<QueryId> ranked_next;  // size <= n
+  uint64_t support = 0;              // weighted occurrences of the context
+};
+
+/// Builds test-side ground truth from test aggregated sessions: for every
+/// prefix context, the top `n` next queries by frequency (paper
+/// Section V-A.6). Deterministic ordering as in ContextIndex.
+std::vector<GroundTruthEntry> BuildGroundTruth(
+    const std::vector<AggregatedSession>& test_sessions, size_t n,
+    size_t max_context_length = 0);
+
+/// Per-query structural roles in the training corpus, used to classify
+/// unpredictable test queries (paper Table VI).
+struct QueryRoles {
+  std::unordered_set<QueryId> seen;              // appears anywhere
+  std::unordered_set<QueryId> in_multi_session;  // in a session of length >= 2
+  std::unordered_set<QueryId> at_non_last;       // at a non-final position
+};
+
+QueryRoles ComputeQueryRoles(const std::vector<AggregatedSession>& sessions);
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_CONTEXT_BUILDER_H_

@@ -1,0 +1,27 @@
+#include "log/data_reduction.h"
+
+namespace sqp {
+
+std::vector<AggregatedSession> ReduceSessions(
+    const std::vector<AggregatedSession>& sessions,
+    const ReductionOptions& options, ReductionReport* report) {
+  ReductionReport r;
+  std::vector<AggregatedSession> kept;
+  kept.reserve(sessions.size());
+  for (const AggregatedSession& s : sessions) {
+    ++r.sessions_in;
+    r.weight_in += s.frequency;
+    if (s.frequency <= options.min_frequency_exclusive) continue;
+    if (options.max_session_length > 0 &&
+        s.queries.size() > options.max_session_length) {
+      continue;
+    }
+    ++r.sessions_kept;
+    r.weight_kept += s.frequency;
+    kept.push_back(s);
+  }
+  if (report != nullptr) *report = r;
+  return kept;
+}
+
+}  // namespace sqp

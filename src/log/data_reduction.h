@@ -1,0 +1,44 @@
+#ifndef SQP_LOG_DATA_REDUCTION_H_
+#define SQP_LOG_DATA_REDUCTION_H_
+
+#include <vector>
+
+#include "log/types.h"
+
+namespace sqp {
+
+/// Options for the paper's data-reduction step (Section V-A.4): discard rare
+/// (likely one-off / erroneous) aggregated sessions and super-long sessions.
+struct ReductionOptions {
+  /// Aggregated sessions with frequency <= this are dropped. The paper drops
+  /// frequency <= 5 on a 2-billion-session corpus; callers scale this to
+  /// their corpus size.
+  uint64_t min_frequency_exclusive = 5;
+
+  /// Aggregated sessions longer than this many queries are dropped
+  /// (0 = no length cut). The paper notes super-long sessions are discarded.
+  size_t max_session_length = 10;
+};
+
+/// Statistics about one reduction pass.
+struct ReductionReport {
+  uint64_t sessions_in = 0;        // unique aggregated sessions before
+  uint64_t sessions_kept = 0;      // after
+  uint64_t weight_in = 0;          // total frequency before
+  uint64_t weight_kept = 0;        // total frequency after
+  double kept_weight_fraction() const {
+    return weight_in == 0 ? 0.0
+                          : static_cast<double>(weight_kept) /
+                                static_cast<double>(weight_in);
+  }
+};
+
+/// Applies the reduction in place-and-return style: the kept sessions, in
+/// the input order.
+std::vector<AggregatedSession> ReduceSessions(
+    const std::vector<AggregatedSession>& sessions,
+    const ReductionOptions& options, ReductionReport* report);
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_DATA_REDUCTION_H_

@@ -1,0 +1,96 @@
+#include "log/log_io.h"
+
+#include "util/string_util.h"
+
+namespace sqp {
+
+Status LogWriter::Open(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  records_written_ = 0;
+  return Status::OK();
+}
+
+Status LogWriter::Write(const RawLogRecord& record) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("LogWriter not open");
+  }
+  if (record.query.find('\t') != std::string::npos ||
+      record.query.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("query contains tab or newline: " +
+                                   record.query);
+  }
+  out_ << RecordToTsv(record) << '\n';
+  if (!out_.good()) return Status::IOError("write failed");
+  ++records_written_;
+  return Status::OK();
+}
+
+Status LogWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.flush();
+  const bool good = out_.good();
+  out_.close();
+  if (!good) return Status::IOError("flush failed on close");
+  return Status::OK();
+}
+
+Status LogReader::Open(const std::string& path) {
+  in_.open(path, std::ios::in);
+  if (!in_.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  records_read_ = 0;
+  line_number_ = 0;
+  return Status::OK();
+}
+
+Status LogReader::Read(RawLogRecord* record, bool* eof) {
+  if (!in_.is_open()) {
+    return Status::FailedPrecondition("LogReader not open");
+  }
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (Trim(line).empty()) continue;  // skip blank lines
+    Status st = RecordFromTsv(line, record);
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("line %zu: ", line_number_) +
+                                   st.message());
+    }
+    ++records_read_;
+    *eof = false;
+    return Status::OK();
+  }
+  *eof = true;
+  return Status::OK();
+}
+
+Status WriteLogFile(const std::string& path,
+                    const std::vector<RawLogRecord>& records) {
+  LogWriter writer;
+  SQP_RETURN_IF_ERROR(writer.Open(path));
+  for (const RawLogRecord& r : records) {
+    SQP_RETURN_IF_ERROR(writer.Write(r));
+  }
+  return writer.Close();
+}
+
+Status ReadLogFile(const std::string& path,
+                   std::vector<RawLogRecord>* records) {
+  LogReader reader;
+  SQP_RETURN_IF_ERROR(reader.Open(path));
+  records->clear();
+  while (true) {
+    RawLogRecord record;
+    bool eof = false;
+    SQP_RETURN_IF_ERROR(reader.Read(&record, &eof));
+    if (eof) break;
+    records->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqp

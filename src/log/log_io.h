@@ -1,0 +1,68 @@
+#ifndef SQP_LOG_LOG_IO_H_
+#define SQP_LOG_LOG_IO_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "log/log_record.h"
+#include "log/types.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// Streams RawLogRecords to a TSV file, one record per line.
+class LogWriter {
+ public:
+  LogWriter() = default;
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Opens `path` for (over)writing.
+  Status Open(const std::string& path);
+
+  /// Appends one record. Requires a successful Open.
+  Status Write(const RawLogRecord& record);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+  size_t records_written() const { return records_written_; }
+
+ private:
+  std::ofstream out_;
+  size_t records_written_ = 0;
+};
+
+/// Streams RawLogRecords from a TSV file.
+class LogReader {
+ public:
+  LogReader() = default;
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Reads the next record. Returns OK and sets *eof=false on success;
+  /// OK and *eof=true at end of file; an error Status on malformed input.
+  Status Read(RawLogRecord* record, bool* eof);
+
+  size_t records_read() const { return records_read_; }
+  size_t line_number() const { return line_number_; }
+
+ private:
+  std::ifstream in_;
+  size_t records_read_ = 0;
+  size_t line_number_ = 0;
+};
+
+/// Convenience: writes all `records` to `path`.
+Status WriteLogFile(const std::string& path,
+                    const std::vector<RawLogRecord>& records);
+
+/// Convenience: reads an entire log file into memory.
+Status ReadLogFile(const std::string& path, std::vector<RawLogRecord>* records);
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_LOG_IO_H_

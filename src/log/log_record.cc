@@ -1,0 +1,65 @@
+#include "log/log_record.h"
+
+#include "util/string_util.h"
+
+namespace sqp {
+
+std::string RecordToTsv(const RawLogRecord& record) {
+  std::string out = StrFormat("%llu\t%lld\t",
+                              static_cast<unsigned long long>(record.machine_id),
+                              static_cast<long long>(record.timestamp_ms));
+  out += record.query;
+  out += StrFormat("\t%zu", record.clicks.size());
+  for (const UrlClick& click : record.clicks) {
+    out += StrFormat("\t%lld\t", static_cast<long long>(click.timestamp_ms));
+    out += click.url;
+  }
+  return out;
+}
+
+Status RecordFromTsv(std::string_view line, RawLogRecord* record) {
+  const std::vector<std::string_view> fields = Split(line, '\t');
+  if (fields.size() < 4) {
+    return Status::InvalidArgument(
+        StrFormat("log record has %zu fields, expected >= 4", fields.size()));
+  }
+  RawLogRecord out;
+  if (!ParseUint64(fields[0], &out.machine_id)) {
+    return Status::InvalidArgument("bad machine_id field: " +
+                                   std::string(fields[0]));
+  }
+  if (!ParseInt64(fields[1], &out.timestamp_ms)) {
+    return Status::InvalidArgument("bad timestamp field: " +
+                                   std::string(fields[1]));
+  }
+  out.query = std::string(fields[2]);
+  if (out.query.empty()) {
+    return Status::InvalidArgument("empty query field");
+  }
+  uint64_t num_clicks = 0;
+  if (!ParseUint64(fields[3], &num_clicks)) {
+    return Status::InvalidArgument("bad click count field: " +
+                                   std::string(fields[3]));
+  }
+  if (fields.size() != 4 + 2 * num_clicks) {
+    return Status::InvalidArgument(
+        StrFormat("record declares %llu clicks but has %zu fields",
+                  static_cast<unsigned long long>(num_clicks), fields.size()));
+  }
+  out.clicks.reserve(num_clicks);
+  for (uint64_t i = 0; i < num_clicks; ++i) {
+    UrlClick click;
+    if (!ParseInt64(fields[4 + 2 * i], &click.timestamp_ms)) {
+      return Status::InvalidArgument("bad click timestamp field");
+    }
+    click.url = std::string(fields[5 + 2 * i]);
+    if (click.url.empty()) {
+      return Status::InvalidArgument("empty click url field");
+    }
+    out.clicks.push_back(std::move(click));
+  }
+  *record = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace sqp

@@ -1,0 +1,28 @@
+#ifndef SQP_LOG_LOG_RECORD_H_
+#define SQP_LOG_LOG_RECORD_H_
+
+#include <string>
+#include <string_view>
+
+#include "log/types.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// Serialization of raw search-log records in the tab-separated layout of
+/// the paper's Table III:
+///
+///   machine_id \t query_timestamp_ms \t query \t num_clicks
+///   [ \t click_timestamp_ms \t url ]*
+///
+/// Queries may contain spaces but not tabs or newlines (enforced on write;
+/// rejected on read).
+std::string RecordToTsv(const RawLogRecord& record);
+
+/// Parses one TSV line into `record`. On error returns InvalidArgument with
+/// a description including the offending field.
+Status RecordFromTsv(std::string_view line, RawLogRecord* record);
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_LOG_RECORD_H_

@@ -1,0 +1,49 @@
+#include "log/query_dictionary.h"
+
+#include <cctype>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace sqp {
+
+std::string QueryDictionary::Normalize(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  bool in_space = false;
+  for (char c : Trim(query)) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out += ' ';
+    in_space = false;
+    out += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+QueryId QueryDictionary::Intern(std::string_view query) {
+  std::string norm = Normalize(query);
+  auto it = ids_.find(norm);
+  if (it != ids_.end()) return it->second;
+  const QueryId id = static_cast<QueryId>(texts_.size());
+  SQP_CHECK(id != kInvalidQueryId);
+  texts_.push_back(norm);
+  ids_.emplace(std::move(norm), id);
+  return id;
+}
+
+std::optional<QueryId> QueryDictionary::Lookup(std::string_view query) const {
+  auto it = ids_.find(Normalize(query));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& QueryDictionary::Text(QueryId id) const {
+  SQP_CHECK(id < texts_.size());
+  return texts_[id];
+}
+
+}  // namespace sqp

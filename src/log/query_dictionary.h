@@ -1,0 +1,51 @@
+#ifndef SQP_LOG_QUERY_DICTIONARY_H_
+#define SQP_LOG_QUERY_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "log/types.h"
+
+namespace sqp {
+
+/// Bidirectional mapping between query strings and dense QueryIds.
+///
+/// Queries are normalized (whitespace-trimmed, inner whitespace collapsed,
+/// ASCII lower-cased) before interning, matching standard query-log
+/// canonicalization. Not thread-safe; build once, then share read-only.
+class QueryDictionary {
+ public:
+  QueryDictionary() = default;
+
+  // Movable but not copyable: the dictionary backs long-lived id spaces and
+  // accidental copies would silently fork them.
+  QueryDictionary(const QueryDictionary&) = delete;
+  QueryDictionary& operator=(const QueryDictionary&) = delete;
+  QueryDictionary(QueryDictionary&&) = default;
+  QueryDictionary& operator=(QueryDictionary&&) = default;
+
+  /// Returns the id for `query`, interning it if new.
+  QueryId Intern(std::string_view query);
+
+  /// Returns the id for `query` if already interned.
+  std::optional<QueryId> Lookup(std::string_view query) const;
+
+  /// Returns the text of an interned id. Requires a valid id.
+  const std::string& Text(QueryId id) const;
+
+  size_t size() const { return texts_.size(); }
+
+  /// Applies the canonicalization used by Intern/Lookup.
+  static std::string Normalize(std::string_view query);
+
+ private:
+  std::unordered_map<std::string, QueryId> ids_;
+  std::vector<std::string> texts_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_QUERY_DICTIONARY_H_

@@ -1,0 +1,47 @@
+#include "log/session_aggregator.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace sqp {
+
+size_t SessionAggregator::SeqHash::operator()(
+    const std::vector<QueryId>& v) const {
+  return static_cast<size_t>(HashIdSequence(v));
+}
+
+void SessionAggregator::Add(const std::vector<Session>& sessions) {
+  for (const Session& s : sessions) AddSession(s);
+}
+
+void SessionAggregator::AddSession(const Session& session) {
+  if (session.queries.empty()) return;
+  ++summary_.num_sessions;
+  summary_.num_searches += session.queries.size();
+  for (QueryId q : session.queries) unique_queries_.insert(q);
+  ++counts_[session.queries];
+}
+
+std::vector<AggregatedSession> SessionAggregator::Finish() const {
+  std::vector<AggregatedSession> out;
+  out.reserve(counts_.size());
+  for (const auto& [queries, freq] : counts_) {
+    out.push_back(AggregatedSession{queries, freq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AggregatedSession& a, const AggregatedSession& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.queries < b.queries;
+            });
+  return out;
+}
+
+SessionSummary SessionAggregator::Summary() const {
+  SessionSummary s = summary_;
+  s.num_unique_queries = unique_queries_.size();
+  s.num_unique_sessions = counts_.size();
+  return s;
+}
+
+}  // namespace sqp

@@ -1,0 +1,52 @@
+#ifndef SQP_LOG_SESSION_AGGREGATOR_H_
+#define SQP_LOG_SESSION_AGGREGATOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "log/types.h"
+
+namespace sqp {
+
+/// Corpus-level statistics in the shape of the paper's Table IV.
+struct SessionSummary {
+  uint64_t num_sessions = 0;        // before aggregation
+  uint64_t num_searches = 0;        // total queries across sessions
+  uint64_t num_unique_queries = 0;  // distinct QueryIds observed
+  uint64_t num_unique_sessions = 0; // after aggregation
+};
+
+/// Aggregates identical query sequences across users (paper Section V-A.3):
+/// sessions with exactly the same query sequence are merged into one
+/// AggregatedSession carrying the merged frequency.
+///
+/// Output ordering is deterministic: descending frequency, ties broken by
+/// lexicographic query-id sequence.
+class SessionAggregator {
+ public:
+  SessionAggregator() = default;
+
+  /// Adds a batch of segmented sessions.
+  void Add(const std::vector<Session>& sessions);
+
+  /// Adds a single session.
+  void AddSession(const Session& session);
+
+  /// Returns the aggregate and summary; the aggregator can keep receiving
+  /// sessions afterwards (Finish is non-destructive).
+  std::vector<AggregatedSession> Finish() const;
+  SessionSummary Summary() const;
+
+ private:
+  struct SeqHash {
+    size_t operator()(const std::vector<QueryId>& v) const;
+  };
+  std::unordered_map<std::vector<QueryId>, uint64_t, SeqHash> counts_;
+  SessionSummary summary_;
+  std::unordered_set<QueryId> unique_queries_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_SESSION_AGGREGATOR_H_

@@ -1,0 +1,121 @@
+#include "log/session_segmenter.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace sqp {
+
+std::string_view SegmentationStrategyName(SegmentationStrategy strategy) {
+  switch (strategy) {
+    case SegmentationStrategy::kTimeGap:
+      return "30-minute rule";
+    case SegmentationStrategy::kFixedWindow:
+      return "fixed window";
+    case SegmentationStrategy::kSimilarityAssisted:
+      return "similarity-assisted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// True iff the two normalized queries share at least one term.
+bool SharesTerm(std::string_view a, std::string_view b) {
+  std::unordered_set<std::string_view> terms;
+  for (std::string_view term : SplitWhitespace(a)) terms.insert(term);
+  for (std::string_view term : SplitWhitespace(b)) {
+    if (terms.count(term) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SessionSegmenter::Segment(const std::vector<RawLogRecord>& records,
+                                 QueryDictionary* dictionary,
+                                 std::vector<Session>* sessions) const {
+  // Order records by (machine, timestamp) without copying them.
+  std::vector<size_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (records[a].machine_id != records[b].machine_id) {
+      return records[a].machine_id < records[b].machine_id;
+    }
+    return records[a].timestamp_ms < records[b].timestamp_ms;
+  });
+
+  Session current;
+  bool has_current = false;
+  int64_t last_activity_ms = 0;
+  std::string previous_query;
+
+  auto flush = [&]() {
+    if (!has_current) return;
+    const bool too_long = options_.max_session_length > 0 &&
+                          current.queries.size() > options_.max_session_length;
+    if (!current.queries.empty() && !too_long) {
+      sessions->push_back(std::move(current));
+    }
+    current = Session{};
+    has_current = false;
+  };
+
+  for (size_t idx : order) {
+    const RawLogRecord& record = records[idx];
+    if (QueryDictionary::Normalize(record.query).empty()) {
+      return Status::InvalidArgument("record with empty query");
+    }
+    for (const UrlClick& click : record.clicks) {
+      if (click.timestamp_ms < record.timestamp_ms) {
+        return Status::InvalidArgument(StrFormat(
+            "click at %lld precedes its query at %lld",
+            static_cast<long long>(click.timestamp_ms),
+            static_cast<long long>(record.timestamp_ms)));
+      }
+    }
+
+    const std::string normalized = QueryDictionary::Normalize(record.query);
+    const bool new_machine =
+        !has_current || record.machine_id != current.machine_id;
+    bool cut = false;
+    if (has_current && !new_machine) {
+      const int64_t gap = record.timestamp_ms - last_activity_ms;
+      switch (options_.strategy) {
+        case SegmentationStrategy::kTimeGap:
+          cut = gap > options_.timeout_ms;
+          break;
+        case SegmentationStrategy::kFixedWindow:
+          cut = record.timestamp_ms - current.start_ms > options_.window_ms;
+          break;
+        case SegmentationStrategy::kSimilarityAssisted:
+          cut = gap > options_.timeout_ms ||
+                (gap > options_.soft_timeout_ms &&
+                 !SharesTerm(previous_query, normalized));
+          break;
+      }
+    }
+    if (new_machine || cut) {
+      flush();
+      current.machine_id = record.machine_id;
+      current.start_ms = record.timestamp_ms;
+      has_current = true;
+    }
+
+    current.queries.push_back(dictionary->Intern(record.query));
+    previous_query = normalized;
+
+    // Last activity is the query itself or its latest click, whichever is
+    // later: the 30-minute rule measures idle time since any interaction.
+    last_activity_ms = record.timestamp_ms;
+    for (const UrlClick& click : record.clicks) {
+      last_activity_ms = std::max(last_activity_ms, click.timestamp_ms);
+    }
+  }
+  flush();
+  return Status::OK();
+}
+
+}  // namespace sqp

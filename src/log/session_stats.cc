@@ -1,0 +1,46 @@
+#include "log/session_stats.h"
+
+#include "util/math_util.h"
+
+namespace sqp {
+
+std::map<size_t, uint64_t> SessionLengthHistogram(
+    const std::vector<AggregatedSession>& sessions) {
+  std::map<size_t, uint64_t> hist;
+  for (const AggregatedSession& s : sessions) {
+    hist[s.queries.size()] += s.frequency;
+  }
+  return hist;
+}
+
+std::map<uint64_t, uint64_t> SessionFrequencyHistogram(
+    const std::vector<AggregatedSession>& sessions) {
+  std::map<uint64_t, uint64_t> hist;
+  for (const AggregatedSession& s : sessions) {
+    ++hist[s.frequency];
+  }
+  return hist;
+}
+
+double MeanSessionLength(const std::vector<AggregatedSession>& sessions) {
+  double total_len = 0.0;
+  double total_weight = 0.0;
+  for (const AggregatedSession& s : sessions) {
+    total_len += static_cast<double>(s.queries.size()) *
+                 static_cast<double>(s.frequency);
+    total_weight += static_cast<double>(s.frequency);
+  }
+  return total_weight == 0.0 ? 0.0 : total_len / total_weight;
+}
+
+double FrequencyPowerLawAlpha(const std::vector<AggregatedSession>& sessions,
+                              uint64_t x_min) {
+  std::vector<std::pair<double, double>> samples;
+  for (const auto& [freq, count] : SessionFrequencyHistogram(sessions)) {
+    samples.emplace_back(static_cast<double>(freq),
+                         static_cast<double>(count));
+  }
+  return EstimatePowerLawAlpha(samples, static_cast<double>(x_min));
+}
+
+}  // namespace sqp

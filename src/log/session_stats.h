@@ -1,0 +1,32 @@
+#ifndef SQP_LOG_SESSION_STATS_H_
+#define SQP_LOG_SESSION_STATS_H_
+
+#include <map>
+#include <vector>
+
+#include "log/types.h"
+
+namespace sqp {
+
+/// Histogram of session counts by session length (paper Fig. 5 / Fig. 7).
+/// Keyed by length; values are weighted by aggregated frequency.
+std::map<size_t, uint64_t> SessionLengthHistogram(
+    const std::vector<AggregatedSession>& sessions);
+
+/// Histogram over aggregated-session frequency: how many unique aggregated
+/// sessions have frequency f (paper Fig. 6, the power-law plot). Keyed by
+/// frequency; value = number of unique sessions with that frequency.
+std::map<uint64_t, uint64_t> SessionFrequencyHistogram(
+    const std::vector<AggregatedSession>& sessions);
+
+/// Mean session length weighted by frequency; 0 for empty input.
+double MeanSessionLength(const std::vector<AggregatedSession>& sessions);
+
+/// MLE power-law exponent of the aggregated-session frequency distribution
+/// for frequencies >= x_min (see util/math_util.h). Fig. 6 shape check.
+double FrequencyPowerLawAlpha(const std::vector<AggregatedSession>& sessions,
+                              uint64_t x_min = 2);
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_SESSION_STATS_H_

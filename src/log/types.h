@@ -1,0 +1,71 @@
+#ifndef SQP_LOG_TYPES_H_
+#define SQP_LOG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqp {
+
+/// Interned query identifier. Query strings are interned once through
+/// QueryDictionary; all downstream processing (sessions, models, metrics)
+/// operates on dense 32-bit ids.
+using QueryId = uint32_t;
+
+inline constexpr QueryId kInvalidQueryId = 0xffffffffu;
+
+/// One URL click following a query, as recorded by the search front-end.
+struct UrlClick {
+  int64_t timestamp_ms = 0;
+  std::string url;
+
+  bool operator==(const UrlClick&) const = default;
+};
+
+/// One raw search-log record: a query issued from a machine plus the clicks
+/// it produced (paper Table III).
+struct RawLogRecord {
+  uint64_t machine_id = 0;
+  int64_t timestamp_ms = 0;
+  std::string query;
+  std::vector<UrlClick> clicks;
+
+  bool operator==(const RawLogRecord&) const = default;
+};
+
+/// A segmented user session: consecutive queries from one machine with no
+/// activity gap exceeding the segmentation threshold (30-minute rule).
+struct Session {
+  uint64_t machine_id = 0;
+  int64_t start_ms = 0;
+  std::vector<QueryId> queries;
+};
+
+/// An aggregated session: one unique query sequence together with the number
+/// of (machine, time) sessions that produced exactly that sequence.
+struct AggregatedSession {
+  std::vector<QueryId> queries;
+  uint64_t frequency = 0;
+};
+
+/// A (context -> next query) candidate with its aggregated support, i.e. the
+/// number of sessions in which `next` immediately followed `context`.
+struct NextQueryCount {
+  QueryId query = kInvalidQueryId;
+  uint64_t count = 0;
+};
+
+/// All observed continuations of one context, sorted by descending count
+/// (ties broken by ascending QueryId for determinism).
+struct ContextEntry {
+  std::vector<QueryId> context;
+  std::vector<NextQueryCount> nexts;
+  uint64_t total_count = 0;  // sum of nexts[i].count
+  /// Number of occurrences where the context appeared at the very start of a
+  /// session (no preceding query). Feeds the VMM escape probability (Eq. 6).
+  uint64_t start_count = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_TYPES_H_

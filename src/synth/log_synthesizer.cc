@@ -1,0 +1,93 @@
+#include "synth/log_synthesizer.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace sqp {
+
+LogSynthesizer::LogSynthesizer(const TopicModel* topics,
+                               const SynthesizerConfig& config)
+    : topics_(topics),
+      config_(config),
+      session_generator_(topics, config.session) {
+  SQP_CHECK(topics_ != nullptr);
+  SQP_CHECK(config.num_machines > 0);
+  SQP_CHECK(config.mean_intra_gap_minutes > 0.0);
+  SQP_CHECK(config.mean_intra_gap_minutes < 25.0);
+}
+
+SynthCorpus LogSynthesizer::Synthesize(uint64_t seed,
+                                       RelatednessOracle* oracle) const {
+  Rng rng(seed);
+  SynthCorpus corpus;
+  corpus.sessions.reserve(config_.num_sessions);
+
+  // Per-machine clock: next time the "user" is at the keyboard.
+  std::vector<int64_t> machine_clock(config_.num_machines,
+                                     config_.start_timestamp_ms);
+  const int64_t kMinute = 60 * 1000;
+  const int64_t kSessionCutFloor = 31 * kMinute;  // > the 30-minute rule
+
+  for (size_t s = 0; s < config_.num_sessions; ++s) {
+    GeneratedSession session = session_generator_.Generate(&rng);
+    const size_t machine = rng.UniformInt(config_.num_machines);
+    // Desynchronize machine start times on first use.
+    if (machine_clock[machine] == config_.start_timestamp_ms) {
+      machine_clock[machine] +=
+          static_cast<int64_t>(rng.UniformInt(24 * 60)) * kMinute;
+    }
+    int64_t now = machine_clock[machine];
+    int64_t last_activity = now;
+
+    for (size_t qi = 0; qi < session.queries.size(); ++qi) {
+      RawLogRecord record;
+      record.machine_id = machine + 1;  // ids are 1-based like real logs
+      record.timestamp_ms = now;
+      record.query = session.queries[qi];
+
+      const size_t intent = session.intents[qi];
+      const size_t topic = topics_->intent(intent).topic;
+      if (oracle != nullptr) {
+        oracle->RegisterQuery(record.query, topic, intent);
+      }
+
+      last_activity = now;
+      if (rng.Bernoulli(config_.click_prob)) {
+        const size_t clicks = 1 + rng.UniformInt(config_.max_clicks_per_query);
+        int64_t click_time = now;
+        for (size_t c = 0; c < clicks; ++c) {
+          click_time += 5000 + static_cast<int64_t>(rng.UniformInt(110000));
+          UrlClick click;
+          click.timestamp_ms = click_time;
+          click.url = topics_->Url(topic, rng.UniformInt(8));
+          record.clicks.push_back(std::move(click));
+        }
+        last_activity = click_time;
+      }
+      corpus.records.push_back(std::move(record));
+
+      // Gap to the next query of this session: exponential around the mean,
+      // floored at 20s and capped at 25 minutes (stays one session).
+      const double gap_min =
+          rng.Exponential(1.0 / config_.mean_intra_gap_minutes);
+      const int64_t gap_ms = std::clamp<int64_t>(
+          static_cast<int64_t>(gap_min * static_cast<double>(kMinute)),
+          20 * 1000, 25 * kMinute);
+      now = last_activity + gap_ms;
+    }
+
+    // Idle period before this machine's next session: guaranteed to break
+    // the 30-minute rule.
+    const double idle_min =
+        rng.Exponential(1.0 / config_.mean_inter_gap_minutes);
+    machine_clock[machine] =
+        last_activity + kSessionCutFloor +
+        static_cast<int64_t>(idle_min * static_cast<double>(kMinute));
+
+    corpus.sessions.push_back(std::move(session));
+  }
+  return corpus;
+}
+
+}  // namespace sqp

@@ -1,0 +1,61 @@
+#ifndef SQP_SYNTH_LOG_SYNTHESIZER_H_
+#define SQP_SYNTH_LOG_SYNTHESIZER_H_
+
+#include <vector>
+
+#include "log/types.h"
+#include "synth/oracle.h"
+#include "synth/session_generator.h"
+#include "synth/topic_model.h"
+
+namespace sqp {
+
+/// Knobs for rendering sessions into a raw timestamped click-stream.
+struct SynthesizerConfig {
+  size_t num_sessions = 100000;
+  size_t num_machines = 4000;
+  /// Epoch of the first record (2008-09-05, inside the paper's log window).
+  int64_t start_timestamp_ms = 1220583600000LL;
+  /// Mean gap between consecutive queries of a session (must stay well
+  /// under the 30-minute segmentation rule).
+  double mean_intra_gap_minutes = 3.0;
+  /// Mean extra idle time between sessions of one machine, added on top of
+  /// the 31-minute floor that guarantees a session cut.
+  double mean_inter_gap_minutes = 90.0;
+  /// Probability that a query produces at least one click.
+  double click_prob = 0.7;
+  size_t max_clicks_per_query = 3;
+
+  SessionGeneratorConfig session;
+};
+
+/// A rendered corpus: the raw records plus the latent session structure
+/// they were rendered from (the synthetic ground truth).
+struct SynthCorpus {
+  std::vector<RawLogRecord> records;
+  std::vector<GeneratedSession> sessions;
+};
+
+/// Renders generated sessions into RawLogRecords with realistic timing:
+/// intra-session gaps of a few minutes, inter-session idle gaps beyond the
+/// 30-minute rule, and per-query clicks on topic-derived URLs. Optionally
+/// registers every emitted query with a RelatednessOracle.
+class LogSynthesizer {
+ public:
+  LogSynthesizer(const TopicModel* topics, const SynthesizerConfig& config);
+
+  /// Generates `config.num_sessions` sessions and renders them. Determined
+  /// entirely by `seed`.
+  SynthCorpus Synthesize(uint64_t seed, RelatednessOracle* oracle) const;
+
+  const SynthesizerConfig& config() const { return config_; }
+
+ private:
+  const TopicModel* topics_;
+  SynthesizerConfig config_;
+  SessionGenerator session_generator_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNTH_LOG_SYNTHESIZER_H_

@@ -1,0 +1,110 @@
+#include "synth/oracle.h"
+
+#include "util/edit_distance.h"
+
+namespace sqp {
+
+void RelatednessOracle::RegisterQuery(std::string_view query, size_t topic,
+                                      size_t intent) {
+  Provenance& p = provenance_[QueryDictionary::Normalize(query)];
+  p.topics.insert(topic);
+  p.intents.insert(intent);
+}
+
+const RelatednessOracle::Provenance* RelatednessOracle::Find(
+    std::string_view query) const {
+  auto it = provenance_.find(QueryDictionary::Normalize(query));
+  if (it == provenance_.end()) return nullptr;
+  return &it->second;
+}
+
+bool RelatednessOracle::IsRelated(std::span<const std::string> context,
+                                  std::string_view candidate) const {
+  if (context.empty()) return false;
+  const std::string candidate_norm = QueryDictionary::Normalize(candidate);
+
+  // Rejection rule: a strict generalization of the user's latest query
+  // (term-prefix) walks backward through the refinement the user already
+  // made; labelers judge it inappropriate.
+  {
+    const std::string last_norm = QueryDictionary::Normalize(context.back());
+    if (candidate_norm.size() < last_norm.size() &&
+        last_norm.compare(0, candidate_norm.size(), candidate_norm) == 0 &&
+        last_norm[candidate_norm.size()] == ' ') {
+      return false;
+    }
+  }
+
+  // Repeats and spelling variants are always appropriate.
+  for (const std::string& ctx_query : context) {
+    const std::string ctx_norm = QueryDictionary::Normalize(ctx_query);
+    if (ctx_norm == candidate_norm) return true;  // repeated query
+    if (ctx_norm.size() <= 24 &&
+        EditDistance(std::string_view(ctx_norm), candidate_norm) <= 2) {
+      return true;  // spelling variant
+    }
+  }
+
+  const Provenance* cp = Find(candidate_norm);
+  if (cp == nullptr) return false;
+
+  // Context-sensitive judgment: the session's latent need is the
+  // *intersection* of the context queries' possible intents (the paper's
+  // "Indonesia => Java" example: the context pins down which Java). If the
+  // intersection is empty at the intent level, fall back to the topic
+  // level; if the session is topically incoherent (drift), judge against
+  // the latest query alone (the user's current need).
+  std::unordered_set<size_t> session_intents;
+  std::unordered_set<size_t> session_topics;
+  bool first_known = true;
+  for (const std::string& ctx_query : context) {
+    const Provenance* xp = Find(QueryDictionary::Normalize(ctx_query));
+    if (xp == nullptr) continue;
+    if (first_known) {
+      session_intents = xp->intents;
+      session_topics = xp->topics;
+      first_known = false;
+      continue;
+    }
+    std::erase_if(session_intents,
+                  [&](size_t i) { return xp->intents.count(i) == 0; });
+    std::erase_if(session_topics,
+                  [&](size_t t) { return xp->topics.count(t) == 0; });
+  }
+  if (session_topics.empty()) {
+    // Topically incoherent context: fall back to the latest known query.
+    for (auto it = context.rbegin(); it != context.rend(); ++it) {
+      const Provenance* xp = Find(QueryDictionary::Normalize(*it));
+      if (xp != nullptr) {
+        session_intents = xp->intents;
+        session_topics = xp->topics;
+        break;
+      }
+    }
+  }
+
+  if (!session_intents.empty()) {
+    for (size_t intent : cp->intents) {
+      if (session_intents.count(intent) > 0) return true;
+    }
+  }
+  for (size_t topic : cp->topics) {
+    if (session_topics.count(topic) > 0) return true;
+  }
+  return false;
+}
+
+bool RelatednessOracle::IsRelatedIds(const QueryDictionary& dictionary,
+                                     std::span<const QueryId> context,
+                                     QueryId candidate) const {
+  if (candidate >= dictionary.size()) return false;
+  std::vector<std::string> context_strings;
+  context_strings.reserve(context.size());
+  for (QueryId q : context) {
+    if (q >= dictionary.size()) continue;
+    context_strings.push_back(dictionary.Text(q));
+  }
+  return IsRelated(context_strings, dictionary.Text(candidate));
+}
+
+}  // namespace sqp

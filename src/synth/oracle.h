@@ -1,0 +1,67 @@
+#ifndef SQP_SYNTH_ORACLE_H_
+#define SQP_SYNTH_ORACLE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "log/query_dictionary.h"
+#include "log/types.h"
+
+namespace sqp {
+
+/// Ground-truth relatedness judge backed by the generator's latent
+/// intent/topic structure. Substitutes for the paper's 30 human labelers
+/// (Section V-H): a predicted query is "appropriate in context" iff it is
+/// related to the session so far under the generating model.
+///
+/// Relatedness rules, in decreasing strength:
+///  1. shares a latent intent with some context query;
+///  2. shares a latent topic with some context query;
+///  3. is a small-edit-distance variant of some context query (the
+///     spelling-correction case, e.g. youtub -> youtube);
+///  4. equals a context query (the repeat case).
+///
+/// One overriding *rejection* rule emulates the labelers' judgment of
+/// usefulness, not just topicality: recommending a strict generalization of
+/// the user's latest query (a term-prefix of it, e.g. "O2" after the user
+/// already typed "O2 mobile phones") is a backward move and is rejected.
+/// This is the judgment that separates order-aware methods from
+/// order-blind co-occurrence in the paper's Figs. 13-14.
+class RelatednessOracle {
+ public:
+  RelatednessOracle() = default;
+
+  /// Registers one generated query with its latent provenance. Called by
+  /// the synthesizer for every emitted query; idempotent.
+  void RegisterQuery(std::string_view query, size_t topic, size_t intent);
+
+  /// Judges a candidate string against a context of query strings.
+  bool IsRelated(std::span<const std::string> context,
+                 std::string_view candidate) const;
+
+  /// Id-based judgment for evaluation pipelines that operate on interned
+  /// ids. Unknown ids/queries are never related.
+  bool IsRelatedIds(const QueryDictionary& dictionary,
+                    std::span<const QueryId> context,
+                    QueryId candidate) const;
+
+  size_t num_registered() const { return provenance_.size(); }
+
+ private:
+  struct Provenance {
+    std::unordered_set<size_t> topics;
+    std::unordered_set<size_t> intents;
+  };
+
+  const Provenance* Find(std::string_view query) const;
+
+  std::unordered_map<std::string, Provenance> provenance_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNTH_ORACLE_H_

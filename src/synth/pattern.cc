@@ -1,0 +1,189 @@
+#include "synth/pattern.h"
+
+#include "util/status.h"
+
+namespace sqp {
+
+std::string_view PatternTypeName(PatternType type) {
+  switch (type) {
+    case PatternType::kSpellingChange:
+      return "Spelling change";
+    case PatternType::kParallelMovement:
+      return "Parallel movement";
+    case PatternType::kGeneralization:
+      return "Generalization";
+    case PatternType::kSpecialization:
+      return "Specialization";
+    case PatternType::kSynonymSubstitution:
+      return "Synonym substitution";
+    case PatternType::kRepeatedQuery:
+      return "Repeated query";
+    case PatternType::kOthers:
+      return "Others";
+  }
+  return "Unknown";
+}
+
+PatternType PatternWeights::Sample(Rng* rng) const {
+  double total = 0.0;
+  for (double w : weight) total += w;
+  SQP_CHECK(total > 0.0);
+  double u = rng->UniformDouble() * total;
+  for (size_t i = 0; i < kNumPatternTypes; ++i) {
+    u -= weight[i];
+    if (u < 0.0) return static_cast<PatternType>(i);
+  }
+  return PatternType::kOthers;
+}
+
+PatternGenerator::PatternGenerator(const TopicModel* topics)
+    : topics_(topics) {
+  SQP_CHECK(topics_ != nullptr);
+}
+
+bool PatternGenerator::Supports(PatternType type, size_t intent) const {
+  if (type == PatternType::kSynonymSubstitution) {
+    return topics_->HasSynonymVariant(intent);
+  }
+  return true;
+}
+
+PatternResult PatternGenerator::Generate(PatternType type, size_t intent,
+                                         Rng* rng) const {
+  switch (type) {
+    case PatternType::kSpellingChange:
+      return SpellingChange(intent, rng);
+    case PatternType::kParallelMovement:
+      return ParallelMovement(intent, rng);
+    case PatternType::kGeneralization:
+      return Generalization(intent, rng);
+    case PatternType::kSpecialization:
+      return Specialization(intent, rng);
+    case PatternType::kSynonymSubstitution:
+      return SynonymSubstitution(intent, rng);
+    case PatternType::kRepeatedQuery:
+      return RepeatedQuery(intent, rng);
+    case PatternType::kOthers:
+      return Others(intent, rng);
+  }
+  return {};
+}
+
+// goggle => google (then sometimes a refinement step).
+PatternResult PatternGenerator::SpellingChange(size_t intent,
+                                               Rng* rng) const {
+  const Intent& in = topics_->intent(intent);
+  PatternResult out;
+  out.queries.push_back(
+      topics_->vocabulary().Misspell(in.chain[0], rng));
+  out.queries.push_back(in.chain[0]);
+  out.intents.assign(2, intent);
+  if (in.chain.size() > 1 && rng->Bernoulli(0.3)) {
+    out.queries.push_back(in.chain[1]);
+    out.intents.push_back(intent);
+  }
+  return out;
+}
+
+// SMTP => POP3: sibling intents within one topic.
+PatternResult PatternGenerator::ParallelMovement(size_t intent,
+                                                 Rng* rng) const {
+  PatternResult out;
+  out.queries.push_back(topics_->intent(intent).chain[0]);
+  out.intents.push_back(intent);
+  const size_t hops = rng->Bernoulli(0.3) ? 2 : 1;
+  size_t current = intent;
+  for (size_t i = 0; i < hops; ++i) {
+    current = topics_->SampleSibling(current, rng);
+    out.queries.push_back(topics_->intent(current).chain[0]);
+    out.intents.push_back(current);
+  }
+  return out;
+}
+
+// "washington mutual home loans" => "home loans": walk the chain upward.
+PatternResult PatternGenerator::Generalization(size_t intent,
+                                               Rng* rng) const {
+  const Intent& in = topics_->intent(intent);
+  const size_t max_depth = in.chain.size() - 1;
+  size_t depth = 1 + rng->UniformInt(max_depth);  // starting specificity
+  PatternResult out;
+  while (true) {
+    out.queries.push_back(in.chain[depth]);
+    out.intents.push_back(intent);
+    if (depth == 0 || (out.queries.size() >= 2 && rng->Bernoulli(0.5))) break;
+    --depth;
+  }
+  return out;
+}
+
+// O2 => O2 mobile => O2 mobile phones: walk the chain downward.
+PatternResult PatternGenerator::Specialization(size_t intent,
+                                               Rng* rng) const {
+  const Intent& in = topics_->intent(intent);
+  const size_t steps =
+      1 + rng->UniformInt(in.chain.size() - 1);  // 1..chain_depth-1
+  PatternResult out;
+  for (size_t depth = 0; depth <= steps; ++depth) {
+    out.queries.push_back(in.chain[depth]);
+    out.intents.push_back(intent);
+    if (out.queries.size() >= 5) break;
+  }
+  return out;
+}
+
+// BAMC => Brooke Army Medical Center: alias first, canonical second.
+PatternResult PatternGenerator::SynonymSubstitution(size_t intent,
+                                                    Rng* rng) const {
+  const Intent& in = topics_->intent(intent);
+  const std::optional<std::string> variant = topics_->SynonymVariant(intent);
+  PatternResult out;
+  if (variant.has_value()) {
+    out.queries.push_back(*variant);
+  } else {
+    // Structural fallback for intents without synonyms: behave like a
+    // one-step refinement so the session stays intent-coherent.
+    out.queries.push_back(in.chain.size() > 1 ? in.chain[1] : in.chain[0]);
+  }
+  out.queries.push_back(in.chain[0]);
+  out.intents.assign(2, intent);
+  if (rng->Bernoulli(0.2) && in.chain.size() > 1) {
+    out.queries.push_back(in.chain[1]);
+    out.intents.push_back(intent);
+  }
+  return out;
+}
+
+// aim => myspace => myspace => photobucket: drifting intents with one
+// consecutive repeat.
+PatternResult PatternGenerator::RepeatedQuery(size_t intent, Rng* rng) const {
+  PatternResult out;
+  size_t current = intent;
+  const size_t distinct = 2 + rng->UniformInt(2);  // 2..3 distinct queries
+  for (size_t i = 0; i < distinct; ++i) {
+    out.queries.push_back(topics_->intent(current).chain[0]);
+    out.intents.push_back(current);
+    current = rng->Bernoulli(0.5) ? topics_->SampleSibling(current, rng)
+                                  : topics_->SampleUnrelated(current, rng);
+  }
+  // Repeat one of the queries immediately after itself.
+  const size_t repeat_at = rng->UniformInt(out.queries.size());
+  out.queries.insert(out.queries.begin() + static_cast<ptrdiff_t>(repeat_at),
+                     out.queries[repeat_at]);
+  out.intents.insert(out.intents.begin() + static_cast<ptrdiff_t>(repeat_at),
+                     out.intents[repeat_at]);
+  return out;
+}
+
+// muzzle brake => shared calendars: topically unrelated hops.
+PatternResult PatternGenerator::Others(size_t intent, Rng* rng) const {
+  PatternResult out;
+  out.queries.push_back(topics_->intent(intent).chain[0]);
+  out.intents.push_back(intent);
+  const size_t unrelated = topics_->SampleUnrelated(intent, rng);
+  out.queries.push_back(topics_->intent(unrelated).chain[0]);
+  out.intents.push_back(unrelated);
+  return out;
+}
+
+}  // namespace sqp

@@ -1,0 +1,83 @@
+#ifndef SQP_SYNTH_PATTERN_H_
+#define SQP_SYNTH_PATTERN_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synth/topic_model.h"
+#include "util/random.h"
+
+namespace sqp {
+
+/// The seven session reformulation patterns of the paper (Table I / Fig. 1,
+/// after Rieh & Xie and Teevan et al.).
+enum class PatternType {
+  kSpellingChange = 0,
+  kParallelMovement,
+  kGeneralization,
+  kSpecialization,
+  kSynonymSubstitution,
+  kRepeatedQuery,
+  kOthers,
+};
+
+inline constexpr size_t kNumPatternTypes = 7;
+
+std::string_view PatternTypeName(PatternType type);
+
+/// Sampling weights over the pattern types. The defaults reproduce the
+/// paper's headline constraint that the three order-sensitive types
+/// (spelling change + generalization + specialization) account for 34.34%
+/// of sessions (Fig. 1).
+struct PatternWeights {
+  std::array<double, kNumPatternTypes> weight = {
+      0.08,    // spelling change
+      0.12,    // parallel movement
+      0.0834,  // generalization
+      0.18,    // specialization
+      0.08,    // synonym substitution
+      0.25,    // repeated query
+      0.2066,  // others
+  };
+
+  /// Draws a pattern type (weights need not be normalized).
+  PatternType Sample(Rng* rng) const;
+};
+
+/// A generated in-session query chain with per-query intent provenance
+/// (used to register queries with the relatedness oracle).
+struct PatternResult {
+  std::vector<std::string> queries;
+  std::vector<size_t> intents;  // parallel to `queries`
+};
+
+/// Renders one session's query chain for a given (intent, pattern type).
+/// All randomness flows through the caller's Rng, so generation is
+/// reproducible.
+class PatternGenerator {
+ public:
+  explicit PatternGenerator(const TopicModel* topics);
+
+  PatternResult Generate(PatternType type, size_t intent, Rng* rng) const;
+
+  /// True iff `type` can be rendered faithfully for `intent` (only the
+  /// synonym pattern has a structural requirement).
+  bool Supports(PatternType type, size_t intent) const;
+
+ private:
+  PatternResult SpellingChange(size_t intent, Rng* rng) const;
+  PatternResult ParallelMovement(size_t intent, Rng* rng) const;
+  PatternResult Generalization(size_t intent, Rng* rng) const;
+  PatternResult Specialization(size_t intent, Rng* rng) const;
+  PatternResult SynonymSubstitution(size_t intent, Rng* rng) const;
+  PatternResult RepeatedQuery(size_t intent, Rng* rng) const;
+  PatternResult Others(size_t intent, Rng* rng) const;
+
+  const TopicModel* topics_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNTH_PATTERN_H_

@@ -1,0 +1,89 @@
+#include "synth/session_generator.h"
+
+#include "util/status.h"
+
+namespace sqp {
+
+namespace {
+
+size_t EffectiveHead(const TopicModel* topics,
+                     const SessionGeneratorConfig& config) {
+  const size_t n = topics->num_intents();
+  if (config.head_intents == 0 || config.head_intents > n) return n;
+  return config.head_intents;
+}
+
+}  // namespace
+
+SessionGenerator::SessionGenerator(const TopicModel* topics,
+                                   const SessionGeneratorConfig& config)
+    : topics_(topics),
+      config_(config),
+      patterns_(topics),
+      intent_sampler_(EffectiveHead(topics, config), config.zipf_s) {
+  SQP_CHECK(topics_ != nullptr);
+  const size_t head = EffectiveHead(topics, config);
+  SQP_CHECK(config.novel_fraction == 0.0 || head < topics->num_intents());
+  if (config.novel_fraction > 0.0) {
+    novel_sampler_.emplace(topics->num_intents() - head, config.zipf_s);
+  }
+}
+
+size_t SessionGenerator::SampleIntent(Rng* rng) const {
+  if (novel_sampler_.has_value() && rng->Bernoulli(config_.novel_fraction)) {
+    return intent_sampler_.size() + novel_sampler_->Sample(rng);
+  }
+  return intent_sampler_.Sample(rng);
+}
+
+GeneratedSession SessionGenerator::Generate(Rng* rng) const {
+  GeneratedSession session;
+  size_t intent = SampleIntent(rng);
+  session.primary_intent = intent;
+
+  if (rng->Bernoulli(config_.singleton_prob)) {
+    // A one-shot lookup: any node of the intent's chain.
+    const Intent& in = topics_->intent(intent);
+    const size_t depth = rng->UniformInt(in.chain.size());
+    session.queries.push_back(in.chain[depth]);
+    session.intents.push_back(intent);
+    session.singleton = true;
+    return session;
+  }
+
+  PatternType type = config_.pattern_weights.Sample(rng);
+  // The synonym pattern needs an intent whose base terms have aliases;
+  // resample the intent a few times to honor the requested type.
+  for (int attempt = 0; attempt < 16 && !patterns_.Supports(type, intent);
+       ++attempt) {
+    intent = SampleIntent(rng);
+  }
+  session.primary_intent = intent;
+  session.type = type;
+  PatternResult result = patterns_.Generate(type, intent, rng);
+  session.queries = std::move(result.queries);
+  session.intents = std::move(result.intents);
+
+  // Compound sessions: the user moves on to a second reformulation chain
+  // within the same session (half the time staying near the first topic).
+  if (rng->Bernoulli(config_.compound_prob)) {
+    size_t next_intent = rng->Bernoulli(0.7)
+                             ? topics_->SampleSibling(intent, rng)
+                             : SampleIntent(rng);
+    PatternType next_type = config_.pattern_weights.Sample(rng);
+    for (int attempt = 0;
+         attempt < 16 && !patterns_.Supports(next_type, next_intent);
+         ++attempt) {
+      next_intent = SampleIntent(rng);
+    }
+    PatternResult extension = patterns_.Generate(next_type, next_intent, rng);
+    for (size_t i = 0; i < extension.queries.size(); ++i) {
+      if (session.queries.size() >= config_.max_session_length) break;
+      session.queries.push_back(std::move(extension.queries[i]));
+      session.intents.push_back(extension.intents[i]);
+    }
+  }
+  return session;
+}
+
+}  // namespace sqp

@@ -1,0 +1,77 @@
+#ifndef SQP_SYNTH_SESSION_GENERATOR_H_
+#define SQP_SYNTH_SESSION_GENERATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synth/pattern.h"
+#include "synth/topic_model.h"
+#include "util/random.h"
+
+namespace sqp {
+
+/// Knobs for the session sampler.
+struct SessionGeneratorConfig {
+  PatternWeights pattern_weights;
+  /// Probability of a single-query session (no reformulation). Real logs
+  /// are dominated by these; they also populate Table VI's reason (2).
+  double singleton_prob = 0.38;
+  /// Zipf exponent for intent popularity. Drives the aggregated-session
+  /// power law of Fig. 6.
+  double zipf_s = 1.15;
+  /// Number of "established" intents the Zipf popularity ranks over
+  /// (0 = all intents). Intents beyond this index are reserved for the
+  /// novel-intent mechanism below.
+  size_t head_intents = 0;
+  /// Temporal drift: with this probability a session comes from a *novel*
+  /// intent drawn (Zipf-distributed, like trending new topics) from
+  /// [head_intents, num_intents). Real query logs churn heavily between
+  /// periods (the paper's test month contains 356M unique queries, most
+  /// unseen in training); a test-period generator sets this > 0 so that
+  /// coverage < 100%, as in the paper's Fig. 10.
+  double novel_fraction = 0.0;
+  /// Probability that a multi-query session continues with a *second*
+  /// reformulation pattern (same topic or a drift to another one). This
+  /// produces the long-session tail of the paper's Fig. 5 and the
+  /// combinatorial context diversity that makes exact-context (N-gram)
+  /// coverage collapse on long contexts (Fig. 11).
+  double compound_prob = 0.3;
+  /// Hard cap on session length.
+  size_t max_session_length = 8;
+};
+
+/// One generated session with its latent labels.
+struct GeneratedSession {
+  std::vector<std::string> queries;
+  std::vector<size_t> intents;  // per-query provenance
+  PatternType type = PatternType::kOthers;
+  bool singleton = false;
+  size_t primary_intent = 0;
+};
+
+/// Samples labeled sessions from the topic/intent model: intent ~ Zipf,
+/// pattern type ~ PatternWeights, query chain via PatternGenerator.
+class SessionGenerator {
+ public:
+  SessionGenerator(const TopicModel* topics,
+                   const SessionGeneratorConfig& config);
+
+  GeneratedSession Generate(Rng* rng) const;
+
+  const SessionGeneratorConfig& config() const { return config_; }
+
+ private:
+  size_t SampleIntent(Rng* rng) const;
+
+  const TopicModel* topics_;
+  SessionGeneratorConfig config_;
+  PatternGenerator patterns_;
+  ZipfSampler intent_sampler_;
+  /// Present iff novel_fraction > 0: Zipf over the novel intent range.
+  std::optional<ZipfSampler> novel_sampler_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNTH_SESSION_GENERATOR_H_

@@ -1,0 +1,140 @@
+#include "synth/topic_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace sqp {
+
+TopicModel::TopicModel(const Vocabulary* vocabulary,
+                       const TopicModelConfig& config, uint64_t seed)
+    : vocabulary_(vocabulary), config_(config) {
+  SQP_CHECK(vocabulary_ != nullptr);
+  SQP_CHECK(config.num_topics > 0);
+  SQP_CHECK(config.terms_per_topic >= config.chain_depth + 2);
+  SQP_CHECK(vocabulary_->size() >= config.terms_per_topic);
+  Rng rng(seed);
+
+  // Assign each topic a random subset of terms (topics may share terms,
+  // like real verticals share words).
+  std::vector<std::vector<size_t>> topic_terms(config.num_topics);
+  for (auto& terms : topic_terms) {
+    std::unordered_set<size_t> chosen;
+    while (chosen.size() < config.terms_per_topic) {
+      chosen.insert(rng.UniformInt(vocabulary_->size()));
+    }
+    terms.assign(chosen.begin(), chosen.end());
+    std::sort(terms.begin(), terms.end());
+  }
+
+  // Global pool of ambiguous base terms (the "Java" phenomenon): queries
+  // made of one of these terms recur across topics.
+  std::vector<size_t> shared_pool;
+  if (config.shared_base_prob > 0.0 && config.num_shared_terms > 0) {
+    std::unordered_set<size_t> chosen;
+    const size_t pool_size =
+        std::min(config.num_shared_terms, vocabulary_->size());
+    while (chosen.size() < pool_size) {
+      chosen.insert(rng.UniformInt(vocabulary_->size()));
+    }
+    shared_pool.assign(chosen.begin(), chosen.end());
+    std::sort(shared_pool.begin(), shared_pool.end());
+  }
+
+  topic_intents_.resize(config.num_topics);
+  intents_.reserve(config.num_topics * config.intents_per_topic);
+  for (size_t topic = 0; topic < config.num_topics; ++topic) {
+    for (size_t k = 0; k < config.intents_per_topic; ++k) {
+      Intent intent;
+      intent.topic = topic;
+      const std::vector<size_t>& terms = topic_terms[topic];
+      std::vector<size_t> order(terms.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.Shuffle(&order);
+      size_t chain_terms_begin = 0;
+      if (!shared_pool.empty() && rng.Bernoulli(config.shared_base_prob)) {
+        // Ambiguous base: one term shared corpus-wide.
+        intent.base_terms.push_back(
+            shared_pool[rng.UniformInt(shared_pool.size())]);
+      } else {
+        // Regular base: 1-2 distinct topic terms.
+        const size_t base_size = 1 + rng.UniformInt(2);
+        for (size_t i = 0; i < base_size; ++i) {
+          intent.base_terms.push_back(terms[order[i]]);
+        }
+        chain_terms_begin = base_size;
+      }
+      // Specialization chain: append one fresh topic term per level.
+      std::string query;
+      for (size_t t : intent.base_terms) {
+        if (!query.empty()) query += ' ';
+        query += vocabulary_->term(t);
+      }
+      intent.chain.push_back(query);
+      for (size_t depth = 1; depth < config.chain_depth; ++depth) {
+        query += ' ';
+        query += vocabulary_->term(terms[order[chain_terms_begin + depth - 1]]);
+        intent.chain.push_back(query);
+      }
+      topic_intents_[topic].push_back(intents_.size());
+      intents_.push_back(std::move(intent));
+    }
+  }
+}
+
+const Intent& TopicModel::intent(size_t i) const {
+  SQP_CHECK(i < intents_.size());
+  return intents_[i];
+}
+
+size_t TopicModel::SampleSibling(size_t intent, Rng* rng) const {
+  const size_t topic = this->intent(intent).topic;
+  const std::vector<size_t>& pool = topic_intents_[topic];
+  if (pool.size() <= 1) return intent;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const size_t candidate = pool[rng->UniformInt(pool.size())];
+    if (candidate != intent) return candidate;
+  }
+  return intent;
+}
+
+size_t TopicModel::SampleUnrelated(size_t intent, Rng* rng) const {
+  const size_t topic = this->intent(intent).topic;
+  if (config_.num_topics <= 1) return intent;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const size_t candidate = rng->UniformInt(intents_.size());
+    if (intents_[candidate].topic != topic) return candidate;
+  }
+  return intent;
+}
+
+bool TopicModel::HasSynonymVariant(size_t intent) const {
+  for (size_t term : this->intent(intent).base_terms) {
+    if (vocabulary_->HasSynonym(term)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> TopicModel::SynonymVariant(size_t intent) const {
+  const Intent& in = this->intent(intent);
+  for (size_t i = 0; i < in.base_terms.size(); ++i) {
+    const std::optional<std::string> alias =
+        vocabulary_->Synonym(in.base_terms[i]);
+    if (!alias.has_value()) continue;
+    std::string query;
+    for (size_t j = 0; j < in.base_terms.size(); ++j) {
+      if (!query.empty()) query += ' ';
+      query += (i == j) ? *alias : vocabulary_->term(in.base_terms[j]);
+    }
+    return query;
+  }
+  return std::nullopt;
+}
+
+std::string TopicModel::Url(size_t topic, size_t site) const {
+  return StrFormat("www.topic%zu-site%zu.example.com", topic, site);
+}
+
+}  // namespace sqp

@@ -1,0 +1,86 @@
+#ifndef SQP_SYNTH_TOPIC_MODEL_H_
+#define SQP_SYNTH_TOPIC_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synth/vocabulary.h"
+#include "util/random.h"
+
+namespace sqp {
+
+/// Configuration of the latent topic/intent structure behind the synthetic
+/// query stream.
+struct TopicModelConfig {
+  size_t num_topics = 120;
+  size_t terms_per_topic = 18;
+  size_t intents_per_topic = 25;
+  /// Length of the specialization chain per intent (chain[0] is the base
+  /// query; each later step appends one topic term, e.g. "O2" -> "O2
+  /// mobile" -> "O2 mobile phones").
+  size_t chain_depth = 5;
+  /// Query ambiguity (the paper's "Java" phenomenon): with this probability
+  /// an intent's base query is a *single shared term* drawn from a global
+  /// pool, so the same query string belongs to many intents across topics.
+  /// Pair-wise predictors pool the continuations of all those intents;
+  /// sequence predictors disambiguate from the preceding queries.
+  double shared_base_prob = 0.3;
+  /// Size of the shared ambiguous-term pool.
+  size_t num_shared_terms = 150;
+};
+
+/// One latent search intent: a topic, a base query, and its specialization
+/// chain of progressively more specific reformulations.
+struct Intent {
+  size_t topic = 0;
+  std::vector<size_t> base_terms;   // global term indices (1-2)
+  std::vector<std::string> chain;   // chain[0] = base query
+};
+
+/// The generator's hidden semantic model: topics own term sets; intents own
+/// reformulation chains. Sessions are emitted by walking this structure, so
+/// the structure itself doubles as the ground-truth relatedness oracle for
+/// the simulated user study.
+class TopicModel {
+ public:
+  TopicModel(const Vocabulary* vocabulary, const TopicModelConfig& config,
+             uint64_t seed);
+
+  // Not copyable (holds a vocabulary pointer and large derived state).
+  TopicModel(const TopicModel&) = delete;
+  TopicModel& operator=(const TopicModel&) = delete;
+
+  size_t num_intents() const { return intents_.size(); }
+  size_t num_topics() const { return config_.num_topics; }
+  const Intent& intent(size_t i) const;
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  const TopicModelConfig& config() const { return config_; }
+
+  /// A different intent from the same topic ("parallel movement", e.g.
+  /// SMTP -> POP3). Falls back to the input when the topic has one intent.
+  size_t SampleSibling(size_t intent, Rng* rng) const;
+
+  /// An intent from a different topic (the "Others" pattern).
+  size_t SampleUnrelated(size_t intent, Rng* rng) const;
+
+  /// Base query with one base term replaced by its synonym alias, if any
+  /// base term has one.
+  std::optional<std::string> SynonymVariant(size_t intent) const;
+
+  /// True iff SynonymVariant(intent) would produce a value.
+  bool HasSynonymVariant(size_t intent) const;
+
+  /// A clicked-result URL for a topic ("www.topic17-site3.example.com").
+  std::string Url(size_t topic, size_t site) const;
+
+ private:
+  const Vocabulary* vocabulary_;
+  TopicModelConfig config_;
+  std::vector<Intent> intents_;
+  std::vector<std::vector<size_t>> topic_intents_;  // topic -> intent ids
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNTH_TOPIC_MODEL_H_

@@ -1,0 +1,95 @@
+#include "synth/vocabulary.h"
+
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace sqp {
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ba", "ru", "ko", "sta", "mi",  "lor", "net", "zen", "tra", "vel",
+    "pho", "dex", "qui", "mar", "sol", "tek", "van", "pli", "gor", "hu",
+    "ras", "mel", "dan", "cy",  "ber", "lin", "tor", "fi",  "ges", "nu"};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+std::string MakeWord(Rng* rng) {
+  const size_t syllable_count = 2 + rng->UniformInt(3);  // 2..4
+  std::string word;
+  for (size_t i = 0; i < syllable_count; ++i) {
+    word += kSyllables[rng->UniformInt(kNumSyllables)];
+  }
+  return word;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(const VocabularyConfig& config, uint64_t seed) {
+  SQP_CHECK(config.num_terms > 0);
+  Rng rng(seed);
+  std::unordered_set<std::string> used;
+  terms_.reserve(config.num_terms);
+  while (terms_.size() < config.num_terms) {
+    std::string word = MakeWord(&rng);
+    if (used.insert(word).second) terms_.push_back(std::move(word));
+  }
+  synonyms_.assign(config.num_terms, std::string());
+  for (size_t i = 0; i < config.num_terms; ++i) {
+    if (!rng.Bernoulli(config.synonym_fraction)) continue;
+    std::string alias = MakeWord(&rng);
+    while (!used.insert(alias).second) alias = MakeWord(&rng);
+    synonyms_[i] = std::move(alias);
+  }
+}
+
+const std::string& Vocabulary::term(size_t i) const {
+  SQP_CHECK(i < terms_.size());
+  return terms_[i];
+}
+
+bool Vocabulary::HasSynonym(size_t i) const {
+  SQP_CHECK(i < synonyms_.size());
+  return !synonyms_[i].empty();
+}
+
+std::optional<std::string> Vocabulary::Synonym(size_t i) const {
+  SQP_CHECK(i < synonyms_.size());
+  if (synonyms_[i].empty()) return std::nullopt;
+  return synonyms_[i];
+}
+
+std::string Vocabulary::Misspell(const std::string& word, Rng* rng) const {
+  if (word.size() < 2) return word + word;  // degenerate but different
+  std::string out = word;
+  const size_t kind = rng->UniformInt(4);
+  const size_t pos = rng->UniformInt(out.size() - 1);
+  switch (kind) {
+    case 0:  // swap adjacent characters
+      if (out[pos] != out[pos + 1]) {
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out.erase(pos, 1);
+      }
+      break;
+    case 1:  // drop one character
+      out.erase(pos, 1);
+      break;
+    case 2:  // duplicate one character
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), out[pos]);
+      break;
+    default: {  // replace with a different letter
+      const char replacement =
+          static_cast<char>('a' + rng->UniformInt(26));
+      if (replacement == out[pos]) {
+        out.erase(pos, 1);
+      } else {
+        out[pos] = replacement;
+      }
+      break;
+    }
+  }
+  if (out == word) out.erase(0, 1);  // last-resort guarantee of difference
+  return out;
+}
+
+}  // namespace sqp

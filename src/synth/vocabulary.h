@@ -1,0 +1,50 @@
+#ifndef SQP_SYNTH_VOCABULARY_H_
+#define SQP_SYNTH_VOCABULARY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sqp {
+
+/// Configuration of the synthetic term vocabulary.
+struct VocabularyConfig {
+  /// Number of distinct search terms.
+  size_t num_terms = 2000;
+  /// Fraction of terms that receive a synonym alias (drives the paper's
+  /// "synonym substitution" pattern, e.g. BAMC -> Brooke Army Medical
+  /// Center).
+  double synonym_fraction = 0.3;
+};
+
+/// A deterministic synthetic vocabulary of pronounceable terms, with
+/// synonym aliases and misspelling support. Substitutes for the natural-
+/// language queries of a real search log: models only see interned ids, so
+/// the linguistic surface just needs to be distinct, stable strings with
+/// the term-composition structure query reformulation operates on.
+class Vocabulary {
+ public:
+  Vocabulary(const VocabularyConfig& config, uint64_t seed);
+
+  size_t size() const { return terms_.size(); }
+  const std::string& term(size_t i) const;
+
+  /// Synonym alias of term i, if it has one.
+  std::optional<std::string> Synonym(size_t i) const;
+  bool HasSynonym(size_t i) const;
+
+  /// Returns a typo'd variant of `word` (swap / drop / duplicate / replace
+  /// one character). Always differs from the input for words of length
+  /// >= 2.
+  std::string Misspell(const std::string& word, Rng* rng) const;
+
+ private:
+  std::vector<std::string> terms_;
+  std::vector<std::string> synonyms_;  // empty string = no synonym
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SYNTH_VOCABULARY_H_

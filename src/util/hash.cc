@@ -1,0 +1,24 @@
+#include "util/hash.h"
+
+namespace sqp {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashIdSequence(std::span<const uint32_t> ids) {
+  // Hash each element separately so that [1,2] and [0x0201...] byte aliasing
+  // cannot collide across lengths: mix in the length first.
+  uint64_t h = Fnv1a64(nullptr, 0);
+  h = HashCombine(h, ids.size());
+  for (uint32_t id : ids) h = HashCombine(h, id + 1);
+  return h;
+}
+
+}  // namespace sqp

@@ -1,0 +1,39 @@
+#ifndef SQP_UTIL_HASH_H_
+#define SQP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace sqp {
+
+/// FNV-1a over raw bytes. Stable across platforms and runs; used for
+/// hashing query sequences into unordered containers and for building
+/// deterministic synthetic identifiers.
+uint64_t Fnv1a64(const void* data, size_t len,
+                 uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t HashString(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Boost-style hash mixing.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+/// Hash of a query-id sequence (order sensitive).
+uint64_t HashIdSequence(std::span<const uint32_t> ids);
+
+/// Functor for using std::vector<uint32_t> keys in unordered containers.
+struct IdSequenceHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return static_cast<size_t>(HashIdSequence(v));
+  }
+};
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_HASH_H_

@@ -1,0 +1,113 @@
+#include "util/math_util.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sqp {
+namespace {
+
+double Sum(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+double EntropyLog10(std::span<const double> probs) {
+  const double total = Sum(probs);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    const double pn = p / total;
+    h -= pn * std::log10(pn);
+  }
+  return h;
+}
+
+double KlDivergenceLog10(std::span<const double> p, std::span<const double> q,
+                         double epsilon_floor) {
+  SQP_CHECK(p.size() == q.size());
+  const double pt = Sum(p);
+  const double qt = Sum(q);
+  if (pt <= 0.0 || qt <= 0.0) return 0.0;
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / pt;
+    if (pi <= 0.0) continue;
+    double qi = q[i] / qt;
+    if (qi < epsilon_floor) qi = epsilon_floor;
+    kl += pi * std::log10(pi / qi);
+  }
+  return kl;
+}
+
+void NormalizeInPlace(std::vector<double>* values) {
+  double total = 0.0;
+  for (double v : *values) total += v;
+  if (total <= 0.0) return;
+  for (double& v : *values) v /= total;
+}
+
+double GaussianPdf(double x, double sigma) {
+  SQP_CHECK(sigma > 0.0);
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  const double z = x / sigma;
+  return kInvSqrt2Pi / sigma * std::exp(-0.5 * z * z);
+}
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, size_t n,
+                       std::vector<double>* x) {
+  SQP_CHECK(a.size() == n * n);
+  SQP_CHECK(b.size() == n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double v = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) v -= a[ri * n + c] * (*x)[c];
+    (*x)[ri] = v / a[ri * n + ri];
+  }
+  return true;
+}
+
+double EstimatePowerLawAlpha(
+    const std::vector<std::pair<double, double>>& value_and_count,
+    double x_min) {
+  SQP_CHECK(x_min > 0.5);
+  double n = 0.0;
+  double log_sum = 0.0;
+  for (const auto& [value, count] : value_and_count) {
+    if (value < x_min || count <= 0.0) continue;
+    n += count;
+    log_sum += count * std::log(value / (x_min - 0.5));
+  }
+  if (n <= 0.0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + n / log_sum;
+}
+
+}  // namespace sqp

@@ -1,0 +1,134 @@
+#ifndef SQP_UTIL_STATUS_H_
+#define SQP_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sqp {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-engine convention (RocksDB/Arrow style): library code never
+/// throws; fallible operations return a Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (no allocation); error path stores a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A value-or-error holder, analogous to absl::StatusOr. The error state is
+/// expressed with the same Status type used elsewhere.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail);
+}  // namespace internal
+
+/// CHECK-style invariant assertion for examples, benches and internal
+/// sanity checks. Aborts with a location message; never throws.
+#define SQP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::sqp::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+#define SQP_CHECK_OK(status_expr)                                       \
+  do {                                                                  \
+    const ::sqp::Status _sqp_st = (status_expr);                        \
+    if (!_sqp_st.ok()) {                                                \
+      ::sqp::internal::CheckFailed(__FILE__, __LINE__, #status_expr,    \
+                                   _sqp_st.ToString());                 \
+    }                                                                   \
+  } while (0)
+
+/// Early-return helper for Status-returning functions.
+#define SQP_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::sqp::Status _sqp_st = (expr);            \
+    if (!_sqp_st.ok()) return _sqp_st;         \
+  } while (0)
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_STATUS_H_

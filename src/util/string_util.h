@@ -1,0 +1,36 @@
+#ifndef SQP_UTIL_STRING_UTIL_H_
+#define SQP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqp {
+
+/// Splits `s` on `sep`, keeping empty fields (TSV semantics).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of whitespace, dropping empty tokens.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a non-negative integer; returns false on any malformed input.
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_STRING_UTIL_H_

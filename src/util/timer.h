@@ -1,0 +1,29 @@
+#ifndef SQP_UTIL_TIMER_H_
+#define SQP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sqp {
+
+/// Simple monotonic wall-clock timer for the training-time experiments
+/// (Fig. 12) and example programs.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_TIMER_H_

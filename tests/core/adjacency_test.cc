@@ -1,0 +1,146 @@
+#include "core/adjacency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+// Sessions: a->b twice, a->c once, b->c once; d is a singleton.
+std::vector<AggregatedSession> SmallCorpus() {
+  return {
+      {{0, 1}, 2},     // a b  x2
+      {{0, 2}, 1},     // a c
+      {{1, 2}, 1},     // b c
+      {{3}, 5},        // d (singleton)
+  };
+}
+
+TrainingData MakeData(const std::vector<AggregatedSession>* sessions,
+                      size_t vocab = 4) {
+  TrainingData data;
+  data.sessions = sessions;
+  data.vocabulary_size = vocab;
+  return data;
+}
+
+TEST(AdjacencyModelTest, TrainRejectsBadInput) {
+  AdjacencyModel model;
+  TrainingData data;
+  EXPECT_FALSE(model.Train(data).ok());
+  std::vector<AggregatedSession> sessions;
+  data.sessions = &sessions;
+  data.vocabulary_size = 0;
+  EXPECT_FALSE(model.Train(data).ok());
+}
+
+TEST(AdjacencyModelTest, RecommendsFollowersOfLastQuery) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{0}, 5);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_EQ(rec.queries.size(), 2u);
+  EXPECT_EQ(rec.queries[0].query, 1u);  // b twice beats c once
+  EXPECT_EQ(rec.queries[1].query, 2u);
+  EXPECT_NEAR(rec.queries[0].score, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(rec.matched_length, 1u);
+}
+
+TEST(AdjacencyModelTest, UsesOnlyLastContextQuery) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation with_history =
+      model.Recommend(std::vector<QueryId>{2, 3, 0}, 5);
+  const Recommendation without =
+      model.Recommend(std::vector<QueryId>{0}, 5);
+  ASSERT_EQ(with_history.queries.size(), without.queries.size());
+  for (size_t i = 0; i < without.queries.size(); ++i) {
+    EXPECT_EQ(with_history.queries[i].query, without.queries[i].query);
+  }
+}
+
+TEST(AdjacencyModelTest, CoverageRules) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{0}));
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{1}));
+  // c appears only at last positions: nothing ever follows it.
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{2}));
+  // d appears only in singleton sessions.
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{3}));
+  // unseen query.
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{99}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{}));
+}
+
+TEST(AdjacencyModelTest, TopNTruncates) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_EQ(model.Recommend(std::vector<QueryId>{0}, 1).queries.size(), 1u);
+}
+
+TEST(AdjacencyModelTest, ConditionalProbSumsToOneOverVocabulary) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  double total = 0.0;
+  for (QueryId q = 0; q < 4; ++q) {
+    total += model.ConditionalProb(std::vector<QueryId>{0}, q);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AdjacencyModelTest, ConditionalProbUncoveredIsUniform) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_NEAR(model.ConditionalProb(std::vector<QueryId>{99}, 0), 0.25,
+              1e-12);
+}
+
+TEST(AdjacencyModelTest, ObservedBeatsUnobservedProb) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const double observed = model.ConditionalProb(std::vector<QueryId>{0}, 1);
+  const double unobserved = model.ConditionalProb(std::vector<QueryId>{0}, 3);
+  EXPECT_GT(observed, unobserved);
+}
+
+TEST(AdjacencyModelTest, StatsAccounting) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.name, "Adjacency");
+  EXPECT_EQ(stats.num_states, 2u);   // a and b have followers
+  EXPECT_EQ(stats.num_entries, 3u);  // a->{b,c}, b->{c}
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST(AdjacencyModelTest, RetrainReplacesState) {
+  const auto sessions = SmallCorpus();
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const std::vector<AggregatedSession> other{{{7, 8}, 1}};
+  ASSERT_TRUE(model.Train(MakeData(&other, 9)).ok());
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{0}));
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{7}));
+}
+
+TEST(AdjacencyModelTest, RepeatedQueriesCountAdjacency) {
+  const std::vector<AggregatedSession> sessions{{{5, 5, 6}, 3}};
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions, 7)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{5}, 5);
+  ASSERT_EQ(rec.queries.size(), 2u);
+  // 5 is followed by 5 (once) and 6 (once) per session.
+  EXPECT_EQ(rec.queries[0].query, 5u);  // tie broken by ascending id
+  EXPECT_EQ(rec.queries[1].query, 6u);
+}
+
+}  // namespace
+}  // namespace sqp

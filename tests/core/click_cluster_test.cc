@@ -1,0 +1,136 @@
+#include "core/click_cluster_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+/// A small click world: queries a0/a1 click the same URLs (one cluster),
+/// b0/b1 share another URL, c clicks something alone.
+class ClickClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a0_ = dict_.Intern("alpha query");
+    a1_ = dict_.Intern("alpha query two");
+    b0_ = dict_.Intern("beta query");
+    b1_ = dict_.Intern("beta query two");
+    c_ = dict_.Intern("gamma query");
+    AddRecord("alpha query", {"www.a.example.com", "www.a2.example.com"});
+    AddRecord("alpha query", {"www.a.example.com"});
+    AddRecord("alpha query two", {"www.a.example.com", "www.a2.example.com"});
+    AddRecord("beta query", {"www.b.example.com", "www.b2.example.com"});
+    AddRecord("beta query two", {"www.b.example.com", "www.b2.example.com"});
+    AddRecord("gamma query", {"www.c.example.com", "www.c2.example.com"});
+    sessions_ = {{{a0_, a1_}, 2}};  // models also need sessions (unused here)
+    data_.sessions = &sessions_;
+    data_.vocabulary_size = dict_.size();
+    data_.records = &records_;
+    data_.dictionary = &dict_;
+  }
+
+  void AddRecord(const std::string& query,
+                 const std::vector<std::string>& urls) {
+    RawLogRecord record;
+    record.machine_id = 1;
+    record.timestamp_ms = static_cast<int64_t>(records_.size()) * 1000;
+    record.query = query;
+    for (const std::string& url : urls) {
+      record.clicks.push_back(
+          UrlClick{record.timestamp_ms + 500, url});
+    }
+    records_.push_back(std::move(record));
+  }
+
+  QueryDictionary dict_;
+  QueryId a0_, a1_, b0_, b1_, c_;
+  std::vector<RawLogRecord> records_;
+  std::vector<AggregatedSession> sessions_;
+  TrainingData data_;
+};
+
+TEST_F(ClickClusterTest, RequiresClickData) {
+  ClickClusterModel model;
+  TrainingData no_records = data_;
+  no_records.records = nullptr;
+  EXPECT_EQ(model.Train(no_records).code(), StatusCode::kInvalidArgument);
+  TrainingData no_dictionary = data_;
+  no_dictionary.dictionary = nullptr;
+  EXPECT_EQ(model.Train(no_dictionary).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClickClusterTest, ClustersQueriesSharingUrls) {
+  ClickClusterModel model;
+  ASSERT_TRUE(model.Train(data_).ok());
+  EXPECT_EQ(model.num_clusters(), 2u);
+  EXPECT_EQ(model.ClusterOf(a0_), model.ClusterOf(a1_));
+  EXPECT_EQ(model.ClusterOf(b0_), model.ClusterOf(b1_));
+  EXPECT_NE(model.ClusterOf(a0_), model.ClusterOf(b0_));
+  EXPECT_EQ(model.ClusterOf(c_), -1);  // clicks distinct URLs only
+}
+
+TEST_F(ClickClusterTest, RecommendsClusterSiblings) {
+  ClickClusterModel model;
+  ASSERT_TRUE(model.Train(data_).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{a0_}, 5);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_EQ(rec.queries.size(), 1u);
+  EXPECT_EQ(rec.queries[0].query, a1_);
+  EXPECT_DOUBLE_EQ(rec.queries[0].score, 1.0);
+}
+
+TEST_F(ClickClusterTest, NeverRecommendsTheQueryItself) {
+  ClickClusterModel model;
+  ASSERT_TRUE(model.Train(data_).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{b0_}, 5);
+  for (const ScoredQuery& sq : rec.queries) {
+    EXPECT_NE(sq.query, b0_);
+  }
+}
+
+TEST_F(ClickClusterTest, UnclusteredQueryUncovered) {
+  ClickClusterModel model;
+  ASSERT_TRUE(model.Train(data_).ok());
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{c_}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{999}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{}));
+}
+
+TEST_F(ClickClusterTest, JaccardThresholdSeparates) {
+  // Raise the threshold: a0 clicks {a, a2} twice, a1 clicks {a, a2} once;
+  // their URL sets are identical (Jaccard 1.0), so they still cluster.
+  ClickClusterOptions options;
+  options.min_jaccard = 0.9;
+  ClickClusterModel model(options);
+  ASSERT_TRUE(model.Train(data_).ok());
+  EXPECT_EQ(model.ClusterOf(a0_), model.ClusterOf(a1_));
+}
+
+TEST_F(ClickClusterTest, MinClicksFiltersRareQueries) {
+  ClickClusterOptions options;
+  options.min_clicks = 4;  // only a0 has 3 clicks; everyone below 4
+  ClickClusterModel model(options);
+  ASSERT_TRUE(model.Train(data_).ok());
+  EXPECT_EQ(model.num_clusters(), 0u);
+}
+
+TEST_F(ClickClusterTest, ConditionalProbNormalized) {
+  ClickClusterModel model;
+  ASSERT_TRUE(model.Train(data_).ok());
+  double total = 0.0;
+  for (QueryId q = 0; q < dict_.size(); ++q) {
+    total += model.ConditionalProb(std::vector<QueryId>{a0_}, q);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ClickClusterTest, StatsAccounting) {
+  ClickClusterModel model;
+  ASSERT_TRUE(model.Train(data_).ok());
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.name, "Click-cluster");
+  EXPECT_EQ(stats.num_states, 2u);
+  EXPECT_EQ(stats.num_entries, 4u);
+}
+
+}  // namespace
+}  // namespace sqp

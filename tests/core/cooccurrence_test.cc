@@ -1,0 +1,113 @@
+#include "core/cooccurrence_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+std::vector<AggregatedSession> SmallCorpus() {
+  return {
+      {{0, 1}, 2},  // a b  x2
+      {{0, 2}, 1},  // a c
+      {{1, 2}, 1},  // b c
+      {{3}, 5},     // d (singleton)
+  };
+}
+
+TrainingData MakeData(const std::vector<AggregatedSession>* sessions,
+                      size_t vocab = 4) {
+  TrainingData data;
+  data.sessions = sessions;
+  data.vocabulary_size = vocab;
+  return data;
+}
+
+TEST(CooccurrenceModelTest, CoOccurrenceIsSymmetric) {
+  const auto sessions = SmallCorpus();
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // c co-occurs with a and b, so unlike Adjacency it covers context [c].
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{2}));
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{2}, 5);
+  ASSERT_EQ(rec.queries.size(), 2u);
+}
+
+TEST(CooccurrenceModelTest, HigherCoverageThanAdjacencySemantics) {
+  const auto sessions = SmallCorpus();
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{0}));
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{1}));
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{2}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{3}));  // singleton only
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{99}));
+}
+
+TEST(CooccurrenceModelTest, CountsWeightedByFrequency) {
+  const auto sessions = SmallCorpus();
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{0}, 5);
+  ASSERT_EQ(rec.queries.size(), 2u);
+  EXPECT_EQ(rec.queries[0].query, 1u);  // co-occurs 2x vs c's 1x
+  EXPECT_NEAR(rec.queries[0].score, 2.0 / 3.0, 1e-12);
+}
+
+TEST(CooccurrenceModelTest, OrderBlind) {
+  const std::vector<AggregatedSession> sessions{{{4, 5}, 1}};
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions, 6)).ok());
+  // Both directions recommend the other query.
+  EXPECT_EQ(model.Recommend(std::vector<QueryId>{4}, 1).queries[0].query, 5u);
+  EXPECT_EQ(model.Recommend(std::vector<QueryId>{5}, 1).queries[0].query, 4u);
+}
+
+TEST(CooccurrenceModelTest, SelfPairsExcluded) {
+  const std::vector<AggregatedSession> sessions{{{7, 7, 8}, 1}};
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions, 9)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{7}, 5);
+  ASSERT_EQ(rec.queries.size(), 1u);
+  EXPECT_EQ(rec.queries[0].query, 8u);
+}
+
+TEST(CooccurrenceModelTest, DistantQueriesInSessionStillCoOccur) {
+  const std::vector<AggregatedSession> sessions{{{1, 2, 3}, 1}};
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{1}, 5);
+  ASSERT_EQ(rec.queries.size(), 2u);  // both 2 (adjacent) and 3 (distant)
+}
+
+TEST(CooccurrenceModelTest, ConditionalProbNormalized) {
+  const auto sessions = SmallCorpus();
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  double total = 0.0;
+  for (QueryId q = 0; q < 4; ++q) {
+    total += model.ConditionalProb(std::vector<QueryId>{2}, q);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CooccurrenceModelTest, StatsAccounting) {
+  const auto sessions = SmallCorpus();
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.name, "Co-occurrence");
+  EXPECT_EQ(stats.num_states, 3u);  // a, b, c all co-occur with something
+  // Symmetric entries: a-{b,c}, b-{a,c}, c-{a,b}.
+  EXPECT_EQ(stats.num_entries, 6u);
+}
+
+TEST(CooccurrenceModelTest, EmptyContextUncovered) {
+  const auto sessions = SmallCorpus();
+  CooccurrenceModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{}));
+  EXPECT_FALSE(model.Recommend(std::vector<QueryId>{}, 5).covered);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,156 @@
+#include "core/hmm_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+/// Two disjoint "intents": queries {0,1,2} chain together, {3,4,5} chain
+/// together. An HMM with enough states separates them.
+std::vector<AggregatedSession> TwoIntentCorpus() {
+  return {
+      {{0, 1, 2}, 30}, {{0, 1}, 20}, {{1, 2}, 20},
+      {{3, 4, 5}, 30}, {{3, 4}, 20}, {{4, 5}, 20},
+  };
+}
+
+TrainingData MakeData(const std::vector<AggregatedSession>* sessions,
+                      size_t vocab = 6) {
+  TrainingData data;
+  data.sessions = sessions;
+  data.vocabulary_size = vocab;
+  return data;
+}
+
+HmmOptions SmallOptions() {
+  HmmOptions options;
+  options.num_states = 4;
+  options.em_iterations = 12;
+  return options;
+}
+
+TEST(HmmModelTest, TrainRejectsBadInput) {
+  HmmModel model(SmallOptions());
+  TrainingData bad;
+  EXPECT_FALSE(model.Train(bad).ok());
+  HmmOptions zero_states;
+  zero_states.num_states = 0;
+  HmmModel degenerate(zero_states);
+  const auto sessions = TwoIntentCorpus();
+  EXPECT_FALSE(degenerate.Train(MakeData(&sessions)).ok());
+}
+
+TEST(HmmModelTest, EmLogLikelihoodNonDecreasing) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const auto& curve = model.log_likelihood_curve();
+  ASSERT_GE(curve.size(), 2u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    // Additive smoothing perturbs the strict EM guarantee slightly; allow
+    // a tiny tolerance.
+    EXPECT_GE(curve[i], curve[i - 1] - 1e-6) << "iteration " << i;
+  }
+}
+
+TEST(HmmModelTest, PredictsWithinTheIntent) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // After [0, 1] the in-intent continuation 2 must outrank everything from
+  // the other intent.
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{0, 1}, 3);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_FALSE(rec.queries.empty());
+  double score_2 = 0.0;
+  double best_other = 0.0;
+  for (const ScoredQuery& sq : rec.queries) {
+    if (sq.query == 2) score_2 = sq.score;
+    if (sq.query >= 3) best_other = std::max(best_other, sq.score);
+  }
+  EXPECT_GT(score_2, best_other);
+}
+
+TEST(HmmModelTest, ContextDisambiguates) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // P(5 | [3,4]) must exceed P(5 | [4]) alone exceeds P(5 | [0,1]).
+  const double in_intent =
+      model.ConditionalProb(std::vector<QueryId>{3, 4}, 5);
+  const double cross_intent =
+      model.ConditionalProb(std::vector<QueryId>{0, 1}, 5);
+  EXPECT_GT(in_intent, cross_intent);
+}
+
+TEST(HmmModelTest, CoverageFollowsSeenQueries) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{0}));
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{99, 4}));  // last seen
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{0, 99}));  // last unseen
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{}));
+}
+
+TEST(HmmModelTest, ConditionalProbNormalized) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  double total = 0.0;
+  for (QueryId q = 0; q < 6; ++q) {
+    total += model.ConditionalProb(std::vector<QueryId>{0, 1}, q);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HmmModelTest, DeterministicForSeed) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel a(SmallOptions());
+  HmmModel b(SmallOptions());
+  ASSERT_TRUE(a.Train(MakeData(&sessions)).ok());
+  ASSERT_TRUE(b.Train(MakeData(&sessions)).ok());
+  const Recommendation ra = a.Recommend(std::vector<QueryId>{0, 1}, 3);
+  const Recommendation rb = b.Recommend(std::vector<QueryId>{0, 1}, 3);
+  ASSERT_EQ(ra.queries.size(), rb.queries.size());
+  for (size_t i = 0; i < ra.queries.size(); ++i) {
+    EXPECT_EQ(ra.queries[i].query, rb.queries[i].query);
+    EXPECT_DOUBLE_EQ(ra.queries[i].score, rb.queries[i].score);
+  }
+}
+
+TEST(HmmModelTest, DifferentSeedsMayDiffer) {
+  const auto sessions = TwoIntentCorpus();
+  HmmOptions other = SmallOptions();
+  other.seed = 77;
+  HmmModel a(SmallOptions());
+  HmmModel b(other);
+  ASSERT_TRUE(a.Train(MakeData(&sessions)).ok());
+  ASSERT_TRUE(b.Train(MakeData(&sessions)).ok());
+  // Both remain valid models regardless of the random start.
+  EXPECT_TRUE(a.Covers(std::vector<QueryId>{0}));
+  EXPECT_TRUE(b.Covers(std::vector<QueryId>{0}));
+}
+
+TEST(HmmModelTest, StatsAccounting) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.name, "HMM");
+  EXPECT_EQ(stats.num_states, 4u);
+  EXPECT_EQ(stats.num_entries, 24u);  // 4 states x 6 queries
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST(HmmModelTest, UncoveredRecommendationEmpty) {
+  const auto sessions = TwoIntentCorpus();
+  HmmModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{99}, 5);
+  EXPECT_FALSE(rec.covered);
+  EXPECT_TRUE(rec.queries.empty());
+}
+
+}  // namespace
+}  // namespace sqp

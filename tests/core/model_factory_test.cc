@@ -1,0 +1,72 @@
+#include "core/model_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+std::vector<AggregatedSession> SmallCorpus() {
+  return {{{0, 1, 2}, 6}, {{1, 2}, 7}, {{0, 2, 1}, 6}, {{3}, 2}};
+}
+
+TEST(ModelKindNameTest, AllKindsNamed) {
+  EXPECT_EQ(ModelKindName(ModelKind::kAdjacency), "Adjacency");
+  EXPECT_EQ(ModelKindName(ModelKind::kCooccurrence), "Co-occurrence");
+  EXPECT_EQ(ModelKindName(ModelKind::kNgram), "N-gram");
+  EXPECT_EQ(ModelKindName(ModelKind::kVmm), "VMM");
+  EXPECT_EQ(ModelKindName(ModelKind::kMvmm), "MVMM");
+}
+
+TEST(CreateModelTest, CreatesEveryKind) {
+  for (ModelKind kind :
+       {ModelKind::kAdjacency, ModelKind::kCooccurrence, ModelKind::kNgram,
+        ModelKind::kVmm, ModelKind::kMvmm}) {
+    ModelConfig config;
+    config.kind = kind;
+    auto model = CreateModel(config);
+    ASSERT_NE(model, nullptr) << ModelKindName(kind);
+  }
+}
+
+TEST(CreateModelTest, ConfigIsForwarded) {
+  ModelConfig config;
+  config.kind = ModelKind::kVmm;
+  config.vmm.epsilon = 0.07;
+  config.vmm.max_depth = 3;
+  auto model = CreateModel(config);
+  EXPECT_EQ(model->Name(), "3-bounded VMM (0.07)");
+}
+
+TEST(CreatePaperSuiteTest, SevenModelsWithPaperNames) {
+  const auto suite = CreatePaperSuite();
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite[0]->Name(), "Adjacency");
+  EXPECT_EQ(suite[1]->Name(), "Co-occurrence");
+  EXPECT_EQ(suite[2]->Name(), "N-gram");
+  EXPECT_EQ(suite[3]->Name(), "VMM (0.0)");
+  EXPECT_EQ(suite[4]->Name(), "VMM (0.05)");
+  EXPECT_EQ(suite[5]->Name(), "VMM (0.1)");
+  EXPECT_EQ(suite[6]->Name(), "MVMM");
+}
+
+TEST(TrainAllTest, TrainsEveryModel) {
+  const auto sessions = SmallCorpus();
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = 4;
+  const auto suite = CreatePaperSuite();
+  ASSERT_TRUE(TrainAll(suite, data).ok());
+  for (const auto& model : suite) {
+    EXPECT_TRUE(model->Covers(std::vector<QueryId>{0}))
+        << model->Name();
+  }
+}
+
+TEST(TrainAllTest, FailsFastOnBadData) {
+  const auto suite = CreatePaperSuite();
+  TrainingData bad;
+  EXPECT_FALSE(TrainAll(suite, bad).ok());
+}
+
+}  // namespace
+}  // namespace sqp

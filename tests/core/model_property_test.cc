@@ -1,0 +1,190 @@
+#include <memory>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/model_factory.h"
+#include "log/context_builder.h"
+#include "log/query_dictionary.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "synth/log_synthesizer.h"
+
+namespace sqp {
+namespace {
+
+/// Shared fixture: a small synthetic corpus and the trained paper suite,
+/// parameterized by generator seed, so every invariant is checked across
+/// genuinely different corpora.
+class ModelPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    vocab_ = std::make_unique<Vocabulary>(
+        VocabularyConfig{.num_terms = 500, .synonym_fraction = 0.4}, 301);
+    topics_ = std::make_unique<TopicModel>(
+        vocab_.get(),
+        TopicModelConfig{.num_topics = 10,
+                         .terms_per_topic = 12,
+                         .intents_per_topic = 8,
+                         .chain_depth = 4},
+        302);
+    SynthesizerConfig config;
+    config.num_sessions = 4000;
+    config.num_machines = 60;
+    LogSynthesizer synth(topics_.get(), config);
+    const SynthCorpus corpus = synth.Synthesize(GetParam(), nullptr);
+
+    std::vector<Session> segmented;
+    SQP_CHECK_OK(
+        SessionSegmenter().Segment(corpus.records, &dict_, &segmented));
+    SessionAggregator aggregator;
+    aggregator.Add(segmented);
+    sessions_ = aggregator.Finish();
+
+    data_.sessions = &sessions_;
+    data_.vocabulary_size = dict_.size();
+    suite_ = CreatePaperSuite(/*vmm_max_depth=*/5);
+    SQP_CHECK_OK(TrainAll(suite_, data_));
+
+    // Probe contexts: prefix contexts of aggregated sessions + unknowns.
+    for (size_t i = 0; i < sessions_.size() && probes_.size() < 300; i += 3) {
+      const auto& q = sessions_[i].queries;
+      for (size_t len = 1; len < q.size() && len <= 4; ++len) {
+        probes_.emplace_back(q.begin(), q.begin() + static_cast<ptrdiff_t>(len));
+      }
+    }
+    probes_.push_back({static_cast<QueryId>(dict_.size() + 5)});
+  }
+
+  // Suffix match so that depth-bounded names like "5-bounded VMM (0.05)"
+  // are found by their paper name "VMM (0.05)".
+  PredictionModel* Find(std::string_view name) {
+    for (const auto& model : suite_) {
+      const std::string_view model_name = model->Name();
+      if (model_name == name ||
+          (model_name.size() > name.size() &&
+           model_name.substr(model_name.size() - name.size()) == name)) {
+        return model.get();
+      }
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<Vocabulary> vocab_;
+  std::unique_ptr<TopicModel> topics_;
+  QueryDictionary dict_;
+  std::vector<AggregatedSession> sessions_;
+  TrainingData data_;
+  std::vector<std::unique_ptr<PredictionModel>> suite_;
+  std::vector<std::vector<QueryId>> probes_;
+};
+
+TEST_P(ModelPropertyTest, RecommendationScoresDescendAndDedup) {
+  for (const auto& model : suite_) {
+    for (const auto& context : probes_) {
+      const Recommendation rec = model->Recommend(context, 5);
+      std::unordered_set<QueryId> seen;
+      for (size_t i = 0; i < rec.queries.size(); ++i) {
+        EXPECT_TRUE(seen.insert(rec.queries[i].query).second)
+            << model->Name();
+        if (i > 0) {
+          EXPECT_GE(rec.queries[i - 1].score, rec.queries[i].score)
+              << model->Name();
+        }
+        EXPECT_GT(rec.queries[i].score, 0.0) << model->Name();
+      }
+      EXPECT_EQ(rec.covered, !rec.queries.empty()) << model->Name();
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, CoverageHierarchyMatchesTableVI) {
+  PredictionModel* adjacency = Find("Adjacency");
+  PredictionModel* cooccurrence = Find("Co-occurrence");
+  PredictionModel* ngram = Find("N-gram");
+  PredictionModel* vmm = Find("VMM (0.05)");
+  PredictionModel* mvmm = Find("MVMM");
+  ASSERT_NE(adjacency, nullptr);
+  for (const auto& context : probes_) {
+    const bool adj = adjacency->Covers(context);
+    // N-gram coverage implies Adjacency coverage (reason 4 is extra).
+    if (ngram->Covers(context)) {
+      EXPECT_TRUE(adj) << "ngram covered but adjacency not";
+    }
+    // Adjacency coverage implies Co-occurrence coverage (reason 3 is extra).
+    if (adj) {
+      EXPECT_TRUE(cooccurrence->Covers(context));
+    }
+    // VMM and MVMM coverage equal Adjacency coverage (paper Fig. 10).
+    EXPECT_EQ(vmm->Covers(context), adj);
+    EXPECT_EQ(mvmm->Covers(context), adj);
+  }
+}
+
+TEST_P(ModelPropertyTest, ConditionalProbIsAProbability) {
+  for (const auto& model : suite_) {
+    for (size_t i = 0; i < probes_.size(); i += 17) {
+      const auto& context = probes_[i];
+      // Spot-check a few next-query values.
+      for (QueryId next : {QueryId{0}, QueryId{1},
+                           static_cast<QueryId>(dict_.size() - 1)}) {
+        const double p = model->ConditionalProb(context, next);
+        EXPECT_GE(p, 0.0) << model->Name();
+        EXPECT_LE(p, 1.0 + 1e-9) << model->Name();
+      }
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, RecommendIsDeterministic) {
+  for (const auto& model : suite_) {
+    for (size_t i = 0; i < probes_.size(); i += 11) {
+      const Recommendation a = model->Recommend(probes_[i], 5);
+      const Recommendation b = model->Recommend(probes_[i], 5);
+      ASSERT_EQ(a.queries.size(), b.queries.size()) << model->Name();
+      for (size_t j = 0; j < a.queries.size(); ++j) {
+        EXPECT_EQ(a.queries[j].query, b.queries[j].query) << model->Name();
+      }
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, TopNMonotoneInN) {
+  for (const auto& model : suite_) {
+    for (size_t i = 0; i < probes_.size(); i += 13) {
+      const Recommendation top1 = model->Recommend(probes_[i], 1);
+      const Recommendation top5 = model->Recommend(probes_[i], 5);
+      EXPECT_LE(top1.queries.size(), 1u);
+      EXPECT_LE(top1.queries.size(), top5.queries.size());
+      if (!top1.queries.empty()) {
+        EXPECT_EQ(top1.queries[0].query, top5.queries[0].query)
+            << model->Name();
+      }
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, StatsArePopulated) {
+  for (const auto& model : suite_) {
+    const ModelStats stats = model->Stats();
+    EXPECT_FALSE(stats.name.empty());
+    EXPECT_GT(stats.num_states, 0u) << model->Name();
+    EXPECT_GT(stats.memory_bytes, 0u) << model->Name();
+  }
+}
+
+TEST_P(ModelPropertyTest, VmmEpsilonMonotoneStateCount) {
+  // Growing epsilon prunes the PST monotonically (paper Section V-D).
+  const auto* vmm0 = dynamic_cast<const VmmModel*>(Find("VMM (0.0)"));
+  const auto* vmm05 = dynamic_cast<const VmmModel*>(Find("VMM (0.05)"));
+  const auto* vmm1 = dynamic_cast<const VmmModel*>(Find("VMM (0.1)"));
+  ASSERT_NE(vmm0, nullptr);
+  EXPECT_GE(vmm0->pst().size(), vmm05->pst().size());
+  EXPECT_GE(vmm05->pst().size(), vmm1->pst().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelPropertyTest,
+                         ::testing::Values(1001, 2002, 3003));
+
+}  // namespace
+}  // namespace sqp

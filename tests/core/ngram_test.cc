@@ -1,0 +1,124 @@
+#include "core/ngram_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+std::vector<AggregatedSession> SmallCorpus() {
+  return {
+      {{0, 1, 2}, 3},  // a b c  x3
+      {{0, 1, 3}, 1},  // a b d
+      {{1, 2}, 2},     // b c    x2
+  };
+}
+
+TrainingData MakeData(const std::vector<AggregatedSession>* sessions,
+                      size_t vocab = 4) {
+  TrainingData data;
+  data.sessions = sessions;
+  data.vocabulary_size = vocab;
+  return data;
+}
+
+TEST(NgramModelTest, ExactPrefixMatchRequired) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // [a, b] is a trained prefix context.
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{0, 1}, 5);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_EQ(rec.queries.size(), 2u);
+  EXPECT_EQ(rec.queries[0].query, 2u);  // c 3x beats d 1x
+  EXPECT_NEAR(rec.queries[0].score, 0.75, 1e-12);
+  EXPECT_EQ(rec.matched_length, 2u);
+}
+
+TEST(NgramModelTest, NonPrefixSubstringNotCovered) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // [b] occurs as a prefix only in "b c"; [b] after "a" is not a prefix
+  // context, so predictions for [b] come only from the "b c" sessions.
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{1}, 5);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_EQ(rec.queries.size(), 1u);
+  EXPECT_EQ(rec.queries[0].query, 2u);
+  EXPECT_NEAR(rec.queries[0].score, 1.0, 1e-12);
+}
+
+TEST(NgramModelTest, UnseenFullContextUncovered) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // [b, c] never appears as a prefix with a continuation.
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{1, 2}));
+  // Even though its suffix [c] exists nowhere either; and a context with a
+  // known tail but unknown head is still uncovered (no back-off).
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{3, 0, 1}));
+}
+
+TEST(NgramModelTest, MaxContextLengthBound) {
+  const auto sessions = SmallCorpus();
+  NgramOptions options;
+  options.max_context_length = 1;
+  NgramModel model(options);
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{0}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{0, 1}));
+}
+
+TEST(NgramModelTest, ConditionalProbNormalized) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  double total = 0.0;
+  for (QueryId q = 0; q < 4; ++q) {
+    total += model.ConditionalProb(std::vector<QueryId>{0, 1}, q);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NgramModelTest, UncoveredContextUniformProb) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_NEAR(model.ConditionalProb(std::vector<QueryId>{2, 1}, 0), 0.25,
+              1e-12);
+}
+
+TEST(NgramModelTest, StatsCountPrefixStates) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.name, "N-gram");
+  // Prefix contexts: [0], [0,1], [1]  (the 3-query sessions contribute two
+  // prefixes each; "b c" contributes one).
+  EXPECT_EQ(stats.num_states, 3u);
+}
+
+TEST(NgramModelTest, EmptyContextUncovered) {
+  const auto sessions = SmallCorpus();
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{}));
+}
+
+TEST(NgramModelTest, DegeneratesToPrefixAdjacencyAtLengthOne) {
+  // With context length 1 the N-gram model is the 2-gram (Adjacency
+  // restricted to session-initial pairs), per paper Section IV-A.
+  const std::vector<AggregatedSession> sessions{
+      {{0, 1}, 4},
+      {{2, 0, 3}, 1},  // "0 -> 3" here is NOT a prefix pair
+  };
+  NgramModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{0}, 5);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_EQ(rec.queries.size(), 1u);
+  EXPECT_EQ(rec.queries[0].query, 1u);
+}
+
+}  // namespace
+}  // namespace sqp

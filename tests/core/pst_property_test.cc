@@ -1,0 +1,159 @@
+// Property sweep over the PST configuration space (epsilon x depth x
+// min_support x corpus seed): structural invariants that must hold for
+// every valid configuration, checked on randomly generated corpora.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/pst.h"
+#include "util/random.h"
+
+namespace sqp {
+namespace {
+
+/// Random corpus: `num_sessions` sessions over `vocab` queries with
+/// geometric-ish lengths, aggregated with random frequencies.
+std::vector<AggregatedSession> RandomCorpus(uint64_t seed, size_t vocab,
+                                            size_t num_sessions) {
+  Rng rng(seed);
+  std::vector<AggregatedSession> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    AggregatedSession session;
+    const size_t len = 1 + rng.Geometric(0.45) % 8;
+    for (size_t j = 0; j < len; ++j) {
+      session.queries.push_back(
+          static_cast<QueryId>(rng.UniformInt(vocab)));
+    }
+    session.frequency = 1 + rng.UniformInt(20);
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+using PstParam = std::tuple<double /*epsilon*/, size_t /*max_depth*/,
+                            uint64_t /*min_support*/, uint64_t /*seed*/>;
+
+class PstPropertyTest : public ::testing::TestWithParam<PstParam> {
+ protected:
+  void SetUp() override {
+    const auto& [epsilon, max_depth, min_support, seed] = GetParam();
+    sessions_ = RandomCorpus(seed, /*vocab=*/40, /*num_sessions=*/300);
+    index_.Build(sessions_, ContextIndex::Mode::kSubstring);
+    options_.epsilon = epsilon;
+    options_.max_depth = max_depth;
+    options_.min_support = min_support;
+    SQP_CHECK_OK(pst_.Build(index_, options_));
+  }
+
+  std::vector<AggregatedSession> sessions_;
+  ContextIndex index_;
+  PstOptions options_;
+  Pst pst_;
+};
+
+TEST_P(PstPropertyTest, SuffixClosureHolds) {
+  for (const Pst::Node& node : pst_.nodes()) {
+    if (node.context.size() <= 1) continue;
+    std::vector<QueryId> suffix(node.context.begin() + 1,
+                                node.context.end());
+    while (!suffix.empty()) {
+      EXPECT_NE(pst_.FindNode(suffix), nullptr);
+      suffix.erase(suffix.begin());
+    }
+  }
+}
+
+TEST_P(PstPropertyTest, DepthBoundRespected) {
+  if (options_.max_depth == 0) return;
+  for (const Pst::Node& node : pst_.nodes()) {
+    EXPECT_LE(node.context.size(), options_.max_depth);
+  }
+}
+
+TEST_P(PstPropertyTest, MinSupportRespected) {
+  for (const Pst::Node& node : pst_.nodes()) {
+    if (node.context.empty()) continue;  // root
+    // Suffix-closure fill-ins have at least the support of the deep node
+    // that pulled them in, which itself passed min_support.
+    EXPECT_GE(node.total_count, options_.min_support);
+  }
+}
+
+TEST_P(PstPropertyTest, NodeCountsConsistent) {
+  for (const Pst::Node& node : pst_.nodes()) {
+    uint64_t sum = 0;
+    for (const NextQueryCount& nc : node.nexts) sum += nc.count;
+    EXPECT_EQ(sum, node.total_count);
+    EXPECT_LE(node.start_count, node.total_count);
+    for (size_t i = 1; i < node.nexts.size(); ++i) {
+      const bool sorted =
+          node.nexts[i - 1].count > node.nexts[i].count ||
+          (node.nexts[i - 1].count == node.nexts[i].count &&
+           node.nexts[i - 1].query < node.nexts[i].query);
+      EXPECT_TRUE(sorted);
+    }
+  }
+}
+
+TEST_P(PstPropertyTest, ChildEdgesMatchContexts) {
+  const auto& nodes = pst_.nodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const auto& [oldest, child_id] : nodes[i].children) {
+      ASSERT_GE(child_id, 1);
+      ASSERT_LT(static_cast<size_t>(child_id), nodes.size());
+      const Pst::Node& child = nodes[static_cast<size_t>(child_id)];
+      ASSERT_FALSE(child.context.empty());
+      EXPECT_EQ(child.context.front(), oldest);
+      EXPECT_EQ(child.parent, static_cast<int32_t>(i));
+      EXPECT_EQ(child.context.size(), nodes[i].context.size() + 1);
+    }
+  }
+}
+
+TEST_P(PstPropertyTest, MatchedStateIsTrueSuffix) {
+  Rng rng(std::get<3>(GetParam()) + 99);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<QueryId> context;
+    const size_t len = 1 + rng.UniformInt(6);
+    for (size_t j = 0; j < len; ++j) {
+      context.push_back(static_cast<QueryId>(rng.UniformInt(45)));
+    }
+    size_t matched = 0;
+    const Pst::Node* state = pst_.MatchLongestSuffix(context, &matched);
+    ASSERT_NE(state, nullptr);
+    ASSERT_EQ(state->context.size(), matched);
+    ASSERT_LE(matched, context.size());
+    // The matched state's context equals the trailing `matched` queries.
+    EXPECT_TRUE(std::equal(state->context.begin(), state->context.end(),
+                           context.end() - static_cast<ptrdiff_t>(matched)));
+    // Maximality: extending the match by one more query is not a node.
+    if (matched < context.size()) {
+      std::vector<QueryId> longer(context.end() - static_cast<ptrdiff_t>(
+                                                      matched + 1),
+                                  context.end());
+      EXPECT_EQ(pst_.FindNode(longer), nullptr);
+    }
+  }
+}
+
+TEST_P(PstPropertyTest, RebuildIsDeterministic) {
+  Pst again;
+  SQP_CHECK_OK(again.Build(index_, options_));
+  ASSERT_EQ(again.size(), pst_.size());
+  for (size_t i = 0; i < pst_.size(); ++i) {
+    EXPECT_EQ(again.nodes()[i].context, pst_.nodes()[i].context);
+    EXPECT_EQ(again.nodes()[i].total_count, pst_.nodes()[i].total_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, PstPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.5),
+                       ::testing::Values(size_t{0}, size_t{2}, size_t{4}),
+                       ::testing::Values(uint64_t{1}, uint64_t{10}),
+                       ::testing::Values(uint64_t{11}, uint64_t{22})));
+
+}  // namespace
+}  // namespace sqp

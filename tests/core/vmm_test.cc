@@ -1,0 +1,207 @@
+#include "core/vmm_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+constexpr QueryId kQ0 = 0;
+constexpr QueryId kQ1 = 1;
+
+std::vector<AggregatedSession> TableIISessions() {
+  return {
+      {{kQ1, kQ0, kQ0}, 3}, {{kQ1, kQ0, kQ1}, 7}, {{kQ0, kQ0}, 78},
+      {{kQ1, kQ0}, 5},      {{kQ0, kQ1, kQ0}, 1}, {{kQ0, kQ1, kQ1}, 1},
+      {{kQ1, kQ1}, 3},      {{kQ0}, 10},
+  };
+}
+
+TrainingData MakeData(const std::vector<AggregatedSession>* sessions,
+                      size_t vocab = 2) {
+  TrainingData data;
+  data.sessions = sessions;
+  data.vocabulary_size = vocab;
+  return data;
+}
+
+TEST(VmmModelTest, NamesMatchPaperConvention) {
+  EXPECT_EQ(VmmModel(VmmOptions{.epsilon = 0.05}).Name(), "VMM (0.05)");
+  EXPECT_EQ(VmmModel(VmmOptions{.epsilon = 0.0}).Name(), "VMM (0.0)");
+  EXPECT_EQ(VmmModel(VmmOptions{.epsilon = 0.1}).Name(), "VMM (0.1)");
+  EXPECT_EQ(VmmModel(VmmOptions{.epsilon = 0.1, .max_depth = 2}).Name(),
+            "2-bounded VMM (0.1)");
+}
+
+TEST(VmmModelTest, PaperExampleRecommendations) {
+  // Paper Section IV-B.2: after submitting q0, recommend q0; after
+  // [q1, q0], recommend q1.
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.1});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_EQ(model.Recommend(std::vector<QueryId>{kQ0}, 1).queries[0].query,
+            kQ0);
+  EXPECT_EQ(
+      model.Recommend(std::vector<QueryId>{kQ1, kQ0}, 1).queries[0].query,
+      kQ1);
+}
+
+TEST(VmmModelTest, PartialMatchUsesLongestSuffixState) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.1});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // [q1, q1] is not a state; prediction falls back to state q1.
+  const VmmMatch match = model.Match(std::vector<QueryId>{kQ1, kQ1});
+  EXPECT_EQ(match.matched_length, 1u);
+  EXPECT_EQ(match.state->context, (std::vector<QueryId>{kQ1}));
+  EXPECT_LT(match.escape_weight, 1.0);
+  EXPECT_GT(match.escape_weight, 0.0);
+}
+
+TEST(VmmModelTest, FullMatchHasNoEscapePenalty) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.1});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const VmmMatch match = model.Match(std::vector<QueryId>{kQ1, kQ0});
+  EXPECT_EQ(match.matched_length, 2u);
+  EXPECT_DOUBLE_EQ(match.escape_weight, 1.0);
+}
+
+TEST(VmmModelTest, EscapeWeightShrinksWithDisparity) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.1});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const double one_drop =
+      model.Match(std::vector<QueryId>{kQ1, kQ1}).escape_weight;
+  const double two_drops =
+      model.Match(std::vector<QueryId>{kQ1, kQ1, kQ1}).escape_weight;
+  EXPECT_LT(two_drops, one_drop);
+}
+
+TEST(VmmModelTest, CoverageEqualsAdjacencySemantics) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.05});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{kQ0}));
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{kQ1}));
+  // Unknown last query: uncovered even though prefix is known.
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{kQ0, 57}));
+  // Known last query with unknown prefix: covered (partial match).
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{57, kQ0}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{}));
+}
+
+TEST(VmmModelTest, RecommendUncoveredIsEmpty) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{57}, 5);
+  EXPECT_FALSE(rec.covered);
+  EXPECT_TRUE(rec.queries.empty());
+}
+
+TEST(VmmModelTest, SequenceProbMatchesPaperChainAtFullMatch) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.1});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  // For the Fig. 3 test sequence every prefix's longest suffix matches a
+  // state only partially; with smoothing the probability is close to (but
+  // not exactly) the unsmoothed chain product 0.008960.
+  const std::vector<QueryId> sequence{kQ0, kQ1, kQ0, kQ1, kQ1, kQ0};
+  const double p = model.SequenceProb(sequence);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.009);
+}
+
+TEST(VmmModelTest, SequenceProbFirstQueryIsFree) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.1});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_DOUBLE_EQ(model.SequenceProb(std::vector<QueryId>{kQ0}), 1.0);
+  EXPECT_DOUBLE_EQ(model.SequenceProb(std::vector<QueryId>{}), 1.0);
+}
+
+TEST(VmmModelTest, ConditionalProbNormalized) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.05});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  for (const std::vector<QueryId>& context :
+       {std::vector<QueryId>{kQ0}, std::vector<QueryId>{kQ1, kQ0},
+        std::vector<QueryId>{kQ1, kQ1}}) {
+    double total = 0.0;
+    for (QueryId q = 0; q < 2; ++q) {
+      total += model.ConditionalProb(context, q);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(VmmModelTest, SharedIndexMatchesLocalIndex) {
+  const auto sessions = TableIISessions();
+  ContextIndex shared;
+  shared.Build(sessions, ContextIndex::Mode::kSubstring);
+
+  VmmModel with_shared(VmmOptions{.epsilon = 0.05});
+  TrainingData data = MakeData(&sessions);
+  data.substring_index = &shared;
+  ASSERT_TRUE(with_shared.Train(data).ok());
+
+  VmmModel with_local(VmmOptions{.epsilon = 0.05});
+  ASSERT_TRUE(with_local.Train(MakeData(&sessions)).ok());
+
+  EXPECT_EQ(with_shared.pst().size(), with_local.pst().size());
+  const auto rec_shared =
+      with_shared.Recommend(std::vector<QueryId>{kQ1, kQ0}, 2);
+  const auto rec_local =
+      with_local.Recommend(std::vector<QueryId>{kQ1, kQ0}, 2);
+  ASSERT_EQ(rec_shared.queries.size(), rec_local.queries.size());
+  for (size_t i = 0; i < rec_shared.queries.size(); ++i) {
+    EXPECT_EQ(rec_shared.queries[i].query, rec_local.queries[i].query);
+    EXPECT_DOUBLE_EQ(rec_shared.queries[i].score, rec_local.queries[i].score);
+  }
+}
+
+TEST(VmmModelTest, IncompatibleSharedIndexIgnored) {
+  const auto sessions = TableIISessions();
+  ContextIndex shallow;
+  shallow.Build(sessions, ContextIndex::Mode::kSubstring,
+                /*max_context_length=*/1);
+  VmmModel model(VmmOptions{.epsilon = 0.0, .max_depth = 2});
+  TrainingData data = MakeData(&sessions);
+  data.substring_index = &shallow;  // too shallow: must be ignored
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_NE(model.pst().FindNode(std::vector<QueryId>{kQ1, kQ0}), nullptr);
+}
+
+TEST(VmmModelTest, DepthBoundLimitsStates) {
+  const auto sessions = TableIISessions();
+  VmmModel bounded(VmmOptions{.epsilon = 0.0, .max_depth = 1});
+  ASSERT_TRUE(bounded.Train(MakeData(&sessions)).ok());
+  for (const Pst::Node& node : bounded.pst().nodes()) {
+    EXPECT_LE(node.context.size(), 1u);
+  }
+}
+
+TEST(VmmModelTest, EpsilonExtremesMatchFig4) {
+  const auto sessions = TableIISessions();
+  VmmModel infinite(VmmOptions{.epsilon = 0.0});
+  VmmModel adjacency_like(VmmOptions{.epsilon = 1e9});
+  ASSERT_TRUE(infinite.Train(MakeData(&sessions)).ok());
+  ASSERT_TRUE(adjacency_like.Train(MakeData(&sessions)).ok());
+  EXPECT_GT(infinite.pst().size(), adjacency_like.pst().size());
+  for (const Pst::Node& node : adjacency_like.pst().nodes()) {
+    EXPECT_LE(node.context.size(), 1u);
+  }
+}
+
+TEST(VmmModelTest, StatsReflectPstSize) {
+  const auto sessions = TableIISessions();
+  VmmModel model(VmmOptions{.epsilon = 0.0});
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.name, "VMM (0.0)");
+  EXPECT_EQ(stats.num_states, model.pst().size());
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,157 @@
+#include "eval/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency_model.h"
+#include "core/cooccurrence_model.h"
+#include "core/ngram_model.h"
+
+namespace sqp {
+namespace {
+
+// Training corpus:
+//   [0 1] x4        -> 0 precedes, 1 final
+//   [2]   x3        -> 2 singleton-only
+//   [3 0] x2        -> 3 precedes, 0 also final
+std::vector<AggregatedSession> TrainCorpus() {
+  return {{{0, 1}, 4}, {{2}, 3}, {{3, 0}, 2}};
+}
+
+GroundTruthEntry Ctx(std::vector<QueryId> context, uint64_t support = 1) {
+  GroundTruthEntry entry;
+  entry.context = std::move(context);
+  entry.ranked_next = {0};
+  entry.support = support;
+  return entry;
+}
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sessions_ = TrainCorpus();
+    data_.sessions = &sessions_;
+    data_.vocabulary_size = 5;
+    SQP_CHECK_OK(adjacency_.Train(data_));
+    SQP_CHECK_OK(cooccurrence_.Train(data_));
+    SQP_CHECK_OK(ngram_.Train(data_));
+    roles_ = ComputeQueryRoles(sessions_);
+  }
+
+  std::vector<AggregatedSession> sessions_;
+  TrainingData data_;
+  AdjacencyModel adjacency_;
+  CooccurrenceModel cooccurrence_;
+  NgramModel ngram_;
+  QueryRoles roles_;
+};
+
+TEST_F(CoverageTest, OverallWeightedCoverage) {
+  const std::vector<GroundTruthEntry> contexts = {
+      Ctx({0}, 6),  // covered by adjacency (0 precedes 1)
+      Ctx({1}, 2),  // 1 never precedes: uncovered
+      Ctx({9}, 2),  // unseen query: uncovered
+  };
+  const CoverageResult result = MeasureCoverage(adjacency_, contexts);
+  EXPECT_EQ(result.total_weight, 10u);
+  EXPECT_NEAR(result.overall, 0.6, 1e-12);
+}
+
+TEST_F(CoverageTest, ByContextLength) {
+  const std::vector<GroundTruthEntry> contexts = {
+      Ctx({0}, 1),
+      Ctx({3, 0}, 1),   // covered: last query 0 has followers
+      Ctx({9, 9}, 1),   // uncovered
+  };
+  const CoverageResult result = MeasureCoverage(adjacency_, contexts);
+  EXPECT_NEAR(result.by_context_length.at(1), 1.0, 1e-12);
+  EXPECT_NEAR(result.by_context_length.at(2), 0.5, 1e-12);
+}
+
+TEST_F(CoverageTest, EmptyContextsZero) {
+  const CoverageResult result = MeasureCoverage(adjacency_, {});
+  EXPECT_DOUBLE_EQ(result.overall, 0.0);
+  EXPECT_EQ(result.total_weight, 0u);
+}
+
+TEST_F(CoverageTest, ReasonNewQuery) {
+  const std::vector<GroundTruthEntry> contexts = {Ctx({9})};
+  const ReasonBreakdown breakdown =
+      ClassifyUnpredictable(adjacency_, roles_, contexts);
+  EXPECT_EQ(breakdown.weight[static_cast<size_t>(
+                UnpredictableReason::kNewQuery)],
+            1u);
+}
+
+TEST_F(CoverageTest, ReasonOnlySingletonSessions) {
+  // Query 2 appears only in the singleton session [2].
+  const std::vector<GroundTruthEntry> contexts = {Ctx({2})};
+  const ReasonBreakdown adj =
+      ClassifyUnpredictable(adjacency_, roles_, contexts);
+  EXPECT_EQ(adj.weight[static_cast<size_t>(
+                UnpredictableReason::kOnlySingletonSessions)],
+            1u);
+  // Co-occurrence also cannot serve it, same reason (paper Table VI).
+  const ReasonBreakdown cooc =
+      ClassifyUnpredictable(cooccurrence_, roles_, contexts);
+  EXPECT_EQ(cooc.weight[static_cast<size_t>(
+                UnpredictableReason::kOnlySingletonSessions)],
+            1u);
+}
+
+TEST_F(CoverageTest, ReasonOnlyLastPositionSplitsAdjFromCooc) {
+  // Query 1 appears only at final positions: Adjacency cannot serve it but
+  // Co-occurrence can (paper Table VI reason 3 applies to Adj only).
+  const std::vector<GroundTruthEntry> contexts = {Ctx({1})};
+  const ReasonBreakdown adj =
+      ClassifyUnpredictable(adjacency_, roles_, contexts);
+  EXPECT_EQ(adj.weight[static_cast<size_t>(
+                UnpredictableReason::kOnlyLastPosition)],
+            1u);
+  const ReasonBreakdown cooc =
+      ClassifyUnpredictable(cooccurrence_, roles_, contexts);
+  EXPECT_EQ(cooc.weight[static_cast<size_t>(UnpredictableReason::kCovered)],
+            1u);
+}
+
+TEST_F(CoverageTest, ReasonUntrainedContextOnlyForNgram) {
+  // Context [3, 0] reversed = [0, 3] is not a trained prefix state, but its
+  // last query 0 precedes others, so reasons 1-3 do not apply.
+  const std::vector<GroundTruthEntry> contexts = {Ctx({1, 0})};
+  const ReasonBreakdown ngram =
+      ClassifyUnpredictable(ngram_, roles_, contexts);
+  EXPECT_EQ(ngram.weight[static_cast<size_t>(
+                UnpredictableReason::kUntrainedContext)],
+            1u);
+  // Adjacency serves it from the last query alone.
+  const ReasonBreakdown adj =
+      ClassifyUnpredictable(adjacency_, roles_, contexts);
+  EXPECT_EQ(adj.weight[static_cast<size_t>(UnpredictableReason::kCovered)],
+            1u);
+}
+
+TEST_F(CoverageTest, BreakdownWeightsSumToTotal) {
+  const std::vector<GroundTruthEntry> contexts = {
+      Ctx({0}, 3), Ctx({1}, 2), Ctx({2}, 4), Ctx({9}, 1), Ctx({1, 0}, 5)};
+  const ReasonBreakdown breakdown =
+      ClassifyUnpredictable(ngram_, roles_, contexts);
+  uint64_t total = 0;
+  for (uint64_t w : breakdown.weight) total += w;
+  EXPECT_EQ(total, breakdown.total_weight);
+  EXPECT_EQ(breakdown.total_weight, 15u);
+}
+
+TEST_F(CoverageTest, ReasonNamesStable) {
+  EXPECT_EQ(UnpredictableReasonName(UnpredictableReason::kCovered), "covered");
+  EXPECT_EQ(UnpredictableReasonName(UnpredictableReason::kNewQuery),
+            "(1) new query");
+  EXPECT_EQ(
+      UnpredictableReasonName(UnpredictableReason::kOnlySingletonSessions),
+      "(2) only in length-1 sessions");
+  EXPECT_EQ(UnpredictableReasonName(UnpredictableReason::kOnlyLastPosition),
+            "(3) only at last position");
+  EXPECT_EQ(UnpredictableReasonName(UnpredictableReason::kUntrainedContext),
+            "(4) context not a trained state");
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,67 @@
+#include "eval/entropy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(ContextEntropyTest, PaperJavaExample) {
+  ContextEntry entry;
+  entry.context = {0};
+  entry.nexts = {{1, 60}, {2, 40}};
+  entry.total_count = 100;
+  EXPECT_NEAR(ContextEntropy(entry), 0.292, 0.001);
+}
+
+TEST(ContextEntropyTest, DeterministicContextZero) {
+  ContextEntry entry;
+  entry.nexts = {{1, 10}};
+  entry.total_count = 10;
+  EXPECT_DOUBLE_EQ(ContextEntropy(entry), 0.0);
+}
+
+TEST(AveragePredictionEntropyTest, PaperExampleDropsWithContext) {
+  // "Java" alone: 60/40 split; "Indonesia -> Java": 9/1 split. The entropy
+  // at context length 2 must drop from ~0.29 to ~0.14 (paper Fig. 2 logic).
+  std::vector<AggregatedSession> sessions;
+  // Context [java]: followed by sun-java 60x and java-island 40x.
+  // Use ids: indonesia=0, java=1, sun java=2, java island=3.
+  sessions.push_back({{1, 2}, 51});          // java -> sun java (plain)
+  sessions.push_back({{1, 3}, 31});          // java -> java island (plain)
+  sessions.push_back({{0, 1, 2}, 1});        // indonesia -> java -> sun java
+  sessions.push_back({{0, 1, 3}, 9});        // indonesia -> java -> island
+  ContextIndex index;
+  index.Build(sessions, ContextIndex::Mode::kSubstring);
+  const auto by_length = AveragePredictionEntropyByLength(index);
+  // Length-1 contexts include [java] with a 60/40 split.
+  ASSERT_TRUE(by_length.count(1));
+  ASSERT_TRUE(by_length.count(2));
+  EXPECT_GT(by_length.at(1), by_length.at(2));
+  // The only length-2 context with successors is [indonesia, java] at 9/1.
+  EXPECT_NEAR(by_length.at(2), 0.1412, 0.01);
+}
+
+TEST(AveragePredictionEntropyTest, WeightedBySupport) {
+  // Two length-1 contexts: one deterministic with high support, one
+  // uniform with low support; the average must lean deterministic.
+  std::vector<AggregatedSession> sessions;
+  sessions.push_back({{0, 1}, 90});  // context [0] always -> 1
+  sessions.push_back({{2, 3}, 5});   // context [2] -> 3 or 4 evenly
+  sessions.push_back({{2, 4}, 5});
+  ContextIndex index;
+  index.Build(sessions, ContextIndex::Mode::kPrefix);
+  const auto by_length = AveragePredictionEntropyByLength(index);
+  // Weighted: (90*0 + 10*log10(2)) / 100.
+  EXPECT_NEAR(by_length.at(1), 0.1 * std::log10(2.0), 1e-9);
+}
+
+TEST(AveragePredictionEntropyTest, EmptyIndex) {
+  ContextIndex index;
+  index.Build({}, ContextIndex::Mode::kPrefix);
+  EXPECT_TRUE(AveragePredictionEntropyByLength(index).empty());
+}
+
+}  // namespace
+}  // namespace sqp

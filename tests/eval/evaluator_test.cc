@@ -1,0 +1,102 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency_model.h"
+#include "core/ngram_model.h"
+#include "log/context_builder.h"
+
+namespace sqp {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Train: after 0 comes 1 (mostly) or 2; after [0,1] comes 2.
+    train_ = {{{0, 1, 2}, 8}, {{0, 2}, 2}, {{1, 2}, 4}};
+    data_.sessions = &train_;
+    data_.vocabulary_size = 4;
+    SQP_CHECK_OK(adjacency_.Train(data_));
+    SQP_CHECK_OK(ngram_.Train(data_));
+    // Test ground truth from a matching distribution.
+    test_ = {{{0, 1, 2}, 5}, {{0, 2}, 1}, {{1, 2}, 3}};
+    truth_ = BuildGroundTruth(test_, 5);
+  }
+
+  std::vector<AggregatedSession> train_;
+  std::vector<AggregatedSession> test_;
+  std::vector<GroundTruthEntry> truth_;
+  TrainingData data_;
+  AdjacencyModel adjacency_;
+  NgramModel ngram_;
+};
+
+TEST_F(EvaluatorTest, PerfectlyAlignedModelScoresHigh) {
+  AccuracyOptions options;
+  const ModelAccuracy acc = EvaluateAccuracy(ngram_, truth_, options);
+  EXPECT_EQ(acc.model, "N-gram");
+  ASSERT_TRUE(acc.ndcg_overall.count(1));
+  EXPECT_GT(acc.ndcg_overall.at(1), 0.9);
+}
+
+TEST_F(EvaluatorTest, ResultsKeyedByPositionAndLength) {
+  AccuracyOptions options;
+  options.ndcg_positions = {1, 3};
+  const ModelAccuracy acc = EvaluateAccuracy(adjacency_, truth_, options);
+  ASSERT_TRUE(acc.ndcg.count(1));
+  ASSERT_TRUE(acc.ndcg.count(3));
+  EXPECT_FALSE(acc.ndcg.count(5));
+  // Contexts of lengths 1 and 2 exist in the ground truth.
+  EXPECT_TRUE(acc.ndcg.at(1).count(1));
+  EXPECT_TRUE(acc.ndcg.at(1).count(2));
+}
+
+TEST_F(EvaluatorTest, MaxContextLengthSkipsLongContexts) {
+  AccuracyOptions options;
+  options.max_context_length = 1;
+  const ModelAccuracy acc = EvaluateAccuracy(adjacency_, truth_, options);
+  for (const auto& [position, by_length] : acc.ndcg) {
+    for (const auto& [len, value] : by_length) {
+      EXPECT_LE(len, 1u);
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, CoveredOnlySkipsUncoveredContexts) {
+  // Add an uncovered context (unknown query) to the truth with huge
+  // support; covered_only=true must ignore it, false must count it as 0.
+  std::vector<GroundTruthEntry> truth = truth_;
+  GroundTruthEntry unknown;
+  unknown.context = {9};
+  unknown.ranked_next = {1};
+  unknown.support = 1000;
+  truth.push_back(unknown);
+
+  AccuracyOptions covered_only;
+  covered_only.covered_only = true;
+  AccuracyOptions strict;
+  strict.covered_only = false;
+
+  const double with_skip =
+      EvaluateAccuracy(adjacency_, truth, covered_only).ndcg_overall.at(1);
+  const double with_zero =
+      EvaluateAccuracy(adjacency_, truth, strict).ndcg_overall.at(1);
+  EXPECT_GT(with_skip, with_zero);
+}
+
+TEST_F(EvaluatorTest, EvaluatedWeightTracksSupport) {
+  AccuracyOptions options;
+  const ModelAccuracy acc = EvaluateAccuracy(ngram_, truth_, options);
+  // Ground truth contexts: [0] (6), [0,1] (5), [1] (3) -- all covered by
+  // the N-gram (exact prefixes).
+  EXPECT_EQ(acc.evaluated_weight, 14u);
+}
+
+TEST_F(EvaluatorTest, EmptyGroundTruth) {
+  const ModelAccuracy acc = EvaluateAccuracy(adjacency_, {}, AccuracyOptions{});
+  EXPECT_TRUE(acc.ndcg_overall.empty());
+  EXPECT_EQ(acc.evaluated_weight, 0u);
+}
+
+}  // namespace
+}  // namespace sqp

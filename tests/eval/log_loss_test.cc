@@ -1,0 +1,75 @@
+#include "eval/log_loss.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency_model.h"
+#include "core/ngram_model.h"
+
+namespace sqp {
+namespace {
+
+TEST(LogLossTest, NearDeterministicCorpusHasLowLoss) {
+  // Training and test identical, almost deterministic transitions.
+  const std::vector<AggregatedSession> sessions{{{0, 1}, 99}, {{0, 2}, 1}};
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = 3;
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  const double loss = AverageLogLoss(model, sessions);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 0.1);  // -log10(~0.99)/2 is tiny
+}
+
+TEST(LogLossTest, UniformPredictorHasHighLoss) {
+  const std::vector<AggregatedSession> train{{{0, 1}, 10}};
+  const std::vector<AggregatedSession> test{{{5, 6}, 10}};  // all unseen
+  TrainingData data;
+  data.sessions = &train;
+  data.vocabulary_size = 1000;
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  const double loss = AverageLogLoss(model, test);
+  // Uncovered context: P = 1/1000, per-session weight 1/|s| = 1/2.
+  EXPECT_NEAR(loss, 3.0 / 2.0, 1e-9);
+}
+
+TEST(LogLossTest, BetterModelScoresLowerLoss) {
+  // Order-2 structure: after [a, b] comes c; after [d, b] comes e. The
+  // N-gram model captures it; Adjacency (last query b only) cannot.
+  const std::vector<AggregatedSession> sessions{{{0, 1, 2}, 50},
+                                                {{3, 1, 4}, 50}};
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = 5;
+  AdjacencyModel adjacency;
+  NgramModel ngram;
+  ASSERT_TRUE(adjacency.Train(data).ok());
+  ASSERT_TRUE(ngram.Train(data).ok());
+  EXPECT_LT(AverageLogLoss(ngram, sessions),
+            AverageLogLoss(adjacency, sessions));
+}
+
+TEST(LogLossTest, SingletonSessionsContributeNothing) {
+  const std::vector<AggregatedSession> train{{{0, 1}, 10}};
+  TrainingData data;
+  data.sessions = &train;
+  data.vocabulary_size = 2;
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  const std::vector<AggregatedSession> only_singletons{{{0}, 100}};
+  EXPECT_DOUBLE_EQ(AverageLogLoss(model, only_singletons), 0.0);
+}
+
+TEST(LogLossTest, EmptyTestSetIsZero) {
+  const std::vector<AggregatedSession> train{{{0, 1}, 10}};
+  TrainingData data;
+  data.sessions = &train;
+  data.vocabulary_size = 2;
+  AdjacencyModel model;
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_DOUBLE_EQ(AverageLogLoss(model, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace sqp

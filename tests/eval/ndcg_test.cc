@@ -1,0 +1,111 @@
+#include "eval/ndcg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+GroundTruthEntry Truth(std::vector<QueryId> ranked) {
+  GroundTruthEntry entry;
+  entry.context = {0};
+  entry.ranked_next = std::move(ranked);
+  entry.support = 1;
+  return entry;
+}
+
+TEST(GroundTruthRatingTest, RatingsAreFiveDownToOne) {
+  const GroundTruthEntry truth = Truth({10, 11, 12, 13, 14});
+  EXPECT_DOUBLE_EQ(GroundTruthRating(truth, 10, 5), 5.0);
+  EXPECT_DOUBLE_EQ(GroundTruthRating(truth, 11, 5), 4.0);
+  EXPECT_DOUBLE_EQ(GroundTruthRating(truth, 14, 5), 1.0);
+  EXPECT_DOUBLE_EQ(GroundTruthRating(truth, 99, 5), 0.0);
+}
+
+TEST(GroundTruthRatingTest, PositionBeyondNIsZero) {
+  const GroundTruthEntry truth = Truth({10, 11, 12, 13, 14});
+  // With n = 3, the 4th/5th truth queries rate 0.
+  EXPECT_DOUBLE_EQ(GroundTruthRating(truth, 13, 3), 0.0);
+  EXPECT_DOUBLE_EQ(GroundTruthRating(truth, 10, 3), 3.0);
+}
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  const GroundTruthEntry truth = Truth({10, 11, 12, 13, 14});
+  const std::vector<QueryId> predicted{10, 11, 12, 13, 14};
+  EXPECT_NEAR(NdcgAtN(predicted, truth, 5), 1.0, 1e-12);
+  EXPECT_NEAR(NdcgAtN(predicted, truth, 3), 1.0, 1e-12);
+  EXPECT_NEAR(NdcgAtN(predicted, truth, 1), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, EmptyPredictionScoresZero) {
+  const GroundTruthEntry truth = Truth({10, 11});
+  EXPECT_DOUBLE_EQ(NdcgAtN({}, truth, 5), 0.0);
+}
+
+TEST(NdcgTest, DisjointPredictionScoresZero) {
+  const GroundTruthEntry truth = Truth({10, 11, 12});
+  const std::vector<QueryId> predicted{20, 21, 22};
+  EXPECT_DOUBLE_EQ(NdcgAtN(predicted, truth, 5), 0.0);
+}
+
+TEST(NdcgTest, SwappedTopTwoScoresBelowOne) {
+  const GroundTruthEntry truth = Truth({10, 11, 12, 13, 14});
+  const std::vector<QueryId> swapped{11, 10, 12, 13, 14};
+  const double ndcg = NdcgAtN(swapped, truth, 5);
+  EXPECT_LT(ndcg, 1.0);
+  EXPECT_GT(ndcg, 0.8);
+}
+
+TEST(NdcgTest, EarlyPositionsMatterMore) {
+  const GroundTruthEntry truth = Truth({10, 11, 12, 13, 14});
+  // Best query at rank 1 vs best query at rank 5.
+  const double top = NdcgAtN(std::vector<QueryId>{10, 99, 98, 97, 96}, truth, 5);
+  const double bottom =
+      NdcgAtN(std::vector<QueryId>{99, 98, 97, 96, 10}, truth, 5);
+  EXPECT_GT(top, bottom);
+}
+
+TEST(NdcgTest, AtOneOnlyFirstPositionCounts) {
+  const GroundTruthEntry truth = Truth({10, 11});
+  EXPECT_GT(NdcgAtN(std::vector<QueryId>{10, 99}, truth, 1), 0.99);
+  EXPECT_DOUBLE_EQ(NdcgAtN(std::vector<QueryId>{99, 10}, truth, 1), 0.0);
+}
+
+TEST(NdcgTest, ShortGroundTruthStillNormalizes) {
+  // Ground truth with 2 entries, NDCG@5: ideal uses only those 2.
+  const GroundTruthEntry truth = Truth({10, 11});
+  EXPECT_NEAR(NdcgAtN(std::vector<QueryId>{10, 11}, truth, 5), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, EmptyGroundTruthScoresZero) {
+  const GroundTruthEntry truth = Truth({});
+  EXPECT_DOUBLE_EQ(NdcgAtN(std::vector<QueryId>{1}, truth, 5), 0.0);
+}
+
+TEST(NdcgTest, AlwaysInUnitInterval) {
+  const GroundTruthEntry truth = Truth({1, 2, 3, 4, 5});
+  const std::vector<std::vector<QueryId>> predictions = {
+      {5, 4, 3, 2, 1}, {1}, {2, 1}, {9, 9, 9}, {3, 1, 4, 1, 5}};
+  for (const auto& predicted : predictions) {
+    for (size_t n : {1, 3, 5}) {
+      const double ndcg = NdcgAtN(predicted, truth, n);
+      EXPECT_GE(ndcg, 0.0);
+      EXPECT_LE(ndcg, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(NdcgTest, ReversedRankingKnownValue) {
+  // Hand-computed: truth {a,b} with ratings {2,1} at n=2; predicted [b,a].
+  // DCG = (2^1-1)/log(2) + (2^2-1)/log(3); ideal = (2^2-1)/log(2) +
+  // (2^1-1)/log(3).
+  const GroundTruthEntry truth = Truth({10, 11});
+  const double dcg = 1.0 / std::log(2.0) + 3.0 / std::log(3.0);
+  const double ideal = 3.0 / std::log(2.0) + 1.0 / std::log(3.0);
+  EXPECT_NEAR(NdcgAtN(std::vector<QueryId>{11, 10}, truth, 2), dcg / ideal,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,59 @@
+#include "eval/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"model", "ndcg"});
+  table.AddRow({"Adjacency", "0.41"});
+  table.AddRow({"MVMM", "0.58"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| model     | ndcg |"), std::string::npos);
+  EXPECT_NE(text.find("| Adjacency | 0.41 |"), std::string::npos);
+  EXPECT_NE(text.find("| MVMM      | 0.58 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| 1 |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, ExtraCellsDropped) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "overflow"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_EQ(out.str().find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"model", "value"});
+  table.AddRow({"Adjacency", "1"});
+  table.AddRow({"with,comma", "2"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "model,value\nAdjacency,1\n\"with,comma\",2\n");
+}
+
+TEST(FormatHelpersTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.123456), "0.1235");
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+}
+
+TEST(FormatHelpersTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.568), "56.8%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,168 @@
+#include "eval/user_study.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency_model.h"
+#include "core/model_factory.h"
+
+namespace sqp {
+namespace {
+
+/// Builds a tiny world where the oracle's verdicts are fully known:
+/// topic 0 holds queries {a0, a1, a2}; topic 1 holds {b0, b1}.
+class UserStudyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a0_ = dict_.Intern("alpha zero");
+    a1_ = dict_.Intern("alpha one");
+    a2_ = dict_.Intern("alpha two");
+    b0_ = dict_.Intern("beta zero");
+    b1_ = dict_.Intern("beta one");
+    oracle_.RegisterQuery("alpha zero", 0, 0);
+    oracle_.RegisterQuery("alpha one", 0, 0);
+    oracle_.RegisterQuery("alpha two", 0, 1);
+    oracle_.RegisterQuery("beta zero", 1, 2);
+    oracle_.RegisterQuery("beta one", 1, 2);
+
+    // Good model: after a0 recommends in-topic queries.
+    // Bad model: after a0 recommends cross-topic queries.
+    good_sessions_ = {{{a0_, a1_}, 10}, {{a0_, a2_}, 5}};
+    bad_sessions_ = {{{a0_, b0_}, 10}, {{a0_, b1_}, 5}};
+    TrainingData good_data;
+    good_data.sessions = &good_sessions_;
+    good_data.vocabulary_size = dict_.size();
+    TrainingData bad_data;
+    bad_data.sessions = &bad_sessions_;
+    bad_data.vocabulary_size = dict_.size();
+    SQP_CHECK_OK(good_.Train(good_data));
+    SQP_CHECK_OK(bad_.Train(bad_data));
+
+    GroundTruthEntry ctx;
+    ctx.context = {a0_};
+    ctx.ranked_next = {a1_};
+    ctx.support = 10;
+    contexts_.push_back(ctx);
+  }
+
+  UserStudyOptions NoNoise() {
+    UserStudyOptions options;
+    options.contexts_per_length = 10;
+    options.context_lengths = {1};
+    options.labeler_noise = 0.0;
+    return options;
+  }
+
+  QueryDictionary dict_;
+  RelatednessOracle oracle_;
+  QueryId a0_, a1_, a2_, b0_, b1_;
+  std::vector<AggregatedSession> good_sessions_;
+  std::vector<AggregatedSession> bad_sessions_;
+  AdjacencyModel good_;
+  AdjacencyModel bad_;
+  std::vector<GroundTruthEntry> contexts_;
+};
+
+TEST_F(UserStudyTest, PerfectModelGetsFullPrecisionWithoutNoise) {
+  const UserStudyResult result =
+      RunUserStudy({&good_}, contexts_, dict_, oracle_, NoNoise());
+  ASSERT_EQ(result.methods.size(), 1u);
+  EXPECT_EQ(result.methods[0].overall.num_predicted, 2u);
+  EXPECT_EQ(result.methods[0].overall.num_approved, 2u);
+  EXPECT_DOUBLE_EQ(result.methods[0].overall.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(result.methods[0].overall.recall(), 1.0);
+}
+
+TEST_F(UserStudyTest, OffTopicModelGetsZeroPrecisionWithoutNoise) {
+  const UserStudyResult result =
+      RunUserStudy({&bad_}, contexts_, dict_, oracle_, NoNoise());
+  EXPECT_EQ(result.methods[0].overall.num_approved, 0u);
+  EXPECT_DOUBLE_EQ(result.methods[0].overall.precision(), 0.0);
+}
+
+TEST_F(UserStudyTest, PooledGroundTruthSharedAcrossMethods) {
+  const UserStudyResult result =
+      RunUserStudy({&good_, &bad_}, contexts_, dict_, oracle_, NoNoise());
+  // Only the good model's two predictions are approved; both methods'
+  // recall uses that pool of 2.
+  EXPECT_EQ(result.pooled_ground_truth, 2u);
+  EXPECT_DOUBLE_EQ(result.methods[0].overall.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(result.methods[1].overall.recall(), 0.0);
+}
+
+TEST_F(UserStudyTest, PrecisionByPositionTracksRanks) {
+  const UserStudyResult result =
+      RunUserStudy({&good_}, contexts_, dict_, oracle_, NoNoise());
+  const MethodUserEval& eval = result.methods[0];
+  ASSERT_EQ(eval.precision_by_position.size(), 5u);
+  EXPECT_DOUBLE_EQ(eval.precision_by_position[0], 1.0);
+  EXPECT_DOUBLE_EQ(eval.precision_by_position[1], 1.0);
+  EXPECT_EQ(eval.predicted_by_position[2], 0u);  // only 2 candidates exist
+}
+
+TEST_F(UserStudyTest, HeavyNoiseDegradesApproval) {
+  UserStudyOptions noisy = NoNoise();
+  noisy.labeler_noise = 0.5;  // coin-flip panel
+  // With a 30-labeler panel at 50% noise, approvals hover near 50%.
+  const UserStudyResult clean =
+      RunUserStudy({&good_}, contexts_, dict_, oracle_, NoNoise());
+  const UserStudyResult degraded =
+      RunUserStudy({&good_}, contexts_, dict_, oracle_, noisy);
+  EXPECT_LE(degraded.methods[0].overall.num_approved,
+            clean.methods[0].overall.num_approved);
+}
+
+TEST_F(UserStudyTest, ModerateNoiseRejectedByMajorityVote) {
+  UserStudyOptions noisy = NoNoise();
+  noisy.labeler_noise = 0.2;  // panel majority still tracks the oracle
+  const UserStudyResult result =
+      RunUserStudy({&good_, &bad_}, contexts_, dict_, oracle_, noisy);
+  EXPECT_GT(result.methods[0].overall.precision(), 0.9);
+  EXPECT_LT(result.methods[1].overall.precision(), 0.1);
+}
+
+TEST_F(UserStudyTest, DeterministicForSeed) {
+  UserStudyOptions options = NoNoise();
+  options.labeler_noise = 0.3;
+  const UserStudyResult a =
+      RunUserStudy({&good_}, contexts_, dict_, oracle_, options);
+  const UserStudyResult b =
+      RunUserStudy({&good_}, contexts_, dict_, oracle_, options);
+  EXPECT_EQ(a.methods[0].overall.num_approved,
+            b.methods[0].overall.num_approved);
+}
+
+TEST_F(UserStudyTest, StratifiedSamplingRespectsLengthBuckets) {
+  // Add many length-2 contexts; restrict the study to length 1.
+  std::vector<GroundTruthEntry> contexts = contexts_;
+  for (int i = 0; i < 20; ++i) {
+    GroundTruthEntry ctx;
+    ctx.context = {a0_, a1_};
+    ctx.ranked_next = {a2_};
+    ctx.support = 1;
+    contexts.push_back(ctx);
+  }
+  UserStudyOptions options = NoNoise();
+  options.context_lengths = {1};
+  const UserStudyResult result =
+      RunUserStudy({&good_}, contexts, dict_, oracle_, options);
+  EXPECT_EQ(result.num_contexts, 1u);  // only the single length-1 context
+}
+
+TEST_F(UserStudyTest, ContextsPerLengthCap) {
+  std::vector<GroundTruthEntry> contexts;
+  for (int i = 0; i < 30; ++i) {
+    GroundTruthEntry ctx;
+    ctx.context = {a0_};
+    ctx.ranked_next = {a1_};
+    ctx.support = static_cast<uint64_t>(30 - i);
+    contexts.push_back(ctx);
+  }
+  UserStudyOptions options = NoNoise();
+  options.contexts_per_length = 8;
+  const UserStudyResult result =
+      RunUserStudy({&good_}, contexts, dict_, oracle_, options);
+  EXPECT_EQ(result.num_contexts, 8u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/model_factory.h"
+#include "eval/evaluator.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "synth/log_synthesizer.h"
+
+namespace sqp {
+namespace {
+
+/// The library's determinism contract: identical seeds reproduce identical
+/// corpora, identical trained models, and identical metric values, end to
+/// end. This is what makes every bench binary's output reproducible.
+struct PipelineOutput {
+  std::vector<AggregatedSession> train;
+  std::vector<GroundTruthEntry> truth;
+  size_t vocabulary = 0;
+  std::map<size_t, double> mvmm_ndcg_at_3;
+};
+
+PipelineOutput RunOnce(uint64_t seed) {
+  Vocabulary vocab(VocabularyConfig{.num_terms = 600, .synonym_fraction = 0.3},
+                   501);
+  TopicModel topics(&vocab,
+                    TopicModelConfig{.num_topics = 10,
+                                     .terms_per_topic = 12,
+                                     .intents_per_topic = 10,
+                                     .chain_depth = 4},
+                    502);
+  SynthesizerConfig config;
+  config.num_sessions = 5000;
+  config.num_machines = 80;
+  LogSynthesizer synth(&topics, config);
+  const SynthCorpus train_corpus = synth.Synthesize(seed, nullptr);
+  const SynthCorpus test_corpus = synth.Synthesize(seed + 1, nullptr);
+
+  PipelineOutput out;
+  QueryDictionary dict;
+  SessionSegmenter segmenter;
+  std::vector<Session> train_sessions;
+  std::vector<Session> test_sessions;
+  SQP_CHECK_OK(segmenter.Segment(train_corpus.records, &dict, &train_sessions));
+  SQP_CHECK_OK(segmenter.Segment(test_corpus.records, &dict, &test_sessions));
+  SessionAggregator train_agg;
+  train_agg.Add(train_sessions);
+  out.train = train_agg.Finish();
+  SessionAggregator test_agg;
+  test_agg.Add(test_sessions);
+  out.truth = BuildGroundTruth(test_agg.Finish(), 5);
+  out.vocabulary = dict.size();
+
+  TrainingData data;
+  data.sessions = &out.train;
+  data.vocabulary_size = dict.size();
+  MvmmOptions mvmm_options;
+  mvmm_options.default_max_depth = 5;
+  MvmmModel mvmm(mvmm_options);
+  SQP_CHECK_OK(mvmm.Train(data));
+
+  AccuracyOptions acc_options;
+  acc_options.ndcg_positions = {3};
+  const ModelAccuracy acc = EvaluateAccuracy(mvmm, out.truth, acc_options);
+  if (acc.ndcg.count(3) > 0) out.mvmm_ndcg_at_3 = acc.ndcg.at(3);
+  return out;
+}
+
+bool SessionsEqual(const std::vector<AggregatedSession>& a,
+                   const std::vector<AggregatedSession>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].queries != b[i].queries || a[i].frequency != b[i].frequency) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalEverything) {
+  const PipelineOutput a = RunOnce(777);
+  const PipelineOutput b = RunOnce(777);
+  EXPECT_EQ(a.vocabulary, b.vocabulary);
+  EXPECT_TRUE(SessionsEqual(a.train, b.train));
+  ASSERT_EQ(a.truth.size(), b.truth.size());
+  ASSERT_EQ(a.mvmm_ndcg_at_3.size(), b.mvmm_ndcg_at_3.size());
+  for (const auto& [len, value] : a.mvmm_ndcg_at_3) {
+    ASSERT_TRUE(b.mvmm_ndcg_at_3.count(len));
+    EXPECT_DOUBLE_EQ(value, b.mvmm_ndcg_at_3.at(len)) << "length " << len;
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDifferentCorpora) {
+  const PipelineOutput a = RunOnce(777);
+  const PipelineOutput b = RunOnce(778);
+  EXPECT_FALSE(SessionsEqual(a.train, b.train));
+}
+
+}  // namespace
+}  // namespace sqp

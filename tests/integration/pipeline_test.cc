@@ -1,0 +1,256 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/model_factory.h"
+#include "eval/coverage.h"
+#include "eval/evaluator.h"
+#include "eval/log_loss.h"
+#include "eval/user_study.h"
+#include "log/data_reduction.h"
+#include "log/log_io.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "log/session_stats.h"
+#include "synth/log_synthesizer.h"
+
+namespace sqp {
+namespace {
+
+/// Full end-to-end exercise of the published pipeline:
+/// synthesize raw logs -> write/read the TSV file -> segment -> aggregate
+/// -> reduce -> train the paper suite -> evaluate (shape assertions only;
+/// exact numbers are checked in the per-module tests and recorded by the
+/// bench binaries).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    state_ = new State();
+    state_->vocab = std::make_unique<Vocabulary>(
+        VocabularyConfig{.num_terms = 900, .synonym_fraction = 0.35}, 401);
+    state_->topics = std::make_unique<TopicModel>(
+        state_->vocab.get(),
+        TopicModelConfig{.num_topics = 15,
+                         .terms_per_topic = 14,
+                         .intents_per_topic = 12,
+                         .chain_depth = 4},
+        402);
+
+    SynthesizerConfig train_config;
+    train_config.num_sessions = 12000;
+    train_config.num_machines = 150;
+    SynthesizerConfig test_config = train_config;
+    test_config.num_sessions = 3000;
+
+    LogSynthesizer train_synth(state_->topics.get(), train_config);
+    LogSynthesizer test_synth(state_->topics.get(), test_config);
+    const SynthCorpus train_corpus =
+        train_synth.Synthesize(403, &state_->oracle);
+    const SynthCorpus test_corpus =
+        test_synth.Synthesize(404, &state_->oracle);
+
+    // Round-trip the raw training log through the file format.
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "sqp_pipeline_test.tsv")
+            .string();
+    SQP_CHECK_OK(WriteLogFile(path, train_corpus.records));
+    std::vector<RawLogRecord> loaded;
+    SQP_CHECK_OK(ReadLogFile(path, &loaded));
+    std::remove(path.c_str());
+    SQP_CHECK(loaded == train_corpus.records);
+
+    // Segment + aggregate both splits.
+    SessionSegmenter segmenter;
+    std::vector<Session> train_sessions;
+    std::vector<Session> test_sessions;
+    SQP_CHECK_OK(segmenter.Segment(loaded, &state_->dict, &train_sessions));
+    SQP_CHECK_OK(
+        segmenter.Segment(test_corpus.records, &state_->dict, &test_sessions));
+
+    SessionAggregator train_agg;
+    train_agg.Add(train_sessions);
+    SessionAggregator test_agg;
+    test_agg.Add(test_sessions);
+
+    // Reduce (scaled-down threshold: this corpus is ~5 orders smaller than
+    // the paper's).
+    ReductionOptions reduction;
+    reduction.min_frequency_exclusive = 1;
+    reduction.max_session_length = 10;
+    state_->train = ReduceSessions(train_agg.Finish(), reduction,
+                                   &state_->train_report);
+    // Keep rare test sessions (see bench/harness.cc for the scaling
+    // argument): evaluation needs the long-session tail.
+    ReductionOptions test_reduction = reduction;
+    test_reduction.min_frequency_exclusive = 0;
+    state_->test = ReduceSessions(test_agg.Finish(), test_reduction, nullptr);
+    state_->truth = BuildGroundTruth(state_->test, 5);
+    state_->roles = ComputeQueryRoles(state_->train);
+
+    state_->data.sessions = &state_->train;
+    state_->data.vocabulary_size = state_->dict.size();
+    state_->suite = CreatePaperSuite(/*vmm_max_depth=*/5);
+    SQP_CHECK_OK(TrainAll(state_->suite, state_->data));
+  }
+
+  static void TearDownTestSuite() {
+    delete state_;
+    state_ = nullptr;
+  }
+
+  // Suffix match so that depth-bounded names like "5-bounded VMM (0.05)"
+  // are found by their paper name "VMM (0.05)".
+  PredictionModel* Find(std::string_view name) {
+    for (const auto& model : state_->suite) {
+      const std::string_view model_name = model->Name();
+      if (model_name == name ||
+          (model_name.size() > name.size() &&
+           model_name.substr(model_name.size() - name.size()) == name)) {
+        return model.get();
+      }
+    }
+    SQP_CHECK(false);
+    return nullptr;
+  }
+
+  struct State {
+    std::unique_ptr<Vocabulary> vocab;
+    std::unique_ptr<TopicModel> topics;
+    RelatednessOracle oracle;
+    QueryDictionary dict;
+    std::vector<AggregatedSession> train;
+    std::vector<AggregatedSession> test;
+    std::vector<GroundTruthEntry> truth;
+    QueryRoles roles;
+    ReductionReport train_report;
+    TrainingData data;
+    std::vector<std::unique_ptr<PredictionModel>> suite;
+  };
+  static State* state_;
+};
+
+PipelineTest::State* PipelineTest::state_ = nullptr;
+
+TEST_F(PipelineTest, CorpusHasPaperLikeShape) {
+  EXPECT_GT(state_->train.size(), 700u);
+  EXPECT_GT(state_->dict.size(), 500u);
+  const double mean_length = MeanSessionLength(state_->train);
+  EXPECT_GT(mean_length, 1.3);
+  EXPECT_LT(mean_length, 3.5);
+}
+
+TEST_F(PipelineTest, AggregatedFrequencyTailIsHeavy) {
+  const double alpha = FrequencyPowerLawAlpha(state_->train, 2);
+  // Power-law-ish tail (paper Fig. 6 shows a straight log-log line).
+  EXPECT_GT(alpha, 1.2);
+  EXPECT_LT(alpha, 4.0);
+}
+
+TEST_F(PipelineTest, ReductionKeptMajorityOfWeight) {
+  EXPECT_GT(state_->train_report.kept_weight_fraction(), 0.4);
+  EXPECT_LT(state_->train_report.sessions_kept,
+            state_->train_report.sessions_in);
+}
+
+TEST_F(PipelineTest, AllModelsProduceRecommendations) {
+  size_t covered_any = 0;
+  for (const GroundTruthEntry& entry : state_->truth) {
+    for (const auto& model : state_->suite) {
+      const Recommendation rec = model->Recommend(entry.context, 5);
+      if (rec.covered) {
+        ++covered_any;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(covered_any, state_->truth.size() / 2);
+}
+
+TEST_F(PipelineTest, CoverageOrderingMatchesPaperFig10) {
+  const auto coverage = [&](std::string_view name) {
+    return MeasureCoverage(*Find(name), state_->truth).overall;
+  };
+  const double cooc = coverage("Co-occurrence");
+  const double adj = coverage("Adjacency");
+  const double vmm = coverage("VMM (0.05)");
+  const double mvmm = coverage("MVMM");
+  const double ngram = coverage("N-gram");
+  EXPECT_GE(cooc + 1e-12, adj);
+  EXPECT_NEAR(adj, vmm, 1e-12);
+  EXPECT_NEAR(adj, mvmm, 1e-12);
+  EXPECT_LT(ngram, adj);
+  EXPECT_GT(adj, 0.3);
+  EXPECT_LT(adj, 1.0);
+}
+
+TEST_F(PipelineTest, SequenceModelsBeatPairwiseOnLongContexts) {
+  AccuracyOptions options;
+  options.ndcg_positions = {5};
+  const double mvmm =
+      EvaluateAccuracy(*Find("MVMM"), state_->truth, options)
+          .ndcg_overall.at(5);
+  const double cooc =
+      EvaluateAccuracy(*Find("Co-occurrence"), state_->truth, options)
+          .ndcg_overall.at(5);
+  EXPECT_GT(mvmm, cooc);
+}
+
+TEST_F(PipelineTest, NgramCoverageCollapsesWithContextLength)
+{
+  const CoverageResult ngram = MeasureCoverage(*Find("N-gram"), state_->truth);
+  const CoverageResult vmm =
+      MeasureCoverage(*Find("VMM (0.05)"), state_->truth);
+  ASSERT_TRUE(ngram.by_context_length.count(3));
+  ASSERT_TRUE(vmm.by_context_length.count(3));
+  // Paper Fig. 11: VMM holds up at longer contexts, N-gram collapses.
+  EXPECT_GT(vmm.by_context_length.at(3),
+            ngram.by_context_length.at(3));
+}
+
+TEST_F(PipelineTest, UnpredictableReasonsNested) {
+  // Reason sets grow Co-occ -> Adj (paper Table VI): Adjacency's
+  // unpredictable weight strictly contains Co-occurrence's.
+  const ReasonBreakdown cooc = ClassifyUnpredictable(
+      *Find("Co-occurrence"), state_->roles, state_->truth);
+  const ReasonBreakdown adj =
+      ClassifyUnpredictable(*Find("Adjacency"), state_->roles, state_->truth);
+  const auto uncovered = [](const ReasonBreakdown& b) {
+    return b.total_weight -
+           b.weight[static_cast<size_t>(UnpredictableReason::kCovered)];
+  };
+  EXPECT_LE(uncovered(cooc), uncovered(adj));
+  // Reason (3) never applies to Co-occurrence.
+  EXPECT_EQ(cooc.weight[static_cast<size_t>(
+                UnpredictableReason::kOnlyLastPosition)],
+            0u);
+}
+
+TEST_F(PipelineTest, LogLossFiniteAndOrdered) {
+  const double mvmm_loss = AverageLogLoss(*Find("MVMM"), state_->test);
+  const double cooc_loss =
+      AverageLogLoss(*Find("Co-occurrence"), state_->test);
+  EXPECT_GT(mvmm_loss, 0.0);
+  EXPECT_LT(mvmm_loss, 15.0);
+  EXPECT_LT(mvmm_loss, cooc_loss);
+}
+
+TEST_F(PipelineTest, UserStudyRunsEndToEnd) {
+  UserStudyOptions options;
+  options.contexts_per_length = 50;
+  options.context_lengths = {1, 2};
+  options.labeler_noise = 0.1;
+  std::vector<const PredictionModel*> models;
+  for (const auto& model : state_->suite) models.push_back(model.get());
+  const UserStudyResult result = RunUserStudy(
+      models, state_->truth, state_->dict, state_->oracle, options);
+  ASSERT_EQ(result.methods.size(), state_->suite.size());
+  EXPECT_GT(result.pooled_ground_truth, 0u);
+  for (const MethodUserEval& eval : result.methods) {
+    EXPECT_GT(eval.overall.num_predicted, 0u) << eval.model;
+    EXPECT_LE(eval.overall.precision(), 1.0) << eval.model;
+  }
+}
+
+}  // namespace
+}  // namespace sqp

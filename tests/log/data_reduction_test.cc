@@ -1,0 +1,84 @@
+#include "log/data_reduction.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+AggregatedSession Make(std::vector<QueryId> queries, uint64_t freq) {
+  return AggregatedSession{std::move(queries), freq};
+}
+
+TEST(DataReductionTest, DropsLowFrequencySessions) {
+  ReductionOptions options;
+  options.min_frequency_exclusive = 5;
+  options.max_session_length = 0;
+  std::vector<AggregatedSession> sessions{Make({1}, 5), Make({2}, 6),
+                                          Make({3}, 100)};
+  ReductionReport report;
+  const auto kept = ReduceSessions(sessions, options, &report);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].queries, (std::vector<QueryId>{2}));
+  EXPECT_EQ(report.sessions_in, 3u);
+  EXPECT_EQ(report.sessions_kept, 2u);
+  EXPECT_EQ(report.weight_in, 111u);
+  EXPECT_EQ(report.weight_kept, 106u);
+}
+
+TEST(DataReductionTest, ThresholdIsExclusive) {
+  ReductionOptions options;
+  options.min_frequency_exclusive = 5;
+  std::vector<AggregatedSession> sessions{Make({1}, 6)};
+  ReductionReport report;
+  EXPECT_EQ(ReduceSessions(sessions, options, &report).size(), 1u);
+}
+
+TEST(DataReductionTest, DropsSuperLongSessions) {
+  ReductionOptions options;
+  options.min_frequency_exclusive = 0;
+  options.max_session_length = 3;
+  std::vector<AggregatedSession> sessions{Make({1, 2, 3}, 10),
+                                          Make({1, 2, 3, 4}, 10)};
+  const auto kept = ReduceSessions(sessions, options, nullptr);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].queries.size(), 3u);
+}
+
+TEST(DataReductionTest, ZeroLengthCutKeepsAll) {
+  ReductionOptions options;
+  options.min_frequency_exclusive = 0;
+  options.max_session_length = 0;
+  std::vector<AggregatedSession> sessions{
+      Make({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 1)};
+  EXPECT_EQ(ReduceSessions(sessions, options, nullptr).size(), 1u);
+}
+
+TEST(DataReductionTest, KeptWeightFraction) {
+  ReductionOptions options;
+  options.min_frequency_exclusive = 1;
+  std::vector<AggregatedSession> sessions{Make({1}, 1), Make({2}, 9)};
+  ReductionReport report;
+  ReduceSessions(sessions, options, &report);
+  EXPECT_NEAR(report.kept_weight_fraction(), 0.9, 1e-12);
+}
+
+TEST(DataReductionTest, EmptyInput) {
+  ReductionReport report;
+  EXPECT_TRUE(ReduceSessions({}, ReductionOptions{}, &report).empty());
+  EXPECT_EQ(report.sessions_in, 0u);
+  EXPECT_DOUBLE_EQ(report.kept_weight_fraction(), 0.0);
+}
+
+TEST(DataReductionTest, PreservesInputOrder) {
+  ReductionOptions options;
+  options.min_frequency_exclusive = 0;
+  std::vector<AggregatedSession> sessions{Make({9}, 2), Make({1}, 3),
+                                          Make({5}, 2)};
+  const auto kept = ReduceSessions(sessions, options, nullptr);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].queries, (std::vector<QueryId>{9}));
+  EXPECT_EQ(kept[2].queries, (std::vector<QueryId>{5}));
+}
+
+}  // namespace
+}  // namespace sqp

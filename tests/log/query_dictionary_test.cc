@@ -1,0 +1,74 @@
+#include "log/query_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(NormalizeTest, TrimsAndCollapsesWhitespace) {
+  EXPECT_EQ(QueryDictionary::Normalize("  foo   bar  "), "foo bar");
+  EXPECT_EQ(QueryDictionary::Normalize("a\tb"), "a b");
+  EXPECT_EQ(QueryDictionary::Normalize("a \t \n b"), "a b");
+}
+
+TEST(NormalizeTest, LowerCases) {
+  EXPECT_EQ(QueryDictionary::Normalize("New York Times"), "new york times");
+}
+
+TEST(NormalizeTest, EmptyStaysEmpty) {
+  EXPECT_EQ(QueryDictionary::Normalize(""), "");
+  EXPECT_EQ(QueryDictionary::Normalize("   "), "");
+}
+
+TEST(QueryDictionaryTest, InternAssignsDenseIds) {
+  QueryDictionary dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(QueryDictionaryTest, InternIsIdempotent) {
+  QueryDictionary dict;
+  const QueryId id = dict.Intern("query one");
+  EXPECT_EQ(dict.Intern("query one"), id);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(QueryDictionaryTest, InternNormalizesBeforeLookup) {
+  QueryDictionary dict;
+  const QueryId id = dict.Intern("Sign Language");
+  EXPECT_EQ(dict.Intern("  sign   language "), id);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(QueryDictionaryTest, LookupFindsInternedOnly) {
+  QueryDictionary dict;
+  dict.Intern("kidney stones");
+  EXPECT_TRUE(dict.Lookup("KIDNEY STONES").has_value());
+  EXPECT_FALSE(dict.Lookup("kidney stone symptoms").has_value());
+}
+
+TEST(QueryDictionaryTest, TextRoundTrips) {
+  QueryDictionary dict;
+  const QueryId id = dict.Intern("Nokia N73 Themes");
+  EXPECT_EQ(dict.Text(id), "nokia n73 themes");
+}
+
+TEST(QueryDictionaryTest, MoveTransfersState) {
+  QueryDictionary dict;
+  dict.Intern("a");
+  dict.Intern("b");
+  QueryDictionary moved = std::move(dict);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.Text(0), "a");
+}
+
+TEST(QueryDictionaryDeathTest, TextOnInvalidIdAborts) {
+  QueryDictionary dict;
+  dict.Intern("only");
+  EXPECT_DEATH(dict.Text(5), "SQP_CHECK");
+}
+
+}  // namespace
+}  // namespace sqp

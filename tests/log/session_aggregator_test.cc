@@ -1,0 +1,95 @@
+#include "log/session_aggregator.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+Session MakeSession(std::vector<QueryId> queries, uint64_t machine = 1) {
+  Session s;
+  s.machine_id = machine;
+  s.queries = std::move(queries);
+  return s;
+}
+
+TEST(SessionAggregatorTest, MergesIdenticalSequences) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({1, 2}));
+  agg.AddSession(MakeSession({1, 2}, 2));
+  agg.AddSession(MakeSession({1, 3}));
+  const auto merged = agg.Finish();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].queries, (std::vector<QueryId>{1, 2}));
+  EXPECT_EQ(merged[0].frequency, 2u);
+  EXPECT_EQ(merged[1].frequency, 1u);
+}
+
+TEST(SessionAggregatorTest, OrderSensitive) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({1, 2}));
+  agg.AddSession(MakeSession({2, 1}));
+  EXPECT_EQ(agg.Finish().size(), 2u);
+}
+
+TEST(SessionAggregatorTest, SummaryStatistics) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({1, 2, 3}));
+  agg.AddSession(MakeSession({1, 2, 3}));
+  agg.AddSession(MakeSession({4}));
+  const SessionSummary summary = agg.Summary();
+  EXPECT_EQ(summary.num_sessions, 3u);
+  EXPECT_EQ(summary.num_searches, 7u);
+  EXPECT_EQ(summary.num_unique_queries, 4u);
+  EXPECT_EQ(summary.num_unique_sessions, 2u);
+}
+
+TEST(SessionAggregatorTest, EmptySessionsIgnored) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({}));
+  EXPECT_EQ(agg.Summary().num_sessions, 0u);
+  EXPECT_TRUE(agg.Finish().empty());
+}
+
+TEST(SessionAggregatorTest, DeterministicOrdering) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({5}));
+  agg.AddSession(MakeSession({3}));
+  agg.AddSession(MakeSession({3}));
+  agg.AddSession(MakeSession({4}));
+  agg.AddSession(MakeSession({4}));
+  const auto merged = agg.Finish();
+  ASSERT_EQ(merged.size(), 3u);
+  // Descending frequency, then lexicographic sequence.
+  EXPECT_EQ(merged[0].queries, (std::vector<QueryId>{3}));
+  EXPECT_EQ(merged[1].queries, (std::vector<QueryId>{4}));
+  EXPECT_EQ(merged[2].queries, (std::vector<QueryId>{5}));
+}
+
+TEST(SessionAggregatorTest, AddBatch) {
+  SessionAggregator agg;
+  std::vector<Session> batch{MakeSession({1}), MakeSession({1}),
+                             MakeSession({2})};
+  agg.Add(batch);
+  EXPECT_EQ(agg.Summary().num_sessions, 3u);
+  EXPECT_EQ(agg.Finish().size(), 2u);
+}
+
+TEST(SessionAggregatorTest, FinishIsNonDestructive) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({1, 2}));
+  EXPECT_EQ(agg.Finish().size(), 1u);
+  agg.AddSession(MakeSession({3, 4}));
+  EXPECT_EQ(agg.Finish().size(), 2u);
+}
+
+TEST(SessionAggregatorTest, RepeatedQueriesWithinSessionDistinct) {
+  SessionAggregator agg;
+  agg.AddSession(MakeSession({1, 1}));
+  agg.AddSession(MakeSession({1}));
+  const auto merged = agg.Finish();
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(agg.Summary().num_unique_queries, 1u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,287 @@
+#include "log/session_segmenter.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+constexpr int64_t kMinute = 60 * 1000;
+
+RawLogRecord MakeRecord(uint64_t machine, int64_t ts_ms,
+                        const std::string& query) {
+  RawLogRecord r;
+  r.machine_id = machine;
+  r.timestamp_ms = ts_ms;
+  r.query = query;
+  return r;
+}
+
+TEST(SessionSegmenterTest, SingleSessionWithinTimeout) {
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "a"),
+      MakeRecord(1, 5 * kMinute, "b"),
+      MakeRecord(1, 12 * kMinute, "c"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].queries.size(), 3u);
+  EXPECT_EQ(sessions[0].machine_id, 1u);
+  EXPECT_EQ(sessions[0].start_ms, 0);
+}
+
+TEST(SessionSegmenterTest, CutsAfterThirtyMinuteGap) {
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "a"),
+      MakeRecord(1, 31 * kMinute, "b"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].queries.size(), 1u);
+  EXPECT_EQ(sessions[1].queries.size(), 1u);
+}
+
+TEST(SessionSegmenterTest, ExactlyThirtyMinutesStaysOneSession) {
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "a"),
+      MakeRecord(1, 30 * kMinute, "b"),  // not *more than* 30 minutes
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].queries.size(), 2u);
+}
+
+TEST(SessionSegmenterTest, ClickActivityExtendsSession) {
+  // Query at t=0 with a click at t=25min; next query at t=50min is within
+  // 30 minutes of the *click*, so the session continues.
+  RawLogRecord first = MakeRecord(1, 0, "a");
+  first.clicks.push_back(UrlClick{25 * kMinute, "www.x.example.com"});
+  std::vector<RawLogRecord> records{first, MakeRecord(1, 50 * kMinute, "b")};
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].queries.size(), 2u);
+}
+
+TEST(SessionSegmenterTest, WithoutClickSameGapSplits) {
+  std::vector<RawLogRecord> records{MakeRecord(1, 0, "a"),
+                                    MakeRecord(1, 50 * kMinute, "b")};
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionSegmenterTest, MachinesAreIndependent) {
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "a"),
+      MakeRecord(2, kMinute, "x"),
+      MakeRecord(1, 2 * kMinute, "b"),
+      MakeRecord(2, 3 * kMinute, "y"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 2u);
+  for (const Session& s : sessions) {
+    EXPECT_EQ(s.queries.size(), 2u);
+  }
+}
+
+TEST(SessionSegmenterTest, OutOfOrderTimestampsAreSorted) {
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 10 * kMinute, "b"),
+      MakeRecord(1, 0, "a"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(dict.Text(sessions[0].queries[0]), "a");
+  EXPECT_EQ(dict.Text(sessions[0].queries[1]), "b");
+}
+
+TEST(SessionSegmenterTest, RepeatedQueriesKept) {
+  // The "Repeated query" pattern must survive segmentation.
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "aim"),
+      MakeRecord(1, kMinute, "myspace"),
+      MakeRecord(1, 2 * kMinute, "myspace"),
+      MakeRecord(1, 3 * kMinute, "photobucket"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].queries.size(), 4u);
+  EXPECT_EQ(sessions[0].queries[1], sessions[0].queries[2]);
+}
+
+TEST(SessionSegmenterTest, MaxSessionLengthDropsLongSessions) {
+  SegmenterOptions options;
+  options.max_session_length = 2;
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "a"),
+      MakeRecord(1, kMinute, "b"),
+      MakeRecord(1, 2 * kMinute, "c"),
+      MakeRecord(2, 0, "x"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 1u);  // machine 1's 3-query session is dropped
+  EXPECT_EQ(sessions[0].machine_id, 2u);
+}
+
+TEST(SessionSegmenterTest, EmptyQueryRejected) {
+  std::vector<RawLogRecord> records{MakeRecord(1, 0, "   ")};
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  EXPECT_EQ(SessionSegmenter().Segment(records, &dict, &sessions).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSegmenterTest, ClickBeforeQueryRejected) {
+  RawLogRecord bad = MakeRecord(1, kMinute, "a");
+  bad.clicks.push_back(UrlClick{0, "www.early.example.com"});
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  EXPECT_EQ(SessionSegmenter().Segment({bad}, &dict, &sessions).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSegmenterTest, EmptyInputYieldsNoSessions) {
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(SessionSegmenter().Segment({}, &dict, &sessions).ok());
+  EXPECT_TRUE(sessions.empty());
+}
+
+TEST(SessionSegmenterTest, CustomTimeout) {
+  SegmenterOptions options;
+  options.timeout_ms = 5 * kMinute;
+  std::vector<RawLogRecord> records{MakeRecord(1, 0, "a"),
+                                    MakeRecord(1, 6 * kMinute, "b")};
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+TEST(SegmentationStrategyTest, NamesStable) {
+  EXPECT_EQ(SegmentationStrategyName(SegmentationStrategy::kTimeGap),
+            "30-minute rule");
+  EXPECT_EQ(SegmentationStrategyName(SegmentationStrategy::kFixedWindow),
+            "fixed window");
+  EXPECT_EQ(
+      SegmentationStrategyName(SegmentationStrategy::kSimilarityAssisted),
+      "similarity-assisted");
+}
+
+TEST(SessionSegmenterTest, FixedWindowCutsLongSessions) {
+  SegmenterOptions options;
+  options.strategy = SegmentationStrategy::kFixedWindow;
+  options.window_ms = 20 * kMinute;
+  // Queries every 10 minutes: the time-gap rule would keep one session;
+  // the fixed window cuts after 20 minutes of session duration.
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "a"),
+      MakeRecord(1, 10 * kMinute, "b"),
+      MakeRecord(1, 25 * kMinute, "c"),  // beyond the 20-minute window
+      MakeRecord(1, 30 * kMinute, "d"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].queries.size(), 2u);
+  EXPECT_EQ(sessions[1].queries.size(), 2u);
+}
+
+TEST(SessionSegmenterTest, SimilarityAssistedCutsTopicShift) {
+  SegmenterOptions options;
+  options.strategy = SegmentationStrategy::kSimilarityAssisted;
+  options.soft_timeout_ms = 10 * kMinute;
+  // 15-minute gap + no shared term: cut. Same gap with a shared term: keep.
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "kidney stones"),
+      MakeRecord(1, 15 * kMinute, "muzzle brake"),  // topic shift: cut
+      MakeRecord(1, 16 * kMinute, "muzzle brake reviews"),  // shares a term
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].queries.size(), 1u);
+  EXPECT_EQ(sessions[1].queries.size(), 2u);
+}
+
+TEST(SessionSegmenterTest, SimilarityAssistedKeepsRelatedAcrossSoftGap) {
+  SegmenterOptions options;
+  options.strategy = SegmentationStrategy::kSimilarityAssisted;
+  options.soft_timeout_ms = 10 * kMinute;
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "kidney stones"),
+      MakeRecord(1, 15 * kMinute, "kidney stone symptoms"),  // shared term
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  EXPECT_EQ(sessions.size(), 1u);
+}
+
+TEST(SessionSegmenterTest, SimilarityAssistedStillHonorsHardTimeout) {
+  SegmenterOptions options;
+  options.strategy = SegmentationStrategy::kSimilarityAssisted;
+  // Shared term but a gap beyond the hard 30-minute timeout: cut.
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "kidney stones"),
+      MakeRecord(1, 31 * kMinute, "kidney stone symptoms"),
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionSegmenterTest, SimilarityAssistedShortGapKeepsAnyTopic) {
+  SegmenterOptions options;
+  options.strategy = SegmentationStrategy::kSimilarityAssisted;
+  options.soft_timeout_ms = 10 * kMinute;
+  std::vector<RawLogRecord> records{
+      MakeRecord(1, 0, "kidney stones"),
+      MakeRecord(1, 2 * kMinute, "muzzle brake"),  // quick topic hop: keep
+  };
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter(options).Segment(records, &dict, &sessions).ok());
+  EXPECT_EQ(sessions.size(), 1u);
+}
+
+TEST(SessionSegmenterTest, AppendsToExistingSessions) {
+  QueryDictionary dict;
+  std::vector<Session> sessions;
+  ASSERT_TRUE(
+      SessionSegmenter().Segment({MakeRecord(1, 0, "a")}, &dict, &sessions)
+          .ok());
+  ASSERT_TRUE(
+      SessionSegmenter().Segment({MakeRecord(2, 0, "b")}, &dict, &sessions)
+          .ok());
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,68 @@
+#include "log/session_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+std::vector<AggregatedSession> SampleSessions() {
+  return {
+      {{1}, 10},
+      {{1, 2}, 5},
+      {{1, 2, 3}, 2},
+      {{4, 5}, 5},
+  };
+}
+
+TEST(SessionLengthHistogramTest, WeightedByFrequency) {
+  const auto hist = SessionLengthHistogram(SampleSessions());
+  EXPECT_EQ(hist.at(1), 10u);
+  EXPECT_EQ(hist.at(2), 10u);
+  EXPECT_EQ(hist.at(3), 2u);
+  EXPECT_EQ(hist.size(), 3u);
+}
+
+TEST(SessionFrequencyHistogramTest, CountsUniqueSessions) {
+  const auto hist = SessionFrequencyHistogram(SampleSessions());
+  EXPECT_EQ(hist.at(10), 1u);
+  EXPECT_EQ(hist.at(5), 2u);
+  EXPECT_EQ(hist.at(2), 1u);
+}
+
+TEST(MeanSessionLengthTest, WeightedMean) {
+  // (1*10 + 2*5 + 3*2 + 2*5) / 22 = 36/22.
+  EXPECT_NEAR(MeanSessionLength(SampleSessions()), 36.0 / 22.0, 1e-12);
+}
+
+TEST(MeanSessionLengthTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MeanSessionLength({}), 0.0);
+}
+
+TEST(FrequencyPowerLawAlphaTest, RecoversPlantedExponent) {
+  // Plant count(f) ~ f^-2.5 over f in [2, 60]; stop once the planted count
+  // would round below one unique session so the tail is not flattened.
+  std::vector<AggregatedSession> sessions;
+  QueryId next_query = 0;
+  for (uint64_t f = 2; f <= 60; ++f) {
+    const uint64_t sessions_with_f = static_cast<uint64_t>(
+        2e4 * std::pow(static_cast<double>(f), -2.5));
+    if (sessions_with_f == 0) break;
+    for (uint64_t i = 0; i < sessions_with_f; ++i) {
+      sessions.push_back({{next_query, next_query + 1}, f});
+      next_query += 2;
+    }
+  }
+  const double alpha = FrequencyPowerLawAlpha(sessions, 2);
+  EXPECT_NEAR(alpha, 2.5, 0.25);
+}
+
+TEST(FrequencyPowerLawAlphaTest, DegenerateInputIsZero) {
+  EXPECT_DOUBLE_EQ(FrequencyPowerLawAlpha({}, 2), 0.0);
+  // All sessions have frequency 1, below x_min = 2.
+  EXPECT_DOUBLE_EQ(FrequencyPowerLawAlpha({{{1}, 1}}, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,102 @@
+#include "synth/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two topics; topic 0 has intents 0 and 1, topic 1 has intent 2.
+    oracle_.RegisterQuery("smtp server", /*topic=*/0, /*intent=*/0);
+    oracle_.RegisterQuery("smtp server setup", 0, 0);
+    oracle_.RegisterQuery("pop3 server", 0, 1);
+    oracle_.RegisterQuery("muzzle brake", 1, 2);
+  }
+
+  std::vector<std::string> Ctx(std::initializer_list<const char*> queries) {
+    return std::vector<std::string>(queries.begin(), queries.end());
+  }
+
+  RelatednessOracle oracle_;
+};
+
+TEST_F(OracleTest, SameIntentRelated) {
+  const auto ctx = Ctx({"smtp server"});
+  EXPECT_TRUE(oracle_.IsRelated(ctx, "smtp server setup"));
+}
+
+TEST_F(OracleTest, SameTopicRelated) {
+  const auto ctx = Ctx({"smtp server"});
+  EXPECT_TRUE(oracle_.IsRelated(ctx, "pop3 server"));
+}
+
+TEST_F(OracleTest, DifferentTopicUnrelated) {
+  const auto ctx = Ctx({"smtp server"});
+  EXPECT_FALSE(oracle_.IsRelated(ctx, "muzzle brake"));
+}
+
+TEST_F(OracleTest, RepeatedQueryRelated) {
+  const auto ctx = Ctx({"muzzle brake"});
+  EXPECT_TRUE(oracle_.IsRelated(ctx, "muzzle brake"));
+}
+
+TEST_F(OracleTest, SpellingVariantRelated) {
+  // "smtp server" vs "smpt server" (edit distance 2 via transposition).
+  const auto ctx = Ctx({"smpt server"});
+  EXPECT_TRUE(oracle_.IsRelated(ctx, "smtp server"));
+}
+
+TEST_F(OracleTest, AnyContextQueryCanRelate) {
+  const auto ctx = Ctx({"muzzle brake", "smtp server"});
+  EXPECT_TRUE(oracle_.IsRelated(ctx, "pop3 server"));
+}
+
+TEST_F(OracleTest, UnknownCandidateUnrelatedUnlessStringMatch) {
+  const auto ctx = Ctx({"smtp server"});
+  EXPECT_FALSE(oracle_.IsRelated(ctx, "completely different query"));
+}
+
+TEST_F(OracleTest, EmptyContextUnrelated) {
+  std::vector<std::string> empty;
+  EXPECT_FALSE(oracle_.IsRelated(empty, "smtp server"));
+}
+
+TEST_F(OracleTest, NormalizationApplied) {
+  const auto ctx = Ctx({"  SMTP   Server "});
+  EXPECT_TRUE(oracle_.IsRelated(ctx, "POP3 SERVER"));
+}
+
+TEST_F(OracleTest, RegistrationIsIdempotentAndCounted) {
+  EXPECT_EQ(oracle_.num_registered(), 4u);
+  oracle_.RegisterQuery("smtp server", 0, 0);
+  EXPECT_EQ(oracle_.num_registered(), 4u);
+}
+
+TEST_F(OracleTest, QueryInMultipleTopicsRelatesToBoth) {
+  oracle_.RegisterQuery("java", 0, 0);
+  oracle_.RegisterQuery("java", 1, 2);
+  EXPECT_TRUE(oracle_.IsRelated(Ctx({"smtp server"}), "java"));
+  EXPECT_TRUE(oracle_.IsRelated(Ctx({"muzzle brake"}), "java"));
+}
+
+TEST_F(OracleTest, IdBasedJudgment) {
+  QueryDictionary dict;
+  const QueryId smtp = dict.Intern("smtp server");
+  const QueryId pop3 = dict.Intern("pop3 server");
+  const QueryId brake = dict.Intern("muzzle brake");
+  const std::vector<QueryId> ctx{smtp};
+  EXPECT_TRUE(oracle_.IsRelatedIds(dict, ctx, pop3));
+  EXPECT_FALSE(oracle_.IsRelatedIds(dict, ctx, brake));
+}
+
+TEST_F(OracleTest, IdBasedJudgmentRejectsUnknownIds) {
+  QueryDictionary dict;
+  dict.Intern("smtp server");
+  const std::vector<QueryId> ctx{0};
+  EXPECT_FALSE(oracle_.IsRelatedIds(dict, ctx, 999));
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,205 @@
+#include "synth/pattern.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/edit_distance.h"
+
+namespace sqp {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest()
+      : vocab_(VocabularyConfig{.num_terms = 600, .synonym_fraction = 0.5},
+               21),
+        topics_(&vocab_,
+                TopicModelConfig{.num_topics = 8,
+                                 .terms_per_topic = 12,
+                                 .intents_per_topic = 10,
+                                 .chain_depth = 4},
+                22),
+        generator_(&topics_) {}
+
+  Vocabulary vocab_;
+  TopicModel topics_;
+  PatternGenerator generator_;
+};
+
+TEST_F(PatternTest, NamesAreStable) {
+  EXPECT_EQ(PatternTypeName(PatternType::kSpellingChange), "Spelling change");
+  EXPECT_EQ(PatternTypeName(PatternType::kParallelMovement),
+            "Parallel movement");
+  EXPECT_EQ(PatternTypeName(PatternType::kGeneralization), "Generalization");
+  EXPECT_EQ(PatternTypeName(PatternType::kSpecialization), "Specialization");
+  EXPECT_EQ(PatternTypeName(PatternType::kSynonymSubstitution),
+            "Synonym substitution");
+  EXPECT_EQ(PatternTypeName(PatternType::kRepeatedQuery), "Repeated query");
+  EXPECT_EQ(PatternTypeName(PatternType::kOthers), "Others");
+}
+
+TEST_F(PatternTest, DefaultWeightsMatchPaperOrderSensitiveShare) {
+  PatternWeights weights;
+  double total = 0.0;
+  for (double w : weights.weight) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const double order_sensitive =
+      weights.weight[static_cast<size_t>(PatternType::kSpellingChange)] +
+      weights.weight[static_cast<size_t>(PatternType::kGeneralization)] +
+      weights.weight[static_cast<size_t>(PatternType::kSpecialization)];
+  EXPECT_NEAR(order_sensitive, 0.3434, 1e-9);  // 34.34% in paper Fig. 1
+}
+
+TEST_F(PatternTest, WeightSamplingMatchesDistribution) {
+  PatternWeights weights;
+  Rng rng(23);
+  std::map<PatternType, int> counts;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[weights.Sample(&rng)];
+  for (size_t t = 0; t < kNumPatternTypes; ++t) {
+    const double expected = weights.weight[t];
+    const double observed =
+        static_cast<double>(counts[static_cast<PatternType>(t)]) / draws;
+    EXPECT_NEAR(observed, expected, 0.01)
+        << PatternTypeName(static_cast<PatternType>(t));
+  }
+}
+
+TEST_F(PatternTest, SpellingChangeStartsWithTypo) {
+  Rng rng(29);
+  for (size_t intent = 0; intent < 20; ++intent) {
+    const PatternResult result =
+        generator_.Generate(PatternType::kSpellingChange, intent, &rng);
+    ASSERT_GE(result.queries.size(), 2u);
+    const std::string& base = topics_.intent(intent).chain[0];
+    EXPECT_NE(result.queries[0], base);
+    EXPECT_EQ(result.queries[1], base);
+    EXPECT_LE(EditDistance(std::string_view(result.queries[0]),
+                           std::string_view(base)),
+              2u);
+  }
+}
+
+TEST_F(PatternTest, ParallelMovementHopsWithinTopic) {
+  Rng rng(31);
+  for (size_t intent = 0; intent < 20; ++intent) {
+    const PatternResult result =
+        generator_.Generate(PatternType::kParallelMovement, intent, &rng);
+    ASSERT_GE(result.queries.size(), 2u);
+    ASSERT_EQ(result.queries.size(), result.intents.size());
+    const size_t topic = topics_.intent(intent).topic;
+    for (size_t provenance : result.intents) {
+      EXPECT_EQ(topics_.intent(provenance).topic, topic);
+    }
+    EXPECT_NE(result.intents[1], result.intents[0]);
+  }
+}
+
+TEST_F(PatternTest, GeneralizationShortensQueries) {
+  Rng rng(37);
+  for (size_t intent = 0; intent < 20; ++intent) {
+    const PatternResult result =
+        generator_.Generate(PatternType::kGeneralization, intent, &rng);
+    ASSERT_GE(result.queries.size(), 2u);
+    for (size_t i = 1; i < result.queries.size(); ++i) {
+      EXPECT_LT(result.queries[i].size(), result.queries[i - 1].size());
+    }
+  }
+}
+
+TEST_F(PatternTest, SpecializationExtendsQueries) {
+  Rng rng(41);
+  for (size_t intent = 0; intent < 20; ++intent) {
+    const PatternResult result =
+        generator_.Generate(PatternType::kSpecialization, intent, &rng);
+    ASSERT_GE(result.queries.size(), 2u);
+    for (size_t i = 1; i < result.queries.size(); ++i) {
+      // Each query extends the previous (prefix relation).
+      EXPECT_EQ(result.queries[i].substr(0, result.queries[i - 1].size()),
+                result.queries[i - 1]);
+    }
+  }
+}
+
+TEST_F(PatternTest, SynonymSubstitutionEndsWithCanonical) {
+  Rng rng(43);
+  for (size_t intent = 0; intent < topics_.num_intents(); ++intent) {
+    if (!generator_.Supports(PatternType::kSynonymSubstitution, intent)) {
+      continue;
+    }
+    const PatternResult result =
+        generator_.Generate(PatternType::kSynonymSubstitution, intent, &rng);
+    ASSERT_GE(result.queries.size(), 2u);
+    EXPECT_EQ(result.queries[1], topics_.intent(intent).chain[0]);
+    EXPECT_NE(result.queries[0], result.queries[1]);
+  }
+}
+
+TEST_F(PatternTest, RepeatedQueryHasConsecutiveRepeat) {
+  Rng rng(47);
+  for (size_t intent = 0; intent < 20; ++intent) {
+    const PatternResult result =
+        generator_.Generate(PatternType::kRepeatedQuery, intent, &rng);
+    ASSERT_GE(result.queries.size(), 3u);
+    bool has_repeat = false;
+    for (size_t i = 1; i < result.queries.size(); ++i) {
+      if (result.queries[i] == result.queries[i - 1]) has_repeat = true;
+    }
+    EXPECT_TRUE(has_repeat);
+  }
+}
+
+TEST_F(PatternTest, OthersCrossesTopics) {
+  Rng rng(53);
+  for (size_t intent = 0; intent < 20; ++intent) {
+    const PatternResult result =
+        generator_.Generate(PatternType::kOthers, intent, &rng);
+    ASSERT_EQ(result.queries.size(), 2u);
+    EXPECT_NE(topics_.intent(result.intents[0]).topic,
+              topics_.intent(result.intents[1]).topic);
+  }
+}
+
+TEST_F(PatternTest, IntentsParallelQueries) {
+  Rng rng(59);
+  for (size_t t = 0; t < kNumPatternTypes; ++t) {
+    const PatternResult result =
+        generator_.Generate(static_cast<PatternType>(t), 3, &rng);
+    EXPECT_EQ(result.queries.size(), result.intents.size())
+        << PatternTypeName(static_cast<PatternType>(t));
+  }
+}
+
+// Every pattern type yields a session of at least 2 queries (sweep across
+// types and seeds).
+class PatternSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(PatternSweepTest, AlwaysMultiQuery) {
+  const auto [type_index, seed] = GetParam();
+  Vocabulary vocab(VocabularyConfig{.num_terms = 600, .synonym_fraction = 0.5},
+                   61);
+  TopicModel topics(&vocab,
+                    TopicModelConfig{.num_topics = 8,
+                                     .terms_per_topic = 12,
+                                     .intents_per_topic = 10,
+                                     .chain_depth = 4},
+                    62);
+  PatternGenerator generator(&topics);
+  Rng rng(seed);
+  for (size_t intent = 0; intent < topics.num_intents(); intent += 3) {
+    const PatternResult result = generator.Generate(
+        static_cast<PatternType>(type_index), intent, &rng);
+    EXPECT_GE(result.queries.size(), 2u);
+    for (const std::string& q : result.queries) EXPECT_FALSE(q.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndSeeds, PatternSweepTest,
+    ::testing::Combine(::testing::Range<size_t>(0, kNumPatternTypes),
+                       ::testing::Values(101, 202, 303)));
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,115 @@
+#include "synth/session_generator.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+class SessionGeneratorTest : public ::testing::Test {
+ protected:
+  SessionGeneratorTest()
+      : vocab_(VocabularyConfig{.num_terms = 800, .synonym_fraction = 0.4},
+               71),
+        topics_(&vocab_,
+                TopicModelConfig{.num_topics = 12,
+                                 .terms_per_topic = 12,
+                                 .intents_per_topic = 10,
+                                 .chain_depth = 4},
+                72) {}
+
+  Vocabulary vocab_;
+  TopicModel topics_;
+};
+
+TEST_F(SessionGeneratorTest, SingletonRateMatchesConfig) {
+  SessionGeneratorConfig config;
+  config.singleton_prob = 0.4;
+  SessionGenerator generator(&topics_, config);
+  Rng rng(73);
+  int singletons = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const GeneratedSession s = generator.Generate(&rng);
+    if (s.singleton) {
+      ++singletons;
+      EXPECT_EQ(s.queries.size(), 1u);
+    } else {
+      EXPECT_GE(s.queries.size(), 2u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(singletons) / n, 0.4, 0.02);
+}
+
+TEST_F(SessionGeneratorTest, PatternDistributionMatchesWeights) {
+  SessionGeneratorConfig config;
+  config.singleton_prob = 0.0;
+  SessionGenerator generator(&topics_, config);
+  Rng rng(79);
+  std::map<PatternType, int> counts;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[generator.Generate(&rng).type];
+  for (size_t t = 0; t < kNumPatternTypes; ++t) {
+    const double expected = config.pattern_weights.weight[t];
+    const double observed =
+        static_cast<double>(counts[static_cast<PatternType>(t)]) / n;
+    EXPECT_NEAR(observed, expected, 0.012)
+        << PatternTypeName(static_cast<PatternType>(t));
+  }
+}
+
+TEST_F(SessionGeneratorTest, ZipfPopularityConcentratesOnHeadIntents) {
+  SessionGeneratorConfig config;
+  config.zipf_s = 1.2;
+  SessionGenerator generator(&topics_, config);
+  Rng rng(83);
+  std::map<size_t, int> intent_counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++intent_counts[generator.Generate(&rng).primary_intent];
+  }
+  // Intent 0 must dominate intent 50 by a wide margin under Zipf(1.2).
+  EXPECT_GT(intent_counts[0], 20 * std::max(1, intent_counts[50]));
+}
+
+TEST_F(SessionGeneratorTest, IntentsParallelQueries) {
+  SessionGenerator generator(&topics_, SessionGeneratorConfig{});
+  Rng rng(89);
+  for (int i = 0; i < 500; ++i) {
+    const GeneratedSession s = generator.Generate(&rng);
+    EXPECT_EQ(s.queries.size(), s.intents.size());
+    EXPECT_FALSE(s.queries.empty());
+  }
+}
+
+TEST_F(SessionGeneratorTest, DeterministicForSeed) {
+  SessionGenerator generator(&topics_, SessionGeneratorConfig{});
+  Rng a(97);
+  Rng b(97);
+  for (int i = 0; i < 200; ++i) {
+    const GeneratedSession sa = generator.Generate(&a);
+    const GeneratedSession sb = generator.Generate(&b);
+    EXPECT_EQ(sa.queries, sb.queries);
+    EXPECT_EQ(sa.type, sb.type);
+    EXPECT_EQ(sa.singleton, sb.singleton);
+  }
+}
+
+TEST_F(SessionGeneratorTest, MeanLengthInPaperRange) {
+  // Paper Section I-A: average query session length is 2-3; with singleton
+  // sessions included our generator should land in [1.5, 3.2].
+  SessionGenerator generator(&topics_, SessionGeneratorConfig{});
+  Rng rng(101);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(generator.Generate(&rng).queries.size());
+  }
+  const double mean = total / n;
+  EXPECT_GT(mean, 1.5);
+  EXPECT_LT(mean, 3.2);
+}
+
+}  // namespace
+}  // namespace sqp

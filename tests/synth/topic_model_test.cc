@@ -1,0 +1,108 @@
+#include "synth/topic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+class TopicModelTest : public ::testing::Test {
+ protected:
+  TopicModelTest()
+      : vocab_(VocabularyConfig{.num_terms = 800, .synonym_fraction = 0.5},
+               11),
+        topics_(&vocab_,
+                TopicModelConfig{.num_topics = 10,
+                                 .terms_per_topic = 12,
+                                 .intents_per_topic = 8,
+                                 .chain_depth = 4},
+                12) {}
+
+  Vocabulary vocab_;
+  TopicModel topics_;
+};
+
+TEST_F(TopicModelTest, IntentCount) {
+  EXPECT_EQ(topics_.num_intents(), 80u);
+  EXPECT_EQ(topics_.num_topics(), 10u);
+}
+
+TEST_F(TopicModelTest, ChainsHaveConfiguredDepth) {
+  for (size_t i = 0; i < topics_.num_intents(); ++i) {
+    EXPECT_EQ(topics_.intent(i).chain.size(), 4u);
+  }
+}
+
+TEST_F(TopicModelTest, ChainIsProgressiveSpecialization) {
+  for (size_t i = 0; i < topics_.num_intents(); ++i) {
+    const Intent& intent = topics_.intent(i);
+    for (size_t d = 1; d < intent.chain.size(); ++d) {
+      // Each deeper query strictly extends the previous with " <term>".
+      const std::string& shorter = intent.chain[d - 1];
+      const std::string& longer = intent.chain[d];
+      ASSERT_GT(longer.size(), shorter.size());
+      EXPECT_EQ(longer.substr(0, shorter.size()), shorter);
+      EXPECT_EQ(longer[shorter.size()], ' ');
+    }
+  }
+}
+
+TEST_F(TopicModelTest, BaseQueryUsesBaseTerms) {
+  for (size_t i = 0; i < topics_.num_intents(); ++i) {
+    const Intent& intent = topics_.intent(i);
+    std::string expected;
+    for (size_t t : intent.base_terms) {
+      if (!expected.empty()) expected += ' ';
+      expected += vocab_.term(t);
+    }
+    EXPECT_EQ(intent.chain[0], expected);
+  }
+}
+
+TEST_F(TopicModelTest, SiblingStaysInTopic) {
+  Rng rng(13);
+  for (size_t i = 0; i < topics_.num_intents(); i += 7) {
+    const size_t sibling = topics_.SampleSibling(i, &rng);
+    EXPECT_EQ(topics_.intent(sibling).topic, topics_.intent(i).topic);
+    EXPECT_NE(sibling, i);  // 8 intents per topic: a sibling must exist
+  }
+}
+
+TEST_F(TopicModelTest, UnrelatedLeavesTopic) {
+  Rng rng(17);
+  for (size_t i = 0; i < topics_.num_intents(); i += 7) {
+    const size_t other = topics_.SampleUnrelated(i, &rng);
+    EXPECT_NE(topics_.intent(other).topic, topics_.intent(i).topic);
+  }
+}
+
+TEST_F(TopicModelTest, SynonymVariantDiffersFromBase) {
+  size_t variants = 0;
+  for (size_t i = 0; i < topics_.num_intents(); ++i) {
+    if (!topics_.HasSynonymVariant(i)) continue;
+    const auto variant = topics_.SynonymVariant(i);
+    ASSERT_TRUE(variant.has_value());
+    EXPECT_NE(*variant, topics_.intent(i).chain[0]);
+    ++variants;
+  }
+  // With synonym_fraction = 0.5, a majority of intents should have one.
+  EXPECT_GT(variants, topics_.num_intents() / 4);
+}
+
+TEST_F(TopicModelTest, UrlEncodesTopicAndSite) {
+  EXPECT_EQ(topics_.Url(17, 3), "www.topic17-site3.example.com");
+}
+
+TEST_F(TopicModelTest, DeterministicForSeed) {
+  TopicModel again(&vocab_,
+                   TopicModelConfig{.num_topics = 10,
+                                    .terms_per_topic = 12,
+                                    .intents_per_topic = 8,
+                                    .chain_depth = 4},
+                   12);
+  for (size_t i = 0; i < topics_.num_intents(); ++i) {
+    EXPECT_EQ(again.intent(i).chain, topics_.intent(i).chain);
+  }
+}
+
+}  // namespace
+}  // namespace sqp

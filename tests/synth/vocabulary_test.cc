@@ -1,0 +1,115 @@
+#include "synth/vocabulary.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(VocabularyTest, GeneratesRequestedSize) {
+  VocabularyConfig config;
+  config.num_terms = 500;
+  Vocabulary vocab(config, 1);
+  EXPECT_EQ(vocab.size(), 500u);
+}
+
+TEST(VocabularyTest, TermsAreUniqueAndNonEmpty) {
+  VocabularyConfig config;
+  config.num_terms = 1000;
+  Vocabulary vocab(config, 2);
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_FALSE(vocab.term(i).empty());
+    EXPECT_TRUE(seen.insert(vocab.term(i)).second) << vocab.term(i);
+  }
+}
+
+TEST(VocabularyTest, DeterministicForSeed) {
+  VocabularyConfig config;
+  config.num_terms = 200;
+  Vocabulary a(config, 42);
+  Vocabulary b(config, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.term(i), b.term(i));
+    EXPECT_EQ(a.Synonym(i), b.Synonym(i));
+  }
+}
+
+TEST(VocabularyTest, DifferentSeedsDiffer) {
+  VocabularyConfig config;
+  config.num_terms = 200;
+  Vocabulary a(config, 1);
+  Vocabulary b(config, 2);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.term(i) == b.term(i)) ++same;
+  }
+  EXPECT_LT(same, 20u);
+}
+
+TEST(VocabularyTest, SynonymFractionApproximate) {
+  VocabularyConfig config;
+  config.num_terms = 2000;
+  config.synonym_fraction = 0.3;
+  Vocabulary vocab(config, 3);
+  size_t with_synonym = 0;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    if (vocab.HasSynonym(i)) ++with_synonym;
+  }
+  const double fraction = static_cast<double>(with_synonym) / 2000.0;
+  EXPECT_NEAR(fraction, 0.3, 0.04);
+}
+
+TEST(VocabularyTest, SynonymDiffersFromAllTerms) {
+  VocabularyConfig config;
+  config.num_terms = 300;
+  config.synonym_fraction = 1.0;
+  Vocabulary vocab(config, 4);
+  std::unordered_set<std::string> terms;
+  for (size_t i = 0; i < vocab.size(); ++i) terms.insert(vocab.term(i));
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    ASSERT_TRUE(vocab.HasSynonym(i));
+    EXPECT_EQ(terms.count(*vocab.Synonym(i)), 0u);
+  }
+}
+
+TEST(VocabularyTest, ZeroSynonymFraction) {
+  VocabularyConfig config;
+  config.num_terms = 100;
+  config.synonym_fraction = 0.0;
+  Vocabulary vocab(config, 5);
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_FALSE(vocab.HasSynonym(i));
+    EXPECT_FALSE(vocab.Synonym(i).has_value());
+  }
+}
+
+TEST(VocabularyTest, MisspellAlwaysDiffers) {
+  VocabularyConfig config;
+  config.num_terms = 100;
+  Vocabulary vocab(config, 6);
+  Rng rng(7);
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    for (int round = 0; round < 5; ++round) {
+      EXPECT_NE(vocab.Misspell(vocab.term(i), &rng), vocab.term(i));
+    }
+  }
+}
+
+TEST(VocabularyTest, MisspellIsSmallEdit) {
+  VocabularyConfig config;
+  config.num_terms = 50;
+  Vocabulary vocab(config, 8);
+  Rng rng(9);
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    const std::string typo = vocab.Misspell(vocab.term(i), &rng);
+    const size_t diff =
+        typo.size() > vocab.term(i).size() ? typo.size() - vocab.term(i).size()
+                                           : vocab.term(i).size() - typo.size();
+    EXPECT_LE(diff, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace sqp

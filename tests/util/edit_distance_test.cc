@@ -1,0 +1,89 @@
+#include "util/edit_distance.h"
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+using StringCase = std::tuple<std::string, std::string, size_t>;
+
+class StringEditDistanceTest : public ::testing::TestWithParam<StringCase> {};
+
+TEST_P(StringEditDistanceTest, MatchesExpected) {
+  const auto& [a, b, expected] = GetParam();
+  EXPECT_EQ(EditDistance(std::string_view(a), std::string_view(b)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownCases, StringEditDistanceTest,
+    ::testing::Values(
+        StringCase{"", "", 0}, StringCase{"a", "", 1}, StringCase{"", "abc", 3},
+        StringCase{"abc", "abc", 0}, StringCase{"kitten", "sitting", 3},
+        StringCase{"goggle", "google", 1},  // the paper's spelling example
+        StringCase{"youtub", "youtube", 1},
+        StringCase{"flaw", "lawn", 2}, StringCase{"abc", "cba", 2}));
+
+TEST(StringEditDistanceTest, Symmetry) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"abcd", "badc"}, {"query", "queries"}, {"x", "yz"}};
+  for (const auto& [a, b] : cases) {
+    EXPECT_EQ(EditDistance(std::string_view(a), std::string_view(b)),
+              EditDistance(std::string_view(b), std::string_view(a)));
+  }
+}
+
+TEST(IdEditDistanceTest, EmptySequences) {
+  std::vector<uint32_t> empty;
+  std::vector<uint32_t> abc{1, 2, 3};
+  EXPECT_EQ(EditDistance(std::span<const uint32_t>(empty),
+                         std::span<const uint32_t>(empty)),
+            0u);
+  EXPECT_EQ(EditDistance(std::span<const uint32_t>(abc),
+                         std::span<const uint32_t>(empty)),
+            3u);
+}
+
+TEST(IdEditDistanceTest, SuffixDistanceIsLengthDifference) {
+  // The MVMM case: matched state is a suffix of the context.
+  std::vector<uint32_t> context{5, 6, 7, 8};
+  std::vector<uint32_t> suffix{7, 8};
+  EXPECT_EQ(EditDistance(std::span<const uint32_t>(context),
+                         std::span<const uint32_t>(suffix)),
+            2u);
+}
+
+TEST(IdEditDistanceTest, SubstitutionCountsOne) {
+  std::vector<uint32_t> a{1, 2, 3};
+  std::vector<uint32_t> b{1, 9, 3};
+  EXPECT_EQ(EditDistance(std::span<const uint32_t>(a),
+                         std::span<const uint32_t>(b)),
+            1u);
+}
+
+TEST(IdEditDistanceTest, TriangleInequalityHolds) {
+  std::vector<uint32_t> a{1, 2, 3, 4};
+  std::vector<uint32_t> b{2, 3, 4, 5};
+  std::vector<uint32_t> c{9, 9};
+  const size_t ab = EditDistance(std::span<const uint32_t>(a),
+                                 std::span<const uint32_t>(b));
+  const size_t bc = EditDistance(std::span<const uint32_t>(b),
+                                 std::span<const uint32_t>(c));
+  const size_t ac = EditDistance(std::span<const uint32_t>(a),
+                                 std::span<const uint32_t>(c));
+  EXPECT_LE(ac, ab + bc);
+}
+
+TEST(IdEditDistanceTest, BoundedByMaxLength) {
+  std::vector<uint32_t> a{1, 2, 3, 4, 5};
+  std::vector<uint32_t> b{6, 7};
+  EXPECT_LE(EditDistance(std::span<const uint32_t>(a),
+                         std::span<const uint32_t>(b)),
+            5u);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,66 @@
+#include "util/hash.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(Fnv1aTest, StableKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(Fnv1aTest, DiffersByContent) {
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString("abc"), HashString("ab"));
+}
+
+TEST(Fnv1aTest, SameContentSameHash) {
+  EXPECT_EQ(HashString("query recommendation"),
+            HashString("query recommendation"));
+}
+
+TEST(Fnv1aTest, SeedChangesHash) {
+  const char data[] = "x";
+  EXPECT_NE(Fnv1a64(data, 1, 1), Fnv1a64(data, 1, 2));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  const uint64_t h = 0x1234;
+  EXPECT_NE(HashCombine(HashCombine(h, 1), 2),
+            HashCombine(HashCombine(h, 2), 1));
+}
+
+TEST(HashIdSequenceTest, EmptySequenceStable) {
+  std::vector<uint32_t> empty;
+  EXPECT_EQ(HashIdSequence(empty), HashIdSequence(empty));
+}
+
+TEST(HashIdSequenceTest, LengthDisambiguation) {
+  // [0] vs [0, 0] vs [] must all differ (id 0 is a valid QueryId).
+  std::vector<uint32_t> none;
+  std::vector<uint32_t> one{0};
+  std::vector<uint32_t> two{0, 0};
+  EXPECT_NE(HashIdSequence(none), HashIdSequence(one));
+  EXPECT_NE(HashIdSequence(one), HashIdSequence(two));
+}
+
+TEST(HashIdSequenceTest, OrderSensitive) {
+  std::vector<uint32_t> ab{1, 2};
+  std::vector<uint32_t> ba{2, 1};
+  EXPECT_NE(HashIdSequence(ab), HashIdSequence(ba));
+}
+
+TEST(IdSequenceHashTest, UsableInUnorderedMap) {
+  std::unordered_map<std::vector<uint32_t>, int, IdSequenceHash> map;
+  map[{1, 2, 3}] = 7;
+  map[{1, 2}] = 8;
+  EXPECT_EQ(map.at({1, 2, 3}), 7);
+  EXPECT_EQ(map.at({1, 2}), 8);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqp

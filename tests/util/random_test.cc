@@ -1,0 +1,206 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntStaysInBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformInt(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntBoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerateEnds) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(29);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(31);
+  const double lambda = 2.0;
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(lambda);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(43);
+  Rng fork = a.Fork();
+  // The fork differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == fork.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (size_t k = 0; k < zipf.size(); ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfMonotonicallyDecreasing) {
+  ZipfSampler zipf(50, 1.5);
+  for (size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t k = 0; k < zipf.size(); ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElementAlwaysZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(47);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+// Parameterized frequency check: empirical head frequency matches the pmf
+// across exponents.
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, EmpiricalHeadMatchesPmf) {
+  const double s = GetParam();
+  const size_t n = 200;
+  ZipfSampler zipf(n, s);
+  Rng rng(53);
+  std::vector<int> counts(n, 0);
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < 3; ++k) {
+    const double expected = zipf.Pmf(k);
+    const double observed = static_cast<double>(counts[k]) / draws;
+    EXPECT_NEAR(observed, expected, 0.015)
+        << "s=" << s << " rank=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweepTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.15, 1.5, 2.0));
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,111 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing key").message(), "missing key");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusCodeNameTest, AllCodesNamed) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "def";
+  EXPECT_EQ(*r, "abcdef");
+  EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(ResultTest, OkStatusConstructionBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status HelperThatFails() { return Status::IOError("inner"); }
+
+Status UsesReturnIfError() {
+  SQP_RETURN_IF_ERROR(HelperThatFails());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIOError);
+}
+
+Status HelperThatSucceeds() { return Status::OK(); }
+
+Status UsesReturnIfErrorOk() {
+  SQP_RETURN_IF_ERROR(HelperThatSucceeds());
+  return Status::NotFound("fell through");
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorFallsThroughOnOk) {
+  EXPECT_EQ(UsesReturnIfErrorOk().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusMacrosTest, CheckPassesOnTrue) {
+  SQP_CHECK(1 + 1 == 2);  // must not abort
+  SQP_CHECK_OK(Status::OK());
+}
+
+TEST(StatusDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(SQP_CHECK(false), "SQP_CHECK failed");
+}
+
+TEST(StatusDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(SQP_CHECK_OK(Status::Internal("boom")), "boom");
+}
+
+}  // namespace
+}  // namespace sqp
