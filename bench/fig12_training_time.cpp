@@ -9,10 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness.h"
+#include "json_report.h"
 
 namespace {
 
@@ -80,8 +82,9 @@ void BM_Train(benchmark::State& state) {
   TrainingData data;
   data.sessions = &sessions;
   data.vocabulary_size = SharedHarness().dictionary().size();
+  std::unique_ptr<sqp::PredictionModel> model;
   for (auto _ : state) {
-    auto model = CreateModel(ConfigFor(kind_index));
+    model = CreateModel(ConfigFor(kind_index));
     SQP_CHECK_OK(model->Train(data));
     benchmark::DoNotOptimize(model);
   }
@@ -90,6 +93,9 @@ void BM_Train(benchmark::State& state) {
                  std::to_string(sessions.size()) + " unique sessions)");
   state.counters["unique_sessions"] =
       static_cast<double>(sessions.size());
+  const sqp::ModelStats stats = model->Stats();
+  state.counters["model_states"] = static_cast<double>(stats.num_states);
+  state.counters["model_bytes"] = static_cast<double>(stats.memory_bytes);
 }
 
 }  // namespace
@@ -99,4 +105,6 @@ BENCHMARK(BM_Train)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sqp::bench::RunBenchmarksWithJson(argc, argv, "BENCH_train.json");
+}

@@ -1,0 +1,85 @@
+#ifndef SQP_BENCH_JSON_REPORT_H_
+#define SQP_BENCH_JSON_REPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sqp::bench {
+
+/// Console reporter that additionally captures every measured run so the
+/// perf-tracked benches can emit a machine-readable sidecar file
+/// (BENCH_*.json) for cross-PR trend tracking.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) runs_.push_back(run);
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Runs the registered benchmarks with console output plus a JSON dump at
+/// `json_path`: one object per measurement with wall/cpu time (in the
+/// benchmark's declared unit), iteration count, display label and every
+/// user counter (e.g. model_states / model_bytes).
+inline int RunBenchmarksWithJson(int argc, char** argv,
+                                 const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  bool first = true;
+  for (const auto& run : reporter.runs()) {
+    if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) {
+      continue;
+    }
+    std::fprintf(out,
+                 "%s  {\"name\": \"%s\", \"label\": \"%s\", "
+                 "\"iterations\": %lld, \"real_time\": %.6f, "
+                 "\"cpu_time\": %.6f, \"time_unit\": \"%s\"",
+                 first ? "" : ",\n",
+                 JsonEscape(run.benchmark_name()).c_str(),
+                 JsonEscape(run.report_label).c_str(),
+                 static_cast<long long>(run.iterations),
+                 run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                 benchmark::GetTimeUnitString(run.time_unit));
+    for (const auto& [name, counter] : run.counters) {
+      std::fprintf(out, ", \"%s\": %.6f", JsonEscape(name).c_str(),
+                   static_cast<double>(counter));
+    }
+    std::fprintf(out, "}");
+    first = false;
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::printf("JSON results written to %s\n", json_path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sqp::bench
+
+#endif  // SQP_BENCH_JSON_REPORT_H_

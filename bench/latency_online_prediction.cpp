@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "json_report.h"
 
 namespace {
 
@@ -59,10 +60,15 @@ void BM_Recommend(benchmark::State& state) {
   }
   state.SetLabel(std::string(model->Name()));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const sqp::ModelStats stats = model->Stats();
+  state.counters["model_states"] = static_cast<double>(stats.num_states);
+  state.counters["model_bytes"] = static_cast<double>(stats.memory_bytes);
 }
 
 }  // namespace
 
 BENCHMARK(BM_Recommend)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sqp::bench::RunBenchmarksWithJson(argc, argv, "BENCH_latency.json");
+}

@@ -6,11 +6,46 @@
 #include <thread>
 #include <unordered_set>
 
-#include "util/edit_distance.h"
 #include "util/hash.h"
 #include "util/math_util.h"
 
 namespace sqp {
+namespace {
+
+/// Deduplicates (query, score) contributions by query and fills the top-N
+/// ranking (score desc, query asc). `raw` is scratch owned by the caller;
+/// bounded selection via nth_element avoids sorting the full candidate set.
+void MergeAndRank(std::vector<ScoredQuery>* raw, size_t top_n,
+                  Recommendation* rec) {
+  std::sort(raw->begin(), raw->end(),
+            [](const ScoredQuery& a, const ScoredQuery& b) {
+              return a.query < b.query;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < raw->size();) {
+    ScoredQuery merged = (*raw)[i];
+    for (++i; i < raw->size() && (*raw)[i].query == merged.query; ++i) {
+      merged.score += (*raw)[i].score;
+    }
+    (*raw)[out++] = merged;
+  }
+  raw->resize(out);
+
+  const auto by_rank = [](const ScoredQuery& a, const ScoredQuery& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.query < b.query;
+  };
+  if (raw->size() > top_n) {
+    std::nth_element(raw->begin(),
+                     raw->begin() + static_cast<ptrdiff_t>(top_n), raw->end(),
+                     by_rank);
+    raw->resize(top_n);
+  }
+  std::sort(raw->begin(), raw->end(), by_rank);
+  rec->queries.assign(raw->begin(), raw->end());
+}
+
+}  // namespace
 
 std::vector<VmmOptions> MvmmOptions::DefaultComponents(size_t max_depth) {
   // Paper Section IV-C.2 trains "K D-bounded VMM models, {P_D, D=1..K}",
@@ -50,6 +85,7 @@ Status MvmmModel::Train(const TrainingData& data) {
   }
   vocabulary_size_ = data.vocabulary_size;
   components_.clear();
+  shared_pst_.reset();
 
   // One shared counting pass for all components. Depth must accommodate the
   // deepest component; any unbounded component forces an unbounded index.
@@ -59,39 +95,67 @@ Status MvmmModel::Train(const TrainingData& data) {
     if (c.max_depth == 0) any_unbounded = true;
     shared_depth = std::max(shared_depth, c.max_depth);
   }
-  ContextIndex shared_index;
-  shared_index.Build(*data.sessions, ContextIndex::Mode::kSubstring,
-                     any_unbounded ? 0 : shared_depth);
+  const size_t need_depth = any_unbounded ? 0 : shared_depth;
+  const ContextIndex* index = data.substring_index;
+  const bool compatible =
+      index != nullptr && index->CoversSubstringDepth(need_depth);
+  ContextIndex local;
+  if (!compatible) {
+    local.Build(*data.sessions, ContextIndex::Mode::kSubstring, need_depth);
+    index = &local;
+  }
 
-  TrainingData component_data = data;
-  component_data.substring_index = &shared_index;
   for (const VmmOptions& c : options_.components) {
     components_.push_back(std::make_unique<VmmModel>(c));
   }
-  if (options_.training_threads <= 1) {
-    for (const auto& vmm : components_) {
-      SQP_RETURN_IF_ERROR(vmm->Train(component_data));
+
+  if (components_.size() <= Pst::kMaxViews) {
+    // Single-pass shared build: one maximal tree with per-node component
+    // membership masks; every component becomes a pruned view of it.
+    std::vector<PstOptions> views;
+    views.reserve(components_.size());
+    for (const VmmOptions& c : options_.components) {
+      views.push_back(PstOptions{.epsilon = c.epsilon,
+                                 .max_depth = c.max_depth,
+                                 .min_support = c.min_support});
+    }
+    auto shared = std::make_shared<Pst>();
+    SQP_RETURN_IF_ERROR(shared->BuildShared(*index, views));
+    shared_pst_ = std::move(shared);
+    for (size_t c = 0; c < components_.size(); ++c) {
+      SQP_RETURN_IF_ERROR(components_[c]->TrainFromSharedPst(
+          shared_pst_, c, data.vocabulary_size));
     }
   } else {
-    // Components are independent given the shared (read-only) index; shard
-    // them across workers (paper Section V-F.1).
-    std::vector<Status> statuses(components_.size());
-    std::vector<std::thread> workers;
-    const size_t num_workers =
-        std::min(options_.training_threads, components_.size());
-    std::atomic<size_t> next{0};
-    for (size_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back([&] {
-        while (true) {
-          const size_t i = next.fetch_add(1);
-          if (i >= components_.size()) return;
-          statuses[i] = components_[i]->Train(component_data);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-    for (const Status& status : statuses) {
-      SQP_RETURN_IF_ERROR(status);
+    // Defensive fallback beyond the mask width: standalone component
+    // training off the shared counting pass, sharded across workers when
+    // requested (this is the one remaining path with real per-component
+    // training cost; paper Section V-F.1).
+    TrainingData component_data = data;
+    component_data.substring_index = index;
+    if (options_.training_threads <= 1) {
+      for (const auto& vmm : components_) {
+        SQP_RETURN_IF_ERROR(vmm->Train(component_data));
+      }
+    } else {
+      std::vector<Status> statuses(components_.size());
+      std::vector<std::thread> workers;
+      const size_t num_workers =
+          std::min(options_.training_threads, components_.size());
+      std::atomic<size_t> next{0};
+      for (size_t w = 0; w < num_workers; ++w) {
+        workers.emplace_back([&] {
+          while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= components_.size()) return;
+            statuses[i] = components_[i]->Train(component_data);
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      for (const Status& status : statuses) {
+        SQP_RETURN_IF_ERROR(status);
+      }
     }
   }
 
@@ -103,15 +167,45 @@ Status MvmmModel::Train(const TrainingData& data) {
   return Status::OK();
 }
 
+size_t MvmmModel::SharedMatchDepths(std::span<const QueryId> context,
+                                    std::vector<int32_t>* path,
+                                    std::vector<size_t>* matched) const {
+  const size_t depth = shared_pst_->MatchPath(context, path);
+  const size_t k = components_.size();
+  matched->assign(k, 0);
+  const std::vector<Pst::ViewMask>& masks = shared_pst_->view_masks();
+  for (size_t c = 0; c < k; ++c) {
+    const Pst::ViewMask bit = Pst::ViewMask{1} << c;
+    // View membership is ancestor-closed, so the nodes carrying this
+    // component's bit form a prefix of the path.
+    size_t m = depth;
+    while (m > 0 &&
+           (masks[static_cast<size_t>((*path)[m - 1])] & bit) == 0) {
+      --m;
+    }
+    (*matched)[c] = m;
+  }
+  return depth;
+}
+
+double MvmmModel::EscapeWeight(const Pst::Node& state, size_t context_len,
+                               size_t matched, size_t component) const {
+  const size_t dropped = context_len - matched;
+  if (dropped == 0) return 1.0;
+  return internal::EscapeMass(
+      state, dropped, components_[component]->options().default_escape);
+}
+
 std::vector<double> MvmmModel::RawWeights(
-    std::span<const QueryId> context,
-    const std::vector<VmmMatch>& matches) const {
+    size_t context_len, const std::vector<size_t>& matched) const {
   std::vector<double> weights(components_.size(), 0.0);
   switch (options_.weighting) {
     case MixtureWeighting::kGaussianEditDistance: {
       for (size_t c = 0; c < components_.size(); ++c) {
-        const double d = static_cast<double>(
-            EditDistance(context, matches[c].state->context));
+        // The matched state's context is the trailing matched[c] queries of
+        // the online context, so the edit distance degenerates to the
+        // number of dropped prefix queries.
+        const double d = static_cast<double>(context_len - matched[c]);
         weights[c] = GaussianPdf(d, sigmas_[c]);
       }
       // With a tightly fitted sigma the Gaussian can underflow for every
@@ -121,7 +215,7 @@ std::vector<double> MvmmModel::RawWeights(
       for (double w : weights) total += w;
       if (total <= 1e-280) {
         for (size_t c = 0; c < components_.size(); ++c) {
-          weights[c] = 1.0 + static_cast<double>(matches[c].matched_length);
+          weights[c] = 1.0 + static_cast<double>(matched[c]);
         }
       }
       break;
@@ -131,16 +225,64 @@ std::vector<double> MvmmModel::RawWeights(
       break;
     case MixtureWeighting::kLongestMatch: {
       size_t best = 0;
-      for (const VmmMatch& match : matches) {
-        best = std::max(best, match.matched_length);
-      }
+      for (size_t m : matched) best = std::max(best, m);
       for (size_t c = 0; c < components_.size(); ++c) {
-        weights[c] = matches[c].matched_length == best ? 1.0 : 0.0;
+        weights[c] = matched[c] == best ? 1.0 : 0.0;
       }
       break;
     }
   }
   return weights;
+}
+
+void MvmmModel::BuildWeightSample(const AggregatedSession& session,
+                                  WeightSample* sample) const {
+  const size_t k = components_.size();
+  const std::vector<QueryId>& q = session.queries;
+  sample->edit_distance.resize(k);
+  sample->sequence_prob.assign(k, 1.0);
+
+  if (shared_pst_ == nullptr) {
+    const std::span<const QueryId> full(q.data(), q.size() - 1);
+    for (size_t c = 0; c < k; ++c) {
+      const VmmMatch match = components_[c]->Match(full);
+      sample->edit_distance[c] =
+          static_cast<double>(full.size() - match.matched_length);
+      sample->sequence_prob[c] = components_[c]->SequenceProb(q);
+    }
+    return;
+  }
+
+  thread_local std::vector<int32_t> path;
+  thread_local std::vector<size_t> matched;
+  thread_local std::vector<double> cond_at;  // per matched depth, 0 = root
+
+  // Eq. 3 chain for every component off one tree walk per prefix: all
+  // component states lie on the recorded path, so the smoothed conditional
+  // is computed once per distinct matched depth instead of once per
+  // component. The final prefix is the full context, whose matched depths
+  // also yield the edit distances (d = dropped prefix queries).
+  const std::vector<Pst::Node>& nodes = shared_pst_->nodes();
+  for (size_t i = 1; i < q.size(); ++i) {
+    const std::span<const QueryId> prefix(q.data(), i);
+    const size_t depth = SharedMatchDepths(prefix, &path, &matched);
+    cond_at.assign(depth + 1, -1.0);
+    for (size_t c = 0; c < k; ++c) {
+      const size_t m = matched[c];
+      const Pst::Node& state =
+          m == 0 ? nodes[0] : nodes[static_cast<size_t>(path[m - 1])];
+      if (cond_at[m] < 0.0) {
+        cond_at[m] = internal::SmoothedProb(state.nexts, state.total_count,
+                                            vocabulary_size_, q[i]);
+      }
+      sample->sequence_prob[c] *= EscapeWeight(state, i, m, c) * cond_at[m];
+    }
+    if (i + 1 == q.size()) {  // prefix == full context
+      for (size_t c = 0; c < k; ++c) {
+        sample->edit_distance[c] = static_cast<double>(i - matched[c]);
+      }
+    }
+  }
 }
 
 void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
@@ -164,55 +306,61 @@ void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
   if (pool.empty()) return;
 
   const size_t k = components_.size();
-  std::vector<WeightSample> samples;
-  samples.reserve(pool.size());
+  std::vector<WeightSample> samples(pool.size());
   double weight_total = 0.0;
-  for (const AggregatedSession* s : pool) {
-    WeightSample sample;
-    sample.weight = static_cast<double>(s->frequency);
-    weight_total += sample.weight;
-    sample.edit_distance.resize(k);
-    sample.sequence_prob.resize(k);
-    const std::span<const QueryId> full_context(
-        s->queries.data(), s->queries.size() - 1);
-    for (size_t c = 0; c < k; ++c) {
-      const VmmMatch match = components_[c]->Match(full_context);
-      sample.edit_distance[c] = static_cast<double>(
-          EditDistance(full_context, match.state->context));
-      sample.sequence_prob[c] = components_[c]->SequenceProb(s->queries);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    samples[i].weight = static_cast<double>(pool[i]->frequency);
+    weight_total += samples[i].weight;
+  }
+  // Per-sample evaluation is independent and writes only its own slot, so
+  // sharding it across workers leaves the result bit-identical.
+  if (options_.training_threads > 1 && samples.size() > 1) {
+    std::vector<std::thread> workers;
+    const size_t num_workers =
+        std::min(options_.training_threads, samples.size());
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= samples.size()) return;
+          BuildWeightSample(*pool[i], &samples[i]);
+        }
+      });
     }
-    samples.push_back(std::move(sample));
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (size_t i = 0; i < samples.size(); ++i) {
+      BuildWeightSample(*pool[i], &samples[i]);
+    }
   }
   for (WeightSample& s : samples) s.weight /= weight_total;
 
+  // Edit distances are dropped-prefix counts: small integers. The fit
+  // evaluators run off (component, distance) lookup tables sized by the
+  // largest observed distance.
+  size_t max_d = 0;
+  for (const WeightSample& s : samples) {
+    for (double d : s.edit_distance) {
+      max_d = std::max(max_d, static_cast<size_t>(d));
+    }
+  }
+
   // Maximize f(sigma) = sum_X P(X) log sum_D g(d_D; sigma_D) P_D(X).
-  // Damped Newton with a numerically differenced Hessian of the analytic
-  // gradient; gradient-ascent fallback keeps every accepted step an
+  // Damped Newton with the analytic Hessian (one pass over the samples per
+  // iteration); gradient-ascent fallback keeps every accepted step an
   // improvement.
-  double f = Objective(samples, sigmas_);
+  double f = Objective(samples, sigmas_, max_d);
   fit_report_.initial_objective = f;
-  const double kFdStep = 1e-4;
+  std::vector<double> grad;
+  std::vector<double> hessian;
   for (size_t iter = 0; iter < options_.max_newton_iterations; ++iter) {
-    const std::vector<double> grad = Gradient(samples, sigmas_);
+    const double f_before = f;
+    FitDerivatives(samples, sigmas_, max_d, &grad, &hessian);
     double grad_norm = 0.0;
     for (double g : grad) grad_norm += g * g;
     grad_norm = std::sqrt(grad_norm);
     if (grad_norm < 1e-9) break;
-
-    // Hessian via central differences of the gradient.
-    std::vector<double> hessian(k * k, 0.0);
-    for (size_t j = 0; j < k; ++j) {
-      std::vector<double> plus = sigmas_;
-      std::vector<double> minus = sigmas_;
-      plus[j] += kFdStep;
-      minus[j] = std::max(options_.min_sigma, minus[j] - kFdStep);
-      const double denom = plus[j] - minus[j];
-      const std::vector<double> gp = Gradient(samples, plus);
-      const std::vector<double> gm = Gradient(samples, minus);
-      for (size_t i = 0; i < k; ++i) {
-        hessian[i * k + j] = (gp[i] - gm[i]) / denom;
-      }
-    }
 
     std::vector<double> step;
     bool have_newton =
@@ -228,7 +376,7 @@ void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
           trial[i] = std::max(options_.min_sigma,
                               trial[i] - damping * step[i]);
         }
-        const double ft = Objective(samples, trial);
+        const double ft = Objective(samples, trial, max_d);
         if (ft > f) {
           sigmas_ = std::move(trial);
           f = ft;
@@ -246,7 +394,7 @@ void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
         for (size_t i = 0; i < k; ++i) {
           trial[i] = std::max(options_.min_sigma, trial[i] + lr * grad[i]);
         }
-        const double ft = Objective(samples, trial);
+        const double ft = Objective(samples, trial, max_d);
         if (ft > f) {
           sigmas_ = std::move(trial);
           f = ft;
@@ -257,17 +405,34 @@ void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
     }
     ++fit_report_.iterations;
     if (!accepted) break;  // converged (no improving step)
+    // Converged: the accepted step no longer moves the objective.
+    const double improvement = f - f_before;
+    if (improvement <
+        options_.convergence_tolerance * (1.0 + std::fabs(f_before))) {
+      break;
+    }
   }
   fit_report_.final_objective = f;
 }
 
 double MvmmModel::Objective(const std::vector<WeightSample>& samples,
-                            const std::vector<double>& sigmas) const {
+                            const std::vector<double>& sigmas,
+                            size_t max_d) const {
+  const size_t k = sigmas.size();
+  const size_t stride = max_d + 1;
+  thread_local std::vector<double> g_table;
+  g_table.assign(k * stride, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t d = 0; d <= max_d; ++d) {
+      g_table[c * stride + d] = GaussianPdf(static_cast<double>(d), sigmas[c]);
+    }
+  }
   double f = 0.0;
   for (const WeightSample& s : samples) {
     double mix = 0.0;
-    for (size_t c = 0; c < sigmas.size(); ++c) {
-      mix += GaussianPdf(s.edit_distance[c], sigmas[c]) * s.sequence_prob[c];
+    for (size_t c = 0; c < k; ++c) {
+      mix += g_table[c * stride + static_cast<size_t>(s.edit_distance[c])] *
+             s.sequence_prob[c];
     }
     if (mix <= 0.0) mix = 1e-300;
     f += s.weight * std::log(mix);
@@ -275,37 +440,76 @@ double MvmmModel::Objective(const std::vector<WeightSample>& samples,
   return f;
 }
 
-std::vector<double> MvmmModel::Gradient(
-    const std::vector<WeightSample>& samples,
-    const std::vector<double>& sigmas) const {
-  std::vector<double> grad(sigmas.size(), 0.0);
-  for (const WeightSample& s : samples) {
-    double mix = 0.0;
-    std::vector<double> g(sigmas.size());
-    for (size_t c = 0; c < sigmas.size(); ++c) {
-      g[c] = GaussianPdf(s.edit_distance[c], sigmas[c]);
-      mix += g[c] * s.sequence_prob[c];
-    }
-    if (mix <= 0.0) continue;
-    for (size_t c = 0; c < sigmas.size(); ++c) {
-      const double d = s.edit_distance[c];
-      const double sigma = sigmas[c];
-      // d/dsigma of the Gaussian density.
-      const double dg = g[c] * (d * d / (sigma * sigma * sigma) - 1.0 / sigma);
-      grad[c] += s.weight * dg * s.sequence_prob[c] / mix;
+void MvmmModel::FitDerivatives(const std::vector<WeightSample>& samples,
+                               const std::vector<double>& sigmas,
+                               size_t max_d, std::vector<double>* gradient,
+                               std::vector<double>* hessian) const {
+  // For f = sum_X w log m, m = sum_c g_c P_c:
+  //   grad_c = sum_X w g_c' P_c / m
+  //   H_cj = sum_X w [ delta_cj g_c'' P_c / m - (g_c' P_c)(g_j' P_j) / m^2 ]
+  // with g' = g (d^2/s^3 - 1/s) and g'' = g ((d^2/s^3 - 1/s)^2
+  //                                          - 3 d^2/s^4 + 1/s^2).
+  const size_t k = sigmas.size();
+  const size_t stride = max_d + 1;
+  thread_local std::vector<double> g_table;   // g
+  thread_local std::vector<double> gp_table;  // g'
+  thread_local std::vector<double> gt_table;  // g''
+  g_table.assign(k * stride, 0.0);
+  gp_table.assign(k * stride, 0.0);
+  gt_table.assign(k * stride, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    const double sigma = sigmas[c];
+    for (size_t di = 0; di <= max_d; ++di) {
+      const double d = static_cast<double>(di);
+      const double g = GaussianPdf(d, sigma);
+      const double a = d * d / (sigma * sigma * sigma) - 1.0 / sigma;
+      const double a_prime =
+          -3.0 * d * d / (sigma * sigma * sigma * sigma) +
+          1.0 / (sigma * sigma);
+      g_table[c * stride + di] = g;
+      gp_table[c * stride + di] = g * a;
+      gt_table[c * stride + di] = g * (a * a + a_prime);
     }
   }
-  return grad;
+
+  gradient->assign(k, 0.0);
+  hessian->assign(k * k, 0.0);
+  std::vector<double> u(k);  // g_c' P_c
+  for (const WeightSample& s : samples) {
+    double mix = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      const size_t di = static_cast<size_t>(s.edit_distance[c]);
+      u[c] = gp_table[c * stride + di] * s.sequence_prob[c];
+      mix += g_table[c * stride + di] * s.sequence_prob[c];
+    }
+    if (mix <= 0.0) continue;
+    const double inv = 1.0 / mix;
+    for (size_t c = 0; c < k; ++c) {
+      const size_t di = static_cast<size_t>(s.edit_distance[c]);
+      (*gradient)[c] += s.weight * u[c] * inv;
+      (*hessian)[c * k + c] +=
+          s.weight * gt_table[c * stride + di] * s.sequence_prob[c] * inv;
+      const double scaled = s.weight * u[c] * inv * inv;
+      for (size_t j = 0; j < k; ++j) {
+        (*hessian)[c * k + j] -= scaled * u[j];
+      }
+    }
+  }
 }
 
 std::vector<double> MvmmModel::MixtureWeights(
     std::span<const QueryId> context) const {
   SQP_CHECK(trained_);
-  std::vector<VmmMatch> matches(components_.size());
-  for (size_t c = 0; c < components_.size(); ++c) {
-    matches[c] = components_[c]->Match(context);
+  std::vector<size_t> matched(components_.size(), 0);
+  if (shared_pst_) {
+    thread_local std::vector<int32_t> path;
+    SharedMatchDepths(context, &path, &matched);
+  } else {
+    for (size_t c = 0; c < components_.size(); ++c) {
+      matched[c] = components_[c]->Match(context).matched_length;
+    }
   }
-  std::vector<double> weights = RawWeights(context, matches);
+  std::vector<double> weights = RawWeights(context.size(), matched);
   NormalizeInPlace(&weights);
   return weights;
 }
@@ -315,14 +519,26 @@ Recommendation MvmmModel::Recommend(std::span<const QueryId> context,
   Recommendation rec;
   if (!trained_ || context.empty()) return rec;
 
-  std::vector<VmmMatch> matches(components_.size());
-  size_t best_matched = 0;
-  for (size_t c = 0; c < components_.size(); ++c) {
-    matches[c] = components_[c]->Match(context);
-    best_matched = std::max(best_matched, matches[c].matched_length);
+  thread_local std::vector<int32_t> path;
+  thread_local std::vector<size_t> matched;
+  thread_local std::vector<double> level_weight;
+  thread_local std::vector<ScoredQuery> raw;
+
+  size_t depth = 0;
+  std::vector<VmmMatch> fallback_matches;
+  if (shared_pst_) {
+    depth = SharedMatchDepths(context, &path, &matched);
+  } else {
+    matched.assign(components_.size(), 0);
+    fallback_matches.resize(components_.size());
+    for (size_t c = 0; c < components_.size(); ++c) {
+      fallback_matches[c] = components_[c]->Match(context);
+      matched[c] = fallback_matches[c].matched_length;
+      depth = std::max(depth, matched[c]);
+    }
   }
-  if (best_matched == 0) return rec;  // uncovered, like its components
-  std::vector<double> weights = RawWeights(context, matches);
+  if (depth == 0) return rec;  // uncovered, like its components
+  std::vector<double> weights = RawWeights(context.size(), matched);
   NormalizeInPlace(&weights);
 
   // Combine escape-weighted generative scores across components (paper
@@ -332,47 +548,74 @@ Recommendation MvmmModel::Recommend(std::span<const QueryId> context,
   // escape-discounted weight (Eq. 5 applied to ranking): deep states often
   // carry very few continuations, and the recursion fills the list with
   // shallower-context candidates without disturbing the deep ranking.
-  std::unordered_map<QueryId, double> scores;
-  for (size_t c = 0; c < components_.size(); ++c) {
-    if (weights[c] <= 0.0 || matches[c].matched_length == 0) continue;
-    const Pst& pst = components_[c]->pst();
-    const Pst::Node* node = matches[c].state;
-    double level_weight = weights[c] * matches[c].escape_weight;
-    while (node != nullptr && !node->context.empty()) {
-      if (node->total_count > 0) {
-        const double scale =
-            level_weight / static_cast<double>(node->total_count);
-        for (const NextQueryCount& nc : node->nexts) {
-          scores[nc.query] += scale * static_cast<double>(nc.count);
-        }
+  // All matched states are nested suffixes of the context, so the per-level
+  // weights accumulate on one path and every state's count list is touched
+  // exactly once — no per-call hash map.
+  raw.clear();
+  if (shared_pst_) {
+    const std::vector<Pst::Node>& nodes = shared_pst_->nodes();
+    level_weight.assign(depth, 0.0);
+    for (size_t c = 0; c < components_.size(); ++c) {
+      if (weights[c] <= 0.0 || matched[c] == 0) continue;
+      const Pst::Node& state = nodes[static_cast<size_t>(path[matched[c] - 1])];
+      double lw = weights[c] *
+                  EscapeWeight(state, context.size(), matched[c], c);
+      const double esc = components_[c]->options().default_escape;
+      for (size_t d = matched[c]; d >= 1; --d) {
+        level_weight[d - 1] += lw;
+        lw *= esc;
       }
-      level_weight *= components_[c]->options().default_escape;
-      node = node->parent >= 0
-                 ? &pst.nodes()[static_cast<size_t>(node->parent)]
-                 : nullptr;
+    }
+    for (size_t d = 0; d < depth; ++d) {
+      if (level_weight[d] <= 0.0) continue;
+      const Pst::Node& node = nodes[static_cast<size_t>(path[d])];
+      if (node.total_count == 0) continue;
+      const double scale =
+          level_weight[d] / static_cast<double>(node.total_count);
+      for (const NextQueryCount& nc : node.nexts) {
+        raw.push_back(
+            ScoredQuery{nc.query, scale * static_cast<double>(nc.count)});
+      }
+    }
+  } else {
+    for (size_t c = 0; c < components_.size(); ++c) {
+      if (weights[c] <= 0.0 || matched[c] == 0) continue;
+      const Pst& pst = components_[c]->pst();
+      const VmmMatch& match = fallback_matches[c];
+      const Pst::Node* node = match.state;
+      double lw = weights[c] * match.escape_weight;
+      while (node != nullptr && !node->context.empty()) {
+        if (node->total_count > 0) {
+          const double scale =
+              lw / static_cast<double>(node->total_count);
+          for (const NextQueryCount& nc : node->nexts) {
+            raw.push_back(
+                ScoredQuery{nc.query, scale * static_cast<double>(nc.count)});
+          }
+        }
+        lw *= components_[c]->options().default_escape;
+        node = node->parent >= 0
+                   ? &pst.nodes()[static_cast<size_t>(node->parent)]
+                   : nullptr;
+      }
     }
   }
-  if (scores.empty()) return rec;
+  if (raw.empty()) return rec;
 
   rec.covered = true;
-  rec.matched_length = best_matched;
-  std::vector<ScoredQuery> ranked;
-  ranked.reserve(scores.size());
-  for (const auto& [query, score] : scores) {
-    ranked.push_back(ScoredQuery{query, score});
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const ScoredQuery& a, const ScoredQuery& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.query < b.query;
-            });
-  if (ranked.size() > top_n) ranked.resize(top_n);
-  rec.queries = std::move(ranked);
+  rec.matched_length = depth;
+  MergeAndRank(&raw, top_n, &rec);
   return rec;
 }
 
 bool MvmmModel::Covers(std::span<const QueryId> context) const {
   if (!trained_) return false;
+  if (shared_pst_) {
+    if (context.empty()) return false;
+    size_t matched = 0;
+    shared_pst_->MatchLongestSuffix(context, &matched);
+    return matched >= 1;
+  }
   for (const auto& component : components_) {
     if (component->Covers(context)) return true;
   }
@@ -382,10 +625,32 @@ bool MvmmModel::Covers(std::span<const QueryId> context) const {
 double MvmmModel::ConditionalProb(std::span<const QueryId> context,
                                   QueryId next) const {
   if (!trained_) return 0.0;
-  const std::vector<double> weights = MixtureWeights(context);
+  if (shared_pst_ == nullptr) {
+    const std::vector<double> weights = MixtureWeights(context);
+    double p = 0.0;
+    for (size_t c = 0; c < components_.size(); ++c) {
+      p += weights[c] * components_[c]->ConditionalProb(context, next);
+    }
+    return p;
+  }
+  thread_local std::vector<int32_t> path;
+  thread_local std::vector<size_t> matched;
+  thread_local std::vector<double> cond_at;
+  const size_t depth = SharedMatchDepths(context, &path, &matched);
+  std::vector<double> weights = RawWeights(context.size(), matched);
+  NormalizeInPlace(&weights);
+  const std::vector<Pst::Node>& nodes = shared_pst_->nodes();
+  cond_at.assign(depth + 1, -1.0);
   double p = 0.0;
   for (size_t c = 0; c < components_.size(); ++c) {
-    p += weights[c] * components_[c]->ConditionalProb(context, next);
+    const size_t m = matched[c];
+    const Pst::Node& state =
+        m == 0 ? nodes[0] : nodes[static_cast<size_t>(path[m - 1])];
+    if (cond_at[m] < 0.0) {
+      cond_at[m] = internal::SmoothedProb(state.nexts, state.total_count,
+                                          vocabulary_size_, next);
+    }
+    p += weights[c] * cond_at[m];
   }
   return p;
 }
@@ -393,10 +658,16 @@ double MvmmModel::ConditionalProb(std::span<const QueryId> context,
 ModelStats MvmmModel::Stats() const {
   ModelStats stats;
   stats.name = std::string(Name());
-  // Merged-PST accounting (paper Section V-F.2): structurally identical
-  // nodes across components are stored once; each merged node carries a
-  // per-component membership tag (4 bits suffice for 11 components; we
-  // charge 2 bytes).
+  if (shared_pst_) {
+    // Merged-PST accounting (paper Section V-F.2) over the *actual* shared
+    // structure: every node stored once, plus one membership mask per node.
+    stats.num_states = shared_pst_->size();
+    stats.num_entries = shared_pst_->num_entries();
+    stats.memory_bytes = shared_pst_->memory_bytes();
+    return stats;
+  }
+  // Fallback components own their trees; estimate the merged layout by
+  // deduplicating structurally identical nodes.
   std::unordered_set<std::vector<QueryId>, IdSequenceHash> merged;
   for (const auto& component : components_) {
     for (const Pst::Node& node : component->pst().nodes()) {
@@ -404,11 +675,10 @@ ModelStats MvmmModel::Stats() const {
         stats.memory_bytes += sizeof(Pst::Node) +
                               node.context.size() * sizeof(QueryId) +
                               node.nexts.size() * sizeof(NextQueryCount) +
-                              node.children.size() *
-                                  (sizeof(QueryId) + sizeof(int32_t) + 16);
+                              node.children.size() * sizeof(Pst::Edge) +
+                              sizeof(Pst::ViewMask);
         stats.num_entries += node.nexts.size();
       }
-      stats.memory_bytes += 2;  // membership tag per (node, component)
     }
   }
   stats.num_states = merged.size();

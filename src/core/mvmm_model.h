@@ -38,15 +38,22 @@ struct MvmmOptions {
   /// Newton iterations for the sigma fit (Eq. 10).
   size_t max_newton_iterations = 25;
 
+  /// The sigma fit stops once an accepted step improves the objective by
+  /// less than this relative amount — Newton converges in a handful of
+  /// iterations and the remaining budget buys only noise-level gains.
+  double convergence_tolerance = 1e-9;
+
   /// Lower clamp on sigma (the Gaussian degenerates below this).
   double min_sigma = 0.05;
 
   /// Initial sigma for every component.
   double initial_sigma = 1.0;
 
-  /// Train the K component VMMs on worker threads (paper Section V-F.1:
-  /// "each of the K models can be independently trained in parallel").
-  /// 0 = sequential; otherwise the number of worker threads.
+  /// Worker threads for training (paper Section V-F.1). With at most
+  /// Pst::kMaxViews components the trees come from one shared single-pass
+  /// build and the threads shard the sigma-fit sample sweep; beyond that
+  /// the standalone fallback shards per-component training itself.
+  /// 0 = sequential. Results are identical either way.
   size_t training_threads = 0;
 
   /// Returns the paper's default component set.
@@ -67,6 +74,11 @@ struct MvmmFitReport {
 /// distance between s and the state s_D the component matched (Eq. 4); the
 /// Gaussian widths are learned offline by Newton iteration on the KL
 /// redundancy objective (Eq. 7-10).
+///
+/// Training builds ONE maximal shared tree (Pst::BuildShared) and derives
+/// every component as a pruned view of it; online prediction walks that
+/// tree once and serves all components off the recorded match path, since
+/// each component's matched state is by construction a node on that path.
 class MvmmModel : public PredictionModel {
  public:
   explicit MvmmModel(MvmmOptions options = {});
@@ -80,8 +92,8 @@ class MvmmModel : public PredictionModel {
                          QueryId next) const override;
 
   /// Stats() reports the *merged* PST accounting of the paper's Table VII:
-  /// components share structurally identical nodes, and each merged node
-  /// carries a small per-component membership tag.
+  /// the actual shared structure — nodes stored once, plus the per-node
+  /// component-membership masks.
   ModelStats Stats() const override;
 
   /// Per-context mixture weights (normalized); exposed for tests/benches.
@@ -93,6 +105,9 @@ class MvmmModel : public PredictionModel {
   const std::vector<double>& sigmas() const { return sigmas_; }
   const MvmmFitReport& fit_report() const { return fit_report_; }
   const MvmmOptions& options() const { return options_; }
+  /// The shared multi-view tree (null when the component count exceeds
+  /// Pst::kMaxViews and components were trained standalone).
+  const std::shared_ptr<const Pst>& shared_pst() const { return shared_pst_; }
 
  private:
   struct WeightSample {
@@ -102,18 +117,45 @@ class MvmmModel : public PredictionModel {
   };
 
   void FitSigmas(const std::vector<AggregatedSession>& sessions);
+  void BuildWeightSample(const AggregatedSession& session,
+                         WeightSample* sample) const;
+  /// Both evaluators exploit that edit distances are integral (a count of
+  /// dropped prefix queries): the Gaussian terms take only
+  /// (components x (max_d + 1)) distinct values per sigma vector, so each
+  /// pass runs off a small lookup table instead of one exp per
+  /// (sample, component).
   double Objective(const std::vector<WeightSample>& samples,
-                   const std::vector<double>& sigmas) const;
-  std::vector<double> Gradient(const std::vector<WeightSample>& samples,
-                               const std::vector<double>& sigmas) const;
+                   const std::vector<double>& sigmas, size_t max_d) const;
+  /// Fused analytic gradient and analytic Hessian (row-major k x k) in a
+  /// single pass over the samples — replaces the former 2k
+  /// finite-difference gradient sweeps per Newton iteration.
+  void FitDerivatives(const std::vector<WeightSample>& samples,
+                      const std::vector<double>& sigmas, size_t max_d,
+                      std::vector<double>* gradient,
+                      std::vector<double>* hessian) const;
 
-  /// Unnormalized component weights for a context under the configured
-  /// weighting scheme; `matches` holds the per-component VmmMatch results.
-  std::vector<double> RawWeights(std::span<const QueryId> context,
-                                 const std::vector<VmmMatch>& matches) const;
+  /// One shared-tree walk: fills `path` with the matched chain and
+  /// `matched` with each component's matched length (the deepest path node
+  /// carrying the component's view bit). Returns the full-tree match depth.
+  size_t SharedMatchDepths(std::span<const QueryId> context,
+                           std::vector<int32_t>* path,
+                           std::vector<size_t>* matched) const;
+
+  /// Unnormalized component weights under the configured weighting scheme,
+  /// from the per-component matched lengths (the matched state of component
+  /// c is the trailing matched[c] queries of the context, so its edit
+  /// distance to the context is exactly context_len - matched[c]).
+  std::vector<double> RawWeights(size_t context_len,
+                                 const std::vector<size_t>& matched) const;
+
+  /// Escape weight of component c for a state matched at `matched` of
+  /// `context_len` queries (Eq. 5-6, as VmmModel::Match).
+  double EscapeWeight(const Pst::Node& state, size_t context_len,
+                      size_t matched, size_t component) const;
 
   MvmmOptions options_;
   std::vector<std::unique_ptr<VmmModel>> components_;
+  std::shared_ptr<const Pst> shared_pst_;
   std::vector<double> sigmas_;
   MvmmFitReport fit_report_;
   size_t vocabulary_size_ = 0;

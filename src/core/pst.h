@@ -2,7 +2,6 @@
 #define SQP_CORE_PST_H_
 
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "log/context_builder.h"
@@ -38,16 +37,33 @@ struct PstOptions {
 /// deepens *backwards in time*, and matching a test context walks from the
 /// most recent query toward older ones. The suffix-closure invariant holds:
 /// if s is a node, every suffix of s is a node.
+///
+/// A Pst can also be built as a *shared* tree covering several component
+/// configurations at once (Pst::BuildShared): one maximal node pool plus a
+/// per-node bitmask recording which components ("views") would have built
+/// that node — the paper's merged-PST deployment (Section V-F.2).
 class Pst {
  public:
-  struct Node {
-    std::vector<QueryId> context;            // empty for the root
-    std::vector<NextQueryCount> nexts;       // sorted desc by count
-    uint64_t total_count = 0;                // sum of nexts counts
-    uint64_t start_count = 0;                // occurrences at session start
-    int32_t parent = -1;                     // node index; -1 for root
-    std::unordered_map<QueryId, int32_t> children;  // keyed by prepended query
+  /// One child edge. A node's `children` vector is sorted by `query`
+  /// ascending, enabling branch-friendly linear/binary search instead of
+  /// per-node hash buckets.
+  struct Edge {
+    QueryId query = kInvalidQueryId;
+    int32_t child = 0;
   };
+
+  struct Node {
+    std::vector<QueryId> context;       // empty for the root
+    std::vector<NextQueryCount> nexts;  // sorted desc by count
+    uint64_t total_count = 0;           // sum of nexts counts
+    uint64_t start_count = 0;           // occurrences at session start
+    int32_t parent = -1;                // node index; -1 for root
+    std::vector<Edge> children;         // sorted by query ascending
+  };
+
+  /// Bitmask of the component views a node belongs to (shared trees only).
+  using ViewMask = uint64_t;
+  static constexpr size_t kMaxViews = 64;
 
   Pst() = default;
 
@@ -56,9 +72,19 @@ class Pst {
   /// Returns InvalidArgument on mode/depth mismatch.
   Status Build(const ContextIndex& index, const PstOptions& options);
 
+  /// Builds one maximal tree covering every configuration in `views` (the
+  /// union of the per-view depth/support bounds) and tags each node with the
+  /// set of views whose standalone Build would have produced it. The KL
+  /// growth statistic is computed once per node instead of once per
+  /// (view, node), and nodes belonging to no view are dropped. At most
+  /// kMaxViews views.
+  Status BuildShared(const ContextIndex& index,
+                     std::span<const PstOptions> views);
+
   /// Restores a tree from serialized nodes (see core/serialization.h).
   /// `nodes` must list the root first and every parent before its children;
-  /// child maps are rebuilt. Returns InvalidArgument on malformed input.
+  /// child edge arrays are rebuilt. Returns InvalidArgument on malformed
+  /// input.
   Status InitFromNodes(std::vector<Node> nodes, const PstOptions& options);
 
   /// Walks the longest suffix of `context` present in the tree. Returns the
@@ -67,26 +93,80 @@ class Pst {
   const Node* MatchLongestSuffix(std::span<const QueryId> context,
                                  size_t* matched_length) const;
 
+  /// View-restricted walk over a shared tree: only descends into nodes
+  /// whose mask contains `view`. Because view membership is closed under
+  /// the parent (suffix) relation, this is equivalent to matching against
+  /// the view's standalone tree.
+  const Node* MatchLongestSuffixView(std::span<const QueryId> context,
+                                     size_t view,
+                                     size_t* matched_length) const;
+
+  /// Longest-suffix walk recording the whole matched chain: (*path)[k] is
+  /// the node matching the trailing k+1 context queries. Returns the match
+  /// depth (== path->size()). The root is not included.
+  size_t MatchPath(std::span<const QueryId> context,
+                   std::vector<int32_t>* path) const;
+
   /// Exact node lookup by context; nullptr if not a state.
   const Node* FindNode(std::span<const QueryId> context) const;
+
+  /// Child of `node` along `query`, or -1.
+  int32_t FindChild(int32_t node, QueryId query) const;
 
   const Node& root() const { return nodes_[0]; }
   const std::vector<Node>& nodes() const { return nodes_; }
   size_t size() const { return nodes_.size(); }
   const PstOptions& options() const { return options_; }
 
+  // ----- shared-tree (multi-view) accessors -----
+
+  bool is_shared() const { return !view_masks_.empty(); }
+  size_t num_views() const { return view_options_.size(); }
+  const PstOptions& view_options(size_t view) const {
+    return view_options_[view];
+  }
+  /// Per-node view masks, parallel to nodes(); empty for standalone trees.
+  const std::vector<ViewMask>& view_masks() const { return view_masks_; }
+  /// Mask of one node; all-ones for standalone trees.
+  ViewMask mask_of(int32_t node) const {
+    return view_masks_.empty() ? ~ViewMask{0}
+                               : view_masks_[static_cast<size_t>(node)];
+  }
+
+  /// State / entry counts of one view (including the shared root).
+  uint64_t view_num_states(size_t view) const;
+  uint64_t view_num_entries(size_t view) const;
+  /// Bytes the view would occupy as a standalone tree (Table VII
+  /// accounting over the flat layout).
+  uint64_t view_memory_bytes(size_t view) const;
+
+  /// Materializes one view as a standalone tree (used e.g. when persisting
+  /// a single component of a shared build).
+  Pst ExtractView(size_t view) const;
+
   /// Sum of (state, next) entries across nodes.
   uint64_t num_entries() const;
 
-  /// Estimated resident bytes (Table VII accounting).
+  /// Actual resident bytes of the flat layout: node headers, context ids,
+  /// next-count entries, child edge arrays, and (for shared trees) the
+  /// per-node view masks.
   uint64_t memory_bytes() const;
 
  private:
-  int32_t GetOrAddNode(const ContextIndex& index,
-                       std::span<const QueryId> context);
+  Status BuildImpl(const ContextIndex& index,
+                   std::span<const PstOptions> views, bool shared);
+  void RebuildChildren();
+  void BuildRootIndex();
 
   std::vector<Node> nodes_;
   PstOptions options_;
+  std::vector<ViewMask> view_masks_;     // parallel to nodes_; shared only
+  std::vector<PstOptions> view_options_;  // shared only
+  /// Dense root fan-out index: query id -> depth-1 node (-1 if absent).
+  /// The root has vocabulary-scale fan-out, so the first walk step uses a
+  /// direct lookup instead of a binary search. Query ids are dense
+  /// dictionary-interned values, so the table stays small.
+  std::vector<int32_t> root_child_by_query_;
 };
 
 /// KL divergence between the next-query distributions of a parent and child
@@ -94,6 +174,12 @@ class Pst {
 /// (validated against the paper's worked example: D_KL(q0 || q1q0) = 0.3449,
 /// D_KL(q1 || q0q1) = 0.0837).
 double PstGrowthKl(const ContextEntry& parent, const ContextEntry& child);
+
+/// Same statistic over raw count arrays (any order): a merge walk over
+/// query-sorted copies held in reusable scratch buffers — no temporary hash
+/// maps on the tree-growth hot path.
+double PstGrowthKlCounts(std::span<const NextQueryCount> parent,
+                         std::span<const NextQueryCount> child);
 
 }  // namespace sqp
 

@@ -78,7 +78,15 @@ Status SaveVmmModel(const VmmModel& model, const std::string& path) {
   w.U64(model.options_.min_support);
   w.F64(model.options_.default_escape);
   w.U64(model.vocabulary_size_);
-  const auto& nodes = model.pst_.nodes();
+  // A component of a shared multi-view tree persists only its own view,
+  // materialized as a standalone tree (the on-disk format is unchanged).
+  Pst extracted;
+  const Pst* tree = &model.pst_;
+  if (model.shared_pst_ != nullptr) {
+    extracted = model.shared_pst_->ExtractView(model.view_);
+    tree = &extracted;
+  }
+  const auto& nodes = tree->nodes();
   w.U64(nodes.size());
   for (const Pst::Node& node : nodes) {
     w.I32(node.parent);

@@ -20,12 +20,32 @@ std::string MakeName(const VmmOptions& options) {
 
 }  // namespace
 
+namespace internal {
+
+double EscapeMass(const Pst::Node& state, size_t dropped,
+                  double default_escape) {
+  double escape = 1.0;
+  for (size_t i = 0; i + 1 < dropped; ++i) escape *= default_escape;
+  if (state.total_count > 0 && state.start_count > 0 &&
+      state.parent >= 0) {  // a real state with observed session starts
+    escape *= static_cast<double>(state.start_count) /
+              static_cast<double>(state.total_count);
+  } else {
+    escape *= default_escape;
+  }
+  return escape;
+}
+
+}  // namespace internal
+
 VmmModel::VmmModel(VmmOptions options)
     : options_(options), name_(MakeName(options)) {}
 
 Status VmmModel::Train(const TrainingData& data) {
   SQP_RETURN_IF_ERROR(internal::ValidateTrainingData(data));
   vocabulary_size_ = data.vocabulary_size;
+  shared_pst_.reset();
+  view_ = 0;
 
   PstOptions pst_options;
   pst_options.epsilon = options_.epsilon;
@@ -36,10 +56,7 @@ Status VmmModel::Train(const TrainingData& data) {
   // one); otherwise count locally.
   const ContextIndex* index = data.substring_index;
   const bool compatible =
-      index != nullptr && index->mode() == ContextIndex::Mode::kSubstring &&
-      (index->max_context_length() == 0 ||
-       (options_.max_depth > 0 &&
-        index->max_context_length() >= options_.max_depth));
+      index != nullptr && index->CoversSubstringDepth(options_.max_depth);
   ContextIndex local;
   if (!compatible) {
     local.Build(*data.sessions, ContextIndex::Mode::kSubstring,
@@ -51,10 +68,31 @@ Status VmmModel::Train(const TrainingData& data) {
   return Status::OK();
 }
 
+Status VmmModel::TrainFromSharedPst(std::shared_ptr<const Pst> shared,
+                                    size_t view, size_t vocabulary_size) {
+  if (shared == nullptr || !shared->is_shared() ||
+      view >= shared->num_views()) {
+    return Status::InvalidArgument("invalid shared PST view");
+  }
+  if (vocabulary_size == 0) {
+    return Status::InvalidArgument("vocabulary_size must be > 0");
+  }
+  pst_ = Pst();
+  shared_pst_ = std::move(shared);
+  view_ = view;
+  vocabulary_size_ = vocabulary_size;
+  trained_ = true;
+  return Status::OK();
+}
+
 VmmMatch VmmModel::Match(std::span<const QueryId> context) const {
   SQP_CHECK(trained_);
   VmmMatch match;
-  match.state = pst_.MatchLongestSuffix(context, &match.matched_length);
+  const Pst& tree = pst();
+  match.state =
+      shared_pst_ ? tree.MatchLongestSuffixView(context, view_,
+                                                &match.matched_length)
+                  : tree.MatchLongestSuffix(context, &match.matched_length);
   // Escape mass for the context disparity (Eq. 5-6): one escape step per
   // dropped prefix query. Intermediate suffixes are not PST states (that is
   // why they were dropped), so their Eq. 6 ratio is unavailable after
@@ -62,17 +100,8 @@ VmmMatch VmmModel::Match(std::span<const QueryId> context) const {
   // on the matched state, whose Eq. 6 ratio start_count/total_count we have.
   const size_t dropped = context.size() - match.matched_length;
   if (dropped > 0) {
-    double escape = 1.0;
-    for (size_t i = 0; i + 1 < dropped; ++i) escape *= options_.default_escape;
-    const Pst::Node& state = *match.state;
-    if (state.total_count > 0 && state.start_count > 0 &&
-        state.parent >= 0) {  // a real state with observed session starts
-      escape *= static_cast<double>(state.start_count) /
-                static_cast<double>(state.total_count);
-    } else {
-      escape *= options_.default_escape;
-    }
-    match.escape_weight = escape;
+    match.escape_weight =
+        internal::EscapeMass(*match.state, dropped, options_.default_escape);
   }
   return match;
 }
@@ -93,7 +122,11 @@ Recommendation VmmModel::Recommend(std::span<const QueryId> context,
 bool VmmModel::Covers(std::span<const QueryId> context) const {
   if (!trained_ || context.empty()) return false;
   size_t matched = 0;
-  pst_.MatchLongestSuffix(context, &matched);
+  if (shared_pst_) {
+    shared_pst_->MatchLongestSuffixView(context, view_, &matched);
+  } else {
+    pst_.MatchLongestSuffix(context, &matched);
+  }
   return matched >= 1;
 }
 
@@ -124,9 +157,15 @@ double VmmModel::SequenceProb(std::span<const QueryId> sequence) const {
 ModelStats VmmModel::Stats() const {
   ModelStats stats;
   stats.name = std::string(Name());
-  stats.num_states = pst_.size();
-  stats.num_entries = pst_.num_entries();
-  stats.memory_bytes = pst_.memory_bytes();
+  if (shared_pst_) {
+    stats.num_states = shared_pst_->view_num_states(view_);
+    stats.num_entries = shared_pst_->view_num_entries(view_);
+    stats.memory_bytes = shared_pst_->view_memory_bytes(view_);
+  } else {
+    stats.num_states = pst_.size();
+    stats.num_entries = pst_.num_entries();
+    stats.memory_bytes = pst_.memory_bytes();
+  }
   return stats;
 }
 

@@ -36,13 +36,37 @@ struct VmmMatch {
   double escape_weight = 1.0;
 };
 
+namespace internal {
+
+/// Escape mass of Eq. 5-6 for a state reached after dropping `dropped` > 0
+/// prefix queries: one default-escape factor per intermediate drop, then
+/// the matched state's start_count/total_count ratio (or the default when
+/// the state has no observed session starts / is the root). Shared by
+/// VmmModel::Match and the MVMM shared-tree path so the two cannot drift.
+double EscapeMass(const Pst::Node& state, size_t dropped,
+                  double default_escape);
+
+}  // namespace internal
+
 /// Variable Memory Markov model for sequential query prediction.
+///
+/// A VMM either owns its tree (standalone Train) or serves as one *view* of
+/// a shared multi-view tree built by Pst::BuildShared — the MVMM training
+/// path, where 11 components share a single node pool and differ only in
+/// per-node membership bits.
 class VmmModel : public PredictionModel {
  public:
   explicit VmmModel(VmmOptions options = {});
 
   std::string_view Name() const override { return name_; }
   Status Train(const TrainingData& data) override;
+
+  /// Adopts view `view` of a shared tree built by Pst::BuildShared with
+  /// this model's options at position `view`. The tree is shared (and kept
+  /// alive) by all sibling components.
+  Status TrainFromSharedPst(std::shared_ptr<const Pst> shared, size_t view,
+                            size_t vocabulary_size);
+
   Recommendation Recommend(std::span<const QueryId> context,
                            size_t top_n) const override;
   bool Covers(std::span<const QueryId> context) const override;
@@ -59,7 +83,12 @@ class VmmModel : public PredictionModel {
   /// probability 1 (paper footnote 3). Used by the MVMM weight learner.
   double SequenceProb(std::span<const QueryId> sequence) const;
 
-  const Pst& pst() const { return pst_; }
+  /// The active tree: the owned standalone tree, or the shared tree when
+  /// this model is a view (callers seeing the shared tree must respect the
+  /// view masks; prefer Match/Recommend, which already do).
+  const Pst& pst() const { return shared_pst_ ? *shared_pst_ : pst_; }
+  bool is_shared_view() const { return shared_pst_ != nullptr; }
+  size_t view_index() const { return view_; }
   const VmmOptions& options() const { return options_; }
   size_t vocabulary_size() const { return vocabulary_size_; }
 
@@ -69,7 +98,9 @@ class VmmModel : public PredictionModel {
 
   VmmOptions options_;
   std::string name_;
-  Pst pst_;
+  Pst pst_;                                // owned (standalone) tree
+  std::shared_ptr<const Pst> shared_pst_;  // shared multi-view tree
+  size_t view_ = 0;
   size_t vocabulary_size_ = 0;
   bool trained_ = false;
 };

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "util/edge_search.h"
+#include "util/flat_hash.h"
+#include "util/status.h"
+
 namespace sqp {
 namespace {
 
@@ -14,23 +18,43 @@ void SortNexts(std::vector<NextQueryCount>* nexts) {
             });
 }
 
+uint64_t PackKey(int32_t node, QueryId query) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 32) | query;
+}
+
 }  // namespace
 
 void ContextIndex::Build(const std::vector<AggregatedSession>& sessions,
                          Mode mode, size_t max_context_length) {
+  trie_.clear();
+  edges_.clear();
   entries_.clear();
+  entry_nodes_.clear();
   mode_ = mode;
   max_context_length_ = max_context_length;
   total_occurrences_ = 0;
 
-  // First pass: raw counts per (context, next) in nested maps.
-  std::unordered_map<std::vector<QueryId>,
-                     std::unordered_map<QueryId, uint64_t>, IdSequenceHash>
-      counts;
-  std::unordered_map<std::vector<QueryId>, uint64_t, IdSequenceHash>
-      start_counts;
+  trie_.emplace_back();  // root: empty context
 
-  std::vector<QueryId> key;
+  // Single pass over sessions. Child lookup and (context, next) counting run
+  // through two flat hash tables keyed by packed (node, query) pairs; node
+  // creation appends to the arena. No per-substring key vectors.
+  FlatU64Map children(1 << 12);  // (parent, edge query) -> child node id
+  FlatU64Map counts(1 << 12);    // (node, next query) -> weighted count
+
+  const auto descend = [&](int32_t from, QueryId q) -> int32_t {
+    uint64_t& slot = children[PackKey(from, q)];
+    if (slot == 0) {  // node 0 is the root and never a child: 0 = absent
+      TrieNode node;
+      node.parent = from;
+      node.edge = q;
+      node.depth = trie_[static_cast<size_t>(from)].depth + 1;
+      slot = trie_.size();
+      trie_.push_back(node);
+    }
+    return static_cast<int32_t>(slot);
+  };
+
   for (const AggregatedSession& session : sessions) {
     const std::vector<QueryId>& q = session.queries;
     if (q.size() < 2) continue;  // no prediction evidence
@@ -39,62 +63,153 @@ void ContextIndex::Build(const std::vector<AggregatedSession>& sessions,
       const size_t max_len =
           max_context_length == 0 ? end : std::min(end, max_context_length);
       if (mode == Mode::kPrefix) {
-        // Only the full prefix [0, end).
+        // Only the full prefix [0, end), walked newest query first.
         if (max_context_length != 0 && end > max_context_length) continue;
-        key.assign(q.begin(), q.begin() + static_cast<ptrdiff_t>(end));
-        counts[key][q[end]] += session.frequency;
-        start_counts[key] += session.frequency;  // prefixes start the session
+        int32_t node = 0;
+        for (size_t back = 0; back < end; ++back) {
+          node = descend(node, q[end - 1 - back]);
+        }
+        counts[PackKey(node, q[end])] += session.frequency;
+        trie_[static_cast<size_t>(node)].start_count +=
+            session.frequency;  // prefixes start the session
       } else {
+        // Each extra length extends the previous walk by one older query,
+        // so every substring occurrence costs exactly one trie step.
+        int32_t node = 0;
         for (size_t len = 1; len <= max_len; ++len) {
-          const size_t start = end - len;
-          key.assign(q.begin() + static_cast<ptrdiff_t>(start),
-                     q.begin() + static_cast<ptrdiff_t>(end));
-          counts[key][q[end]] += session.frequency;
-          if (start == 0) start_counts[key] += session.frequency;
+          node = descend(node, q[end - len]);
+          counts[PackKey(node, q[end])] += session.frequency;
+          if (end == len) {
+            trie_[static_cast<size_t>(node)].start_count += session.frequency;
+          }
         }
       }
     }
   }
 
-  // Second pass: flatten into sorted ContextEntry values.
-  entries_.reserve(counts.size());
-  for (auto& [context, next_map] : counts) {
+  // Flatten the count table into per-node next lists, grouped by node.
+  struct Triple {
+    int32_t node;
+    QueryId next;
+    uint64_t count;
+  };
+  std::vector<Triple> triples;
+  triples.reserve(counts.size());
+  counts.ForEach([&](uint64_t key, uint64_t count) {
+    triples.push_back(Triple{static_cast<int32_t>(key >> 32),
+                             static_cast<QueryId>(key), count});
+  });
+  std::sort(triples.begin(), triples.end(),
+            [](const Triple& a, const Triple& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.next < b.next;
+            });
+
+  // Materialize one ContextEntry per counted node. Walking node -> root
+  // collects edge labels oldest-first, which is the context orientation.
+  entries_.reserve(counts.size() / 2 + 1);
+  for (size_t i = 0; i < triples.size();) {
+    const int32_t node = triples[i].node;
     ContextEntry entry;
-    entry.context = context;
-    entry.nexts.reserve(next_map.size());
-    for (const auto& [next, count] : next_map) {
-      entry.nexts.push_back(NextQueryCount{next, count});
-      entry.total_count += count;
+    entry.context.resize(trie_[static_cast<size_t>(node)].depth);
+    size_t pos = 0;
+    for (int32_t walk = node; walk > 0;
+         walk = trie_[static_cast<size_t>(walk)].parent) {
+      entry.context[pos++] = trie_[static_cast<size_t>(walk)].edge;
+    }
+    while (i < triples.size() && triples[i].node == node) {
+      entry.nexts.push_back(NextQueryCount{triples[i].next, triples[i].count});
+      entry.total_count += triples[i].count;
+      ++i;
     }
     SortNexts(&entry.nexts);
-    auto it = start_counts.find(context);
-    entry.start_count = it == start_counts.end() ? 0 : it->second;
+    entry.start_count = trie_[static_cast<size_t>(node)].start_count;
     total_occurrences_ += entry.total_count;
-    entries_.emplace(context, std::move(entry));
+    entry_nodes_.push_back(node);
+    entries_.push_back(std::move(entry));
   }
+
+  // Canonical (length, lexicographic) entry order, fixed once at build time.
+  std::vector<int32_t> order(entries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    const ContextEntry& ea = entries_[static_cast<size_t>(a)];
+    const ContextEntry& eb = entries_[static_cast<size_t>(b)];
+    if (ea.context.size() != eb.context.size()) {
+      return ea.context.size() < eb.context.size();
+    }
+    return ea.context < eb.context;
+  });
+  std::vector<ContextEntry> sorted_entries;
+  std::vector<int32_t> sorted_nodes;
+  sorted_entries.reserve(entries_.size());
+  sorted_nodes.reserve(entries_.size());
+  for (int32_t idx : order) {
+    sorted_entries.push_back(std::move(entries_[static_cast<size_t>(idx)]));
+    sorted_nodes.push_back(entry_nodes_[static_cast<size_t>(idx)]);
+  }
+  entries_ = std::move(sorted_entries);
+  entry_nodes_ = std::move(sorted_nodes);
+  for (size_t i = 0; i < entry_nodes_.size(); ++i) {
+    trie_[static_cast<size_t>(entry_nodes_[i])].entry = static_cast<int32_t>(i);
+  }
+
+  // CSR child arrays, query-sorted per node, derived from the parent links
+  // (independent of hash-table layout, hence deterministic by construction).
+  std::vector<TrieEdge> all_edges;
+  all_edges.reserve(trie_.size() - 1);
+  std::vector<int32_t> edge_parent;
+  edge_parent.reserve(trie_.size() - 1);
+  std::vector<int32_t> edge_order(trie_.size() > 0 ? trie_.size() - 1 : 0);
+  for (size_t i = 1; i < trie_.size(); ++i) {
+    all_edges.push_back(TrieEdge{trie_[i].edge, static_cast<int32_t>(i)});
+    edge_parent.push_back(trie_[i].parent);
+    edge_order[i - 1] = static_cast<int32_t>(i - 1);
+  }
+  std::sort(edge_order.begin(), edge_order.end(), [&](int32_t a, int32_t b) {
+    if (edge_parent[static_cast<size_t>(a)] !=
+        edge_parent[static_cast<size_t>(b)]) {
+      return edge_parent[static_cast<size_t>(a)] <
+             edge_parent[static_cast<size_t>(b)];
+    }
+    return all_edges[static_cast<size_t>(a)].query <
+           all_edges[static_cast<size_t>(b)].query;
+  });
+  edges_.reserve(all_edges.size());
+  for (size_t i = 0; i < edge_order.size();) {
+    const int32_t parent = edge_parent[static_cast<size_t>(edge_order[i])];
+    TrieNode& parent_node = trie_[static_cast<size_t>(parent)];
+    parent_node.edges_begin = static_cast<uint32_t>(edges_.size());
+    while (i < edge_order.size() &&
+           edge_parent[static_cast<size_t>(edge_order[i])] == parent) {
+      edges_.push_back(all_edges[static_cast<size_t>(edge_order[i])]);
+      ++i;
+    }
+    parent_node.edges_end = static_cast<uint32_t>(edges_.size());
+  }
+}
+
+int32_t ContextIndex::FindChild(int32_t node, QueryId query) const {
+  const std::span<const TrieEdge> kids = trie_children(node);
+  const int32_t at = FindEdgeIndex(kids, query);
+  return at < 0 ? -1 : kids[static_cast<size_t>(at)].node;
 }
 
 const ContextEntry* ContextIndex::Lookup(
     std::span<const QueryId> context) const {
-  // unordered_map lookup needs a vector key; this copy is on the cold path
-  // (model training / evaluation), not in the online recommendation loop.
-  std::vector<QueryId> key(context.begin(), context.end());
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  return &it->second;
+  if (context.empty() || trie_.empty()) return nullptr;
+  int32_t node = 0;
+  for (size_t back = 0; back < context.size(); ++back) {
+    node = FindChild(node, context[context.size() - 1 - back]);
+    if (node < 0) return nullptr;
+  }
+  return entry_at(node);
 }
 
 std::vector<const ContextEntry*> ContextIndex::SortedEntries() const {
   std::vector<const ContextEntry*> out;
   out.reserve(entries_.size());
-  for (const auto& [context, entry] : entries_) out.push_back(&entry);
-  std::sort(out.begin(), out.end(),
-            [](const ContextEntry* a, const ContextEntry* b) {
-              if (a->context.size() != b->context.size()) {
-                return a->context.size() < b->context.size();
-              }
-              return a->context < b->context;
-            });
+  for (const ContextEntry& entry : entries_) out.push_back(&entry);
   return out;
 }
 

@@ -2,12 +2,10 @@
 #define SQP_LOG_CONTEXT_BUILDER_H_
 
 #include <span>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "log/types.h"
-#include "util/hash.h"
 
 namespace sqp {
 
@@ -26,9 +24,24 @@ namespace sqp {
 ///    PST/VMM family train on.
 ///
 /// Every occurrence is weighted by the aggregated session frequency.
+///
+/// Storage is an arena-backed suffix trie keyed most-recent-query-first: one
+/// contiguous node pool, contexts identified by node index, counts
+/// accumulated in a single pass over sessions through flat (node, query)
+/// hash tables — no per-substring key vectors or per-substring allocations.
+/// Because the trie reads contexts newest-first, a node's trie parent is its
+/// context minus the *oldest* query, which is exactly the PST parent
+/// relation; Pst construction walks this trie directly.
 class ContextIndex {
  public:
   enum class Mode { kPrefix, kSubstring };
+
+  /// One labeled child edge in the arena trie. The edges of a node are
+  /// contiguous and sorted by `query` ascending.
+  struct TrieEdge {
+    QueryId query = kInvalidQueryId;
+    int32_t node = 0;
+  };
 
   ContextIndex() = default;
 
@@ -37,23 +50,84 @@ class ContextIndex {
   void Build(const std::vector<AggregatedSession>& sessions, Mode mode,
              size_t max_context_length = 0);
 
-  /// Returns the entry for `context`, or nullptr if unseen.
+  /// Returns the entry for `context`, or nullptr if unseen. Walks the trie;
+  /// no key materialization.
   const ContextEntry* Lookup(std::span<const QueryId> context) const;
 
   /// All entries in deterministic order (by context length, then
-  /// lexicographic context).
+  /// lexicographic context). The order is precomputed at Build time.
   std::vector<const ContextEntry*> SortedEntries() const;
 
   size_t size() const { return entries_.size(); }
   Mode mode() const { return mode_; }
   size_t max_context_length() const { return max_context_length_; }
 
+  /// True iff this index can seed a substring-counted model needing
+  /// contexts up to `need_depth` (0 = unbounded): substring mode and at
+  /// least as deep. The single definition of "compatible shared index"
+  /// used by VMM and MVMM training.
+  bool CoversSubstringDepth(size_t need_depth) const {
+    return mode_ == Mode::kSubstring &&
+           (max_context_length_ == 0 ||
+            (need_depth > 0 && max_context_length_ >= need_depth));
+  }
+
   /// Total weighted context occurrences (sum over entries of total_count).
   uint64_t total_occurrences() const { return total_occurrences_; }
 
+  // ----- Arena-trie accessors (allocation-free hot path for PST builds) ---
+
+  /// Number of trie nodes including the synthetic root (node 0, empty
+  /// context). Some nodes carry no entry (kPrefix interior nodes).
+  size_t num_trie_nodes() const { return trie_.size(); }
+
+  /// Trie parent of `node` (-1 for the root): the node's context minus its
+  /// oldest query.
+  int32_t trie_parent(int32_t node) const {
+    return trie_[static_cast<size_t>(node)].parent;
+  }
+
+  /// Context length of the node (0 for the root).
+  uint32_t trie_depth(int32_t node) const {
+    return trie_[static_cast<size_t>(node)].depth;
+  }
+
+  /// Child edges of `node`, sorted by query ascending.
+  std::span<const TrieEdge> trie_children(int32_t node) const {
+    const TrieNode& n = trie_[static_cast<size_t>(node)];
+    return std::span<const TrieEdge>(edges_.data() + n.edges_begin,
+                                     n.edges_end - n.edges_begin);
+  }
+
+  /// Entry stored at a trie node; nullptr for the root and for auxiliary
+  /// nodes that never accumulated counts.
+  const ContextEntry* entry_at(int32_t node) const {
+    const int32_t e = trie_[static_cast<size_t>(node)].entry;
+    return e < 0 ? nullptr : &entries_[static_cast<size_t>(e)];
+  }
+
+  /// Entry `i` in the (length, lexicographic) sorted order, and the trie
+  /// node it lives at. `i` < size().
+  const ContextEntry& sorted_entry(size_t i) const { return entries_[i]; }
+  int32_t sorted_entry_node(size_t i) const { return entry_nodes_[i]; }
+
  private:
-  std::unordered_map<std::vector<QueryId>, ContextEntry, IdSequenceHash>
-      entries_;
+  struct TrieNode {
+    int32_t parent = -1;
+    QueryId edge = kInvalidQueryId;  // label on the edge from the parent
+    uint32_t depth = 0;
+    int32_t entry = -1;       // index into entries_, -1 if none
+    uint64_t start_count = 0;  // weighted occurrences at session start
+    uint32_t edges_begin = 0;
+    uint32_t edges_end = 0;
+  };
+
+  int32_t FindChild(int32_t node, QueryId query) const;
+
+  std::vector<TrieNode> trie_;
+  std::vector<TrieEdge> edges_;        // CSR child arrays, query-sorted
+  std::vector<ContextEntry> entries_;  // sorted by (length, lex context)
+  std::vector<int32_t> entry_nodes_;   // entries_[i] lives at this trie node
   Mode mode_ = Mode::kPrefix;
   size_t max_context_length_ = 0;
   uint64_t total_occurrences_ = 0;

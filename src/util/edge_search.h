@@ -1,0 +1,34 @@
+#ifndef SQP_UTIL_EDGE_SEARCH_H_
+#define SQP_UTIL_EDGE_SEARCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+namespace sqp {
+
+/// Finds the position of `query` in a query-sorted edge array (any struct
+/// with a `query` member), or -1. Small arrays use a branch-friendly linear
+/// scan, larger ones binary search; the single threshold lives here so the
+/// trie and PST edge layouts cannot drift apart.
+template <typename Edge>
+int32_t FindEdgeIndex(std::span<const Edge> edges, uint32_t query) {
+  if (edges.size() <= 8) {
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].query == query) return static_cast<int32_t>(i);
+      if (edges[i].query > query) break;
+    }
+    return -1;
+  }
+  const auto it = std::lower_bound(
+      edges.begin(), edges.end(), query,
+      [](const Edge& edge, uint32_t q) { return edge.query < q; });
+  if (it != edges.end() && it->query == query) {
+    return static_cast<int32_t>(it - edges.begin());
+  }
+  return -1;
+}
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_EDGE_SEARCH_H_

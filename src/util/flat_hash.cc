@@ -1,0 +1,67 @@
+#include "util/flat_hash.h"
+
+#include "util/status.h"
+
+namespace sqp {
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlatU64Map::FlatU64Map(size_t expected) {
+  const size_t capacity = RoundUpPow2(expected * 2);
+  keys_.assign(capacity, kEmptyKey);
+  values_.assign(capacity, 0);
+}
+
+uint64_t& FlatU64Map::operator[](uint64_t key) {
+  SQP_CHECK(key != kEmptyKey);
+  if ((size_ + 1) * 2 > keys_.size()) Grow();
+  size_t slot = SlotFor(key);
+  while (keys_[slot] != kEmptyKey) {
+    if (keys_[slot] == key) return values_[slot];
+    slot = (slot + 1) & (keys_.size() - 1);
+  }
+  keys_[slot] = key;
+  values_[slot] = 0;
+  ++size_;
+  return values_[slot];
+}
+
+const uint64_t* FlatU64Map::Find(uint64_t key) const {
+  if (key == kEmptyKey) return nullptr;
+  size_t slot = SlotFor(key);
+  while (keys_[slot] != kEmptyKey) {
+    if (keys_[slot] == key) return &values_[slot];
+    slot = (slot + 1) & (keys_.size() - 1);
+  }
+  return nullptr;
+}
+
+void FlatU64Map::Grow() {
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<uint64_t> old_values = std::move(values_);
+  const size_t capacity = old_keys.size() * 2;
+  keys_.assign(capacity, kEmptyKey);
+  values_.assign(capacity, 0);
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyKey) continue;
+    size_t slot = SlotFor(old_keys[i]);
+    while (keys_[slot] != kEmptyKey) slot = (slot + 1) & (capacity - 1);
+    keys_[slot] = old_keys[i];
+    values_[slot] = old_values[i];
+  }
+}
+
+void FlatU64Map::Reset() {
+  keys_.assign(16, kEmptyKey);
+  values_.assign(16, 0);
+  size_ = 0;
+}
+
+}  // namespace sqp

@@ -1,0 +1,66 @@
+#ifndef SQP_UTIL_FLAT_HASH_H_
+#define SQP_UTIL_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sqp {
+
+/// Open-addressing hash map from uint64 keys to uint64 values, built for the
+/// training hot path: one flat slot array, linear probing, power-of-two
+/// capacity, zero per-insert allocation once warm. The key ~0ull is reserved
+/// as the empty-slot marker and must never be inserted; the library's packed
+/// (node << 32 | query) keys cannot produce it because node ids are
+/// non-negative int32 values.
+class FlatU64Map {
+ public:
+  /// `expected` sizes the initial table to hold that many entries without
+  /// growing (rounded up to a power of two at ~50% load).
+  explicit FlatU64Map(size_t expected = 0);
+
+  /// Returns a reference to the value for `key`, inserting 0 if absent. The
+  /// reference is invalidated by the next insertion.
+  uint64_t& operator[](uint64_t key);
+
+  /// Returns the stored value for `key`, or nullptr if absent.
+  const uint64_t* Find(uint64_t key) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Calls fn(key, value) for every entry in slot order. The order is
+  /// deterministic for a deterministic insertion sequence but otherwise
+  /// unspecified; callers that need a canonical order must sort.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+
+  /// Releases all memory (the map becomes empty with minimal capacity).
+  void Reset();
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  /// SplitMix64 finalizer: full-avalanche mixing of the packed key.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  size_t SlotFor(uint64_t key) const { return Mix(key) & (keys_.size() - 1); }
+  void Grow();
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_FLAT_HASH_H_

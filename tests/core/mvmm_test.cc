@@ -172,6 +172,92 @@ TEST(MvmmModelTest, MergedStatsBoundedByComponentSum) {
   EXPECT_LT(stats.memory_bytes, total_component_bytes);
 }
 
+TEST(MvmmModelTest, MergedStatsDescribeTheRealSharedStructure) {
+  // Satellite check for the merged-PST accounting: Stats() must report the
+  // actual shared flat layout — every node stored once (node header,
+  // context ids, next counts, child edges), one membership mask per node,
+  // and the dense root fan-out index — not an estimate.
+  const auto sessions = TableIISessions();
+  MvmmModel model;
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  const std::shared_ptr<const Pst>& shared = model.shared_pst();
+  ASSERT_NE(shared, nullptr);
+  ASSERT_TRUE(shared->is_shared());
+
+  const ModelStats stats = model.Stats();
+  EXPECT_EQ(stats.num_states, shared->size());
+  EXPECT_EQ(stats.num_entries, shared->num_entries());
+  EXPECT_EQ(stats.memory_bytes, shared->memory_bytes());
+
+  // Recompute the flat-layout accounting independently from the public
+  // node data and assert it matches Pst::memory_bytes exactly.
+  uint64_t expected = 0;
+  for (const Pst::Node& node : shared->nodes()) {
+    expected += sizeof(Pst::Node);
+    expected += node.context.size() * sizeof(QueryId);
+    expected += node.nexts.size() * sizeof(NextQueryCount);
+    expected += node.children.size() * sizeof(Pst::Edge);
+  }
+  expected += shared->size() * sizeof(Pst::ViewMask);
+  if (!shared->root().children.empty()) {
+    // Dense root fan-out index spans query ids 0..max root child query.
+    expected +=
+        (shared->root().children.back().query + 1ull) * sizeof(int32_t);
+  }
+  EXPECT_EQ(stats.memory_bytes, expected);
+
+  // The mask vector is exactly one entry per node, every node belongs to
+  // at least one component, and the per-view accounting sums to the
+  // components' own stats.
+  ASSERT_EQ(shared->view_masks().size(), shared->size());
+  for (Pst::ViewMask mask : shared->view_masks()) EXPECT_NE(mask, 0u);
+  for (size_t c = 0; c < model.components().size(); ++c) {
+    const ModelStats cs = model.components()[c]->Stats();
+    EXPECT_EQ(cs.num_states, shared->view_num_states(c));
+    EXPECT_EQ(cs.num_entries, shared->view_num_entries(c));
+    EXPECT_EQ(cs.memory_bytes, shared->view_memory_bytes(c));
+  }
+}
+
+TEST(MvmmModelTest, FallbackBeyondMaskWidthStillServes) {
+  // More components than the view mask holds (Pst::kMaxViews = 64) take
+  // the standalone-component fallback; every serving path must still work.
+  MvmmOptions options;
+  for (size_t i = 0; i < Pst::kMaxViews + 2; ++i) {
+    VmmOptions c;
+    c.max_depth = 1 + (i % 5);
+    c.epsilon = static_cast<double>(i % 3) * 0.05;
+    options.components.push_back(c);
+  }
+  const auto sessions = TableIISessions();
+  MvmmModel model(options);
+  ASSERT_TRUE(model.Train(MakeData(&sessions)).ok());
+  EXPECT_EQ(model.shared_pst(), nullptr);
+  EXPECT_EQ(model.components().size(), Pst::kMaxViews + 2);
+
+  EXPECT_TRUE(model.Covers(std::vector<QueryId>{kQ0}));
+  EXPECT_FALSE(model.Covers(std::vector<QueryId>{57}));
+  const auto weights = model.MixtureWeights(std::vector<QueryId>{kQ1, kQ0});
+  double total = 0.0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const Recommendation rec = model.Recommend(std::vector<QueryId>{kQ1, kQ0}, 2);
+  ASSERT_TRUE(rec.covered);
+  ASSERT_EQ(rec.queries.size(), 2u);
+  EXPECT_EQ(rec.queries[0].query, kQ1);
+  double p = 0.0;
+  for (QueryId q = 0; q < 2; ++q) {
+    p += model.ConditionalProb(std::vector<QueryId>{kQ0}, q);
+  }
+  EXPECT_NEAR(p, 1.0, 1e-9);
+  const ModelStats stats = model.Stats();
+  EXPECT_GT(stats.num_states, 0u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
 TEST(MvmmModelTest, RequiresComponents) {
   MvmmOptions options;
   options.components = {};  // replaced by defaults in the constructor

@@ -138,6 +138,27 @@ TEST_P(PstPropertyTest, MatchedStateIsTrueSuffix) {
   }
 }
 
+TEST_P(PstPropertyTest, FlatMatchAgreesWithFindNodeOnEveryStoredContext) {
+  // The sorted-edge layout must resolve every stored context identically
+  // through the suffix walk and through exact lookup.
+  for (const Pst::Node& node : pst_.nodes()) {
+    if (node.context.empty()) continue;
+    size_t matched = 0;
+    const Pst::Node* state = pst_.MatchLongestSuffix(node.context, &matched);
+    ASSERT_EQ(matched, node.context.size());
+    EXPECT_EQ(state, &node);
+    EXPECT_EQ(pst_.FindNode(node.context), &node);
+  }
+}
+
+TEST_P(PstPropertyTest, ChildEdgesSortedByQuery) {
+  for (const Pst::Node& node : pst_.nodes()) {
+    for (size_t i = 1; i < node.children.size(); ++i) {
+      EXPECT_LT(node.children[i - 1].query, node.children[i].query);
+    }
+  }
+}
+
 TEST_P(PstPropertyTest, RebuildIsDeterministic) {
   Pst again;
   SQP_CHECK_OK(again.Build(index_, options_));

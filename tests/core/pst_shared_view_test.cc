@@ -1,0 +1,158 @@
+// Property tests for the shared multi-view PST (Pst::BuildShared): every
+// view of the shared tree must be indistinguishable from the tree a
+// standalone Pst::Build would produce with the same options — same node
+// set, same counts, same matches — and the merged accounting must describe
+// the real shared structure.
+
+#include <gtest/gtest.h>
+
+#include "core/pst.h"
+#include "util/random.h"
+
+namespace sqp {
+namespace {
+
+std::vector<AggregatedSession> RandomCorpus(uint64_t seed, size_t vocab,
+                                            size_t num_sessions) {
+  Rng rng(seed);
+  std::vector<AggregatedSession> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    AggregatedSession session;
+    const size_t len = 1 + rng.Geometric(0.45) % 8;
+    for (size_t j = 0; j < len; ++j) {
+      session.queries.push_back(static_cast<QueryId>(rng.UniformInt(vocab)));
+    }
+    session.frequency = 1 + rng.UniformInt(20);
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+std::vector<PstOptions> TestViews() {
+  // A spread over every option axis: epsilon x depth x min_support,
+  // mirroring the MVMM's heterogeneous component set.
+  return {
+      PstOptions{.epsilon = 0.0, .max_depth = 1, .min_support = 1},
+      PstOptions{.epsilon = 0.0, .max_depth = 3, .min_support = 1},
+      PstOptions{.epsilon = 0.0, .max_depth = 5, .min_support = 1},
+      PstOptions{.epsilon = 0.05, .max_depth = 3, .min_support = 1},
+      PstOptions{.epsilon = 0.05, .max_depth = 5, .min_support = 10},
+      PstOptions{.epsilon = 0.1, .max_depth = 5, .min_support = 1},
+      PstOptions{.epsilon = 0.5, .max_depth = 4, .min_support = 5},
+  };
+}
+
+class PstSharedViewTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    sessions_ = RandomCorpus(GetParam(), /*vocab=*/35, /*num_sessions=*/350);
+    index_.Build(sessions_, ContextIndex::Mode::kSubstring);
+    views_ = TestViews();
+    SQP_CHECK_OK(shared_.BuildShared(index_, views_));
+    standalone_.resize(views_.size());
+    for (size_t v = 0; v < views_.size(); ++v) {
+      SQP_CHECK_OK(standalone_[v].Build(index_, views_[v]));
+    }
+  }
+
+  std::vector<AggregatedSession> sessions_;
+  ContextIndex index_;
+  std::vector<PstOptions> views_;
+  Pst shared_;
+  std::vector<Pst> standalone_;
+};
+
+TEST_P(PstSharedViewTest, ExtractedViewsEqualStandaloneTrees) {
+  for (size_t v = 0; v < views_.size(); ++v) {
+    const Pst extracted = shared_.ExtractView(v);
+    ASSERT_EQ(extracted.size(), standalone_[v].size()) << "view " << v;
+    for (size_t i = 0; i < extracted.size(); ++i) {
+      const Pst::Node& a = extracted.nodes()[i];
+      const Pst::Node& b = standalone_[v].nodes()[i];
+      EXPECT_EQ(a.context, b.context);
+      EXPECT_EQ(a.total_count, b.total_count);
+      EXPECT_EQ(a.start_count, b.start_count);
+      EXPECT_EQ(a.parent, b.parent);
+      ASSERT_EQ(a.nexts.size(), b.nexts.size());
+      for (size_t j = 0; j < a.nexts.size(); ++j) {
+        EXPECT_EQ(a.nexts[j].query, b.nexts[j].query);
+        EXPECT_EQ(a.nexts[j].count, b.nexts[j].count);
+      }
+      ASSERT_EQ(a.children.size(), b.children.size());
+      for (size_t j = 0; j < a.children.size(); ++j) {
+        EXPECT_EQ(a.children[j].query, b.children[j].query);
+        EXPECT_EQ(a.children[j].child, b.children[j].child);
+      }
+    }
+  }
+}
+
+TEST_P(PstSharedViewTest, ViewMatchesAgreeWithStandaloneMatches) {
+  Rng rng(GetParam() + 17);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<QueryId> context;
+    const size_t len = 1 + rng.UniformInt(7);
+    for (size_t j = 0; j < len; ++j) {
+      context.push_back(static_cast<QueryId>(rng.UniformInt(40)));
+    }
+    for (size_t v = 0; v < views_.size(); ++v) {
+      size_t shared_matched = 99;
+      size_t standalone_matched = 99;
+      const Pst::Node* shared_state =
+          shared_.MatchLongestSuffixView(context, v, &shared_matched);
+      const Pst::Node* standalone_state =
+          standalone_[v].MatchLongestSuffix(context, &standalone_matched);
+      ASSERT_EQ(shared_matched, standalone_matched) << "view " << v;
+      EXPECT_EQ(shared_state->context, standalone_state->context);
+      EXPECT_EQ(shared_state->total_count, standalone_state->total_count);
+    }
+  }
+}
+
+TEST_P(PstSharedViewTest, ViewAccountingMatchesStandalone) {
+  for (size_t v = 0; v < views_.size(); ++v) {
+    EXPECT_EQ(shared_.view_num_states(v), standalone_[v].size());
+    EXPECT_EQ(shared_.view_num_entries(v), standalone_[v].num_entries());
+    // The per-view byte accounting must equal what the view actually costs
+    // as a standalone tree (including its dense root fan-out index).
+    EXPECT_EQ(shared_.view_memory_bytes(v), standalone_[v].memory_bytes())
+        << "view " << v;
+  }
+}
+
+TEST_P(PstSharedViewTest, SharedTreeIsTheUnionOfItsViews) {
+  // Every node carries at least one view bit (zero-mask nodes are
+  // compacted away), and the tree is exactly as large as its largest view
+  // demands, never larger.
+  ASSERT_EQ(shared_.view_masks().size(), shared_.size());
+  size_t max_view_states = 0;
+  for (size_t v = 0; v < views_.size(); ++v) {
+    max_view_states =
+        std::max<size_t>(max_view_states, shared_.view_num_states(v));
+  }
+  EXPECT_EQ(shared_.size(), max_view_states);  // one view is epsilon-0/deepest
+  for (size_t i = 0; i < shared_.size(); ++i) {
+    EXPECT_NE(shared_.view_masks()[i], 0u) << "node " << i;
+  }
+}
+
+TEST_P(PstSharedViewTest, FlatMatchAgreesWithFindNodeOnEveryStoredContext) {
+  // The flat edge layout must resolve every stored context both through
+  // the longest-suffix walk and through exact lookup.
+  for (const Pst::Node& node : shared_.nodes()) {
+    if (node.context.empty()) continue;
+    size_t matched = 0;
+    const Pst::Node* state = shared_.MatchLongestSuffix(node.context, &matched);
+    EXPECT_EQ(matched, node.context.size());
+    EXPECT_EQ(state, &node);
+    EXPECT_EQ(shared_.FindNode(node.context), &node);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PstSharedViewTest,
+                         ::testing::Values(uint64_t{3}, uint64_t{42},
+                                           uint64_t{20091}));
+
+}  // namespace
+}  // namespace sqp

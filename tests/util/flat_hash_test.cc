@@ -1,0 +1,71 @@
+#include "util/flat_hash.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sqp {
+namespace {
+
+TEST(FlatU64MapTest, InsertAndFind) {
+  FlatU64Map map;
+  EXPECT_TRUE(map.empty());
+  map[42] = 7;
+  map[0] = 1;  // key 0 is a valid key (only ~0 is reserved)
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7u);
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 1u);
+  EXPECT_EQ(map.Find(43), nullptr);
+}
+
+TEST(FlatU64MapTest, OperatorBracketDefaultsToZeroAndAccumulates) {
+  FlatU64Map map;
+  map[10] += 5;
+  map[10] += 3;
+  EXPECT_EQ(*map.Find(10), 8u);
+}
+
+TEST(FlatU64MapTest, GrowsPreservingContents) {
+  FlatU64Map map(2);
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.Next() >> 8;  // never ~0
+    const uint64_t bump = 1 + rng.UniformInt(100);
+    map[key] += bump;
+    reference[key] += bump;
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), value);
+  }
+  size_t visited = 0;
+  uint64_t sum = 0;
+  map.ForEach([&](uint64_t key, uint64_t value) {
+    ++visited;
+    sum += value;
+    EXPECT_EQ(reference.at(key), value);
+  });
+  EXPECT_EQ(visited, reference.size());
+  uint64_t expected_sum = 0;
+  for (const auto& [key, value] : reference) expected_sum += value;
+  EXPECT_EQ(sum, expected_sum);
+}
+
+TEST(FlatU64MapTest, ResetClears) {
+  FlatU64Map map;
+  for (uint64_t i = 0; i < 100; ++i) map[i] = i;
+  map.Reset();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+  map[5] = 6;  // usable after Reset
+  EXPECT_EQ(*map.Find(5), 6u);
+}
+
+}  // namespace
+}  // namespace sqp
