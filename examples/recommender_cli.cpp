@@ -1,25 +1,102 @@
-// Interactive query recommender: trains an MVMM on a synthetic corpus,
-// then reads query sessions from stdin and prints top-5 recommendations
-// after every query — the paper's "online query recommendation phase".
+// Interactive query recommender driving the concurrent serving subsystem:
+// trains an MVMM snapshot on a synthetic corpus, publishes it to a
+// RecommenderEngine, then reads query sessions from stdin and prints top-5
+// recommendations after every query — the paper's "online query
+// recommendation phase", served the way production would serve it.
 //
-//   $ ./build/examples/recommender_cli            # interactive
-//   $ printf "first query\nsecond query\n" | ./build/examples/recommender_cli
+//   $ ./build/example_recommender_cli                 # interactive
+//   $ printf "first query\nsecond query\n" | ./build/example_recommender_cli
+//
+// Flags:
+//   --threads N   engine worker lanes for batched serving (default 1)
+//   --batch N     buffer N contexts and answer them via one RecommendMany
+//                 (default 1 = answer each query immediately)
+//   --tail        treat stdin as a live log tail: every completed session
+//                 (terminated by an empty line) is appended to the streaming
+//                 retrainer, which rebuilds and hot-swaps the model in the
+//                 background; unseen queries join the vocabulary live
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
 // prints a few popular example queries at startup for copy/paste.
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/mvmm_model.h"
 #include "log/data_reduction.h"
 #include "log/session_aggregator.h"
 #include "log/session_segmenter.h"
+#include "serve/recommender_engine.h"
+#include "serve/retrainer.h"
 #include "synth/log_synthesizer.h"
 
-int main() {
-  using namespace sqp;
+namespace {
+
+using namespace sqp;
+
+struct CliOptions {
+  size_t threads = 1;
+  size_t batch = 1;
+  bool tail = false;
+};
+
+[[noreturn]] void Usage() {
+  std::cerr << "usage: recommender_cli [--threads N] [--batch N] [--tail]\n";
+  std::exit(2);
+}
+
+size_t ParseCount(const char* text, size_t max_value) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 1 ||
+      static_cast<unsigned long>(value) > max_value) {
+    Usage();
+  }
+  return static_cast<size_t>(value);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tail") {
+      options.tail = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = ParseCount(argv[++i], 64);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      options.batch = ParseCount(argv[++i], 1 << 16);
+    } else {
+      Usage();
+    }
+  }
+  return options;
+}
+
+void PrintRecommendation(const QueryDictionary& dictionary,
+                         const std::vector<QueryId>& context,
+                         const Recommendation& rec) {
+  std::cout << "after \"" << dictionary.Text(context.back()) << "\": ";
+  if (!rec.covered) {
+    std::cout << "(no recommendation for this context)\n";
+    return;
+  }
+  std::cout << "recommendations (used last " << rec.matched_length
+            << " queries):\n";
+  for (size_t i = 0; i < rec.queries.size(); ++i) {
+    std::cout << "  " << (i + 1) << ". "
+              << dictionary.Text(rec.queries[i].query) << "  ["
+              << rec.queries[i].score << "]\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = ParseArgs(argc, argv);
 
   std::cerr << "training MVMM on a synthetic corpus..." << std::flush;
   Vocabulary vocabulary(
@@ -39,19 +116,25 @@ int main() {
   aggregator.Add(segmented);
   ReductionOptions reduction;
   reduction.min_frequency_exclusive = 1;
-  const std::vector<AggregatedSession> sessions =
+  std::vector<AggregatedSession> sessions =
       ReduceSessions(aggregator.Finish(), reduction, nullptr);
 
-  TrainingData data;
-  data.sessions = &sessions;
-  data.vocabulary_size = dictionary.size();
-  MvmmOptions options;
-  options.default_max_depth = 5;
-  MvmmModel model(options);
-  SQP_CHECK_OK(model.Train(data));
-  std::cerr << " done (" << sessions.size() << " unique sessions, "
-            << dictionary.size() << " unique queries)\n";
+  // The serving stack: engine + streaming retrainer owning the corpus.
+  RecommenderEngine engine(EngineOptions{.num_threads = cli.threads});
+  RetrainerOptions retrain_options;
+  retrain_options.model.default_max_depth = 5;
+  retrain_options.vocabulary_size = 0;  // grow with live-interned queries
+  retrain_options.poll_interval = std::chrono::milliseconds(50);
+  Retrainer retrainer(&engine, retrain_options);
+  SQP_CHECK_OK(retrainer.Bootstrap(sessions));
+  if (cli.tail) retrainer.Start();
 
+  std::cerr << " done (" << retrainer.corpus_size() << " unique sessions, "
+            << dictionary.size() << " unique queries)\n";
+  std::cerr << "serving with " << engine.num_threads()
+            << " engine lane(s), batch " << cli.batch
+            << (cli.tail ? ", live retraining on session tails" : "")
+            << "\n";
   std::cerr << "example queries you can try:\n";
   for (size_t i = 0; i < sessions.size() && i < 5; ++i) {
     std::cerr << "  " << dictionary.Text(sessions[i].queries[0]) << "\n";
@@ -59,34 +142,69 @@ int main() {
   std::cerr << "enter queries (empty line = new session, EOF = quit):\n";
 
   std::vector<QueryId> context;
+  // Batch mode buffers whole contexts (engine spans borrow their storage).
+  std::vector<std::vector<QueryId>> buffered;
+  uint64_t seen_version = engine.current_version();
+
+  const auto flush_batch = [&] {
+    if (buffered.empty()) return;
+    const std::vector<Recommendation> results =
+        engine.RecommendMany(buffered, 5);
+    for (size_t i = 0; i < results.size(); ++i) {
+      PrintRecommendation(dictionary, buffered[i], results[i]);
+    }
+    buffered.clear();
+  };
+  const auto report_version = [&] {
+    const uint64_t now = engine.current_version();
+    if (now != seen_version) {
+      std::cout << "-- model v" << now << " is live (corpus "
+                << retrainer.corpus_size() << " sessions) --\n";
+      seen_version = now;
+    }
+  };
+
   std::string line;
   while (std::getline(std::cin, line)) {
+    report_version();
     const std::string normalized = QueryDictionary::Normalize(line);
     if (normalized.empty()) {
+      flush_batch();
+      if (cli.tail && context.size() >= 2) {
+        // One completed session enters the stream; the background retrainer
+        // will fold it into the next snapshot.
+        retrainer.AppendSessions({AggregatedSession{context, 1}});
+      }
       context.clear();
       std::cout << "-- new session --\n";
       continue;
     }
-    const auto id = dictionary.Lookup(normalized);
+    std::optional<QueryId> id = dictionary.Lookup(normalized);
     if (!id.has_value()) {
-      std::cout << "(query \"" << normalized
-                << "\" is outside the trained vocabulary; session continues)"
-                << "\n";
-      continue;
+      if (cli.tail) {
+        id = dictionary.Intern(normalized);  // joins the vocabulary live
+      } else {
+        std::cout << "(query \"" << normalized
+                  << "\" is outside the trained vocabulary; session "
+                     "continues)\n";
+        continue;
+      }
     }
     context.push_back(*id);
-    const Recommendation rec = model.Recommend(context, 5);
-    if (!rec.covered) {
-      std::cout << "(no recommendation for this context)\n";
+    if (cli.batch > 1) {
+      buffered.push_back(context);
+      if (buffered.size() >= cli.batch) flush_batch();
       continue;
     }
-    std::cout << "recommendations (used last " << rec.matched_length
-              << " queries):\n";
-    for (size_t i = 0; i < rec.queries.size(); ++i) {
-      std::cout << "  " << (i + 1) << ". "
-                << dictionary.Text(rec.queries[i].query) << "  ["
-                << rec.queries[i].score << "]\n";
+    const Recommendation rec = engine.Recommend(context, 5);
+    PrintRecommendation(dictionary, context, rec);
+  }
+  flush_batch();
+  if (cli.tail) {
+    if (context.size() >= 2) {
+      retrainer.AppendSessions({AggregatedSession{context, 1}});
     }
+    retrainer.Stop();
   }
   return 0;
 }

@@ -1,0 +1,219 @@
+#ifndef SQP_CORE_MODEL_SNAPSHOT_H_
+#define SQP_CORE_MODEL_SNAPSHOT_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "core/vmm_model.h"
+
+namespace sqp {
+
+namespace internal {
+struct WeightSample;
+}  // namespace internal
+
+/// How MVMM weighs its components for an online context. The paper uses
+/// the Gaussian-of-edit-distance scheme (Eq. 4); the alternatives exist for
+/// ablation studies.
+enum class MixtureWeighting {
+  kGaussianEditDistance,  // paper Eq. 4, sigmas learned by Newton iteration
+  kUniform,               // every component weighs the same
+  kLongestMatch,          // all weight on the deepest-matching component(s)
+};
+
+/// Configuration of the Mixture Variable Memory Markov model (paper
+/// Section IV-C). The default component set mirrors the paper's experiment:
+/// 11 VMMs with epsilon in {0.0, 0.01, ..., 0.1}.
+struct MvmmOptions {
+  /// Component VMM configurations. Empty = the paper's 11-epsilon default.
+  std::vector<VmmOptions> components;
+
+  /// Component weighting scheme (ablation switch; the paper's is default).
+  MixtureWeighting weighting = MixtureWeighting::kGaussianEditDistance;
+
+  /// Depth bound applied to default components (0 = unbounded).
+  size_t default_max_depth = 0;
+
+  /// Number of training sequences (most frequent first) used to fit the
+  /// per-component Gaussian widths sigma_D.
+  size_t weight_sample_size = 2000;
+
+  /// Newton iterations for the sigma fit (Eq. 10).
+  size_t max_newton_iterations = 25;
+
+  /// The sigma fit stops once an accepted step improves the objective by
+  /// less than this relative amount — Newton converges in a handful of
+  /// iterations and the remaining budget buys only noise-level gains.
+  double convergence_tolerance = 1e-9;
+
+  /// Lower clamp on sigma (the Gaussian degenerates below this).
+  double min_sigma = 0.05;
+
+  /// Initial sigma for every component.
+  double initial_sigma = 1.0;
+
+  /// Worker threads for training (paper Section V-F.1). With at most
+  /// Pst::kMaxViews components the trees come from one shared single-pass
+  /// build and the threads shard the counting pass and the sigma-fit sample
+  /// sweep; beyond that the standalone fallback shards per-component
+  /// training itself. 0 = sequential. Results are identical either way.
+  size_t training_threads = 0;
+
+  /// Returns the paper's default component set.
+  static std::vector<VmmOptions> DefaultComponents(size_t max_depth);
+};
+
+/// Diagnostics from the sigma (mixture-weight) optimization.
+struct MvmmFitReport {
+  size_t iterations = 0;
+  double initial_objective = 0.0;
+  double final_objective = 0.0;
+  bool used_newton = false;  // false = fell back to gradient ascent only
+};
+
+/// Per-thread scratch buffers for snapshot inference. A snapshot itself is
+/// immutable; every mutable byte a query touches lives here, so any number
+/// of threads can serve off one snapshot with one scratch each.
+struct SnapshotScratch {
+  std::vector<int32_t> path;
+  std::vector<size_t> matched;
+  std::vector<double> level_weight;
+  std::vector<double> weights;
+  std::vector<double> cond_at;
+  std::vector<ScoredQuery> raw;
+};
+
+/// An immutable, fully-trained MVMM serving state: the shared multi-view
+/// PST, the fitted per-component sigma weights, and the corpus/dictionary
+/// version it was trained against. Built off to the side (possibly on a
+/// background thread) and published to readers by swapping a
+/// shared_ptr<const ModelSnapshot>; readers hold no hidden mutable state
+/// beyond their SnapshotScratch.
+class ModelSnapshot {
+ public:
+  /// Trains a snapshot from `data`. `options.components` (or the default
+  /// set) must fit in Pst::kMaxViews — the snapshot is always a shared-tree
+  /// build. `version` tags the corpus/dictionary state the snapshot reflects
+  /// (e.g. a retrain generation); it is carried, not interpreted.
+  static Result<std::shared_ptr<const ModelSnapshot>> Build(
+      const TrainingData& data, const MvmmOptions& options,
+      uint64_t version = 0);
+
+  /// Mixture recommendation over the shared tree (paper Section IV-C.3).
+  Recommendation Recommend(std::span<const QueryId> context, size_t top_n,
+                           SnapshotScratch* scratch) const;
+
+  /// Smoothed mixture conditional P(next | context).
+  double ConditionalProb(std::span<const QueryId> context, QueryId next,
+                         SnapshotScratch* scratch) const;
+
+  /// True iff at least one component matches a non-root state.
+  bool Covers(std::span<const QueryId> context) const;
+
+  /// Normalized per-component mixture weights for `context`.
+  std::vector<double> MixtureWeights(std::span<const QueryId> context,
+                                     SnapshotScratch* scratch) const;
+
+  /// Merged-tree accounting (paper Table VII / Section V-F.2).
+  ModelStats Stats() const;
+
+  uint64_t version() const { return version_; }
+  const std::shared_ptr<const Pst>& pst() const { return pst_; }
+  const std::vector<double>& sigmas() const { return sigmas_; }
+  const MvmmFitReport& fit_report() const { return fit_report_; }
+  const MvmmOptions& options() const { return options_; }
+  size_t vocabulary_size() const { return vocabulary_size_; }
+  size_t num_components() const { return options_.components.size(); }
+
+  /// One shared-tree walk: fills `path` with the matched chain and
+  /// `matched` with each component's matched length (the deepest path node
+  /// carrying the component's view bit). Returns the full-tree match depth.
+  size_t SharedMatchDepths(std::span<const QueryId> context,
+                           std::vector<int32_t>* path,
+                           std::vector<size_t>* matched) const;
+
+ private:
+  ModelSnapshot() = default;
+
+  /// Unnormalized component weights under the configured weighting scheme.
+  void RawWeights(size_t context_len, const std::vector<size_t>& matched,
+                  std::vector<double>* weights) const;
+
+  /// Escape weight of component c for a state matched at `matched` of
+  /// `context_len` queries (Eq. 5-6, as VmmModel::Match).
+  double EscapeWeight(const Pst::Node& state, size_t context_len,
+                      size_t matched, size_t component) const;
+
+  /// Eq. 3 chain for one pseudo-test session off shared-tree walks.
+  void BuildWeightSample(const AggregatedSession& session,
+                         internal::WeightSample* sample) const;
+
+  void FitSigmas(const std::vector<AggregatedSession>& sessions);
+
+  MvmmOptions options_;
+  std::shared_ptr<const Pst> pst_;
+  std::vector<double> sigmas_;
+  MvmmFitReport fit_report_;
+  size_t vocabulary_size_ = 0;
+  uint64_t version_ = 0;
+};
+
+namespace internal {
+
+/// One pseudo-test sequence of the sigma fit (Eq. 8/9): its normalized
+/// sampling weight plus per-component edit distances and generative
+/// probabilities.
+struct WeightSample {
+  double weight = 0.0;                // P(X_T), normalized by the fitter
+  std::vector<double> edit_distance;  // d_D(X_T) per component
+  std::vector<double> sequence_prob;  // \hat{P}_D(X_T) per component
+};
+
+/// The sigma-fit sample pool: the most frequent multi-query sessions,
+/// deterministically ordered (frequency desc, then lexicographic).
+std::vector<const AggregatedSession*> SelectWeightPool(
+    const std::vector<AggregatedSession>& sessions, size_t sample_size);
+
+/// Maximizes f(sigma) = sum_X P(X) log sum_D g(d_D; sigma_D) P_D(X) by
+/// damped Newton with analytic derivatives (Eq. 7-10), with a backtracking
+/// gradient-ascent fallback. Normalizes the sample weights in place;
+/// `sigmas` carries the initial point and receives the fitted values.
+/// Shared by ModelSnapshot::Build and the MvmmModel standalone fallback so
+/// the two fits cannot drift.
+MvmmFitReport FitSigmasFromSamples(std::vector<WeightSample>* samples,
+                                   const MvmmOptions& options,
+                                   std::vector<double>* sigmas);
+
+/// Deduplicates (query, score) contributions by query and fills the top-N
+/// ranking (score desc, query asc). `raw` is scratch owned by the caller.
+void MergeAndRank(std::vector<ScoredQuery>* raw, size_t top_n,
+                  Recommendation* rec);
+
+/// Per-thread reusable inference scratch. Scratch carries no state between
+/// calls, so sharing one instance per thread across snapshots/models is
+/// safe.
+inline SnapshotScratch& ThreadScratch() {
+  thread_local SnapshotScratch scratch;
+  return scratch;
+}
+
+/// Depth a shared kSubstring ContextIndex must cover for `options`'
+/// components (0 = unbounded), i.e. the deepest component bound.
+size_t SharedIndexDepth(const MvmmOptions& options);
+
+/// Unnormalized per-component weights for a context of `context_len`
+/// queries whose component matched lengths are `matched` (Eq. 4 plus the
+/// ablation variants, including the all-underflow depth fallback). Shared
+/// by ModelSnapshot and the MvmmModel standalone fallback so the weighting
+/// scheme cannot drift between the two paths.
+void ComputeRawWeights(MixtureWeighting weighting,
+                       const std::vector<double>& sigmas, size_t context_len,
+                       const std::vector<size_t>& matched,
+                       std::vector<double>* weights);
+
+}  // namespace internal
+}  // namespace sqp
+
+#endif  // SQP_CORE_MODEL_SNAPSHOT_H_

@@ -10,66 +10,8 @@
 #include "util/math_util.h"
 
 namespace sqp {
-namespace {
 
-/// Deduplicates (query, score) contributions by query and fills the top-N
-/// ranking (score desc, query asc). `raw` is scratch owned by the caller;
-/// bounded selection via nth_element avoids sorting the full candidate set.
-void MergeAndRank(std::vector<ScoredQuery>* raw, size_t top_n,
-                  Recommendation* rec) {
-  std::sort(raw->begin(), raw->end(),
-            [](const ScoredQuery& a, const ScoredQuery& b) {
-              return a.query < b.query;
-            });
-  size_t out = 0;
-  for (size_t i = 0; i < raw->size();) {
-    ScoredQuery merged = (*raw)[i];
-    for (++i; i < raw->size() && (*raw)[i].query == merged.query; ++i) {
-      merged.score += (*raw)[i].score;
-    }
-    (*raw)[out++] = merged;
-  }
-  raw->resize(out);
-
-  const auto by_rank = [](const ScoredQuery& a, const ScoredQuery& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.query < b.query;
-  };
-  if (raw->size() > top_n) {
-    std::nth_element(raw->begin(),
-                     raw->begin() + static_cast<ptrdiff_t>(top_n), raw->end(),
-                     by_rank);
-    raw->resize(top_n);
-  }
-  std::sort(raw->begin(), raw->end(), by_rank);
-  rec->queries.assign(raw->begin(), raw->end());
-}
-
-}  // namespace
-
-std::vector<VmmOptions> MvmmOptions::DefaultComponents(size_t max_depth) {
-  // Paper Section IV-C.2 trains "K D-bounded VMM models, {P_D, D=1..K}",
-  // each "with a range of epsilon values"; Section V-D uses 11 components.
-  // The default crosses D = 1..deepest with epsilon in {0.0, 0.05} and adds
-  // one (deepest, 0.1) component: 11 components at the default depth 5,
-  // covering both the depth and the epsilon axes of the model family.
-  const size_t deepest = max_depth == 0 ? 5 : max_depth;
-  std::vector<VmmOptions> components;
-  components.reserve(2 * deepest + 1);
-  for (size_t depth = 1; depth <= deepest; ++depth) {
-    for (double epsilon : {0.0, 0.05}) {
-      VmmOptions vmm;
-      vmm.epsilon = epsilon;
-      vmm.max_depth = depth;
-      components.push_back(vmm);
-    }
-  }
-  VmmOptions last;
-  last.epsilon = 0.1;
-  last.max_depth = deepest;
-  components.push_back(last);
-  return components;
-}
+using internal::ThreadScratch;
 
 MvmmModel::MvmmModel(MvmmOptions options) : options_(std::move(options)) {
   if (options_.components.empty()) {
@@ -85,10 +27,36 @@ Status MvmmModel::Train(const TrainingData& data) {
   }
   vocabulary_size_ = data.vocabulary_size;
   components_.clear();
-  shared_pst_.reset();
+  snapshot_.reset();
 
-  // One shared counting pass for all components. Depth must accommodate the
-  // deepest component; any unbounded component forces an unbounded index.
+  for (const VmmOptions& c : options_.components) {
+    components_.push_back(std::make_unique<VmmModel>(c));
+  }
+
+  if (components_.size() <= Pst::kMaxViews) {
+    // The shared-tree path: all trained state is built off to the side as
+    // an immutable snapshot (one counting pass, one maximal multi-view
+    // tree, one sigma fit) and the model serves by delegating to it. The
+    // component models adopt views of the snapshot's tree so callers can
+    // still inspect per-component structure.
+    Result<std::shared_ptr<const ModelSnapshot>> built =
+        ModelSnapshot::Build(data, options_, /*version=*/0);
+    if (!built.ok()) return built.status();
+    snapshot_ = std::move(built.value());
+    for (size_t c = 0; c < components_.size(); ++c) {
+      SQP_RETURN_IF_ERROR(components_[c]->TrainFromSharedPst(
+          snapshot_->pst(), c, data.vocabulary_size));
+    }
+    sigmas_ = snapshot_->sigmas();
+    fit_report_ = snapshot_->fit_report();
+    trained_ = true;
+    return Status::OK();
+  }
+
+  // Defensive fallback beyond the mask width: standalone component
+  // training off one shared counting pass, sharded across workers when
+  // requested (this is the one remaining path with real per-component
+  // training cost; paper Section V-F.1).
   size_t shared_depth = 0;
   bool any_unbounded = false;
   for (const VmmOptions& c : options_.components) {
@@ -101,61 +69,34 @@ Status MvmmModel::Train(const TrainingData& data) {
       index != nullptr && index->CoversSubstringDepth(need_depth);
   ContextIndex local;
   if (!compatible) {
-    local.Build(*data.sessions, ContextIndex::Mode::kSubstring, need_depth);
+    local.Build(*data.sessions, ContextIndex::Mode::kSubstring, need_depth,
+                options_.training_threads);
     index = &local;
   }
-
-  for (const VmmOptions& c : options_.components) {
-    components_.push_back(std::make_unique<VmmModel>(c));
-  }
-
-  if (components_.size() <= Pst::kMaxViews) {
-    // Single-pass shared build: one maximal tree with per-node component
-    // membership masks; every component becomes a pruned view of it.
-    std::vector<PstOptions> views;
-    views.reserve(components_.size());
-    for (const VmmOptions& c : options_.components) {
-      views.push_back(PstOptions{.epsilon = c.epsilon,
-                                 .max_depth = c.max_depth,
-                                 .min_support = c.min_support});
-    }
-    auto shared = std::make_shared<Pst>();
-    SQP_RETURN_IF_ERROR(shared->BuildShared(*index, views));
-    shared_pst_ = std::move(shared);
-    for (size_t c = 0; c < components_.size(); ++c) {
-      SQP_RETURN_IF_ERROR(components_[c]->TrainFromSharedPst(
-          shared_pst_, c, data.vocabulary_size));
+  TrainingData component_data = data;
+  component_data.substring_index = index;
+  if (options_.training_threads <= 1) {
+    for (const auto& vmm : components_) {
+      SQP_RETURN_IF_ERROR(vmm->Train(component_data));
     }
   } else {
-    // Defensive fallback beyond the mask width: standalone component
-    // training off the shared counting pass, sharded across workers when
-    // requested (this is the one remaining path with real per-component
-    // training cost; paper Section V-F.1).
-    TrainingData component_data = data;
-    component_data.substring_index = index;
-    if (options_.training_threads <= 1) {
-      for (const auto& vmm : components_) {
-        SQP_RETURN_IF_ERROR(vmm->Train(component_data));
-      }
-    } else {
-      std::vector<Status> statuses(components_.size());
-      std::vector<std::thread> workers;
-      const size_t num_workers =
-          std::min(options_.training_threads, components_.size());
-      std::atomic<size_t> next{0};
-      for (size_t w = 0; w < num_workers; ++w) {
-        workers.emplace_back([&] {
-          while (true) {
-            const size_t i = next.fetch_add(1);
-            if (i >= components_.size()) return;
-            statuses[i] = components_[i]->Train(component_data);
-          }
-        });
-      }
-      for (std::thread& worker : workers) worker.join();
-      for (const Status& status : statuses) {
-        SQP_RETURN_IF_ERROR(status);
-      }
+    std::vector<Status> statuses(components_.size());
+    std::vector<std::thread> workers;
+    const size_t num_workers =
+        std::min(options_.training_threads, components_.size());
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= components_.size()) return;
+          statuses[i] = components_[i]->Train(component_data);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const Status& status : statuses) {
+      SQP_RETURN_IF_ERROR(status);
     }
   }
 
@@ -167,150 +108,39 @@ Status MvmmModel::Train(const TrainingData& data) {
   return Status::OK();
 }
 
-size_t MvmmModel::SharedMatchDepths(std::span<const QueryId> context,
-                                    std::vector<int32_t>* path,
-                                    std::vector<size_t>* matched) const {
-  const size_t depth = shared_pst_->MatchPath(context, path);
-  const size_t k = components_.size();
-  matched->assign(k, 0);
-  const std::vector<Pst::ViewMask>& masks = shared_pst_->view_masks();
-  for (size_t c = 0; c < k; ++c) {
-    const Pst::ViewMask bit = Pst::ViewMask{1} << c;
-    // View membership is ancestor-closed, so the nodes carrying this
-    // component's bit form a prefix of the path.
-    size_t m = depth;
-    while (m > 0 &&
-           (masks[static_cast<size_t>((*path)[m - 1])] & bit) == 0) {
-      --m;
-    }
-    (*matched)[c] = m;
-  }
-  return depth;
-}
-
-double MvmmModel::EscapeWeight(const Pst::Node& state, size_t context_len,
-                               size_t matched, size_t component) const {
-  const size_t dropped = context_len - matched;
-  if (dropped == 0) return 1.0;
-  return internal::EscapeMass(
-      state, dropped, components_[component]->options().default_escape);
-}
-
 std::vector<double> MvmmModel::RawWeights(
     size_t context_len, const std::vector<size_t>& matched) const {
-  std::vector<double> weights(components_.size(), 0.0);
-  switch (options_.weighting) {
-    case MixtureWeighting::kGaussianEditDistance: {
-      for (size_t c = 0; c < components_.size(); ++c) {
-        // The matched state's context is the trailing matched[c] queries of
-        // the online context, so the edit distance degenerates to the
-        // number of dropped prefix queries.
-        const double d = static_cast<double>(context_len - matched[c]);
-        weights[c] = GaussianPdf(d, sigmas_[c]);
-      }
-      // With a tightly fitted sigma the Gaussian can underflow for every
-      // component (all matches far from the context); fall back to
-      // weighting by match depth so the mixture stays well defined.
-      double total = 0.0;
-      for (double w : weights) total += w;
-      if (total <= 1e-280) {
-        for (size_t c = 0; c < components_.size(); ++c) {
-          weights[c] = 1.0 + static_cast<double>(matched[c]);
-        }
-      }
-      break;
-    }
-    case MixtureWeighting::kUniform:
-      weights.assign(components_.size(), 1.0);
-      break;
-    case MixtureWeighting::kLongestMatch: {
-      size_t best = 0;
-      for (size_t m : matched) best = std::max(best, m);
-      for (size_t c = 0; c < components_.size(); ++c) {
-        weights[c] = matched[c] == best ? 1.0 : 0.0;
-      }
-      break;
-    }
-  }
+  std::vector<double> weights;
+  internal::ComputeRawWeights(options_.weighting, sigmas_, context_len,
+                              matched, &weights);
   return weights;
 }
 
 void MvmmModel::BuildWeightSample(const AggregatedSession& session,
-                                  WeightSample* sample) const {
+                                  internal::WeightSample* sample) const {
   const size_t k = components_.size();
   const std::vector<QueryId>& q = session.queries;
   sample->edit_distance.resize(k);
   sample->sequence_prob.assign(k, 1.0);
 
-  if (shared_pst_ == nullptr) {
-    const std::span<const QueryId> full(q.data(), q.size() - 1);
-    for (size_t c = 0; c < k; ++c) {
-      const VmmMatch match = components_[c]->Match(full);
-      sample->edit_distance[c] =
-          static_cast<double>(full.size() - match.matched_length);
-      sample->sequence_prob[c] = components_[c]->SequenceProb(q);
-    }
-    return;
-  }
-
-  thread_local std::vector<int32_t> path;
-  thread_local std::vector<size_t> matched;
-  thread_local std::vector<double> cond_at;  // per matched depth, 0 = root
-
-  // Eq. 3 chain for every component off one tree walk per prefix: all
-  // component states lie on the recorded path, so the smoothed conditional
-  // is computed once per distinct matched depth instead of once per
-  // component. The final prefix is the full context, whose matched depths
-  // also yield the edit distances (d = dropped prefix queries).
-  const std::vector<Pst::Node>& nodes = shared_pst_->nodes();
-  for (size_t i = 1; i < q.size(); ++i) {
-    const std::span<const QueryId> prefix(q.data(), i);
-    const size_t depth = SharedMatchDepths(prefix, &path, &matched);
-    cond_at.assign(depth + 1, -1.0);
-    for (size_t c = 0; c < k; ++c) {
-      const size_t m = matched[c];
-      const Pst::Node& state =
-          m == 0 ? nodes[0] : nodes[static_cast<size_t>(path[m - 1])];
-      if (cond_at[m] < 0.0) {
-        cond_at[m] = internal::SmoothedProb(state.nexts, state.total_count,
-                                            vocabulary_size_, q[i]);
-      }
-      sample->sequence_prob[c] *= EscapeWeight(state, i, m, c) * cond_at[m];
-    }
-    if (i + 1 == q.size()) {  // prefix == full context
-      for (size_t c = 0; c < k; ++c) {
-        sample->edit_distance[c] = static_cast<double>(i - matched[c]);
-      }
-    }
+  const std::span<const QueryId> full(q.data(), q.size() - 1);
+  for (size_t c = 0; c < k; ++c) {
+    const VmmMatch match = components_[c]->Match(full);
+    sample->edit_distance[c] =
+        static_cast<double>(full.size() - match.matched_length);
+    sample->sequence_prob[c] = components_[c]->SequenceProb(q);
   }
 }
 
 void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
   fit_report_ = MvmmFitReport{};
-  // Pseudo-test sample: the most frequent multi-query sessions, with
-  // P(X_T) proportional to their aggregated frequency (Eq. 8/9).
-  std::vector<const AggregatedSession*> pool;
-  for (const AggregatedSession& s : sessions) {
-    if (s.queries.size() >= 2) pool.push_back(&s);
-  }
-  std::sort(pool.begin(), pool.end(),
-            [](const AggregatedSession* a, const AggregatedSession* b) {
-              if (a->frequency != b->frequency) {
-                return a->frequency > b->frequency;
-              }
-              return a->queries < b->queries;
-            });
-  if (pool.size() > options_.weight_sample_size) {
-    pool.resize(options_.weight_sample_size);
-  }
+  const std::vector<const AggregatedSession*> pool =
+      internal::SelectWeightPool(sessions, options_.weight_sample_size);
   if (pool.empty()) return;
 
-  const size_t k = components_.size();
-  std::vector<WeightSample> samples(pool.size());
-  double weight_total = 0.0;
+  std::vector<internal::WeightSample> samples(pool.size());
   for (size_t i = 0; i < pool.size(); ++i) {
     samples[i].weight = static_cast<double>(pool[i]->frequency);
-    weight_total += samples[i].weight;
   }
   // Per-sample evaluation is independent and writes only its own slot, so
   // sharding it across workers leaves the result bit-identical.
@@ -334,180 +164,18 @@ void MvmmModel::FitSigmas(const std::vector<AggregatedSession>& sessions) {
       BuildWeightSample(*pool[i], &samples[i]);
     }
   }
-  for (WeightSample& s : samples) s.weight /= weight_total;
-
-  // Edit distances are dropped-prefix counts: small integers. The fit
-  // evaluators run off (component, distance) lookup tables sized by the
-  // largest observed distance.
-  size_t max_d = 0;
-  for (const WeightSample& s : samples) {
-    for (double d : s.edit_distance) {
-      max_d = std::max(max_d, static_cast<size_t>(d));
-    }
-  }
-
-  // Maximize f(sigma) = sum_X P(X) log sum_D g(d_D; sigma_D) P_D(X).
-  // Damped Newton with the analytic Hessian (one pass over the samples per
-  // iteration); gradient-ascent fallback keeps every accepted step an
-  // improvement.
-  double f = Objective(samples, sigmas_, max_d);
-  fit_report_.initial_objective = f;
-  std::vector<double> grad;
-  std::vector<double> hessian;
-  for (size_t iter = 0; iter < options_.max_newton_iterations; ++iter) {
-    const double f_before = f;
-    FitDerivatives(samples, sigmas_, max_d, &grad, &hessian);
-    double grad_norm = 0.0;
-    for (double g : grad) grad_norm += g * g;
-    grad_norm = std::sqrt(grad_norm);
-    if (grad_norm < 1e-9) break;
-
-    std::vector<double> step;
-    bool have_newton =
-        SolveLinearSystem(hessian, grad, k, &step);  // H * step = grad
-    // At a maximum H is negative definite, so sigma_new = sigma - step
-    // (Eq. 10). Reject the Newton direction if it is not an ascent move.
-    bool accepted = false;
-    if (have_newton) {
-      double damping = 1.0;
-      for (int attempt = 0; attempt < 8 && !accepted; ++attempt) {
-        std::vector<double> trial = sigmas_;
-        for (size_t i = 0; i < k; ++i) {
-          trial[i] = std::max(options_.min_sigma,
-                              trial[i] - damping * step[i]);
-        }
-        const double ft = Objective(samples, trial, max_d);
-        if (ft > f) {
-          sigmas_ = std::move(trial);
-          f = ft;
-          accepted = true;
-          fit_report_.used_newton = true;
-        }
-        damping *= 0.5;
-      }
-    }
-    if (!accepted) {
-      // Backtracking gradient ascent.
-      double lr = 0.5;
-      for (int attempt = 0; attempt < 12 && !accepted; ++attempt) {
-        std::vector<double> trial = sigmas_;
-        for (size_t i = 0; i < k; ++i) {
-          trial[i] = std::max(options_.min_sigma, trial[i] + lr * grad[i]);
-        }
-        const double ft = Objective(samples, trial, max_d);
-        if (ft > f) {
-          sigmas_ = std::move(trial);
-          f = ft;
-          accepted = true;
-        }
-        lr *= 0.5;
-      }
-    }
-    ++fit_report_.iterations;
-    if (!accepted) break;  // converged (no improving step)
-    // Converged: the accepted step no longer moves the objective.
-    const double improvement = f - f_before;
-    if (improvement <
-        options_.convergence_tolerance * (1.0 + std::fabs(f_before))) {
-      break;
-    }
-  }
-  fit_report_.final_objective = f;
-}
-
-double MvmmModel::Objective(const std::vector<WeightSample>& samples,
-                            const std::vector<double>& sigmas,
-                            size_t max_d) const {
-  const size_t k = sigmas.size();
-  const size_t stride = max_d + 1;
-  thread_local std::vector<double> g_table;
-  g_table.assign(k * stride, 0.0);
-  for (size_t c = 0; c < k; ++c) {
-    for (size_t d = 0; d <= max_d; ++d) {
-      g_table[c * stride + d] = GaussianPdf(static_cast<double>(d), sigmas[c]);
-    }
-  }
-  double f = 0.0;
-  for (const WeightSample& s : samples) {
-    double mix = 0.0;
-    for (size_t c = 0; c < k; ++c) {
-      mix += g_table[c * stride + static_cast<size_t>(s.edit_distance[c])] *
-             s.sequence_prob[c];
-    }
-    if (mix <= 0.0) mix = 1e-300;
-    f += s.weight * std::log(mix);
-  }
-  return f;
-}
-
-void MvmmModel::FitDerivatives(const std::vector<WeightSample>& samples,
-                               const std::vector<double>& sigmas,
-                               size_t max_d, std::vector<double>* gradient,
-                               std::vector<double>* hessian) const {
-  // For f = sum_X w log m, m = sum_c g_c P_c:
-  //   grad_c = sum_X w g_c' P_c / m
-  //   H_cj = sum_X w [ delta_cj g_c'' P_c / m - (g_c' P_c)(g_j' P_j) / m^2 ]
-  // with g' = g (d^2/s^3 - 1/s) and g'' = g ((d^2/s^3 - 1/s)^2
-  //                                          - 3 d^2/s^4 + 1/s^2).
-  const size_t k = sigmas.size();
-  const size_t stride = max_d + 1;
-  thread_local std::vector<double> g_table;   // g
-  thread_local std::vector<double> gp_table;  // g'
-  thread_local std::vector<double> gt_table;  // g''
-  g_table.assign(k * stride, 0.0);
-  gp_table.assign(k * stride, 0.0);
-  gt_table.assign(k * stride, 0.0);
-  for (size_t c = 0; c < k; ++c) {
-    const double sigma = sigmas[c];
-    for (size_t di = 0; di <= max_d; ++di) {
-      const double d = static_cast<double>(di);
-      const double g = GaussianPdf(d, sigma);
-      const double a = d * d / (sigma * sigma * sigma) - 1.0 / sigma;
-      const double a_prime =
-          -3.0 * d * d / (sigma * sigma * sigma * sigma) +
-          1.0 / (sigma * sigma);
-      g_table[c * stride + di] = g;
-      gp_table[c * stride + di] = g * a;
-      gt_table[c * stride + di] = g * (a * a + a_prime);
-    }
-  }
-
-  gradient->assign(k, 0.0);
-  hessian->assign(k * k, 0.0);
-  std::vector<double> u(k);  // g_c' P_c
-  for (const WeightSample& s : samples) {
-    double mix = 0.0;
-    for (size_t c = 0; c < k; ++c) {
-      const size_t di = static_cast<size_t>(s.edit_distance[c]);
-      u[c] = gp_table[c * stride + di] * s.sequence_prob[c];
-      mix += g_table[c * stride + di] * s.sequence_prob[c];
-    }
-    if (mix <= 0.0) continue;
-    const double inv = 1.0 / mix;
-    for (size_t c = 0; c < k; ++c) {
-      const size_t di = static_cast<size_t>(s.edit_distance[c]);
-      (*gradient)[c] += s.weight * u[c] * inv;
-      (*hessian)[c * k + c] +=
-          s.weight * gt_table[c * stride + di] * s.sequence_prob[c] * inv;
-      const double scaled = s.weight * u[c] * inv * inv;
-      for (size_t j = 0; j < k; ++j) {
-        (*hessian)[c * k + j] -= scaled * u[j];
-      }
-    }
-  }
+  fit_report_ = internal::FitSigmasFromSamples(&samples, options_, &sigmas_);
 }
 
 std::vector<double> MvmmModel::MixtureWeights(
     std::span<const QueryId> context) const {
   SQP_CHECK(trained_);
+  if (snapshot_) {
+    return snapshot_->MixtureWeights(context, &ThreadScratch());
+  }
   std::vector<size_t> matched(components_.size(), 0);
-  if (shared_pst_) {
-    thread_local std::vector<int32_t> path;
-    SharedMatchDepths(context, &path, &matched);
-  } else {
-    for (size_t c = 0; c < components_.size(); ++c) {
-      matched[c] = components_[c]->Match(context).matched_length;
-    }
+  for (size_t c = 0; c < components_.size(); ++c) {
+    matched[c] = components_[c]->Match(context).matched_length;
   }
   std::vector<double> weights = RawWeights(context.size(), matched);
   NormalizeInPlace(&weights);
@@ -518,104 +186,60 @@ Recommendation MvmmModel::Recommend(std::span<const QueryId> context,
                                     size_t top_n) const {
   Recommendation rec;
   if (!trained_ || context.empty()) return rec;
+  if (snapshot_) {
+    return snapshot_->Recommend(context, top_n, &ThreadScratch());
+  }
 
-  thread_local std::vector<int32_t> path;
-  thread_local std::vector<size_t> matched;
-  thread_local std::vector<double> level_weight;
-  thread_local std::vector<ScoredQuery> raw;
-
+  // Standalone fallback: match every component against its own tree.
+  std::vector<size_t> matched(components_.size(), 0);
+  std::vector<VmmMatch> matches(components_.size());
   size_t depth = 0;
-  std::vector<VmmMatch> fallback_matches;
-  if (shared_pst_) {
-    depth = SharedMatchDepths(context, &path, &matched);
-  } else {
-    matched.assign(components_.size(), 0);
-    fallback_matches.resize(components_.size());
-    for (size_t c = 0; c < components_.size(); ++c) {
-      fallback_matches[c] = components_[c]->Match(context);
-      matched[c] = fallback_matches[c].matched_length;
-      depth = std::max(depth, matched[c]);
-    }
+  for (size_t c = 0; c < components_.size(); ++c) {
+    matches[c] = components_[c]->Match(context);
+    matched[c] = matches[c].matched_length;
+    depth = std::max(depth, matched[c]);
   }
   if (depth == 0) return rec;  // uncovered, like its components
   std::vector<double> weights = RawWeights(context.size(), matched);
   NormalizeInPlace(&weights);
 
-  // Combine escape-weighted generative scores across components (paper
-  // Section IV-C.3: predicted queries of all components are re-ranked
-  // w.r.t. generative probabilities and model weights). Each component
-  // also contributes its matched state's suffix ancestors at
-  // escape-discounted weight (Eq. 5 applied to ranking): deep states often
-  // carry very few continuations, and the recursion fills the list with
-  // shallower-context candidates without disturbing the deep ranking.
-  // All matched states are nested suffixes of the context, so the per-level
-  // weights accumulate on one path and every state's count list is touched
-  // exactly once — no per-call hash map.
-  raw.clear();
-  if (shared_pst_) {
-    const std::vector<Pst::Node>& nodes = shared_pst_->nodes();
-    level_weight.assign(depth, 0.0);
-    for (size_t c = 0; c < components_.size(); ++c) {
-      if (weights[c] <= 0.0 || matched[c] == 0) continue;
-      const Pst::Node& state = nodes[static_cast<size_t>(path[matched[c] - 1])];
-      double lw = weights[c] *
-                  EscapeWeight(state, context.size(), matched[c], c);
-      const double esc = components_[c]->options().default_escape;
-      for (size_t d = matched[c]; d >= 1; --d) {
-        level_weight[d - 1] += lw;
-        lw *= esc;
-      }
-    }
-    for (size_t d = 0; d < depth; ++d) {
-      if (level_weight[d] <= 0.0) continue;
-      const Pst::Node& node = nodes[static_cast<size_t>(path[d])];
-      if (node.total_count == 0) continue;
-      const double scale =
-          level_weight[d] / static_cast<double>(node.total_count);
-      for (const NextQueryCount& nc : node.nexts) {
-        raw.push_back(
-            ScoredQuery{nc.query, scale * static_cast<double>(nc.count)});
-      }
-    }
-  } else {
-    for (size_t c = 0; c < components_.size(); ++c) {
-      if (weights[c] <= 0.0 || matched[c] == 0) continue;
-      const Pst& pst = components_[c]->pst();
-      const VmmMatch& match = fallback_matches[c];
-      const Pst::Node* node = match.state;
-      double lw = weights[c] * match.escape_weight;
-      while (node != nullptr && !node->context.empty()) {
-        if (node->total_count > 0) {
-          const double scale =
-              lw / static_cast<double>(node->total_count);
-          for (const NextQueryCount& nc : node->nexts) {
-            raw.push_back(
-                ScoredQuery{nc.query, scale * static_cast<double>(nc.count)});
-          }
+  // Combine escape-weighted generative scores across components, each
+  // contributing its matched state plus that state's suffix ancestors at
+  // escape-discounted weight (see ModelSnapshot::Recommend for the shared
+  // single-tree variant of this ranking).
+  std::vector<ScoredQuery> raw;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    if (weights[c] <= 0.0 || matched[c] == 0) continue;
+    const Pst& pst = components_[c]->pst();
+    const VmmMatch& match = matches[c];
+    const Pst::Node* node = match.state;
+    double lw = weights[c] * match.escape_weight;
+    while (node != nullptr && !node->context.empty()) {
+      if (node->total_count > 0) {
+        const double scale =
+            lw / static_cast<double>(node->total_count);
+        for (const NextQueryCount& nc : node->nexts) {
+          raw.push_back(
+              ScoredQuery{nc.query, scale * static_cast<double>(nc.count)});
         }
-        lw *= components_[c]->options().default_escape;
-        node = node->parent >= 0
-                   ? &pst.nodes()[static_cast<size_t>(node->parent)]
-                   : nullptr;
       }
+      lw *= components_[c]->options().default_escape;
+      node = node->parent >= 0
+                 ? &pst.nodes()[static_cast<size_t>(node->parent)]
+                 : nullptr;
     }
   }
   if (raw.empty()) return rec;
 
   rec.covered = true;
   rec.matched_length = depth;
-  MergeAndRank(&raw, top_n, &rec);
+  internal::MergeAndRank(&raw, top_n, &rec);
   return rec;
 }
 
 bool MvmmModel::Covers(std::span<const QueryId> context) const {
   if (!trained_) return false;
-  if (shared_pst_) {
-    if (context.empty()) return false;
-    size_t matched = 0;
-    shared_pst_->MatchLongestSuffix(context, &matched);
-    return matched >= 1;
-  }
+  if (snapshot_) return snapshot_->Covers(context);
   for (const auto& component : components_) {
     if (component->Covers(context)) return true;
   }
@@ -625,47 +249,21 @@ bool MvmmModel::Covers(std::span<const QueryId> context) const {
 double MvmmModel::ConditionalProb(std::span<const QueryId> context,
                                   QueryId next) const {
   if (!trained_) return 0.0;
-  if (shared_pst_ == nullptr) {
-    const std::vector<double> weights = MixtureWeights(context);
-    double p = 0.0;
-    for (size_t c = 0; c < components_.size(); ++c) {
-      p += weights[c] * components_[c]->ConditionalProb(context, next);
-    }
-    return p;
+  if (snapshot_) {
+    return snapshot_->ConditionalProb(context, next, &ThreadScratch());
   }
-  thread_local std::vector<int32_t> path;
-  thread_local std::vector<size_t> matched;
-  thread_local std::vector<double> cond_at;
-  const size_t depth = SharedMatchDepths(context, &path, &matched);
-  std::vector<double> weights = RawWeights(context.size(), matched);
-  NormalizeInPlace(&weights);
-  const std::vector<Pst::Node>& nodes = shared_pst_->nodes();
-  cond_at.assign(depth + 1, -1.0);
+  const std::vector<double> weights = MixtureWeights(context);
   double p = 0.0;
   for (size_t c = 0; c < components_.size(); ++c) {
-    const size_t m = matched[c];
-    const Pst::Node& state =
-        m == 0 ? nodes[0] : nodes[static_cast<size_t>(path[m - 1])];
-    if (cond_at[m] < 0.0) {
-      cond_at[m] = internal::SmoothedProb(state.nexts, state.total_count,
-                                          vocabulary_size_, next);
-    }
-    p += weights[c] * cond_at[m];
+    p += weights[c] * components_[c]->ConditionalProb(context, next);
   }
   return p;
 }
 
 ModelStats MvmmModel::Stats() const {
+  if (snapshot_) return snapshot_->Stats();
   ModelStats stats;
   stats.name = std::string(Name());
-  if (shared_pst_) {
-    // Merged-PST accounting (paper Section V-F.2) over the *actual* shared
-    // structure: every node stored once, plus one membership mask per node.
-    stats.num_states = shared_pst_->size();
-    stats.num_entries = shared_pst_->num_entries();
-    stats.memory_bytes = shared_pst_->memory_bytes();
-    return stats;
-  }
   // Fallback components own their trees; estimate the merged layout by
   // deduplicating structurally identical nodes.
   std::unordered_set<std::vector<QueryId>, IdSequenceHash> merged;

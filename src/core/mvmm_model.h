@@ -4,69 +4,11 @@
 #include <memory>
 #include <vector>
 
+#include "core/model_snapshot.h"
 #include "core/prediction_model.h"
 #include "core/vmm_model.h"
 
 namespace sqp {
-
-/// How MVMM weighs its components for an online context. The paper uses
-/// the Gaussian-of-edit-distance scheme (Eq. 4); the alternatives exist for
-/// ablation studies.
-enum class MixtureWeighting {
-  kGaussianEditDistance,  // paper Eq. 4, sigmas learned by Newton iteration
-  kUniform,               // every component weighs the same
-  kLongestMatch,          // all weight on the deepest-matching component(s)
-};
-
-/// Configuration of the Mixture Variable Memory Markov model (paper
-/// Section IV-C). The default component set mirrors the paper's experiment:
-/// 11 VMMs with epsilon in {0.0, 0.01, ..., 0.1}.
-struct MvmmOptions {
-  /// Component VMM configurations. Empty = the paper's 11-epsilon default.
-  std::vector<VmmOptions> components;
-
-  /// Component weighting scheme (ablation switch; the paper's is default).
-  MixtureWeighting weighting = MixtureWeighting::kGaussianEditDistance;
-
-  /// Depth bound applied to default components (0 = unbounded).
-  size_t default_max_depth = 0;
-
-  /// Number of training sequences (most frequent first) used to fit the
-  /// per-component Gaussian widths sigma_D.
-  size_t weight_sample_size = 2000;
-
-  /// Newton iterations for the sigma fit (Eq. 10).
-  size_t max_newton_iterations = 25;
-
-  /// The sigma fit stops once an accepted step improves the objective by
-  /// less than this relative amount — Newton converges in a handful of
-  /// iterations and the remaining budget buys only noise-level gains.
-  double convergence_tolerance = 1e-9;
-
-  /// Lower clamp on sigma (the Gaussian degenerates below this).
-  double min_sigma = 0.05;
-
-  /// Initial sigma for every component.
-  double initial_sigma = 1.0;
-
-  /// Worker threads for training (paper Section V-F.1). With at most
-  /// Pst::kMaxViews components the trees come from one shared single-pass
-  /// build and the threads shard the sigma-fit sample sweep; beyond that
-  /// the standalone fallback shards per-component training itself.
-  /// 0 = sequential. Results are identical either way.
-  size_t training_threads = 0;
-
-  /// Returns the paper's default component set.
-  static std::vector<VmmOptions> DefaultComponents(size_t max_depth);
-};
-
-/// Diagnostics from the sigma (mixture-weight) optimization.
-struct MvmmFitReport {
-  size_t iterations = 0;
-  double initial_objective = 0.0;
-  double final_objective = 0.0;
-  bool used_newton = false;  // false = fell back to gradient ascent only
-};
 
 /// Mixture Variable Memory Markov model: a linearly weighted combination of
 /// VMM components whose weights adapt to the online context. For a context
@@ -76,9 +18,12 @@ struct MvmmFitReport {
 /// redundancy objective (Eq. 7-10).
 ///
 /// Training builds ONE maximal shared tree (Pst::BuildShared) and derives
-/// every component as a pruned view of it; online prediction walks that
-/// tree once and serves all components off the recorded match path, since
-/// each component's matched state is by construction a node on that path.
+/// every component as a view of that tree; the trained state lives in an
+/// immutable ModelSnapshot (see core/model_snapshot.h), which online
+/// prediction walks once per query with per-thread scratch — the same
+/// snapshot type the serving layer (src/serve/) swaps atomically. Beyond
+/// Pst::kMaxViews components a standalone per-component fallback trains
+/// each VMM separately.
 class MvmmModel : public PredictionModel {
  public:
   explicit MvmmModel(MvmmOptions options = {});
@@ -105,57 +50,31 @@ class MvmmModel : public PredictionModel {
   const std::vector<double>& sigmas() const { return sigmas_; }
   const MvmmFitReport& fit_report() const { return fit_report_; }
   const MvmmOptions& options() const { return options_; }
+  /// The immutable trained serving state (null when the component count
+  /// exceeds Pst::kMaxViews and components were trained standalone). The
+  /// serving layer publishes exactly this object to its reader threads.
+  const std::shared_ptr<const ModelSnapshot>& snapshot() const {
+    return snapshot_;
+  }
   /// The shared multi-view tree (null when the component count exceeds
-  /// Pst::kMaxViews and components were trained standalone).
-  const std::shared_ptr<const Pst>& shared_pst() const { return shared_pst_; }
+  /// Pst::kMaxViews and components were trained standalone). Derived from
+  /// the snapshot — there is no separate tree state to keep in sync.
+  std::shared_ptr<const Pst> shared_pst() const {
+    return snapshot_ ? snapshot_->pst() : nullptr;
+  }
 
  private:
-  struct WeightSample {
-    double weight = 0.0;                 // P(X_T), normalized
-    std::vector<double> edit_distance;   // d_D(X_T) per component
-    std::vector<double> sequence_prob;   // \hat{P}_D(X_T) per component
-  };
-
+  /// Standalone-fallback helpers (component count beyond Pst::kMaxViews;
+  /// the shared-tree path lives in ModelSnapshot).
   void FitSigmas(const std::vector<AggregatedSession>& sessions);
   void BuildWeightSample(const AggregatedSession& session,
-                         WeightSample* sample) const;
-  /// Both evaluators exploit that edit distances are integral (a count of
-  /// dropped prefix queries): the Gaussian terms take only
-  /// (components x (max_d + 1)) distinct values per sigma vector, so each
-  /// pass runs off a small lookup table instead of one exp per
-  /// (sample, component).
-  double Objective(const std::vector<WeightSample>& samples,
-                   const std::vector<double>& sigmas, size_t max_d) const;
-  /// Fused analytic gradient and analytic Hessian (row-major k x k) in a
-  /// single pass over the samples — replaces the former 2k
-  /// finite-difference gradient sweeps per Newton iteration.
-  void FitDerivatives(const std::vector<WeightSample>& samples,
-                      const std::vector<double>& sigmas, size_t max_d,
-                      std::vector<double>* gradient,
-                      std::vector<double>* hessian) const;
-
-  /// One shared-tree walk: fills `path` with the matched chain and
-  /// `matched` with each component's matched length (the deepest path node
-  /// carrying the component's view bit). Returns the full-tree match depth.
-  size_t SharedMatchDepths(std::span<const QueryId> context,
-                           std::vector<int32_t>* path,
-                           std::vector<size_t>* matched) const;
-
-  /// Unnormalized component weights under the configured weighting scheme,
-  /// from the per-component matched lengths (the matched state of component
-  /// c is the trailing matched[c] queries of the context, so its edit
-  /// distance to the context is exactly context_len - matched[c]).
+                         internal::WeightSample* sample) const;
   std::vector<double> RawWeights(size_t context_len,
                                  const std::vector<size_t>& matched) const;
 
-  /// Escape weight of component c for a state matched at `matched` of
-  /// `context_len` queries (Eq. 5-6, as VmmModel::Match).
-  double EscapeWeight(const Pst::Node& state, size_t context_len,
-                      size_t matched, size_t component) const;
-
   MvmmOptions options_;
   std::vector<std::unique_ptr<VmmModel>> components_;
-  std::shared_ptr<const Pst> shared_pst_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
   std::vector<double> sigmas_;
   MvmmFitReport fit_report_;
   size_t vocabulary_size_ = 0;

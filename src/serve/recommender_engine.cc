@@ -1,0 +1,111 @@
+#include "serve/recommender_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace sqp {
+namespace {
+
+using internal::ThreadScratch;
+
+size_t ResolveThreads(size_t requested) {
+  if (requested != 0) return std::clamp<size_t>(requested, 1, 64);
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw == 0 ? 1 : hw, 1, 16);
+}
+
+}  // namespace
+
+RecommenderEngine::RecommenderEngine(EngineOptions options)
+    : options_(options), pool_(ResolveThreads(options.num_threads)) {
+  lane_scratch_.resize(pool_.num_lanes());
+}
+
+void RecommenderEngine::Publish(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  snapshot_.store(std::move(snapshot));
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ModelSnapshot> RecommenderEngine::CurrentSnapshot()
+    const {
+  return snapshot_.load();
+}
+
+uint64_t RecommenderEngine::current_version() const {
+  const std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  return snapshot == nullptr ? 0 : snapshot->version();
+}
+
+Recommendation RecommenderEngine::Recommend(ContextRef context, size_t top_n,
+                                            uint64_t* served_version) const {
+  const std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  thread_local const size_t counter_slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterShards;
+  queries_served_[counter_slot].value.fetch_add(1,
+                                                std::memory_order_relaxed);
+  if (snapshot == nullptr) {
+    if (served_version != nullptr) *served_version = 0;
+    return Recommendation{};
+  }
+  if (served_version != nullptr) *served_version = snapshot->version();
+  return snapshot->Recommend(context, top_n, &ThreadScratch());
+}
+
+std::vector<Recommendation> RecommenderEngine::RecommendMany(
+    std::span<const ContextRef> contexts, size_t top_n,
+    uint64_t* served_version) const {
+  std::vector<Recommendation> results(contexts.size());
+  // One snapshot grab for the whole batch: even if a retrain publishes
+  // mid-batch, every result comes from the same model generation.
+  const std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  queries_served_[0].value.fetch_add(contexts.size(),
+                                     std::memory_order_relaxed);
+  batches_served_.fetch_add(1, std::memory_order_relaxed);
+  if (served_version != nullptr) {
+    *served_version = snapshot == nullptr ? 0 : snapshot->version();
+  }
+  if (snapshot == nullptr || contexts.empty()) return results;
+
+  if (pool_.num_lanes() == 1 || contexts.size() < options_.min_batch_fanout) {
+    SnapshotScratch& scratch = ThreadScratch();
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      results[i] = snapshot->Recommend(contexts[i], top_n, &scratch);
+    }
+    return results;
+  }
+
+  const ModelSnapshot* model = snapshot.get();
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  pool_.Run(contexts.size(), [&, model](size_t i, size_t lane) {
+    results[i] = model->Recommend(contexts[i], top_n, &lane_scratch_[lane]);
+  });
+  return results;
+}
+
+std::vector<Recommendation> RecommenderEngine::RecommendMany(
+    const std::vector<std::vector<QueryId>>& contexts, size_t top_n,
+    uint64_t* served_version) const {
+  std::vector<ContextRef> refs;
+  refs.reserve(contexts.size());
+  for (const std::vector<QueryId>& context : contexts) {
+    refs.emplace_back(context.data(), context.size());
+  }
+  return RecommendMany(std::span<const ContextRef>(refs), top_n,
+                       served_version);
+}
+
+EngineStats RecommenderEngine::stats() const {
+  EngineStats stats;
+  for (const CounterShard& shard : queries_served_) {
+    stats.queries_served += shard.value.load(std::memory_order_relaxed);
+  }
+  stats.batches_served = batches_served_.load(std::memory_order_relaxed);
+  stats.snapshots_published =
+      snapshots_published_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace sqp

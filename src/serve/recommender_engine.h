@@ -1,0 +1,163 @@
+#ifndef SQP_SERVE_RECOMMENDER_ENGINE_H_
+#define SQP_SERVE_RECOMMENDER_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/model_snapshot.h"
+#include "serve/worker_pool.h"
+
+namespace sqp {
+
+/// A borrowed view of one online context (the user's session so far, oldest
+/// query first). RecommendMany takes a span of these so callers can batch
+/// requests without copying query sequences.
+using ContextRef = std::span<const QueryId>;
+
+#if defined(__SANITIZE_THREAD__)
+#define SQP_THREAD_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SQP_THREAD_SANITIZER 1
+#endif
+#endif
+
+/// Holder for the published snapshot pointer. Normal builds use the
+/// lock-free std::atomic<std::shared_ptr> swap. Under ThreadSanitizer the
+/// holder degrades to a mutex: libstdc++ 12's _Sp_atomic::load releases its
+/// internal spinlock with a relaxed fetch_sub, which TSAN (correctly, per
+/// the formal model) reports as a race against the next store's pointer
+/// write — the fallback keeps the TSAN job signal-clean without muting real
+/// races elsewhere.
+class AtomicSnapshotPtr {
+ public:
+  std::shared_ptr<const ModelSnapshot> load() const {
+#ifdef SQP_THREAD_SANITIZER
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+#else
+    return ptr_.load(std::memory_order_acquire);
+#endif
+  }
+
+  void store(std::shared_ptr<const ModelSnapshot> snapshot) {
+#ifdef SQP_THREAD_SANITIZER
+    // Swap under the lock but let the displaced snapshot (potentially the
+    // last reference to a whole model) destruct outside it.
+    std::shared_ptr<const ModelSnapshot> old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old = std::move(ptr_);
+      ptr_ = std::move(snapshot);
+    }
+#else
+    ptr_.store(std::move(snapshot), std::memory_order_release);
+#endif
+  }
+
+ private:
+#ifdef SQP_THREAD_SANITIZER
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> ptr_;
+#else
+  std::atomic<std::shared_ptr<const ModelSnapshot>> ptr_;
+#endif
+};
+
+struct EngineOptions {
+  /// Worker lanes for batched serving, including the calling thread
+  /// (0 = hardware concurrency clamped to [1, 16]; explicit values are
+  /// clamped to [1, 64]). Single-query Recommend never touches the pool.
+  size_t num_threads = 0;
+
+  /// Batches smaller than this run inline on the calling thread — fanning
+  /// out a handful of microsecond-scale walks costs more than it buys.
+  size_t min_batch_fanout = 32;
+};
+
+/// Serving counters (monotonic since engine construction).
+struct EngineStats {
+  uint64_t queries_served = 0;      // single + batched queries
+  uint64_t batches_served = 0;      // RecommendMany calls
+  uint64_t snapshots_published = 0; // Publish calls
+};
+
+/// The concurrent serving front-end of the recommender: any number of
+/// threads call Recommend / RecommendMany while retraining publishes fresh
+/// ModelSnapshots through a lock-free atomic shared_ptr swap.
+///
+/// Consistency contract: every query is answered from exactly one
+/// fully-built, fully-published snapshot — a query grabs the snapshot
+/// pointer once and never observes a model mid-build; a batch is answered
+/// entirely from one snapshot even if a swap lands mid-batch. Readers are
+/// never blocked by a publish, and a snapshot stays alive (shared_ptr
+/// refcount) until the last in-flight query drops it.
+class RecommenderEngine {
+ public:
+  explicit RecommenderEngine(EngineOptions options = {});
+
+  RecommenderEngine(const RecommenderEngine&) = delete;
+  RecommenderEngine& operator=(const RecommenderEngine&) = delete;
+
+  /// Atomically swaps the serving snapshot. Callers build the snapshot off
+  /// to the side (ModelSnapshot::Build, typically via a Retrainer) and
+  /// publish it here; in-flight queries finish on the snapshot they grabbed.
+  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The currently-published snapshot (null before the first Publish).
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
+  /// Version of the current snapshot, 0 before the first Publish.
+  uint64_t current_version() const;
+
+  /// Single-query serving path: one snapshot grab, one shared-tree walk,
+  /// per-thread scratch. Before the first Publish returns an uncovered
+  /// empty result. `served_version`, when non-null, receives the version of
+  /// the snapshot that answered (0 if none) — provenance for callers that
+  /// need to audit which model produced a result.
+  Recommendation Recommend(ContextRef context, size_t top_n,
+                           uint64_t* served_version = nullptr) const;
+
+  /// Batched serving: answers every context from ONE snapshot, fanning the
+  /// batch out across the worker pool (small batches run inline). Results
+  /// are positionally aligned with `contexts`.
+  std::vector<Recommendation> RecommendMany(
+      std::span<const ContextRef> contexts, size_t top_n,
+      uint64_t* served_version = nullptr) const;
+
+  /// Convenience overload for callers holding owned query sequences.
+  std::vector<Recommendation> RecommendMany(
+      const std::vector<std::vector<QueryId>>& contexts, size_t top_n,
+      uint64_t* served_version = nullptr) const;
+
+  size_t num_threads() const { return pool_.num_lanes(); }
+  EngineStats stats() const;
+
+ private:
+  EngineOptions options_;
+  AtomicSnapshotPtr snapshot_;
+  mutable WorkerPool pool_;
+  /// One job at a time on the pool; concurrent batch callers queue here
+  /// (single-query traffic is unaffected).
+  mutable std::mutex batch_mu_;
+  /// Per-lane scratch for batch jobs, guarded by batch_mu_ ownership.
+  mutable std::vector<SnapshotScratch> lane_scratch_;
+  /// The per-query counter is sharded across cache-line-padded slots
+  /// (indexed by a thread-stable hash) so concurrent single-query readers
+  /// don't ping-pong one line on the hot path; stats() sums the shards.
+  struct alignas(64) CounterShard {
+    std::atomic<uint64_t> value{0};
+  };
+  static constexpr size_t kCounterShards = 16;
+  mutable std::array<CounterShard, kCounterShards> queries_served_;
+  mutable std::atomic<uint64_t> batches_served_{0};
+  std::atomic<uint64_t> snapshots_published_{0};
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SERVE_RECOMMENDER_ENGINE_H_

@@ -1,0 +1,134 @@
+#ifndef SQP_SERVE_RETRAINER_H_
+#define SQP_SERVE_RETRAINER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/model_snapshot.h"
+#include "log/context_builder.h"
+#include "serve/recommender_engine.h"
+
+namespace sqp {
+
+struct RetrainerOptions {
+  /// Model configuration for every snapshot this retrainer builds. An empty
+  /// component list is normalized to the paper's default set at
+  /// construction. Components must fit in Pst::kMaxViews.
+  MvmmOptions model;
+
+  /// |Q| used for smoothing. 0 = derive from the corpus at each rebuild
+  /// (largest query id seen + 1); set it explicitly when the dictionary's
+  /// id space is known so retrained and from-scratch models agree exactly.
+  size_t vocabulary_size = 0;
+
+  /// Worker shards for the incremental counting pass (ContextIndex::Append).
+  size_t count_workers = 1;
+
+  /// Background mode: retrain as soon as at least this many appended
+  /// sessions are pending.
+  size_t min_pending_sessions = 1;
+
+  /// Background mode: how often the worker checks for pending sessions.
+  std::chrono::milliseconds poll_interval{20};
+};
+
+/// The streaming retrain/swap engine: consumes appended session batches,
+/// extends the counting index incrementally (no from-scratch recount),
+/// rebuilds the shared PST + sigma fit off to the side, and publishes the
+/// resulting immutable ModelSnapshot to a RecommenderEngine atomically.
+/// Serving is never blocked: readers keep answering from the previous
+/// snapshot for the whole rebuild.
+///
+/// Equivalence guarantee (tested): after appending batches B1..Bk to a
+/// Bootstrap corpus B0 and completing a retrain, the published snapshot is
+/// equivalent to training from scratch on the concatenation B0+B1+...+Bk —
+/// counting is associative and the rebuild consumes the same canonical
+/// entry order either way.
+///
+/// Threading: AppendSessions and the observers are safe from any thread.
+/// Rebuilds are internally serialized; Bootstrap/RetrainOnce may be called
+/// directly or a background worker can poll via Start/Stop.
+class Retrainer {
+ public:
+  Retrainer(RecommenderEngine* engine, RetrainerOptions options);
+  ~Retrainer();  // stops the background worker
+
+  Retrainer(const Retrainer&) = delete;
+  Retrainer& operator=(const Retrainer&) = delete;
+
+  /// Seeds the corpus, builds the counting index, and publishes snapshot
+  /// version 1. Must be called exactly once, before anything else.
+  Status Bootstrap(std::vector<AggregatedSession> corpus);
+
+  /// Queues freshly-observed sessions for the next retrain cycle.
+  /// Thread-safe; never blocks on a rebuild.
+  void AppendSessions(std::vector<AggregatedSession> sessions);
+
+  /// Drains pending sessions and, if any were queued, rebuilds and
+  /// publishes the next snapshot version synchronously. No-op (OK) when
+  /// nothing is pending.
+  Status RetrainOnce();
+
+  /// Starts/stops the background worker that polls for pending sessions
+  /// and retrains. Failures are retained in last_status().
+  void Start();
+  void Stop();
+  bool running() const;
+
+  /// Version of the last snapshot this retrainer published (0 before
+  /// Bootstrap).
+  uint64_t published_version() const;
+
+  /// Blocks until published_version() >= version (e.g. await one background
+  /// retrain cycle after an append).
+  void WaitForVersionAtLeast(uint64_t version) const;
+
+  /// Status of the most recent rebuild attempt.
+  Status last_status() const;
+
+  size_t pending_sessions() const;
+  /// Sessions in the training corpus so far; blocks while a rebuild is in
+  /// flight (diagnostic accessor, not a serving-path API).
+  size_t corpus_size() const;
+
+ private:
+  Status RebuildAndPublish(std::vector<AggregatedSession> fresh);
+  void BackgroundLoop();
+  size_t EffectiveVocabulary() const;
+
+  RecommenderEngine* engine_;
+  RetrainerOptions options_;
+
+  /// Guards pending_, version_, last_status_, bootstrapped_.
+  mutable std::mutex mu_;
+  mutable std::condition_variable version_cv_;
+  std::vector<AggregatedSession> pending_;
+  uint64_t version_ = 0;
+  Status last_status_;
+  bool bootstrapped_ = false;
+
+  /// Serializes rebuilds; corpus_, index_ and observed_max_id_ are only
+  /// touched with this held.
+  mutable std::mutex retrain_mu_;
+  std::vector<AggregatedSession> corpus_;
+  ContextIndex index_;
+  QueryId observed_max_id_ = 0;
+
+  /// Background worker state. lifecycle_mu_ serializes Start/Stop (the run
+  /// flag and worker_ must change together); stop_ is the run flag (true =
+  /// not running); stop_cv_ interrupts the poll sleep.
+  std::mutex lifecycle_mu_;
+  std::thread worker_;
+  mutable std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  std::atomic<bool> stop_{true};
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SERVE_RETRAINER_H_

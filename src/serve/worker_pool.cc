@@ -1,0 +1,80 @@
+#include "serve/worker_pool.h"
+
+#include <algorithm>
+
+namespace sqp {
+
+WorkerPool::WorkerPool(size_t num_lanes) {
+  const size_t workers = num_lanes > 1 ? num_lanes - 1 : 0;
+  threads_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back(&WorkerPool::WorkerMain, this, w + 1);
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::Run(size_t num_tasks,
+                     const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (threads_.empty() || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    lanes_active_ = threads_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is lane 0 and pulls tasks like any worker.
+  while (true) {
+    const size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_tasks) break;
+    fn(i, 0);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return lanes_active_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerMain(size_t lane) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t, size_t)>* job = nullptr;
+    size_t num_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      num_tasks = job_tasks_;
+    }
+    while (true) {
+      const size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) break;
+      (*job)(i, lane);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--lanes_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sqp

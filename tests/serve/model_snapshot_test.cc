@@ -1,0 +1,124 @@
+// ModelSnapshot must be a faithful, immutable extraction of the MVMM's
+// trained state: building one off to the side reproduces MvmmModel exactly
+// (recommendations, conditionals, sigmas, stats), and MvmmModel itself now
+// serves by delegating to the snapshot it trained.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_snapshot.h"
+#include "core/mvmm_model.h"
+#include "serve_test_util.h"
+
+namespace sqp {
+namespace {
+
+using serve_test::CollectContexts;
+using serve_test::ExpectSameRecommendation;
+using serve_test::SharedCorpus;
+
+constexpr size_t kVocabularyBound = 1 << 20;
+
+TrainingData DataFor(const std::vector<AggregatedSession>& sessions) {
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = kVocabularyBound;
+  return data;
+}
+
+MvmmOptions TestOptions() {
+  MvmmOptions options;
+  options.default_max_depth = 5;
+  return options;
+}
+
+TEST(ModelSnapshotTest, BuildMatchesMvmmTraining) {
+  const TrainingData data = DataFor(SharedCorpus().base);
+
+  MvmmModel model(TestOptions());
+  ASSERT_TRUE(model.Train(data).ok());
+  const Result<std::shared_ptr<const ModelSnapshot>> built =
+      ModelSnapshot::Build(data, TestOptions(), /*version=*/42);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::shared_ptr<const ModelSnapshot>& snapshot = built.value();
+
+  EXPECT_EQ(snapshot->version(), 42u);
+  EXPECT_EQ(snapshot->num_components(), 11u);
+  ASSERT_EQ(snapshot->sigmas().size(), model.sigmas().size());
+  for (size_t i = 0; i < snapshot->sigmas().size(); ++i) {
+    EXPECT_DOUBLE_EQ(snapshot->sigmas()[i], model.sigmas()[i]);
+  }
+  const ModelStats expected_stats = model.Stats();
+  const ModelStats actual_stats = snapshot->Stats();
+  EXPECT_EQ(expected_stats.num_states, actual_stats.num_states);
+  EXPECT_EQ(expected_stats.num_entries, actual_stats.num_entries);
+  EXPECT_EQ(expected_stats.memory_bytes, actual_stats.memory_bytes);
+
+  SnapshotScratch scratch;
+  size_t covered = 0;
+  for (const std::vector<QueryId>& context :
+       CollectContexts(SharedCorpus().base, 400)) {
+    const Recommendation expected = model.Recommend(context, 5);
+    const Recommendation actual = snapshot->Recommend(context, 5, &scratch);
+    ExpectSameRecommendation(expected, actual);
+    covered += actual.covered ? 1 : 0;
+    EXPECT_EQ(model.Covers(context), snapshot->Covers(context));
+    if (!expected.queries.empty()) {
+      const QueryId next = expected.queries[0].query;
+      EXPECT_DOUBLE_EQ(model.ConditionalProb(context, next),
+                       snapshot->ConditionalProb(context, next, &scratch));
+    }
+  }
+  EXPECT_GT(covered, 0u);  // the context sample must exercise the model
+}
+
+TEST(ModelSnapshotTest, MvmmModelExposesItsSnapshot) {
+  MvmmModel model(TestOptions());
+  ASSERT_TRUE(model.Train(DataFor(SharedCorpus().base)).ok());
+  ASSERT_NE(model.snapshot(), nullptr);
+  EXPECT_EQ(model.snapshot()->pst(), model.shared_pst());
+  EXPECT_EQ(model.snapshot()->version(), 0u);
+  EXPECT_EQ(model.snapshot()->vocabulary_size(), kVocabularyBound);
+}
+
+TEST(ModelSnapshotTest, RejectsMoreComponentsThanViewMask) {
+  MvmmOptions options;
+  for (size_t i = 0; i < Pst::kMaxViews + 1; ++i) {
+    VmmOptions vmm;
+    vmm.max_depth = 2;
+    options.components.push_back(vmm);
+  }
+  const Result<std::shared_ptr<const ModelSnapshot>> built =
+      ModelSnapshot::Build(DataFor(SharedCorpus().base), options);
+  EXPECT_FALSE(built.ok());
+}
+
+TEST(ModelSnapshotTest, ReusesCompatibleSharedIndex) {
+  const std::vector<AggregatedSession>& sessions = SharedCorpus().base;
+  ContextIndex index;
+  index.Build(sessions, ContextIndex::Mode::kSubstring, 5,
+              /*num_workers=*/4);
+  TrainingData with_index = DataFor(sessions);
+  with_index.substring_index = &index;
+
+  const auto from_index =
+      ModelSnapshot::Build(with_index, TestOptions(), /*version=*/1);
+  const auto from_scratch =
+      ModelSnapshot::Build(DataFor(sessions), TestOptions(), /*version=*/1);
+  ASSERT_TRUE(from_index.ok());
+  ASSERT_TRUE(from_scratch.ok());
+
+  SnapshotScratch scratch;
+  for (const std::vector<QueryId>& context : CollectContexts(sessions, 200)) {
+    ExpectSameRecommendation(
+        from_scratch.value()->Recommend(context, 5, &scratch),
+        from_index.value()->Recommend(context, 5, &scratch));
+  }
+  EXPECT_EQ(from_scratch.value()->Stats().num_states,
+            from_index.value()->Stats().num_states);
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,160 @@
+// The streaming retrain/swap engine. The load-bearing property: appending a
+// drifted log slice and completing one retrain cycle must yield a snapshot
+// equivalent to a from-scratch MvmmModel::Train on the concatenated corpus
+// — the incremental counting path (ContextIndex::Append) and the shared
+// rebuild consume the same canonical entries either way.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mvmm_model.h"
+#include "serve/recommender_engine.h"
+#include "serve/retrainer.h"
+#include "serve_test_util.h"
+
+namespace sqp {
+namespace {
+
+using serve_test::CollectContexts;
+using serve_test::ExpectSameRecommendation;
+using serve_test::SharedCorpus;
+
+constexpr size_t kVocabularyBound = 1 << 20;
+
+RetrainerOptions TestOptions() {
+  RetrainerOptions options;
+  options.model.default_max_depth = 5;
+  options.vocabulary_size = kVocabularyBound;
+  return options;
+}
+
+TEST(RetrainerTest, BootstrapPublishesVersionOneEquivalentToTrain) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  Retrainer retrainer(&engine, TestOptions());
+  ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
+  EXPECT_EQ(retrainer.published_version(), 1u);
+  EXPECT_EQ(engine.current_version(), 1u);
+  EXPECT_EQ(retrainer.corpus_size(), SharedCorpus().base.size());
+
+  MvmmOptions model_options;
+  model_options.default_max_depth = 5;
+  MvmmModel reference(model_options);
+  TrainingData data;
+  data.sessions = &SharedCorpus().base;
+  data.vocabulary_size = kVocabularyBound;
+  ASSERT_TRUE(reference.Train(data).ok());
+
+  for (const std::vector<QueryId>& context :
+       CollectContexts(SharedCorpus().base, 200)) {
+    ExpectSameRecommendation(reference.Recommend(context, 5),
+                             engine.Recommend(context, 5));
+  }
+}
+
+TEST(RetrainerTest, RetrainEquivalentToFromScratchOnConcatenatedCorpus) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  RetrainerOptions options = TestOptions();
+  options.count_workers = 4;  // incremental counting may be sharded too
+  Retrainer retrainer(&engine, options);
+  ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
+
+  retrainer.AppendSessions(SharedCorpus().drifted);
+  EXPECT_EQ(retrainer.pending_sessions(), SharedCorpus().drifted.size());
+  ASSERT_TRUE(retrainer.RetrainOnce().ok());
+  EXPECT_EQ(retrainer.pending_sessions(), 0u);
+  EXPECT_EQ(retrainer.published_version(), 2u);
+  EXPECT_EQ(engine.current_version(), 2u);
+  EXPECT_EQ(retrainer.corpus_size(),
+            SharedCorpus().base.size() + SharedCorpus().drifted.size());
+
+  // From-scratch reference on the concatenation, same options.
+  std::vector<AggregatedSession> concatenated = SharedCorpus().base;
+  concatenated.insert(concatenated.end(), SharedCorpus().drifted.begin(),
+                      SharedCorpus().drifted.end());
+  MvmmOptions model_options;
+  model_options.default_max_depth = 5;
+  MvmmModel reference(model_options);
+  TrainingData data;
+  data.sessions = &concatenated;
+  data.vocabulary_size = kVocabularyBound;
+  ASSERT_TRUE(reference.Train(data).ok());
+
+  const std::shared_ptr<const ModelSnapshot> published =
+      engine.CurrentSnapshot();
+  ASSERT_NE(published, nullptr);
+
+  // Sigmas and structure must agree exactly...
+  ASSERT_EQ(published->sigmas().size(), reference.sigmas().size());
+  for (size_t i = 0; i < published->sigmas().size(); ++i) {
+    EXPECT_DOUBLE_EQ(published->sigmas()[i], reference.sigmas()[i]);
+  }
+  EXPECT_EQ(published->Stats().num_states, reference.Stats().num_states);
+  EXPECT_EQ(published->Stats().num_entries, reference.Stats().num_entries);
+
+  // ...and so must the served recommendations, on both stale and drifted
+  // contexts (the drifted slice is what the retrain absorbed).
+  size_t covered = 0;
+  for (const std::vector<QueryId>& context :
+       CollectContexts(concatenated, 250)) {
+    const Recommendation expected = reference.Recommend(context, 5);
+    ExpectSameRecommendation(expected, engine.Recommend(context, 5));
+    covered += expected.covered ? 1 : 0;
+  }
+  for (const std::vector<QueryId>& context :
+       CollectContexts(SharedCorpus().drifted, 150)) {
+    ExpectSameRecommendation(reference.Recommend(context, 5),
+                             engine.Recommend(context, 5));
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+TEST(RetrainerTest, RetrainOnceWithoutPendingIsANoop) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  Retrainer retrainer(&engine, TestOptions());
+  ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
+  const std::shared_ptr<const ModelSnapshot> before =
+      engine.CurrentSnapshot();
+  ASSERT_TRUE(retrainer.RetrainOnce().ok());
+  EXPECT_EQ(retrainer.published_version(), 1u);
+  EXPECT_EQ(engine.CurrentSnapshot().get(), before.get());
+}
+
+TEST(RetrainerTest, LifecycleErrorsAreReported) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  Retrainer retrainer(&engine, TestOptions());
+  EXPECT_FALSE(retrainer.RetrainOnce().ok());  // before Bootstrap
+  EXPECT_FALSE(retrainer.Bootstrap({}).ok());  // empty corpus
+  ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
+  EXPECT_FALSE(retrainer.Bootstrap(SharedCorpus().base).ok());  // twice
+}
+
+TEST(RetrainerTest, BackgroundWorkerRetrainsAppendedSessions) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  RetrainerOptions options = TestOptions();
+  options.poll_interval = std::chrono::milliseconds(5);
+  Retrainer retrainer(&engine, options);
+  ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
+
+  retrainer.Start();
+  EXPECT_TRUE(retrainer.running());
+  retrainer.AppendSessions(SharedCorpus().drifted);
+  retrainer.WaitForVersionAtLeast(2);
+  // Serving keeps answering while (and after) the background cycle runs.
+  const std::vector<QueryId> context =
+      CollectContexts(SharedCorpus().base, 1)[0];
+  uint64_t version = 0;
+  engine.Recommend(context, 5, &version);
+  EXPECT_GE(version, 1u);
+  retrainer.Stop();
+  EXPECT_FALSE(retrainer.running());
+
+  EXPECT_GE(retrainer.published_version(), 2u);
+  EXPECT_TRUE(retrainer.last_status().ok());
+  EXPECT_EQ(engine.current_version(), retrainer.published_version());
+}
+
+}  // namespace
+}  // namespace sqp

@@ -1,0 +1,114 @@
+#ifndef SQP_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define SQP_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+// Shared substrate for the serving-layer tests: a small deterministic
+// two-period synthetic corpus (a base period plus a drifted period sharing
+// one query-id space), and exact-equality helpers for recommendations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "log/query_dictionary.h"
+#include "log/session_aggregator.h"
+#include "log/session_segmenter.h"
+#include "synth/log_synthesizer.h"
+
+namespace sqp::serve_test {
+
+struct ServeCorpus {
+  QueryDictionary dictionary;  // shared id space across both periods
+  std::vector<AggregatedSession> base;
+  std::vector<AggregatedSession> drifted;
+};
+
+inline std::vector<AggregatedSession> SynthPeriod(TopicModel* topics,
+                                                  QueryDictionary* dictionary,
+                                                  size_t num_sessions,
+                                                  size_t head_intents,
+                                                  double novel_fraction,
+                                                  uint64_t seed) {
+  SynthesizerConfig config;
+  config.num_sessions = num_sessions;
+  config.num_machines = 300;
+  config.session.head_intents = head_intents;
+  config.session.novel_fraction = novel_fraction;
+  LogSynthesizer synthesizer(topics, config);
+  const SynthCorpus corpus = synthesizer.Synthesize(seed, nullptr);
+  SessionSegmenter segmenter;
+  std::vector<Session> segmented;
+  SQP_CHECK_OK(segmenter.Segment(corpus.records, dictionary, &segmented));
+  SessionAggregator aggregator;
+  aggregator.Add(segmented);
+  return aggregator.Finish();
+}
+
+inline ServeCorpus MakeServeCorpus(size_t base_sessions = 6000,
+                                   size_t drifted_sessions = 3000) {
+  Vocabulary vocabulary(
+      VocabularyConfig{.num_terms = 800, .synonym_fraction = 0.3}, 71);
+  TopicModel topics(&vocabulary, TopicModelConfig{}, 72);
+  ServeCorpus out;
+  const size_t head =
+      static_cast<size_t>(0.6 * static_cast<double>(topics.num_intents()));
+  out.base = SynthPeriod(&topics, &out.dictionary, base_sessions, head,
+                         /*novel_fraction=*/0.0, 9301);
+  out.drifted = SynthPeriod(&topics, &out.dictionary, drifted_sessions, head,
+                            /*novel_fraction=*/0.3, 9302);
+  return out;
+}
+
+/// The per-process corpus; synthesized once and shared by every test in the
+/// binary.
+inline const ServeCorpus& SharedCorpus() {
+  static const ServeCorpus* corpus = new ServeCorpus(MakeServeCorpus());
+  return *corpus;
+}
+
+/// Session prefixes (length 1..5) drawn from `sessions`, used as online
+/// contexts: every model sees a mix of covered and drifted contexts.
+inline std::vector<std::vector<QueryId>> CollectContexts(
+    const std::vector<AggregatedSession>& sessions, size_t limit) {
+  std::vector<std::vector<QueryId>> contexts;
+  for (const AggregatedSession& session : sessions) {
+    for (size_t len = 1; len <= session.queries.size() && len <= 5; ++len) {
+      contexts.emplace_back(session.queries.begin(),
+                            session.queries.begin() +
+                                static_cast<ptrdiff_t>(len));
+      if (contexts.size() >= limit) return contexts;
+    }
+  }
+  return contexts;
+}
+
+inline void ExpectSameRecommendation(const Recommendation& expected,
+                                     const Recommendation& actual) {
+  EXPECT_EQ(expected.covered, actual.covered);
+  EXPECT_EQ(expected.matched_length, actual.matched_length);
+  ASSERT_EQ(expected.queries.size(), actual.queries.size());
+  for (size_t i = 0; i < expected.queries.size(); ++i) {
+    EXPECT_EQ(expected.queries[i].query, actual.queries[i].query)
+        << "rank " << i;
+    EXPECT_DOUBLE_EQ(expected.queries[i].score, actual.queries[i].score)
+        << "rank " << i;
+  }
+}
+
+/// Exact comparison as a bool (for stress loops where per-field EXPECTs
+/// would flood the log).
+inline bool SameRecommendation(const Recommendation& expected,
+                               const Recommendation& actual) {
+  if (expected.covered != actual.covered) return false;
+  if (expected.matched_length != actual.matched_length) return false;
+  if (expected.queries.size() != actual.queries.size()) return false;
+  for (size_t i = 0; i < expected.queries.size(); ++i) {
+    if (expected.queries[i].query != actual.queries[i].query) return false;
+    if (expected.queries[i].score != actual.queries[i].score) return false;
+  }
+  return true;
+}
+
+}  // namespace sqp::serve_test
+
+#endif  // SQP_TESTS_SERVE_SERVE_TEST_UTIL_H_
