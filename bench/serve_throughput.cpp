@@ -1,6 +1,8 @@
 // Serving-layer throughput/latency bench: batch RecommendMany QPS as the
 // engine's worker-lane count grows, single-query Recommend latency
-// percentiles, and both again while a live Retrainer rebuilds and swaps
+// percentiles, the same two off the CompactSnapshot serving layout (the
+// quantized/truncated variant must serve within a few percent of the full
+// snapshot), and both again while a live Retrainer rebuilds and swaps
 // snapshots underneath the readers. Emits BENCH_serve.json (see
 // bench/README.md) as the tracked perf surface of the serve/ subsystem.
 //
@@ -16,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/compact_snapshot.h"
 #include "harness.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
@@ -56,7 +59,7 @@ std::vector<std::vector<QueryId>> Contexts(const Harness& harness) {
 }
 
 /// Batched QPS at a fixed engine lane count, over `seconds` of wall time.
-Measurement MeasureBatchQps(const std::shared_ptr<const ModelSnapshot>& model,
+Measurement MeasureBatchQps(const std::shared_ptr<const ServingSnapshot>& model,
                             const std::vector<std::vector<QueryId>>& contexts,
                             size_t threads, size_t batch, double seconds) {
   RecommenderEngine engine(EngineOptions{.num_threads = threads});
@@ -168,13 +171,37 @@ int main() {
     measurements.push_back(m);
   }
 
-  // Phase 2: single-query latency, steady snapshot.
+  // Phase 1b: the same single-lane batch workload off the compact serving
+  // layout — the claim is that the quantized/truncated variant serves
+  // within a few percent of the full snapshot (compare against the
+  // threads=1 batch_qps row).
+  const std::shared_ptr<const CompactSnapshot> compact =
+      CompactSnapshot::FromSnapshot(*model, CompactOptions{});
+  {
+    Measurement m = MeasureBatchQps(compact, contexts, /*threads=*/1,
+                                    /*batch=*/256, /*seconds=*/0.8);
+    m.name = "batch_qps_compact";
+    std::printf("batch_compact  threads=%zu  batch=%zu  qps=%.0f\n",
+                m.threads, m.batch, m.qps);
+    measurements.push_back(m);
+  }
+
+  // Phase 2: single-query latency, steady snapshot — full, then compact.
   {
     RecommenderEngine engine(EngineOptions{.num_threads = 1});
     engine.Publish(model);
     Measurement m = MeasureSingleLatency(&engine, contexts, /*seconds=*/1.0,
                                          "single_latency");
     std::printf("single_latency qps=%.0f  p50=%.3fus  p99=%.3fus\n", m.qps,
+                m.p50_us, m.p99_us);
+    measurements.push_back(m);
+  }
+  {
+    RecommenderEngine engine(EngineOptions{.num_threads = 1});
+    engine.Publish(compact);
+    Measurement m = MeasureSingleLatency(&engine, contexts, /*seconds=*/1.0,
+                                         "single_latency_compact");
+    std::printf("single_compact qps=%.0f  p50=%.3fus  p99=%.3fus\n", m.qps,
                 m.p50_us, m.p99_us);
     measurements.push_back(m);
   }

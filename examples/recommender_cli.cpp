@@ -15,6 +15,9 @@
 //                 (terminated by an empty line) is appended to the streaming
 //                 retrainer, which rebuilds and hot-swaps the model in the
 //                 background; unseen queries join the vocabulary live
+//   --compact     publish compact serving snapshots (CSR layout, top-16
+//                 nexts, 16-bit quantized counts) instead of the full
+//                 model — the small-footprint serving-only deployment
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
@@ -42,10 +45,12 @@ struct CliOptions {
   size_t threads = 1;
   size_t batch = 1;
   bool tail = false;
+  bool compact = false;
 };
 
 [[noreturn]] void Usage() {
-  std::cerr << "usage: recommender_cli [--threads N] [--batch N] [--tail]\n";
+  std::cerr << "usage: recommender_cli [--threads N] [--batch N] [--tail] "
+               "[--compact]\n";
   std::exit(2);
 }
 
@@ -65,6 +70,8 @@ CliOptions ParseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--tail") {
       options.tail = true;
+    } else if (arg == "--compact") {
+      options.compact = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       options.threads = ParseCount(argv[++i], 64);
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -125,6 +132,7 @@ int main(int argc, char** argv) {
   retrain_options.model.default_max_depth = 5;
   retrain_options.vocabulary_size = 0;  // grow with live-interned queries
   retrain_options.poll_interval = std::chrono::milliseconds(50);
+  retrain_options.publish_compact = cli.compact;
   Retrainer retrainer(&engine, retrain_options);
   SQP_CHECK_OK(retrainer.Bootstrap(sessions));
   if (cli.tail) retrainer.Start();
@@ -133,8 +141,15 @@ int main(int argc, char** argv) {
             << dictionary.size() << " unique queries)\n";
   std::cerr << "serving with " << engine.num_threads()
             << " engine lane(s), batch " << cli.batch
+            << (cli.compact ? ", compact snapshots" : ", full snapshots")
             << (cli.tail ? ", live retraining on session tails" : "")
             << "\n";
+  if (cli.compact) {
+    const ModelStats stats = engine.CurrentSnapshot()->Stats();
+    std::cerr << "compact serving model: " << stats.num_states << " states, "
+              << stats.num_entries << " entries, "
+              << stats.memory_bytes / 1024 << " KiB\n";
+  }
   std::cerr << "example queries you can try:\n";
   for (size_t i = 0; i < sessions.size() && i < 5; ++i) {
     std::cerr << "  " << dictionary.Text(sessions[i].queries[0]) << "\n";

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/memory_accounting.h"
+
 namespace sqp {
 
 Status AdjacencyModel::Train(const TrainingData& data) {
@@ -75,9 +77,8 @@ ModelStats AdjacencyModel::Stats() const {
   for (const auto& [query, entry] : table_) {
     stats.num_entries += entry.nexts.size();
   }
-  stats.memory_bytes =
-      table_.size() * (sizeof(QueryId) + sizeof(ContextEntry) + 16) +
-      stats.num_entries * sizeof(NextQueryCount);
+  stats.memory_bytes = ContextTableBytes(stats.num_states, stats.num_entries,
+                                         /*num_key_ids=*/stats.num_states);
   return stats;
 }
 

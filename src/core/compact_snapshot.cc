@@ -1,0 +1,416 @@
+#include "core/compact_snapshot.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/memory_accounting.h"
+#include "util/math_util.h"
+
+namespace sqp {
+namespace {
+
+/// Saturating narrowing for the per-node count headers. Counts beyond
+/// 2^32 would need corpora far past the paper's scale; the clamp keeps the
+/// layout sound rather than wrapping, at documented precision loss.
+uint32_t SaturateU32(uint64_t value) {
+  return value > std::numeric_limits<uint32_t>::max()
+             ? std::numeric_limits<uint32_t>::max()
+             : static_cast<uint32_t>(value);
+}
+
+/// Block shift of a node: smallest s with (max_count >> s) <= 65535.
+uint8_t BlockShift(uint64_t max_count) {
+  uint8_t shift = 0;
+  while ((max_count >> shift) > 0xffff) ++shift;
+  return shift;
+}
+
+/// The kept-entry indices of every node under the truncation policy:
+///
+///  (a) per-node top-K — `nexts` is sorted by descending count (ties by
+///      ascending query), so the base slice is the node's own ranking
+///      prefix;
+///  (b) aggregate closure — the full model's *served* top-K list at the
+///      node's exact context is pinned at every path level that carries
+///      the query, so serving any context whose suffix matches the node
+///      exactly reproduces the full top-K list verbatim (every pinned
+///      candidate keeps all its per-level contributions, i.e. its exact
+///      full-precision score);
+///  (c) ancestor closure — a query kept in a node is also kept in every
+///      ancestor (its counts nest, so it always appears there), so any
+///      candidate kept at the deepest path level that lists it carries its
+///      exact full-precision score. (A query can still be truncated from a
+///      node *deeper* than the ones keeping it — contexts whose walk ends
+///      there serve it with the deep contribution understated; (b) exists
+///      to make that rare, and BENCH_memory.json tracks the residual
+///      disagreement rate.)
+///
+/// The root keeps nothing: serving never reads the root's nexts (ranking
+/// levels are non-root path nodes), so packing them would be dead weight.
+///
+/// Cost: when any node truncates, pass (b) runs one full Recommend per
+/// tree node — O(n * top_k * depth) on top of the model build. That is
+/// the price of the preservation property; both passes are skipped
+/// entirely when no node exceeds top_k.
+std::vector<std::vector<uint32_t>> KeptEntries(const ModelSnapshot& full,
+                                               size_t top_k) {
+  const std::vector<Pst::Node>& nodes = full.pst()->nodes();
+  const size_t n = nodes.size();
+  std::vector<std::vector<uint8_t>> flag(n);
+  bool any_truncated = false;
+  for (size_t id = 1; id < n; ++id) {
+    flag[id].assign(nodes[id].nexts.size(), 0);
+    const size_t base = std::min(top_k, nodes[id].nexts.size());
+    std::fill(flag[id].begin(), flag[id].begin() + base, 1);
+    any_truncated |= base < nodes[id].nexts.size();
+  }
+
+  // Lazily-built (query -> entry index) maps, shared by passes (b)/(c).
+  std::vector<std::unordered_map<QueryId, uint32_t>> index_of(n);
+  const auto entry_index = [&](size_t node, QueryId query) -> int64_t {
+    std::unordered_map<QueryId, uint32_t>& map = index_of[node];
+    if (map.empty() && !nodes[node].nexts.empty()) {
+      map.reserve(nodes[node].nexts.size());
+      for (uint32_t i = 0; i < nodes[node].nexts.size(); ++i) {
+        map.emplace(nodes[node].nexts[i].query, i);
+      }
+    }
+    const auto it = map.find(query);
+    return it == map.end() ? -1 : static_cast<int64_t>(it->second);
+  };
+
+  // (b) aggregate closure; (c) ancestor closure, as a reverse sweep that
+  // sees every descendant before its ancestor (node ids are
+  // parent-before-child). Both are no-ops when nothing was truncated.
+  if (any_truncated) {
+    SnapshotScratch scratch;
+    for (size_t id = 1; id < n; ++id) {
+      const Recommendation rec =
+          full.Recommend(nodes[id].context, top_k, &scratch);
+      for (const ScoredQuery& sq : rec.queries) {
+        for (int32_t a = static_cast<int32_t>(id); a > 0;
+             a = nodes[static_cast<size_t>(a)].parent) {
+          const int64_t i = entry_index(static_cast<size_t>(a), sq.query);
+          if (i >= 0) {
+            flag[static_cast<size_t>(a)][static_cast<size_t>(i)] = 1;
+          }
+        }
+      }
+    }
+    for (size_t id = n; id-- > 1;) {
+      const int32_t parent = nodes[id].parent;
+      if (parent <= 0) continue;
+      for (uint32_t i = 0; i < flag[id].size(); ++i) {
+        if (!flag[id][i]) continue;
+        const int64_t j = entry_index(static_cast<size_t>(parent),
+                                      nodes[id].nexts[i].query);
+        if (j >= 0) {
+          flag[static_cast<size_t>(parent)][static_cast<size_t>(j)] = 1;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> kept(n);
+  for (size_t id = 1; id < n; ++id) {
+    for (uint32_t i = 0; i < flag[id].size(); ++i) {
+      if (flag[id][i]) kept[id].push_back(i);
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
+    const ModelSnapshot& full, const CompactOptions& options) {
+  std::shared_ptr<CompactSnapshot> out(new CompactSnapshot());
+  out->options_ = options;
+  out->version_ = full.version();
+  out->weighting_ = full.options().weighting;
+  out->sigmas_ = full.sigmas();
+  out->component_escape_.reserve(full.options().components.size());
+  for (const VmmOptions& component : full.options().components) {
+    out->component_escape_.push_back(component.default_escape);
+  }
+
+  const Pst& pst = *full.pst();
+  const std::vector<Pst::Node>& nodes = pst.nodes();
+  const size_t n = nodes.size();
+  const bool narrow_masks = out->component_escape_.size() <= 16;
+
+  // Adaptive id width: 16-bit pools whenever every query id and node id
+  // fits (node 0, the root, is never a child, so it doubles as the root
+  // index's absent sentinel).
+  QueryId max_query = 0;
+  for (const Pst::Node& node : nodes) {
+    for (const NextQueryCount& nc : node.nexts) {
+      max_query = std::max(max_query, nc.query);
+    }
+    if (!node.context.empty()) {
+      max_query = std::max(max_query, node.context.front());
+    }
+  }
+  out->is_narrow_ =
+      n <= std::numeric_limits<uint16_t>::max() &&
+      max_query < std::numeric_limits<uint16_t>::max();
+
+  out->next_begin_.reserve(n + 1);
+  out->child_begin_.reserve(n + 1);
+  out->total_count_.reserve(n);
+  out->start_count_.reserve(n);
+  out->count_shift_.reserve(n);
+  if (narrow_masks) {
+    out->mask16_.reserve(n);
+  } else {
+    out->mask64_.reserve(n);
+  }
+
+  const std::vector<std::vector<uint32_t>> kept =
+      KeptEntries(full, options.top_k == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : options.top_k);
+
+  const auto push_entry = [&](QueryId query, uint16_t code) {
+    if (out->is_narrow_) {
+      out->narrow_.next_query.push_back(static_cast<uint16_t>(query));
+    } else {
+      out->wide_.next_query.push_back(query);
+    }
+    out->next_code_.push_back(code);
+  };
+  const auto push_edge = [&](QueryId query, int32_t child) {
+    if (out->is_narrow_) {
+      out->narrow_.edge_query.push_back(static_cast<uint16_t>(query));
+      out->narrow_.edge_child.push_back(static_cast<uint16_t>(child));
+    } else {
+      out->wide_.edge_query.push_back(query);
+      out->wide_.edge_child.push_back(static_cast<uint32_t>(child));
+    }
+  };
+
+  for (size_t id = 0; id < n; ++id) {
+    const Pst::Node& node = nodes[id];
+    out->next_begin_.push_back(static_cast<uint32_t>(out->next_code_.size()));
+    out->child_begin_.push_back(static_cast<uint32_t>(
+        out->is_narrow_ ? out->narrow_.edge_query.size()
+                        : out->wide_.edge_query.size()));
+    out->total_count_.push_back(SaturateU32(node.total_count));
+    out->start_count_.push_back(SaturateU32(node.start_count));
+    const Pst::ViewMask mask = pst.mask_of(static_cast<int32_t>(id));
+    if (narrow_masks) {
+      out->mask16_.push_back(static_cast<uint16_t>(mask));
+    } else {
+      out->mask64_.push_back(mask);
+    }
+
+    // Ancestor-closed top-K truncation (see KeptEntries) over the
+    // descending-sorted count list. Block-scaled quantization: whenever the
+    // node's largest count fits 16 bits the shift is 0 and every code IS
+    // the exact count — dequantized serving arithmetic is then
+    // bit-identical to the full tree. Shifted nodes keep the ranking
+    // (>> is monotone) and clamp sub-resolution counts to one code step so
+    // observed continuations never quantize to probability zero.
+    const uint64_t max_count = node.nexts.empty() ? 0 : node.nexts[0].count;
+    const uint8_t shift = BlockShift(max_count);
+    out->count_shift_.push_back(shift);
+    for (uint32_t i : kept[id]) {
+      const uint64_t code = node.nexts[i].count >> shift;
+      push_entry(node.nexts[i].query,
+                 static_cast<uint16_t>(code == 0 ? 1 : code));
+    }
+
+    for (const Pst::Edge& edge : node.children) {
+      push_edge(edge.query, edge.child);
+    }
+  }
+  out->next_begin_.push_back(static_cast<uint32_t>(out->next_code_.size()));
+  out->child_begin_.push_back(static_cast<uint32_t>(
+      out->is_narrow_ ? out->narrow_.edge_query.size()
+                      : out->wide_.edge_query.size()));
+
+  // Dense root fan-out, as in the full tree (absent = node 0).
+  const auto build_root_index = [&](auto& pools) {
+    const uint32_t root_edges = out->child_begin_[1];
+    if (root_edges == 0) return;
+    const QueryId max_root_query = pools.edge_query[root_edges - 1];
+    pools.root_child_by_query.assign(static_cast<size_t>(max_root_query) + 1,
+                                     0);
+    for (uint32_t e = 0; e < root_edges; ++e) {
+      pools.root_child_by_query[pools.edge_query[e]] = pools.edge_child[e];
+    }
+  };
+  if (out->is_narrow_) {
+    build_root_index(out->narrow_);
+  } else {
+    build_root_index(out->wide_);
+  }
+
+  const auto shrink = [](auto& pools) {
+    pools.next_query.shrink_to_fit();
+    pools.edge_query.shrink_to_fit();
+    pools.edge_child.shrink_to_fit();
+  };
+  shrink(out->narrow_);
+  shrink(out->wide_);
+  out->next_code_.shrink_to_fit();
+  return out;
+}
+
+template <typename P>
+int32_t CompactSnapshot::FindChildIn(const P& pools, int32_t node,
+                                     QueryId query) const {
+  if (node == 0) {
+    if (query >= pools.root_child_by_query.size()) return -1;
+    const int32_t child = static_cast<int32_t>(
+        pools.root_child_by_query[query]);
+    return child == 0 ? -1 : child;
+  }
+  const uint32_t begin = child_begin_[static_cast<size_t>(node)];
+  const uint32_t end = child_begin_[static_cast<size_t>(node) + 1];
+  const auto* first = pools.edge_query.data() + begin;
+  const auto* last = pools.edge_query.data() + end;
+  const auto* at = std::lower_bound(first, last, query);
+  if (at == last || *at != query) return -1;
+  return static_cast<int32_t>(
+      pools.edge_child[static_cast<size_t>(begin + (at - first))]);
+}
+
+template <typename P>
+size_t CompactSnapshot::MatchPathIn(const P& pools,
+                                    std::span<const QueryId> context,
+                                    std::vector<int32_t>* path) const {
+  path->clear();
+  int32_t cur = 0;
+  for (size_t back = 0; back < context.size(); ++back) {
+    const int32_t child =
+        FindChildIn(pools, cur, context[context.size() - 1 - back]);
+    if (child < 0) break;
+    cur = child;
+    path->push_back(cur);
+  }
+  return path->size();
+}
+
+double CompactSnapshot::EscapeWeight(int32_t node, size_t dropped,
+                                     size_t component) const {
+  if (dropped == 0) return 1.0;
+  const double default_escape = component_escape_[component];
+  double escape = 1.0;
+  for (size_t i = 0; i + 1 < dropped; ++i) escape *= default_escape;
+  const size_t id = static_cast<size_t>(node);
+  // The same branch EscapeMass takes on exact counts: a real (non-root)
+  // state with observed session starts contributes start/total, anything
+  // else the component default.
+  if (node != 0 && total_count_[id] > 0 && start_count_[id] > 0) {
+    escape *= static_cast<double>(start_count_[id]) /
+              static_cast<double>(total_count_[id]);
+  } else {
+    escape *= default_escape;
+  }
+  return escape;
+}
+
+template <typename P>
+Recommendation CompactSnapshot::RecommendIn(const P& pools,
+                                            std::span<const QueryId> context,
+                                            size_t top_n,
+                                            SnapshotScratch* scratch) const {
+  Recommendation rec;
+  if (context.empty()) return rec;
+
+  std::vector<int32_t>& path = scratch->path;
+  std::vector<size_t>& matched = scratch->matched;
+  std::vector<double>& level_weight = scratch->level_weight;
+  std::vector<ScoredQuery>& raw = scratch->raw;
+
+  const size_t depth = MatchPathIn(pools, context, &path);
+  if (depth == 0) return rec;
+
+  // Per-component matched depths off the membership masks: view membership
+  // is ancestor-closed, so each component's bit covers a prefix of the path
+  // (exactly ModelSnapshot::SharedMatchDepths).
+  const size_t k = sigmas_.size();
+  matched.assign(k, 0);
+  for (size_t c = 0; c < k; ++c) {
+    const Pst::ViewMask bit = Pst::ViewMask{1} << c;
+    size_t m = depth;
+    while (m > 0 && (mask_of(static_cast<size_t>(path[m - 1])) & bit) == 0) {
+      --m;
+    }
+    matched[c] = m;
+  }
+
+  std::vector<double>& weights = scratch->weights;
+  internal::ComputeRawWeights(weighting_, sigmas_, context.size(), matched,
+                              &weights);
+  NormalizeInPlace(&weights);
+
+  // Escape-weighted per-level accumulation, then one pass over the CSR
+  // nexts slices — operation-for-operation the full snapshot's ranking
+  // loop, with `(code << shift)` standing in for the exact count.
+  raw.clear();
+  level_weight.assign(depth, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    if (weights[c] <= 0.0 || matched[c] == 0) continue;
+    const int32_t state = path[matched[c] - 1];
+    double lw = weights[c] *
+                EscapeWeight(state, context.size() - matched[c], c);
+    const double esc = component_escape_[c];
+    for (size_t d = matched[c]; d >= 1; --d) {
+      level_weight[d - 1] += lw;
+      lw *= esc;
+    }
+  }
+  for (size_t d = 0; d < depth; ++d) {
+    if (level_weight[d] <= 0.0) continue;
+    const size_t node = static_cast<size_t>(path[d]);
+    if (total_count_[node] == 0) continue;
+    const double scale =
+        level_weight[d] / static_cast<double>(total_count_[node]);
+    const uint8_t shift = count_shift_[node];
+    const uint32_t begin = next_begin_[node];
+    const uint32_t end = next_begin_[node + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const uint64_t count = static_cast<uint64_t>(next_code_[i]) << shift;
+      raw.push_back(ScoredQuery{static_cast<QueryId>(pools.next_query[i]),
+                                scale * static_cast<double>(count)});
+    }
+  }
+  if (raw.empty()) return rec;
+
+  rec.covered = true;
+  rec.matched_length = depth;
+  internal::MergeAndRank(&raw, top_n, &rec);
+  return rec;
+}
+
+Recommendation CompactSnapshot::Recommend(std::span<const QueryId> context,
+                                          size_t top_n,
+                                          SnapshotScratch* scratch) const {
+  return is_narrow_ ? RecommendIn(narrow_, context, top_n, scratch)
+                    : RecommendIn(wide_, context, top_n, scratch);
+}
+
+bool CompactSnapshot::Covers(std::span<const QueryId> context) const {
+  if (context.empty()) return false;
+  return (is_narrow_ ? FindChildIn(narrow_, 0, context.back())
+                     : FindChildIn(wide_, 0, context.back())) >= 0;
+}
+
+ModelStats CompactSnapshot::Stats() const {
+  ModelStats stats;
+  stats.name = "MVMM (compact)";
+  stats.num_states = num_nodes();
+  stats.num_entries = num_entries();
+  stats.memory_bytes = FlatBytes(next_begin_) + FlatBytes(child_begin_) +
+                       FlatBytes(total_count_) + FlatBytes(start_count_) +
+                       FlatBytes(count_shift_) + FlatBytes(mask16_) +
+                       FlatBytes(mask64_) + FlatBytes(next_code_) +
+                       narrow_.flat_bytes() + wide_.flat_bytes() +
+                       FlatBytes(sigmas_) + FlatBytes(component_escape_);
+  return stats;
+}
+
+}  // namespace sqp

@@ -76,6 +76,10 @@ struct MvmmFitReport {
 /// Per-thread scratch buffers for snapshot inference. A snapshot itself is
 /// immutable; every mutable byte a query touches lives here, so any number
 /// of threads can serve off one snapshot with one scratch each.
+///
+/// Thread-safety: a SnapshotScratch must be used by at most one thread at a
+/// time, but carries no state between calls — sharing one instance per
+/// thread across snapshots and models is safe.
 struct SnapshotScratch {
   std::vector<int32_t> path;
   std::vector<size_t> matched;
@@ -85,13 +89,55 @@ struct SnapshotScratch {
   std::vector<ScoredQuery> raw;
 };
 
+/// The serving contract every publishable model variant implements: an
+/// *immutable*, fully-built recommendation state tagged with the corpus
+/// version it was trained against. RecommenderEngine publishes
+/// shared_ptr<const ServingSnapshot> through one atomic swap, so both the
+/// full ModelSnapshot and the quantized CompactSnapshot ride the same seam.
+///
+/// Thread-safety contract (the invariant every scaling PR builds on):
+///  - After construction a snapshot is deeply immutable; any number of
+///    threads may call the const methods concurrently with one
+///    SnapshotScratch per thread and no other synchronization.
+///  - A query is answered from exactly one fully-built snapshot: readers
+///    never observe a model mid-build, because a snapshot only becomes
+///    reachable by being published *after* its builder returned.
+class ServingSnapshot {
+ public:
+  virtual ~ServingSnapshot() = default;
+
+  /// Ranked top-N next-query recommendation for `context` (the user's
+  /// session so far, oldest first). Uncovered contexts yield an empty,
+  /// covered=false result. Safe from any thread; `scratch` must not be
+  /// shared between concurrent calls.
+  virtual Recommendation Recommend(std::span<const QueryId> context,
+                                   size_t top_n,
+                                   SnapshotScratch* scratch) const = 0;
+
+  /// True iff at least one component matches a non-root state. Safe from
+  /// any thread.
+  virtual bool Covers(std::span<const QueryId> context) const = 0;
+
+  /// Size accounting of this serving variant (paper Table VII), computed
+  /// through core/memory_accounting.h so full and compact footprints are
+  /// directly comparable.
+  virtual ModelStats Stats() const = 0;
+
+  /// The corpus/dictionary generation this snapshot reflects (e.g. a
+  /// retrain counter). Carried, never interpreted.
+  uint64_t version() const { return version_; }
+
+ protected:
+  uint64_t version_ = 0;
+};
+
 /// An immutable, fully-trained MVMM serving state: the shared multi-view
 /// PST, the fitted per-component sigma weights, and the corpus/dictionary
 /// version it was trained against. Built off to the side (possibly on a
 /// background thread) and published to readers by swapping a
-/// shared_ptr<const ModelSnapshot>; readers hold no hidden mutable state
-/// beyond their SnapshotScratch.
-class ModelSnapshot {
+/// shared_ptr<const ServingSnapshot>; readers hold no hidden mutable state
+/// beyond their SnapshotScratch (see the ServingSnapshot contract).
+class ModelSnapshot final : public ServingSnapshot {
  public:
   /// Trains a snapshot from `data`. `options.components` (or the default
   /// set) must fit in Pst::kMaxViews — the snapshot is always a shared-tree
@@ -103,23 +149,22 @@ class ModelSnapshot {
 
   /// Mixture recommendation over the shared tree (paper Section IV-C.3).
   Recommendation Recommend(std::span<const QueryId> context, size_t top_n,
-                           SnapshotScratch* scratch) const;
+                           SnapshotScratch* scratch) const override;
 
-  /// Smoothed mixture conditional P(next | context).
+  /// Smoothed mixture conditional P(next | context). Full-precision only:
+  /// the compact serving variant drops the exact counts this needs.
   double ConditionalProb(std::span<const QueryId> context, QueryId next,
                          SnapshotScratch* scratch) const;
 
   /// True iff at least one component matches a non-root state.
-  bool Covers(std::span<const QueryId> context) const;
+  bool Covers(std::span<const QueryId> context) const override;
 
   /// Normalized per-component mixture weights for `context`.
   std::vector<double> MixtureWeights(std::span<const QueryId> context,
                                      SnapshotScratch* scratch) const;
 
   /// Merged-tree accounting (paper Table VII / Section V-F.2).
-  ModelStats Stats() const;
-
-  uint64_t version() const { return version_; }
+  ModelStats Stats() const override;
   const std::shared_ptr<const Pst>& pst() const { return pst_; }
   const std::vector<double>& sigmas() const { return sigmas_; }
   const MvmmFitReport& fit_report() const { return fit_report_; }
@@ -157,7 +202,6 @@ class ModelSnapshot {
   std::vector<double> sigmas_;
   MvmmFitReport fit_report_;
   size_t vocabulary_size_ = 0;
-  uint64_t version_ = 0;
 };
 
 namespace internal {

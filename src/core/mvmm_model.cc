@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "core/memory_accounting.h"
 #include "util/hash.h"
 #include "util/math_util.h"
 
@@ -270,11 +271,9 @@ ModelStats MvmmModel::Stats() const {
   for (const auto& component : components_) {
     for (const Pst::Node& node : component->pst().nodes()) {
       if (merged.insert(node.context).second) {
-        stats.memory_bytes += sizeof(Pst::Node) +
-                              node.context.size() * sizeof(QueryId) +
-                              node.nexts.size() * sizeof(NextQueryCount) +
-                              node.children.size() * sizeof(Pst::Edge) +
-                              sizeof(Pst::ViewMask);
+        stats.memory_bytes +=
+            PstNodeBytes(node.context.size(), node.nexts.size(),
+                         node.children.size(), /*with_view_mask=*/true);
         stats.num_entries += node.nexts.size();
       }
     }

@@ -1,5 +1,7 @@
 #include "core/ngram_model.h"
 
+#include "core/memory_accounting.h"
+
 namespace sqp {
 
 NgramModel::NgramModel(NgramOptions options) : options_(options) {}
@@ -66,9 +68,8 @@ ModelStats NgramModel::Stats() const {
     stats.num_entries += entry.nexts.size();
     context_ids += context.size();
   }
-  stats.memory_bytes = table_.size() * (sizeof(ContextEntry) + 16) +
-                       context_ids * sizeof(QueryId) +
-                       stats.num_entries * sizeof(NextQueryCount);
+  stats.memory_bytes =
+      ContextTableBytes(stats.num_states, stats.num_entries, context_ids);
   return stats;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "core/memory_accounting.h"
 #include "util/edge_search.h"
 #include "util/math_util.h"
 
@@ -417,10 +418,8 @@ uint64_t Pst::num_entries() const {
 uint64_t Pst::memory_bytes() const {
   uint64_t bytes = 0;
   for (const Node& node : nodes_) {
-    bytes += sizeof(Node);
-    bytes += node.context.size() * sizeof(QueryId);
-    bytes += node.nexts.size() * sizeof(NextQueryCount);
-    bytes += node.children.size() * sizeof(Edge);
+    bytes += PstNodeBytes(node.context.size(), node.nexts.size(),
+                          node.children.size(), /*with_view_mask=*/false);
   }
   bytes += view_masks_.size() * sizeof(ViewMask);
   bytes += root_child_by_query_.size() * sizeof(int32_t);
@@ -454,14 +453,14 @@ uint64_t Pst::view_memory_bytes(size_t view) const {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if ((view_masks_[i] & bit) == 0) continue;
     const Node& node = nodes_[i];
-    bytes += sizeof(Node);
-    bytes += node.context.size() * sizeof(QueryId);
-    bytes += node.nexts.size() * sizeof(NextQueryCount);
+    size_t view_children = 0;
     for (const Edge& edge : node.children) {
       if (view_masks_[static_cast<size_t>(edge.child)] & bit) {
-        bytes += sizeof(Edge);
+        ++view_children;
       }
     }
+    bytes += PstNodeBytes(node.context.size(), node.nexts.size(),
+                          view_children, /*with_view_mask=*/false);
   }
   // The standalone tree would also carry a dense root fan-out index up to
   // its own largest depth-1 query (as memory_bytes does).

@@ -23,24 +23,24 @@ RecommenderEngine::RecommenderEngine(EngineOptions options)
 }
 
 void RecommenderEngine::Publish(
-    std::shared_ptr<const ModelSnapshot> snapshot) {
+    std::shared_ptr<const ServingSnapshot> snapshot) {
   snapshot_.store(std::move(snapshot));
   snapshots_published_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::shared_ptr<const ModelSnapshot> RecommenderEngine::CurrentSnapshot()
+std::shared_ptr<const ServingSnapshot> RecommenderEngine::CurrentSnapshot()
     const {
   return snapshot_.load();
 }
 
 uint64_t RecommenderEngine::current_version() const {
-  const std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  const std::shared_ptr<const ServingSnapshot> snapshot = CurrentSnapshot();
   return snapshot == nullptr ? 0 : snapshot->version();
 }
 
 Recommendation RecommenderEngine::Recommend(ContextRef context, size_t top_n,
                                             uint64_t* served_version) const {
-  const std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  const std::shared_ptr<const ServingSnapshot> snapshot = CurrentSnapshot();
   thread_local const size_t counter_slot =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) %
       kCounterShards;
@@ -60,7 +60,7 @@ std::vector<Recommendation> RecommenderEngine::RecommendMany(
   std::vector<Recommendation> results(contexts.size());
   // One snapshot grab for the whole batch: even if a retrain publishes
   // mid-batch, every result comes from the same model generation.
-  const std::shared_ptr<const ModelSnapshot> snapshot = CurrentSnapshot();
+  const std::shared_ptr<const ServingSnapshot> snapshot = CurrentSnapshot();
   queries_served_[0].value.fetch_add(contexts.size(),
                                      std::memory_order_relaxed);
   batches_served_.fetch_add(1, std::memory_order_relaxed);
@@ -77,7 +77,7 @@ std::vector<Recommendation> RecommenderEngine::RecommendMany(
     return results;
   }
 
-  const ModelSnapshot* model = snapshot.get();
+  const ServingSnapshot* model = snapshot.get();
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
   pool_.Run(contexts.size(), [&, model](size_t i, size_t lane) {
     results[i] = model->Recommend(contexts[i], top_n, &lane_scratch_[lane]);

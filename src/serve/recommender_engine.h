@@ -35,7 +35,7 @@ using ContextRef = std::span<const QueryId>;
 /// races elsewhere.
 class AtomicSnapshotPtr {
  public:
-  std::shared_ptr<const ModelSnapshot> load() const {
+  std::shared_ptr<const ServingSnapshot> load() const {
 #ifdef SQP_THREAD_SANITIZER
     std::lock_guard<std::mutex> lock(mu_);
     return ptr_;
@@ -44,11 +44,11 @@ class AtomicSnapshotPtr {
 #endif
   }
 
-  void store(std::shared_ptr<const ModelSnapshot> snapshot) {
+  void store(std::shared_ptr<const ServingSnapshot> snapshot) {
 #ifdef SQP_THREAD_SANITIZER
     // Swap under the lock but let the displaced snapshot (potentially the
     // last reference to a whole model) destruct outside it.
-    std::shared_ptr<const ModelSnapshot> old;
+    std::shared_ptr<const ServingSnapshot> old;
     {
       std::lock_guard<std::mutex> lock(mu_);
       old = std::move(ptr_);
@@ -62,9 +62,9 @@ class AtomicSnapshotPtr {
  private:
 #ifdef SQP_THREAD_SANITIZER
   mutable std::mutex mu_;
-  std::shared_ptr<const ModelSnapshot> ptr_;
+  std::shared_ptr<const ServingSnapshot> ptr_;
 #else
-  std::atomic<std::shared_ptr<const ModelSnapshot>> ptr_;
+  std::atomic<std::shared_ptr<const ServingSnapshot>> ptr_;
 #endif
 };
 
@@ -88,14 +88,21 @@ struct EngineStats {
 
 /// The concurrent serving front-end of the recommender: any number of
 /// threads call Recommend / RecommendMany while retraining publishes fresh
-/// ModelSnapshots through a lock-free atomic shared_ptr swap.
+/// snapshots through a lock-free atomic shared_ptr swap. The engine serves
+/// any ServingSnapshot variant — the full ModelSnapshot or the quantized
+/// CompactSnapshot — through the identical seam; readers never know which.
 ///
-/// Consistency contract: every query is answered from exactly one
-/// fully-built, fully-published snapshot — a query grabs the snapshot
-/// pointer once and never observes a model mid-build; a batch is answered
-/// entirely from one snapshot even if a swap lands mid-batch. Readers are
-/// never blocked by a publish, and a snapshot stays alive (shared_ptr
-/// refcount) until the last in-flight query drops it.
+/// Consistency contract (the one-published-snapshot invariant): every query
+/// is answered from exactly one fully-built, fully-published snapshot — a
+/// query grabs the snapshot pointer once and never observes a model
+/// mid-build; a batch is answered entirely from one snapshot even if a swap
+/// lands mid-batch. Readers are never blocked by a publish, and a snapshot
+/// stays alive (shared_ptr refcount) until the last in-flight query drops
+/// it.
+///
+/// Thread-safety: all const methods are safe from any number of threads
+/// concurrently with Publish from any other thread. Per-thread scratch is
+/// managed internally; callers hold no serving state.
 class RecommenderEngine {
  public:
   explicit RecommenderEngine(EngineOptions options = {});
@@ -104,12 +111,15 @@ class RecommenderEngine {
   RecommenderEngine& operator=(const RecommenderEngine&) = delete;
 
   /// Atomically swaps the serving snapshot. Callers build the snapshot off
-  /// to the side (ModelSnapshot::Build, typically via a Retrainer) and
-  /// publish it here; in-flight queries finish on the snapshot they grabbed.
-  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+  /// to the side (ModelSnapshot::Build, optionally re-packed by
+  /// CompactSnapshot::FromSnapshot, typically via a Retrainer) and publish
+  /// it here; in-flight queries finish on the snapshot they grabbed. Safe
+  /// from any thread; never blocks readers.
+  void Publish(std::shared_ptr<const ServingSnapshot> snapshot);
 
   /// The currently-published snapshot (null before the first Publish).
-  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+  /// Safe from any thread.
+  std::shared_ptr<const ServingSnapshot> CurrentSnapshot() const;
 
   /// Version of the current snapshot, 0 before the first Publish.
   uint64_t current_version() const;

@@ -16,6 +16,12 @@ Retrainer::Retrainer(RecommenderEngine* engine, RetrainerOptions options)
 
 Retrainer::~Retrainer() { Stop(); }
 
+std::shared_ptr<const ServingSnapshot> Retrainer::ForPublish(
+    std::shared_ptr<const ModelSnapshot> full) const {
+  if (!options_.publish_compact) return full;
+  return CompactSnapshot::FromSnapshot(*full, options_.compact);
+}
+
 size_t Retrainer::EffectiveVocabulary() const {
   if (options_.vocabulary_size != 0) return options_.vocabulary_size;
   return static_cast<size_t>(observed_max_id_) + 1;
@@ -53,7 +59,7 @@ Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus) {
     last_status_ = built.status();
     return built.status();
   }
-  engine_->Publish(std::move(built.value()));
+  engine_->Publish(ForPublish(std::move(built.value())));
   {
     std::lock_guard<std::mutex> lock(mu_);
     version_ = 1;
@@ -117,7 +123,7 @@ Status Retrainer::RebuildAndPublish(std::vector<AggregatedSession> fresh) {
       ModelSnapshot::Build(data, options_.model, next_version);
   if (!built.ok()) return built.status();
 
-  engine_->Publish(std::move(built.value()));
+  engine_->Publish(ForPublish(std::move(built.value())));
   {
     std::lock_guard<std::mutex> lock(mu_);
     version_ = next_version;

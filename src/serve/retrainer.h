@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/compact_snapshot.h"
 #include "core/model_snapshot.h"
 #include "log/context_builder.h"
 #include "serve/recommender_engine.h"
@@ -35,12 +36,24 @@ struct RetrainerOptions {
 
   /// Background mode: how often the worker checks for pending sessions.
   std::chrono::milliseconds poll_interval{20};
+
+  /// Publish each rebuild as a CompactSnapshot (CSR layout, top-K nexts,
+  /// 16-bit quantized probabilities) instead of the full ModelSnapshot —
+  /// the serving-only deployment of the ROADMAP "Memory" item. The rebuild
+  /// itself still trains the full model (retraining needs exact counts);
+  /// only the published serving state is re-packed.
+  bool publish_compact = false;
+
+  /// Layout parameters used when publish_compact is set.
+  CompactOptions compact;
 };
 
 /// The streaming retrain/swap engine: consumes appended session batches,
 /// extends the counting index incrementally (no from-scratch recount),
 /// rebuilds the shared PST + sigma fit off to the side, and publishes the
-/// resulting immutable ModelSnapshot to a RecommenderEngine atomically.
+/// resulting immutable snapshot to a RecommenderEngine atomically — the
+/// full ModelSnapshot, or its CompactSnapshot re-pack when
+/// RetrainerOptions::publish_compact is set.
 /// Serving is never blocked: readers keep answering from the previous
 /// snapshot for the whole rebuild.
 ///
@@ -52,7 +65,10 @@ struct RetrainerOptions {
 ///
 /// Threading: AppendSessions and the observers are safe from any thread.
 /// Rebuilds are internally serialized; Bootstrap/RetrainOnce may be called
-/// directly or a background worker can poll via Start/Stop.
+/// directly or a background worker can poll via Start/Stop. A publish
+/// never blocks the engine's readers (see the RecommenderEngine contract):
+/// readers keep answering from the previous snapshot until the atomic
+/// swap, and in-flight queries finish on the snapshot they grabbed.
 class Retrainer {
  public:
   Retrainer(RecommenderEngine* engine, RetrainerOptions options);
@@ -100,6 +116,10 @@ class Retrainer {
   Status RebuildAndPublish(std::vector<AggregatedSession> fresh);
   void BackgroundLoop();
   size_t EffectiveVocabulary() const;
+  /// The snapshot actually handed to the engine: the full model, or its
+  /// compact re-pack when options_.publish_compact is set.
+  std::shared_ptr<const ServingSnapshot> ForPublish(
+      std::shared_ptr<const ModelSnapshot> full) const;
 
   RecommenderEngine* engine_;
   RetrainerOptions options_;

@@ -1,0 +1,267 @@
+// Equivalence suite for the compact serving snapshot: the CSR/top-K/16-bit
+// re-pack must preserve the served rankings (top-N identical to the full
+// ModelSnapshot for N <= K), track full-precision scores tightly, shrink
+// the footprint by a large factor, and plug into the engine/retrainer
+// publish seam unchanged.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compact_snapshot.h"
+#include "serve/recommender_engine.h"
+#include "serve/retrainer.h"
+#include "serve_test_util.h"
+
+namespace sqp {
+namespace {
+
+using serve_test::CollectContexts;
+using serve_test::SharedCorpus;
+
+constexpr size_t kVocabularyBound = 1 << 20;
+
+std::shared_ptr<const ModelSnapshot> BuildFull(
+    const std::vector<AggregatedSession>& sessions, uint64_t version = 1) {
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = kVocabularyBound;
+  MvmmOptions options;
+  options.default_max_depth = 5;
+  auto built = ModelSnapshot::Build(data, options, version);
+  SQP_CHECK(built.ok());
+  return built.value();
+}
+
+/// The per-binary full snapshot over the base corpus.
+const std::shared_ptr<const ModelSnapshot>& SharedFull() {
+  static const auto* snapshot = new std::shared_ptr<const ModelSnapshot>(
+      BuildFull(SharedCorpus().base));
+  return *snapshot;
+}
+
+/// Mixed covered/uncovered contexts: base prefixes plus drifted prefixes.
+std::vector<std::vector<QueryId>> TestContexts() {
+  std::vector<std::vector<QueryId>> contexts =
+      CollectContexts(SharedCorpus().base, 600);
+  const std::vector<std::vector<QueryId>> drifted =
+      CollectContexts(SharedCorpus().drifted, 200);
+  contexts.insert(contexts.end(), drifted.begin(), drifted.end());
+  return contexts;
+}
+
+TEST(CompactSnapshotTest, TopKTruncationPreservesTopNForNUpToK) {
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*SharedFull(), CompactOptions{.top_k = 10});
+  SnapshotScratch scratch;
+  size_t covered = 0;
+  for (const std::vector<QueryId>& context : TestContexts()) {
+    for (const size_t n : {size_t{1}, size_t{5}, size_t{10}}) {
+      const Recommendation full = SharedFull()->Recommend(context, n, &scratch);
+      const Recommendation packed = compact->Recommend(context, n, &scratch);
+      ASSERT_EQ(full.covered, packed.covered);
+      ASSERT_EQ(full.matched_length, packed.matched_length);
+      ASSERT_EQ(full.queries.size(), packed.queries.size());
+      for (size_t i = 0; i < full.queries.size(); ++i) {
+        EXPECT_EQ(full.queries[i].query, packed.queries[i].query)
+            << "rank " << i << " at top-" << n;
+      }
+      covered += full.covered ? 1 : 0;
+    }
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+TEST(CompactSnapshotTest, QuantizedServingIsBitExactWhenCountsFit16Bits) {
+  // Unbounded K isolates quantization from truncation. Every count on this
+  // corpus fits 16 bits, so dequantization is exact and the compact ranking
+  // arithmetic must reproduce the full snapshot bit-for-bit — scores,
+  // order, tie-breaks, everything.
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*SharedFull(), CompactOptions{.top_k = 0});
+  SnapshotScratch scratch;
+  size_t compared = 0;
+  for (const std::vector<QueryId>& context : TestContexts()) {
+    serve_test::ExpectSameRecommendation(
+        SharedFull()->Recommend(context, 10, &scratch),
+        compact->Recommend(context, 10, &scratch));
+    ++compared;
+  }
+  EXPECT_GT(compared, 100u);
+}
+
+TEST(CompactSnapshotTest, WideIdPoolsAndWideMasksServeIdentically) {
+  // Query ids beyond 16 bits force the wide id pools, and more than 16
+  // components force the 64-bit mask array — the branches the synthetic
+  // corpora never reach. Both must serve bit-identically to the full
+  // snapshot (all counts fit 16 bits, so the shift is 0).
+  const QueryId base = 70000;  // > 65535
+  const std::vector<AggregatedSession> sessions = {
+      {{base, base + 1, base + 2}, 5},
+      {{base + 1, base + 3}, 3},
+      {{base, base + 1, base + 3}, 2},
+      {{base + 2, base + 1, base + 2}, 4},
+      {{base + 3, base, base + 1}, 1}};
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = kVocabularyBound;
+  MvmmOptions options;
+  for (size_t depth = 1; depth <= 3; ++depth) {
+    for (double epsilon : {0.0, 0.01, 0.02, 0.03, 0.04, 0.05}) {
+      VmmOptions vmm;
+      vmm.epsilon = epsilon;
+      vmm.max_depth = depth;
+      options.components.push_back(vmm);
+    }
+  }
+  ASSERT_GT(options.components.size(), 16u);  // 18 components -> mask64
+  const auto full = ModelSnapshot::Build(data, options, 7).value();
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*full, CompactOptions{.top_k = 0});
+
+  SnapshotScratch scratch;
+  const std::vector<std::vector<QueryId>> contexts = {
+      {base},
+      {base, base + 1},
+      {base + 2, base + 1},
+      {base + 3, base, base + 1},
+      {base + 500},  // unseen id inside the root index range or beyond
+      {base + 1, base + 2}};
+  for (const std::vector<QueryId>& context : contexts) {
+    serve_test::ExpectSameRecommendation(
+        full->Recommend(context, 5, &scratch),
+        compact->Recommend(context, 5, &scratch));
+    EXPECT_EQ(full->Covers(context), compact->Covers(context));
+  }
+  EXPECT_EQ(compact->version(), 7u);
+}
+
+TEST(CompactSnapshotTest, BlockShiftHandlesCountsBeyond16Bits) {
+  // Counts above 65535 force a per-node block shift; ranking order must
+  // survive and dequantized probabilities stay within one code step.
+  const std::vector<AggregatedSession> sessions = {
+      {{1, 2}, 200001}, {{1, 3}, 70003}, {{1, 4}, 5}, {{1, 5}, 1}};
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = 64;
+  MvmmOptions options;
+  options.default_max_depth = 3;
+  const auto full = ModelSnapshot::Build(data, options, 1).value();
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*full, CompactOptions{.top_k = 0});
+
+  SnapshotScratch scratch;
+  const std::vector<QueryId> context = {1};
+  const Recommendation exact = full->Recommend(context, 4, &scratch);
+  const Recommendation packed = compact->Recommend(context, 4, &scratch);
+  ASSERT_EQ(exact.queries.size(), packed.queries.size());
+  for (size_t i = 0; i < exact.queries.size(); ++i) {
+    EXPECT_EQ(exact.queries[i].query, packed.queries[i].query) << "rank " << i;
+    // One code step of the shifted scale, relative to the node total.
+    EXPECT_NEAR(packed.queries[i].score, exact.queries[i].score,
+                exact.queries[i].score * (1.0 / 65535.0) + 1e-4);
+  }
+}
+
+TEST(CompactSnapshotTest, CoversMatchesFullSnapshot) {
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*SharedFull(), CompactOptions{.top_k = 8});
+  for (const std::vector<QueryId>& context : TestContexts()) {
+    EXPECT_EQ(SharedFull()->Covers(context), compact->Covers(context));
+  }
+  EXPECT_FALSE(compact->Covers({}));
+}
+
+TEST(CompactSnapshotTest, FootprintShrinksSeveralFold) {
+  const auto compact = CompactSnapshot::FromSnapshot(
+      *SharedFull(), CompactOptions{.top_k = 10});
+  const ModelStats full = SharedFull()->Stats();
+  const ModelStats packed = compact->Stats();
+  EXPECT_EQ(packed.num_states, full.num_states);
+  EXPECT_LE(packed.num_entries, full.num_entries);
+  // The acceptance bar on the (larger) default bench corpus is >= 4x; the
+  // small test corpus must already clear it comfortably.
+  EXPECT_GE(static_cast<double>(full.memory_bytes),
+            4.0 * static_cast<double>(packed.memory_bytes))
+      << "full " << full.memory_bytes << "B vs compact "
+      << packed.memory_bytes << "B";
+  // Version and metadata carry over.
+  EXPECT_EQ(compact->version(), SharedFull()->version());
+  EXPECT_EQ(compact->sigmas(), SharedFull()->sigmas());
+}
+
+TEST(CompactSnapshotTest, UnboundedKKeepsEveryServedEntry) {
+  // top_k = 0 keeps every entry serving can read: everything except the
+  // root's prior distribution (ranking levels are non-root path nodes).
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*SharedFull(), CompactOptions{.top_k = 0});
+  EXPECT_EQ(compact->num_entries(),
+            SharedFull()->Stats().num_entries -
+                SharedFull()->pst()->root().nexts.size());
+}
+
+TEST(CompactSnapshotTest, EnginePublishesEitherVariantThroughOneSeam) {
+  const auto compact =
+      CompactSnapshot::FromSnapshot(*SharedFull(), CompactOptions{.top_k = 10});
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+
+  engine.Publish(SharedFull());
+  const std::vector<std::vector<QueryId>> contexts =
+      CollectContexts(SharedCorpus().base, 32);
+  SnapshotScratch scratch;
+  for (const std::vector<QueryId>& context : contexts) {
+    serve_test::ExpectSameRecommendation(
+        SharedFull()->Recommend(context, 5, &scratch),
+        engine.Recommend(context, 5));
+  }
+
+  engine.Publish(compact);  // hot swap full -> compact, readers unchanged
+  EXPECT_EQ(engine.CurrentSnapshot().get(), compact.get());
+  for (const std::vector<QueryId>& context : contexts) {
+    serve_test::ExpectSameRecommendation(
+        compact->Recommend(context, 5, &scratch),
+        engine.Recommend(context, 5));
+  }
+}
+
+TEST(CompactSnapshotTest, RetrainerPublishesCompactRebuilds) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  RetrainerOptions options;
+  options.model.default_max_depth = 5;
+  options.vocabulary_size = kVocabularyBound;
+  options.publish_compact = true;
+  options.compact.top_k = 10;
+  Retrainer retrainer(&engine, options);
+  ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
+
+  // The published serving state is the compact variant of the bootstrap
+  // model: identical rankings to the full reference, compact type/footprint.
+  const auto published = std::dynamic_pointer_cast<const CompactSnapshot>(
+      engine.CurrentSnapshot());
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(published->version(), 1u);
+  SnapshotScratch scratch;
+  for (const std::vector<QueryId>& context :
+       CollectContexts(SharedCorpus().base, 64)) {
+    const Recommendation full =
+        SharedFull()->Recommend(context, 5, &scratch);
+    const Recommendation served = engine.Recommend(context, 5);
+    ASSERT_EQ(full.covered, served.covered);
+    ASSERT_EQ(full.queries.size(), served.queries.size());
+    for (size_t i = 0; i < full.queries.size(); ++i) {
+      EXPECT_EQ(full.queries[i].query, served.queries[i].query);
+    }
+  }
+
+  // A retrain cycle publishes the next compact generation.
+  retrainer.AppendSessions(SharedCorpus().drifted);
+  ASSERT_TRUE(retrainer.RetrainOnce().ok());
+  EXPECT_EQ(engine.current_version(), 2u);
+  EXPECT_NE(std::dynamic_pointer_cast<const CompactSnapshot>(
+                engine.CurrentSnapshot()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace sqp

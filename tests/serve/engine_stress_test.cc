@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/compact_snapshot.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
 #include "serve_test_util.h"
@@ -53,9 +54,19 @@ TEST(EngineStressTest, ReadersAlwaysSeeFullyPublishedSnapshots) {
                  drifted.end());
     corpora.push_back(grown);
   }
-  std::vector<std::shared_ptr<const ModelSnapshot>> snapshots;
+  // Generation 2 is a compact re-pack, so the swap loop keeps hot-swapping
+  // full -> compact -> full serving variants underneath the readers — the
+  // publish seam must not care which variant is live.
+  std::vector<std::shared_ptr<const ServingSnapshot>> snapshots;
   for (size_t i = 0; i < corpora.size(); ++i) {
-    snapshots.push_back(BuildSnapshot(corpora[i], i + 1));
+    const std::shared_ptr<const ModelSnapshot> full =
+        BuildSnapshot(corpora[i], i + 1);
+    if (i == 1) {
+      snapshots.push_back(
+          CompactSnapshot::FromSnapshot(*full, CompactOptions{.top_k = 10}));
+    } else {
+      snapshots.push_back(full);
+    }
   }
 
   const std::vector<std::vector<QueryId>> contexts =

@@ -83,7 +83,7 @@ TEST(RetrainerTest, RetrainEquivalentToFromScratchOnConcatenatedCorpus) {
   ASSERT_TRUE(reference.Train(data).ok());
 
   const std::shared_ptr<const ModelSnapshot> published =
-      engine.CurrentSnapshot();
+      std::dynamic_pointer_cast<const ModelSnapshot>(engine.CurrentSnapshot());
   ASSERT_NE(published, nullptr);
 
   // Sigmas and structure must agree exactly...
@@ -115,7 +115,7 @@ TEST(RetrainerTest, RetrainOnceWithoutPendingIsANoop) {
   RecommenderEngine engine(EngineOptions{.num_threads = 1});
   Retrainer retrainer(&engine, TestOptions());
   ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
-  const std::shared_ptr<const ModelSnapshot> before =
+  const std::shared_ptr<const ServingSnapshot> before =
       engine.CurrentSnapshot();
   ASSERT_TRUE(retrainer.RetrainOnce().ok());
   EXPECT_EQ(retrainer.published_version(), 1u);
