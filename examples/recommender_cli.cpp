@@ -1,8 +1,9 @@
 // Interactive query recommender driving the concurrent serving subsystem:
-// trains an MVMM snapshot on a synthetic corpus, publishes it to a
-// RecommenderEngine, then reads query sessions from stdin and prints top-5
-// recommendations after every query — the paper's "online query
-// recommendation phase", served the way production would serve it.
+// trains an MVMM snapshot on a synthetic corpus (or cold-boots one from a
+// persisted blob), publishes it to a RecommenderEngine, then reads query
+// sessions from stdin and prints top-5 recommendations after every query —
+// the paper's "online query recommendation phase", served the way
+// production would serve it.
 //
 //   $ ./build/example_recommender_cli                 # interactive
 //   $ printf "first query\nsecond query\n" | ./build/example_recommender_cli
@@ -18,6 +19,14 @@
 //   --compact     publish compact serving snapshots (CSR layout, top-16
 //                 nexts, 16-bit quantized counts) instead of the full
 //                 model — the small-footprint serving-only deployment
+//   --save-snapshot PATH
+//                 persist every published rebuild as a compact snapshot
+//                 blob at PATH (atomic tmp+rename; the dictionary lands at
+//                 PATH.dict) — the artifact other replicas cold-boot from
+//   --load-snapshot PATH
+//                 skip training entirely: mmap the blob at PATH (and read
+//                 PATH.dict), publish it and serve. Boot is O(file size)
+//                 page-ins — bench/coldstart measures the speedup
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
@@ -27,15 +36,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/serialization.h"
+#include "core/snapshot_io.h"
 #include "log/data_reduction.h"
 #include "log/session_aggregator.h"
 #include "log/session_segmenter.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
 #include "synth/log_synthesizer.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -46,11 +59,17 @@ struct CliOptions {
   size_t batch = 1;
   bool tail = false;
   bool compact = false;
+  std::string save_snapshot;
+  std::string load_snapshot;
 };
 
 [[noreturn]] void Usage() {
   std::cerr << "usage: recommender_cli [--threads N] [--batch N] [--tail] "
-               "[--compact]\n";
+               "[--compact]\n"
+               "                       [--save-snapshot PATH | "
+               "--load-snapshot PATH]\n"
+               "(--load-snapshot serves a persisted blob and is "
+               "incompatible with --tail/--save-snapshot)\n";
   std::exit(2);
 }
 
@@ -76,9 +95,17 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.threads = ParseCount(argv[++i], 64);
     } else if (arg == "--batch" && i + 1 < argc) {
       options.batch = ParseCount(argv[++i], 1 << 16);
+    } else if (arg == "--save-snapshot" && i + 1 < argc) {
+      options.save_snapshot = argv[++i];
+    } else if (arg == "--load-snapshot" && i + 1 < argc) {
+      options.load_snapshot = argv[++i];
     } else {
       Usage();
     }
+  }
+  if (!options.load_snapshot.empty() &&
+      (options.tail || !options.save_snapshot.empty())) {
+    Usage();  // a cold-booted replica has no corpus to retrain or persist
   }
   return options;
 }
@@ -105,54 +132,90 @@ void PrintRecommendation(const QueryDictionary& dictionary,
 int main(int argc, char** argv) {
   const CliOptions cli = ParseArgs(argc, argv);
 
-  std::cerr << "training MVMM on a synthetic corpus..." << std::flush;
-  Vocabulary vocabulary(
-      VocabularyConfig{.num_terms = 1500, .synonym_fraction = 0.3}, 21);
-  TopicModel topics(&vocabulary, TopicModelConfig{}, 22);
-  SynthesizerConfig config;
-  config.num_sessions = 30000;
-  config.num_machines = 1000;
-  LogSynthesizer synthesizer(&topics, config);
-  const SynthCorpus corpus = synthesizer.Synthesize(23, nullptr);
-
   QueryDictionary dictionary;
-  SessionSegmenter segmenter;
-  std::vector<Session> segmented;
-  SQP_CHECK_OK(segmenter.Segment(corpus.records, &dictionary, &segmented));
-  SessionAggregator aggregator;
-  aggregator.Add(segmented);
-  ReductionOptions reduction;
-  reduction.min_frequency_exclusive = 1;
-  std::vector<AggregatedSession> sessions =
-      ReduceSessions(aggregator.Finish(), reduction, nullptr);
-
-  // The serving stack: engine + streaming retrainer owning the corpus.
   RecommenderEngine engine(EngineOptions{.num_threads = cli.threads});
-  RetrainerOptions retrain_options;
-  retrain_options.model.default_max_depth = 5;
-  retrain_options.vocabulary_size = 0;  // grow with live-interned queries
-  retrain_options.poll_interval = std::chrono::milliseconds(50);
-  retrain_options.publish_compact = cli.compact;
-  Retrainer retrainer(&engine, retrain_options);
-  SQP_CHECK_OK(retrainer.Bootstrap(sessions));
-  if (cli.tail) retrainer.Start();
+  std::unique_ptr<Retrainer> retrainer;  // training mode only
+  std::vector<AggregatedSession> example_sessions;
 
-  std::cerr << " done (" << retrainer.corpus_size() << " unique sessions, "
-            << dictionary.size() << " unique queries)\n";
+  if (!cli.load_snapshot.empty()) {
+    // Cold boot: the model comes straight off the persisted blob, no
+    // synthesis, no training.
+    WallTimer timer;
+    SQP_CHECK_OK(
+        LoadDictionary(cli.load_snapshot + ".dict", &dictionary));
+    SQP_CHECK_OK(engine.LoadAndPublish(cli.load_snapshot));
+    const ModelStats stats = engine.CurrentSnapshot()->Stats();
+    std::cerr << "cold-booted model v" << engine.current_version()
+              << " from " << cli.load_snapshot << " in "
+              << timer.ElapsedMillis() << " ms (" << stats.num_states
+              << " states, " << stats.num_entries << " entries, "
+              << dictionary.size() << " dictionary queries)\n";
+  } else {
+    std::cerr << "training MVMM on a synthetic corpus..." << std::flush;
+    Vocabulary vocabulary(
+        VocabularyConfig{.num_terms = 1500, .synonym_fraction = 0.3}, 21);
+    TopicModel topics(&vocabulary, TopicModelConfig{}, 22);
+    SynthesizerConfig config;
+    config.num_sessions = 30000;
+    config.num_machines = 1000;
+    LogSynthesizer synthesizer(&topics, config);
+    const SynthCorpus corpus = synthesizer.Synthesize(23, nullptr);
+
+    SessionSegmenter segmenter;
+    std::vector<Session> segmented;
+    SQP_CHECK_OK(segmenter.Segment(corpus.records, &dictionary, &segmented));
+    SessionAggregator aggregator;
+    aggregator.Add(segmented);
+    ReductionOptions reduction;
+    reduction.min_frequency_exclusive = 1;
+    std::vector<AggregatedSession> sessions =
+        ReduceSessions(aggregator.Finish(), reduction, nullptr);
+    example_sessions.assign(sessions.begin(),
+                            sessions.begin() +
+                                std::min<size_t>(5, sessions.size()));
+
+    // The serving stack: engine + streaming retrainer owning the corpus.
+    RetrainerOptions retrain_options;
+    retrain_options.model.default_max_depth = 5;
+    retrain_options.vocabulary_size = 0;  // grow with live-interned queries
+    retrain_options.poll_interval = std::chrono::milliseconds(50);
+    retrain_options.publish_compact = cli.compact;
+    retrain_options.persist_path = cli.save_snapshot;
+    retrainer = std::make_unique<Retrainer>(&engine, retrain_options);
+    SQP_CHECK_OK(retrainer->Bootstrap(std::move(sessions)));
+    if (!cli.save_snapshot.empty()) {
+      // The dictionary rides along so a cold-booting replica can map ids
+      // back to query strings. (With --tail, later interned queries only
+      // land in future runs' dictionaries — the blob itself is id-based.)
+      SQP_CHECK_OK(
+          SaveDictionary(dictionary, cli.save_snapshot + ".dict"));
+      std::cerr << " wrote snapshot blob to " << cli.save_snapshot
+                << " (+ .dict);" << std::flush;
+    }
+    if (cli.tail) retrainer->Start();
+
+    std::cerr << " done (" << retrainer->corpus_size()
+              << " unique sessions, " << dictionary.size()
+              << " unique queries)\n";
+  }
+
   std::cerr << "serving with " << engine.num_threads()
             << " engine lane(s), batch " << cli.batch
-            << (cli.compact ? ", compact snapshots" : ", full snapshots")
+            << (cli.compact ? ", compact snapshots" : "")
+            << (!cli.load_snapshot.empty() ? ", mmap-booted snapshot" : "")
             << (cli.tail ? ", live retraining on session tails" : "")
             << "\n";
-  if (cli.compact) {
+  if (cli.compact || !cli.load_snapshot.empty()) {
     const ModelStats stats = engine.CurrentSnapshot()->Stats();
-    std::cerr << "compact serving model: " << stats.num_states << " states, "
-              << stats.num_entries << " entries, "
+    std::cerr << "compact serving model: " << stats.num_states
+              << " states, " << stats.num_entries << " entries, "
               << stats.memory_bytes / 1024 << " KiB\n";
   }
-  std::cerr << "example queries you can try:\n";
-  for (size_t i = 0; i < sessions.size() && i < 5; ++i) {
-    std::cerr << "  " << dictionary.Text(sessions[i].queries[0]) << "\n";
+  if (!example_sessions.empty()) {
+    std::cerr << "example queries you can try:\n";
+    for (const AggregatedSession& session : example_sessions) {
+      std::cerr << "  " << dictionary.Text(session.queries[0]) << "\n";
+    }
   }
   std::cerr << "enter queries (empty line = new session, EOF = quit):\n";
 
@@ -173,8 +236,11 @@ int main(int argc, char** argv) {
   const auto report_version = [&] {
     const uint64_t now = engine.current_version();
     if (now != seen_version) {
-      std::cout << "-- model v" << now << " is live (corpus "
-                << retrainer.corpus_size() << " sessions) --\n";
+      std::cout << "-- model v" << now << " is live";
+      if (retrainer != nullptr) {
+        std::cout << " (corpus " << retrainer->corpus_size() << " sessions)";
+      }
+      std::cout << " --\n";
       seen_version = now;
     }
   };
@@ -185,10 +251,10 @@ int main(int argc, char** argv) {
     const std::string normalized = QueryDictionary::Normalize(line);
     if (normalized.empty()) {
       flush_batch();
-      if (cli.tail && context.size() >= 2) {
+      if (cli.tail && retrainer != nullptr && context.size() >= 2) {
         // One completed session enters the stream; the background retrainer
         // will fold it into the next snapshot.
-        retrainer.AppendSessions({AggregatedSession{context, 1}});
+        retrainer->AppendSessions({AggregatedSession{context, 1}});
       }
       context.clear();
       std::cout << "-- new session --\n";
@@ -215,11 +281,11 @@ int main(int argc, char** argv) {
     PrintRecommendation(dictionary, context, rec);
   }
   flush_batch();
-  if (cli.tail) {
+  if (cli.tail && retrainer != nullptr) {
     if (context.size() >= 2) {
-      retrainer.AppendSessions({AggregatedSession{context, 1}});
+      retrainer->AppendSessions({AggregatedSession{context, 1}});
     }
-    retrainer.Stop();
+    retrainer->Stop();
   }
   return 0;
 }

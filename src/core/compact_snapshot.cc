@@ -123,6 +123,22 @@ std::vector<std::vector<uint32_t>> KeptEntries(const ModelSnapshot& full,
 
 }  // namespace
 
+void CompactSnapshot::BindViews() {
+  next_begin_ = own_next_begin_;
+  child_begin_ = own_child_begin_;
+  total_count_ = own_total_count_;
+  start_count_ = own_start_count_;
+  count_shift_ = own_count_shift_;
+  mask16_ = own_mask16_;
+  mask64_ = own_mask64_;
+  next_code_ = own_next_code_;
+  narrow_view_ = NarrowPoolsView{narrow_.next_query, narrow_.edge_query,
+                                 narrow_.edge_child,
+                                 narrow_.root_child_by_query};
+  wide_view_ = WidePoolsView{wide_.next_query, wide_.edge_query,
+                             wide_.edge_child, wide_.root_child_by_query};
+}
+
 std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
     const ModelSnapshot& full, const CompactOptions& options) {
   std::shared_ptr<CompactSnapshot> out(new CompactSnapshot());
@@ -156,15 +172,15 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
       n <= std::numeric_limits<uint16_t>::max() &&
       max_query < std::numeric_limits<uint16_t>::max();
 
-  out->next_begin_.reserve(n + 1);
-  out->child_begin_.reserve(n + 1);
-  out->total_count_.reserve(n);
-  out->start_count_.reserve(n);
-  out->count_shift_.reserve(n);
+  out->own_next_begin_.reserve(n + 1);
+  out->own_child_begin_.reserve(n + 1);
+  out->own_total_count_.reserve(n);
+  out->own_start_count_.reserve(n);
+  out->own_count_shift_.reserve(n);
   if (narrow_masks) {
-    out->mask16_.reserve(n);
+    out->own_mask16_.reserve(n);
   } else {
-    out->mask64_.reserve(n);
+    out->own_mask64_.reserve(n);
   }
 
   const std::vector<std::vector<uint32_t>> kept =
@@ -178,7 +194,7 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
     } else {
       out->wide_.next_query.push_back(query);
     }
-    out->next_code_.push_back(code);
+    out->own_next_code_.push_back(code);
   };
   const auto push_edge = [&](QueryId query, int32_t child) {
     if (out->is_narrow_) {
@@ -192,17 +208,18 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
 
   for (size_t id = 0; id < n; ++id) {
     const Pst::Node& node = nodes[id];
-    out->next_begin_.push_back(static_cast<uint32_t>(out->next_code_.size()));
-    out->child_begin_.push_back(static_cast<uint32_t>(
+    out->own_next_begin_.push_back(
+        static_cast<uint32_t>(out->own_next_code_.size()));
+    out->own_child_begin_.push_back(static_cast<uint32_t>(
         out->is_narrow_ ? out->narrow_.edge_query.size()
                         : out->wide_.edge_query.size()));
-    out->total_count_.push_back(SaturateU32(node.total_count));
-    out->start_count_.push_back(SaturateU32(node.start_count));
+    out->own_total_count_.push_back(SaturateU32(node.total_count));
+    out->own_start_count_.push_back(SaturateU32(node.start_count));
     const Pst::ViewMask mask = pst.mask_of(static_cast<int32_t>(id));
     if (narrow_masks) {
-      out->mask16_.push_back(static_cast<uint16_t>(mask));
+      out->own_mask16_.push_back(static_cast<uint16_t>(mask));
     } else {
-      out->mask64_.push_back(mask);
+      out->own_mask64_.push_back(mask);
     }
 
     // Ancestor-closed top-K truncation (see KeptEntries) over the
@@ -214,7 +231,7 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
     // observed continuations never quantize to probability zero.
     const uint64_t max_count = node.nexts.empty() ? 0 : node.nexts[0].count;
     const uint8_t shift = BlockShift(max_count);
-    out->count_shift_.push_back(shift);
+    out->own_count_shift_.push_back(shift);
     for (uint32_t i : kept[id]) {
       const uint64_t code = node.nexts[i].count >> shift;
       push_entry(node.nexts[i].query,
@@ -225,14 +242,15 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
       push_edge(edge.query, edge.child);
     }
   }
-  out->next_begin_.push_back(static_cast<uint32_t>(out->next_code_.size()));
-  out->child_begin_.push_back(static_cast<uint32_t>(
+  out->own_next_begin_.push_back(
+      static_cast<uint32_t>(out->own_next_code_.size()));
+  out->own_child_begin_.push_back(static_cast<uint32_t>(
       out->is_narrow_ ? out->narrow_.edge_query.size()
                       : out->wide_.edge_query.size()));
 
   // Dense root fan-out, as in the full tree (absent = node 0).
   const auto build_root_index = [&](auto& pools) {
-    const uint32_t root_edges = out->child_begin_[1];
+    const uint32_t root_edges = out->own_child_begin_[1];
     if (root_edges == 0) return;
     const QueryId max_root_query = pools.edge_query[root_edges - 1];
     pools.root_child_by_query.assign(static_cast<size_t>(max_root_query) + 1,
@@ -254,13 +272,14 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
   };
   shrink(out->narrow_);
   shrink(out->wide_);
-  out->next_code_.shrink_to_fit();
+  out->own_next_code_.shrink_to_fit();
+  out->BindViews();
   return out;
 }
 
 template <typename P>
-int32_t CompactSnapshot::FindChildIn(const P& pools, int32_t node,
-                                     QueryId query) const {
+int32_t CompactServingBase::FindChildIn(const P& pools, int32_t node,
+                                        QueryId query) const {
   if (node == 0) {
     if (query >= pools.root_child_by_query.size()) return -1;
     const int32_t child = static_cast<int32_t>(
@@ -278,9 +297,9 @@ int32_t CompactSnapshot::FindChildIn(const P& pools, int32_t node,
 }
 
 template <typename P>
-size_t CompactSnapshot::MatchPathIn(const P& pools,
-                                    std::span<const QueryId> context,
-                                    std::vector<int32_t>* path) const {
+size_t CompactServingBase::MatchPathIn(const P& pools,
+                                       std::span<const QueryId> context,
+                                       std::vector<int32_t>* path) const {
   path->clear();
   int32_t cur = 0;
   for (size_t back = 0; back < context.size(); ++back) {
@@ -293,8 +312,8 @@ size_t CompactSnapshot::MatchPathIn(const P& pools,
   return path->size();
 }
 
-double CompactSnapshot::EscapeWeight(int32_t node, size_t dropped,
-                                     size_t component) const {
+double CompactServingBase::EscapeWeight(int32_t node, size_t dropped,
+                                        size_t component) const {
   if (dropped == 0) return 1.0;
   const double default_escape = component_escape_[component];
   double escape = 1.0;
@@ -313,10 +332,9 @@ double CompactSnapshot::EscapeWeight(int32_t node, size_t dropped,
 }
 
 template <typename P>
-Recommendation CompactSnapshot::RecommendIn(const P& pools,
-                                            std::span<const QueryId> context,
-                                            size_t top_n,
-                                            SnapshotScratch* scratch) const {
+Recommendation CompactServingBase::RecommendIn(
+    const P& pools, std::span<const QueryId> context, size_t top_n,
+    SnapshotScratch* scratch) const {
   Recommendation rec;
   if (context.empty()) return rec;
 
@@ -386,17 +404,26 @@ Recommendation CompactSnapshot::RecommendIn(const P& pools,
   return rec;
 }
 
-Recommendation CompactSnapshot::Recommend(std::span<const QueryId> context,
-                                          size_t top_n,
-                                          SnapshotScratch* scratch) const {
-  return is_narrow_ ? RecommendIn(narrow_, context, top_n, scratch)
-                    : RecommendIn(wide_, context, top_n, scratch);
+Recommendation CompactServingBase::Recommend(std::span<const QueryId> context,
+                                             size_t top_n,
+                                             SnapshotScratch* scratch) const {
+  return is_narrow_ ? RecommendIn(narrow_view_, context, top_n, scratch)
+                    : RecommendIn(wide_view_, context, top_n, scratch);
 }
 
-bool CompactSnapshot::Covers(std::span<const QueryId> context) const {
+bool CompactServingBase::Covers(std::span<const QueryId> context) const {
   if (context.empty()) return false;
-  return (is_narrow_ ? FindChildIn(narrow_, 0, context.back())
-                     : FindChildIn(wide_, 0, context.back())) >= 0;
+  return (is_narrow_ ? FindChildIn(narrow_view_, 0, context.back())
+                     : FindChildIn(wide_view_, 0, context.back())) >= 0;
+}
+
+uint64_t CompactServingBase::ServingBytes() const {
+  return next_begin_.size_bytes() + child_begin_.size_bytes() +
+         total_count_.size_bytes() + start_count_.size_bytes() +
+         count_shift_.size_bytes() + mask16_.size_bytes() +
+         mask64_.size_bytes() + next_code_.size_bytes() +
+         narrow_view_.flat_bytes() + wide_view_.flat_bytes() +
+         FlatBytes(sigmas_) + FlatBytes(component_escape_);
 }
 
 ModelStats CompactSnapshot::Stats() const {
@@ -404,12 +431,7 @@ ModelStats CompactSnapshot::Stats() const {
   stats.name = "MVMM (compact)";
   stats.num_states = num_nodes();
   stats.num_entries = num_entries();
-  stats.memory_bytes = FlatBytes(next_begin_) + FlatBytes(child_begin_) +
-                       FlatBytes(total_count_) + FlatBytes(start_count_) +
-                       FlatBytes(count_shift_) + FlatBytes(mask16_) +
-                       FlatBytes(mask64_) + FlatBytes(next_code_) +
-                       narrow_.flat_bytes() + wide_.flat_bytes() +
-                       FlatBytes(sigmas_) + FlatBytes(component_escape_);
+  stats.memory_bytes = ServingBytes();
   return stats;
 }
 

@@ -10,6 +10,8 @@
 
 namespace sqp {
 
+class SnapshotIo;  // core/snapshot_io.h: persists / restores the layout
+
 /// Parameters of the compact serving layout.
 struct CompactOptions {
   /// Keep at most this many next-query entries per node (the highest-count
@@ -27,6 +29,111 @@ struct CompactOptions {
   /// (tested; tab07_memory_footprint tracks the exact agreement rate in
   /// BENCH_memory.json).
   size_t top_k = 16;
+};
+
+/// Width-parameterized read-only views of the compact id pools. `QT` holds
+/// query ids, `NT` node ids; the root index uses node id 0 (never a child)
+/// as its absent sentinel.
+template <typename QT, typename NT>
+struct CompactPoolsView {
+  std::span<const QT> next_query;
+  std::span<const QT> edge_query;
+  std::span<const NT> edge_child;
+  /// Dense root fan-out index: query id -> depth-1 node, 0 if absent.
+  std::span<const NT> root_child_by_query;
+
+  uint64_t flat_bytes() const {
+    return next_query.size_bytes() + edge_query.size_bytes() +
+           edge_child.size_bytes() + root_child_by_query.size_bytes();
+  }
+};
+
+/// The compact-layout serving algorithm, factored over *views* of the CSR
+/// arrays so one implementation serves both storage variants:
+///
+///  - CompactSnapshot owns the arrays as vectors (built in memory from a
+///    trained ModelSnapshot);
+///  - MappedCompactSnapshot (core/snapshot_io.h) points the same spans at
+///    a memory-mapped blob — a serving replica boots zero-copy.
+///
+/// Derived classes own the referenced storage and must keep it alive and
+/// byte-stable for their whole lifetime; the mixture state (sigmas,
+/// per-component escapes) is small and always owned here. The serving
+/// arithmetic is identical through either storage, so a mapped replica is
+/// bit-for-bit the snapshot it was written from.
+class CompactServingBase : public ServingSnapshot {
+ public:
+  /// Mixture recommendation over the CSR tree; the same walk and Eq. 4/5
+  /// ranking as ModelSnapshot::Recommend, off the quantized counts.
+  Recommendation Recommend(std::span<const QueryId> context, size_t top_n,
+                           SnapshotScratch* scratch) const override;
+
+  bool Covers(std::span<const QueryId> context) const override;
+
+  size_t num_nodes() const { return total_count_.size(); }
+  uint64_t num_entries() const { return next_code_.size(); }
+  uint64_t num_edges() const {
+    return is_narrow_ ? narrow_view_.edge_query.size()
+                      : wide_view_.edge_query.size();
+  }
+  const CompactOptions& options() const { return options_; }
+  const std::vector<double>& sigmas() const { return sigmas_; }
+
+ protected:
+  CompactServingBase() = default;
+
+  using NarrowPoolsView = CompactPoolsView<uint16_t, uint16_t>;
+  using WidePoolsView = CompactPoolsView<uint32_t, uint32_t>;
+
+  /// EscapeMass (Eq. 5-6) off the stored start/total counts.
+  double EscapeWeight(int32_t node, size_t dropped, size_t component) const;
+
+  Pst::ViewMask mask_of(size_t node) const {
+    return mask64_.empty() ? Pst::ViewMask{mask16_[node]} : mask64_[node];
+  }
+
+  /// Child of `node` along `query` in the CSR edge pool, or -1.
+  template <typename P>
+  int32_t FindChildIn(const P& pools, int32_t node, QueryId query) const;
+  /// Longest-suffix walk recording the matched chain (as Pst::MatchPath).
+  template <typename P>
+  size_t MatchPathIn(const P& pools, std::span<const QueryId> context,
+                     std::vector<int32_t>* path) const;
+  template <typename P>
+  Recommendation RecommendIn(const P& pools, std::span<const QueryId> context,
+                             size_t top_n, SnapshotScratch* scratch) const;
+
+  /// Exact bytes of the referenced arrays plus the owned mixture state —
+  /// the shared ModelStats::memory_bytes math of both storage variants.
+  uint64_t ServingBytes() const;
+
+  CompactOptions options_;
+
+  // Mixture state (always owned; a handful of doubles per component).
+  MixtureWeighting weighting_ = MixtureWeighting::kGaussianEditDistance;
+  std::vector<double> sigmas_;
+  std::vector<double> component_escape_;  // default_escape per component
+
+  // Views of the node arrays (see the layout diagram on CompactSnapshot).
+  std::span<const uint32_t> next_begin_;   // size num_nodes + 1
+  std::span<const uint32_t> child_begin_;  // size num_nodes + 1
+  std::span<const uint32_t> total_count_;
+  std::span<const uint32_t> start_count_;
+  std::span<const uint8_t> count_shift_;
+  /// Exactly one of the two mask views is populated: the narrow one when
+  /// every component bit fits 16 bits (the default 11-component model),
+  /// the wide one otherwise.
+  std::span<const uint16_t> mask16_;
+  std::span<const Pst::ViewMask> mask64_;
+
+  /// Exactly one of the two pool view sets is populated (see the layout
+  /// note on adaptive id widths).
+  NarrowPoolsView narrow_view_;
+  WidePoolsView wide_view_;
+  bool is_narrow_ = false;
+
+  /// Quantized count codes, parallel to the active pools' next_query.
+  std::span<const uint16_t> next_code_;
 };
 
 /// A serving-only MVMM variant re-packed for footprint: the shared
@@ -75,7 +182,12 @@ struct CompactOptions {
 /// readers cannot tell which variant answered beyond the truncation.
 /// Serving-only: ConditionalProb / MixtureWeights / retraining stay on the
 /// full ModelSnapshot, which keeps exact counts.
-class CompactSnapshot final : public ServingSnapshot {
+///
+/// The layout is also the unit of persistence: core/snapshot_io writes it
+/// to a versioned memory-mappable blob and restores it either by copy
+/// (back into this class) or zero-copy (MappedCompactSnapshot over the
+/// mapped file).
+class CompactSnapshot final : public CompactServingBase {
  public:
   /// Packs `full` into the compact layout. The result carries the same
   /// version tag and serves the same recommendations up to ancestor-closed
@@ -83,89 +195,43 @@ class CompactSnapshot final : public ServingSnapshot {
   static std::shared_ptr<const CompactSnapshot> FromSnapshot(
       const ModelSnapshot& full, const CompactOptions& options = {});
 
-  /// Mixture recommendation over the CSR tree; the same walk and Eq. 4/5
-  /// ranking as ModelSnapshot::Recommend, off the quantized counts.
-  Recommendation Recommend(std::span<const QueryId> context, size_t top_n,
-                           SnapshotScratch* scratch) const override;
-
-  bool Covers(std::span<const QueryId> context) const override;
-
   /// Exact resident bytes of the flat arrays (Table VII scale, via
   /// core/memory_accounting.h).
   ModelStats Stats() const override;
 
-  size_t num_nodes() const { return total_count_.size(); }
-  uint64_t num_entries() const { return next_code_.size(); }
-  const CompactOptions& options() const { return options_; }
-  const std::vector<double>& sigmas() const { return sigmas_; }
-
  private:
+  friend class SnapshotIo;  // (de)serializes the owned arrays verbatim
+
   CompactSnapshot() = default;
 
-  /// EscapeMass (Eq. 5-6) off the stored start/total counts.
-  double EscapeWeight(int32_t node, size_t dropped, size_t component) const;
+  /// Points the base-class serving views at the owned vectors. Must be
+  /// called after every vector reached its final size/address (the views
+  /// hold raw pointers into the vector storage).
+  void BindViews();
 
-  Pst::ViewMask mask_of(size_t node) const {
-    return mask64_.empty() ? Pst::ViewMask{mask16_[node]} : mask64_[node];
-  }
-
-  /// Width-parameterized id pools. `QT` holds query ids, `NT` node ids;
-  /// the root index uses node id 0 (never a child) as its absent sentinel.
+  /// Width-parameterized owned id pools, mirroring CompactPoolsView.
   template <typename QT, typename NT>
   struct Pools {
     std::vector<QT> next_query;
     std::vector<QT> edge_query;
     std::vector<NT> edge_child;
-    /// Dense root fan-out index: query id -> depth-1 node, 0 if absent.
     std::vector<NT> root_child_by_query;
-
-    uint64_t flat_bytes() const {
-      return next_query.size() * sizeof(QT) + edge_query.size() * sizeof(QT) +
-             edge_child.size() * sizeof(NT) +
-             root_child_by_query.size() * sizeof(NT);
-    }
   };
   using NarrowPools = Pools<uint16_t, uint16_t>;
   using WidePools = Pools<uint32_t, uint32_t>;
 
-  /// Child of `node` along `query` in the CSR edge pool, or -1.
-  template <typename P>
-  int32_t FindChildIn(const P& pools, int32_t node, QueryId query) const;
-  /// Longest-suffix walk recording the matched chain (as Pst::MatchPath).
-  template <typename P>
-  size_t MatchPathIn(const P& pools, std::span<const QueryId> context,
-                     std::vector<int32_t>* path) const;
-  template <typename P>
-  Recommendation RecommendIn(const P& pools, std::span<const QueryId> context,
-                             size_t top_n, SnapshotScratch* scratch) const;
-
-  CompactOptions options_;
-
-  // Node arrays (see the layout diagram above).
-  std::vector<uint32_t> next_begin_;   // size num_nodes + 1
-  std::vector<uint32_t> child_begin_;  // size num_nodes + 1
-  std::vector<uint32_t> total_count_;
-  std::vector<uint32_t> start_count_;
-  std::vector<uint8_t> count_shift_;
-  /// Exactly one of the two mask arrays is populated: the narrow one when
-  /// every component bit fits 16 bits (the default 11-component model),
-  /// the wide one otherwise.
-  std::vector<uint16_t> mask16_;
-  std::vector<Pst::ViewMask> mask64_;
-
-  /// Exactly one of the two pool sets is populated (see the layout note on
-  /// adaptive id widths).
+  // Owned storage behind the base-class views (same layout, same names
+  // minus the own_ prefix).
+  std::vector<uint32_t> own_next_begin_;
+  std::vector<uint32_t> own_child_begin_;
+  std::vector<uint32_t> own_total_count_;
+  std::vector<uint32_t> own_start_count_;
+  std::vector<uint8_t> own_count_shift_;
+  std::vector<uint16_t> own_mask16_;
+  std::vector<Pst::ViewMask> own_mask64_;
   NarrowPools narrow_;
   WidePools wide_;
-  bool is_narrow_ = false;
-
-  /// Quantized count codes, parallel to the active pools' next_query.
-  std::vector<uint16_t> next_code_;
-
-  // Mixture state copied from the full snapshot.
-  MixtureWeighting weighting_ = MixtureWeighting::kGaussianEditDistance;
-  std::vector<double> sigmas_;
-  std::vector<double> component_escape_;  // default_escape per component
+  std::vector<uint16_t> own_next_code_;
 };
 
 }  // namespace sqp

@@ -5,63 +5,16 @@
 #include <system_error>
 #include <fstream>
 
+#include "util/byte_io.h"
 #include "util/string_util.h"
 
 namespace sqp {
 namespace {
 
+// Field-level I/O goes through util/byte_io.h (little-endian on disk,
+// truncation-safe reads) — the same helpers core/snapshot_io.cc uses, so
+// the repo has exactly one byte-order convention.
 constexpr char kVmmMagic[8] = {'S', 'Q', 'P', 'V', 'M', 'M', '0', '1'};
-
-class BinaryWriter {
- public:
-  explicit BinaryWriter(std::ofstream* out) : out_(out) {}
-
-  void U8(uint8_t v) { out_->write(reinterpret_cast<const char*>(&v), 1); }
-  void U32(uint32_t v) {
-    out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
-  void U64(uint64_t v) {
-    out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
-  void I32(int32_t v) {
-    out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
-  void F64(double v) {
-    out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
-  }
-  bool good() const { return out_->good(); }
-
- private:
-  std::ofstream* out_;
-};
-
-class BinaryReader {
- public:
-  explicit BinaryReader(std::ifstream* in) : in_(in) {}
-
-  bool U8(uint8_t* v) {
-    return static_cast<bool>(in_->read(reinterpret_cast<char*>(v), 1));
-  }
-  bool U32(uint32_t* v) {
-    return static_cast<bool>(
-        in_->read(reinterpret_cast<char*>(v), sizeof(*v)));
-  }
-  bool U64(uint64_t* v) {
-    return static_cast<bool>(
-        in_->read(reinterpret_cast<char*>(v), sizeof(*v)));
-  }
-  bool I32(int32_t* v) {
-    return static_cast<bool>(
-        in_->read(reinterpret_cast<char*>(v), sizeof(*v)));
-  }
-  bool F64(double* v) {
-    return static_cast<bool>(
-        in_->read(reinterpret_cast<char*>(v), sizeof(*v)));
-  }
-
- private:
-  std::ifstream* in_;
-};
 
 }  // namespace
 
@@ -72,7 +25,7 @@ Status SaveVmmModel(const VmmModel& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return Status::IOError("cannot open " + path);
   out.write(kVmmMagic, sizeof(kVmmMagic));
-  BinaryWriter w(&out);
+  ByteWriter w(&out);
   w.F64(model.options_.epsilon);
   w.U64(model.options_.max_depth);
   w.U64(model.options_.min_support);
@@ -116,7 +69,7 @@ Status LoadVmmModel(const std::string& path, VmmModel* model) {
       std::memcmp(magic, kVmmMagic, sizeof(magic)) != 0) {
     return Status::InvalidArgument("bad VMM file magic: " + path);
   }
-  BinaryReader r(&in);
+  ByteReader r(&in);
   VmmOptions options;
   uint64_t max_depth = 0;
   uint64_t vocab = 0;

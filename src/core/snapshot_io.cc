@@ -1,0 +1,713 @@
+#include "core/snapshot_io.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+#include "util/byte_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SQP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sqp {
+namespace {
+
+// ----------------------------------------------------------- blob layout
+
+constexpr size_t kHeaderSize = 64;
+constexpr size_t kSectionRowSize = 24;  // id u32, crc u32, offset u64, size u64
+constexpr size_t kSectionAlignment = 64;
+constexpr size_t kMetaSize = 64;
+constexpr uint32_t kMaxSections = 64;
+
+/// Section ids. The writer emits every id below in this order; readers
+/// locate sections by id, so future versions may append new ids without
+/// renumbering (a format-version bump is needed only for incompatible
+/// changes to existing sections).
+enum SectionId : uint32_t {
+  kSecMeta = 1,
+  kSecSigmas = 2,
+  kSecComponentEscape = 3,
+  kSecNextBegin = 4,
+  kSecChildBegin = 5,
+  kSecTotalCount = 6,
+  kSecStartCount = 7,
+  kSecCountShift = 8,
+  kSecMask16 = 9,
+  kSecMask64 = 10,
+  kSecNextQuery = 11,
+  kSecNextCode = 12,
+  kSecEdgeQuery = 13,
+  kSecEdgeChild = 14,
+  kSecRootIndex = 15,
+};
+
+/// META section flags.
+constexpr uint32_t kFlagNarrowIds = 1u << 0;
+constexpr uint32_t kFlagNarrowMasks = 1u << 1;
+
+size_t AlignUp(size_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+/// One array materialized in on-disk (little-endian) byte order. On LE
+/// hosts this is a straight memcpy of the vector storage.
+template <typename T>
+std::vector<uint8_t> ToDiskBytes(std::span<const T> values) {
+  std::vector<uint8_t> out(values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), values.size_bytes());
+    if constexpr (!HostIsLittleEndian()) {
+      ByteSwapInPlace(std::span<T>(reinterpret_cast<T*>(out.data()),
+                                   values.size()));
+    }
+  }
+  return out;
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + ": " + path);
+}
+
+Status Corrupt(const std::string& what, const std::string& path) {
+  return Status::InvalidArgument("corrupt snapshot blob (" + what +
+                                 "): " + path);
+}
+
+// -------------------------------------------------------------- parsing
+
+struct ParsedSection {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  bool present = false;
+};
+
+/// The decoded blob: META fields plus raw byte spans into the blob for
+/// every bulk array. Spans alias the blob buffer — the buffer must outlive
+/// any use of them.
+struct ParsedBlob {
+  uint64_t snapshot_version = 0;
+  MixtureWeighting weighting = MixtureWeighting::kGaussianEditDistance;
+  bool narrow_ids = false;
+  bool narrow_masks = false;
+  uint64_t top_k = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_entries = 0;
+  uint64_t num_edges = 0;
+  uint64_t root_index_size = 0;
+  uint32_t num_components = 0;
+  std::vector<double> sigmas;
+  std::vector<double> component_escape;
+
+  std::span<const uint8_t> next_begin, child_begin, total_count, start_count,
+      count_shift, mask16, mask64, next_query, next_code, edge_query,
+      edge_child, root_index;
+};
+
+/// Reinterprets a section's bytes as a fixed-width array. Sections start
+/// 64-byte aligned (validated), so the cast is naturally aligned for every
+/// element type the format uses.
+template <typename T>
+std::span<const T> TypedSpan(std::span<const uint8_t> bytes) {
+  return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+
+/// Header + section-table + META validation and decoding. Every length and
+/// offset is checked against the actual blob size before any section byte
+/// is touched: corrupt or truncated input yields a Status, never a read
+/// past the buffer.
+Status ParseBlob(std::span<const uint8_t> blob, const std::string& path,
+                 const SnapshotLoadOptions& options, ParsedBlob* out) {
+  if (blob.size() < kHeaderSize) {
+    return Corrupt("shorter than the file header", path);
+  }
+  if (std::memcmp(blob.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt("bad magic", path);
+  }
+  const uint32_t header_crc = LoadLE32(blob.data() + 60);
+  if (header_crc != Crc32(blob.data(), 60)) {
+    return Corrupt("header checksum mismatch", path);
+  }
+  const uint32_t format_version = LoadLE32(blob.data() + 8);
+  if (format_version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(format_version) + " (this build reads " +
+        std::to_string(kSnapshotFormatVersion) + "): " + path);
+  }
+  const uint32_t section_count = LoadLE32(blob.data() + 12);
+  const uint64_t file_size = LoadLE64(blob.data() + 16);
+  const uint32_t table_crc = LoadLE32(blob.data() + 24);
+  if (file_size != blob.size()) {
+    return Corrupt("file size mismatch (truncated or padded)", path);
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Corrupt("implausible section count", path);
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(section_count) * kSectionRowSize;
+  if (kHeaderSize + table_bytes > blob.size()) {
+    return Corrupt("section table past end of file", path);
+  }
+  if (table_crc !=
+      Crc32(blob.data() + kHeaderSize, static_cast<size_t>(table_bytes))) {
+    return Corrupt("section table checksum mismatch", path);
+  }
+
+  ParsedSection sections[kMaxSections + 1];
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint8_t* row = blob.data() + kHeaderSize + i * kSectionRowSize;
+    const uint32_t id = LoadLE32(row);
+    const uint32_t crc = LoadLE32(row + 4);
+    const uint64_t offset = LoadLE64(row + 8);
+    const uint64_t size = LoadLE64(row + 16);
+    if (id == 0 || id > kMaxSections) continue;  // unknown ids are skipped
+    if (sections[id].present) return Corrupt("duplicate section", path);
+    if (offset % kSectionAlignment != 0) {
+      return Corrupt("misaligned section", path);
+    }
+    if (offset > blob.size() || size > blob.size() - offset) {
+      return Corrupt("section past end of file", path);
+    }
+    sections[id] = ParsedSection{offset, size, crc, true};
+  }
+
+  const auto section_bytes = [&](SectionId id) -> std::span<const uint8_t> {
+    return blob.subspan(static_cast<size_t>(sections[id].offset),
+                        static_cast<size_t>(sections[id].size));
+  };
+  for (const SectionId id :
+       {kSecMeta, kSecSigmas, kSecComponentEscape, kSecNextBegin,
+        kSecChildBegin, kSecTotalCount, kSecStartCount, kSecCountShift,
+        kSecMask16, kSecMask64, kSecNextQuery, kSecNextCode, kSecEdgeQuery,
+        kSecEdgeChild, kSecRootIndex}) {
+    if (!sections[id].present) {
+      return Corrupt("missing section " + std::to_string(id), path);
+    }
+    if (options.verify_checksums) {
+      const std::span<const uint8_t> bytes = section_bytes(id);
+      if (sections[id].crc != Crc32(bytes.data(), bytes.size())) {
+        return Corrupt("section " + std::to_string(id) + " checksum mismatch",
+                       path);
+      }
+    }
+  }
+
+  // META: fixed-size field block.
+  const std::span<const uint8_t> meta = section_bytes(kSecMeta);
+  if (meta.size() != kMetaSize) return Corrupt("META size", path);
+  out->snapshot_version = LoadLE64(meta.data());
+  const uint32_t weighting = LoadLE32(meta.data() + 8);
+  const uint32_t flags = LoadLE32(meta.data() + 12);
+  out->top_k = LoadLE64(meta.data() + 16);
+  out->num_nodes = LoadLE64(meta.data() + 24);
+  out->num_entries = LoadLE64(meta.data() + 32);
+  out->num_edges = LoadLE64(meta.data() + 40);
+  out->root_index_size = LoadLE64(meta.data() + 48);
+  out->num_components = LoadLE32(meta.data() + 56);
+  if (weighting > static_cast<uint32_t>(MixtureWeighting::kLongestMatch)) {
+    return Corrupt("unknown weighting scheme", path);
+  }
+  out->weighting = static_cast<MixtureWeighting>(weighting);
+  out->narrow_ids = (flags & kFlagNarrowIds) != 0;
+  out->narrow_masks = (flags & kFlagNarrowMasks) != 0;
+
+  if (out->num_nodes == 0 ||
+      out->num_nodes > static_cast<uint64_t>(
+                           std::numeric_limits<int32_t>::max())) {
+    return Corrupt("implausible node count", path);
+  }
+  if (out->num_entries > std::numeric_limits<uint32_t>::max() ||
+      out->num_edges > std::numeric_limits<uint32_t>::max()) {
+    return Corrupt("entry/edge count exceeds CSR offset width", path);
+  }
+  if (out->num_components == 0 || out->num_components > Pst::kMaxViews) {
+    return Corrupt("implausible component count", path);
+  }
+  if (out->num_components > 16 && out->narrow_masks) {
+    return Corrupt("narrow masks with more than 16 components", path);
+  }
+  if (out->narrow_ids && out->num_nodes > 0xffff) {
+    return Corrupt("narrow ids with more than 65535 nodes", path);
+  }
+
+  // Every section size must match the META element counts exactly.
+  const uint64_t id_width = out->narrow_ids ? 2 : 4;
+  const auto expect_size = [&](SectionId id, uint64_t bytes) -> Status {
+    if (sections[id].size != bytes) {
+      return Corrupt("section " + std::to_string(id) + " size mismatch",
+                     path);
+    }
+    return Status::OK();
+  };
+  SQP_RETURN_IF_ERROR(
+      expect_size(kSecSigmas, uint64_t{8} * out->num_components));
+  SQP_RETURN_IF_ERROR(
+      expect_size(kSecComponentEscape, uint64_t{8} * out->num_components));
+  SQP_RETURN_IF_ERROR(expect_size(kSecNextBegin, 4 * (out->num_nodes + 1)));
+  SQP_RETURN_IF_ERROR(expect_size(kSecChildBegin, 4 * (out->num_nodes + 1)));
+  SQP_RETURN_IF_ERROR(expect_size(kSecTotalCount, 4 * out->num_nodes));
+  SQP_RETURN_IF_ERROR(expect_size(kSecStartCount, 4 * out->num_nodes));
+  SQP_RETURN_IF_ERROR(expect_size(kSecCountShift, out->num_nodes));
+  SQP_RETURN_IF_ERROR(
+      expect_size(kSecMask16, out->narrow_masks ? 2 * out->num_nodes : 0));
+  SQP_RETURN_IF_ERROR(
+      expect_size(kSecMask64, out->narrow_masks ? 0 : 8 * out->num_nodes));
+  SQP_RETURN_IF_ERROR(
+      expect_size(kSecNextQuery, id_width * out->num_entries));
+  SQP_RETURN_IF_ERROR(expect_size(kSecNextCode, 2 * out->num_entries));
+  SQP_RETURN_IF_ERROR(expect_size(kSecEdgeQuery, id_width * out->num_edges));
+  SQP_RETURN_IF_ERROR(expect_size(kSecEdgeChild, id_width * out->num_edges));
+  SQP_RETURN_IF_ERROR(
+      expect_size(kSecRootIndex, id_width * out->root_index_size));
+
+  // Mixture arrays are always decoded into owned storage (a handful of
+  // doubles), so the endian conversion below covers them on any host.
+  const std::span<const uint8_t> sigma_bytes = section_bytes(kSecSigmas);
+  const std::span<const uint8_t> escape_bytes =
+      section_bytes(kSecComponentEscape);
+  out->sigmas.resize(out->num_components);
+  out->component_escape.resize(out->num_components);
+  for (uint32_t c = 0; c < out->num_components; ++c) {
+    out->sigmas[c] =
+        std::bit_cast<double>(LoadLE64(sigma_bytes.data() + 8 * c));
+    out->component_escape[c] =
+        std::bit_cast<double>(LoadLE64(escape_bytes.data() + 8 * c));
+  }
+
+  out->next_begin = section_bytes(kSecNextBegin);
+  out->child_begin = section_bytes(kSecChildBegin);
+  out->total_count = section_bytes(kSecTotalCount);
+  out->start_count = section_bytes(kSecStartCount);
+  out->count_shift = section_bytes(kSecCountShift);
+  out->mask16 = section_bytes(kSecMask16);
+  out->mask64 = section_bytes(kSecMask64);
+  out->next_query = section_bytes(kSecNextQuery);
+  out->next_code = section_bytes(kSecNextCode);
+  out->edge_query = section_bytes(kSecEdgeQuery);
+  out->edge_child = section_bytes(kSecEdgeChild);
+  out->root_index = section_bytes(kSecRootIndex);
+  return Status::OK();
+}
+
+/// Structural invariants the serving walk relies on, checked over the
+/// decoded (host-order) arrays so a validated blob can never push the walk
+/// out of bounds: CSR offsets nondecreasing with the META totals as final
+/// values, child/root ids inside the node table, per-node edge queries
+/// strictly ascending (FindChildIn binary-searches them).
+template <typename QT, typename NT>
+Status ValidateStructure(std::span<const uint32_t> next_begin,
+                         std::span<const uint32_t> child_begin,
+                         std::span<const QT> edge_query,
+                         std::span<const NT> edge_child,
+                         std::span<const NT> root_index, uint64_t num_nodes,
+                         uint64_t num_entries, uint64_t num_edges,
+                         const std::string& path) {
+  if (next_begin[0] != 0 || child_begin[0] != 0) {
+    return Corrupt("CSR offsets must start at 0", path);
+  }
+  if (next_begin[num_nodes] != num_entries ||
+      child_begin[num_nodes] != num_edges) {
+    return Corrupt("CSR terminal offset mismatch", path);
+  }
+  // Offsets first, edges second: full monotonicity (plus the terminal
+  // values above) bounds every CSR slice, so the edge walk below cannot
+  // index past the pools even on input where only a later offset is bad.
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    if (next_begin[i] > next_begin[i + 1] ||
+        child_begin[i] > child_begin[i + 1]) {
+      return Corrupt("CSR offsets not monotone", path);
+    }
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    for (uint32_t e = child_begin[i]; e < child_begin[i + 1]; ++e) {
+      if (e + 1 < child_begin[i + 1] &&
+          edge_query[e] >= edge_query[e + 1]) {
+        return Corrupt("edge queries not strictly ascending", path);
+      }
+      const uint64_t child = edge_child[e];
+      if (child == 0 || child >= num_nodes) {
+        return Corrupt("edge child id out of range", path);
+      }
+    }
+  }
+  for (const NT child : root_index) {
+    if (static_cast<uint64_t>(child) >= num_nodes) {
+      return Corrupt("root index id out of range", path);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateParsed(const ParsedBlob& parsed, const std::string& path) {
+  const auto next_begin = TypedSpan<uint32_t>(parsed.next_begin);
+  const auto child_begin = TypedSpan<uint32_t>(parsed.child_begin);
+  for (const uint8_t shift : TypedSpan<uint8_t>(parsed.count_shift)) {
+    if (shift >= 64) return Corrupt("count shift out of range", path);
+  }
+  if (parsed.narrow_ids) {
+    return ValidateStructure(next_begin, child_begin,
+                             TypedSpan<uint16_t>(parsed.edge_query),
+                             TypedSpan<uint16_t>(parsed.edge_child),
+                             TypedSpan<uint16_t>(parsed.root_index),
+                             parsed.num_nodes, parsed.num_entries,
+                             parsed.num_edges, path);
+  }
+  return ValidateStructure(next_begin, child_begin,
+                           TypedSpan<uint32_t>(parsed.edge_query),
+                           TypedSpan<uint32_t>(parsed.edge_child),
+                           TypedSpan<uint32_t>(parsed.root_index),
+                           parsed.num_nodes, parsed.num_entries,
+                           parsed.num_edges, path);
+}
+
+Status ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return IoError("cannot open", path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return IoError("cannot stat", path);
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return IoError("short read", path);
+  }
+  return Status::OK();
+}
+
+/// Copies one section's bytes into an owned host-order vector.
+template <typename T>
+void CopyArray(std::span<const uint8_t> bytes, std::vector<T>* out) {
+  out->resize(bytes.size() / sizeof(T));
+  if (!out->empty()) {
+    std::memcpy(out->data(), bytes.data(), bytes.size());
+    if constexpr (!HostIsLittleEndian()) {
+      ByteSwapInPlace(std::span<T>(*out));
+    }
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- save
+
+Status SnapshotIo::Save(const CompactSnapshot& snapshot,
+                        const std::string& path) {
+  // Materialize every section in on-disk byte order. The compact arrays
+  // are at most a few MB — building the blob in memory keeps the offsets,
+  // checksums and the atomic rename trivial.
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> sections;
+
+  std::vector<uint8_t> meta(kMetaSize, 0);
+  StoreLE64(meta.data(), snapshot.version());
+  StoreLE32(meta.data() + 8, static_cast<uint32_t>(snapshot.weighting_));
+  const bool narrow_masks = snapshot.mask64_.empty();
+  uint32_t flags = 0;
+  if (snapshot.is_narrow_) flags |= kFlagNarrowIds;
+  if (narrow_masks) flags |= kFlagNarrowMasks;
+  StoreLE32(meta.data() + 12, flags);
+  StoreLE64(meta.data() + 16, snapshot.options_.top_k);
+  StoreLE64(meta.data() + 24, snapshot.num_nodes());
+  StoreLE64(meta.data() + 32, snapshot.num_entries());
+  StoreLE64(meta.data() + 40, snapshot.num_edges());
+  const uint64_t root_index_size =
+      snapshot.is_narrow_ ? snapshot.narrow_.root_child_by_query.size()
+                          : snapshot.wide_.root_child_by_query.size();
+  StoreLE64(meta.data() + 48, root_index_size);
+  StoreLE32(meta.data() + 56, static_cast<uint32_t>(snapshot.sigmas_.size()));
+  sections.emplace_back(kSecMeta, std::move(meta));
+
+  const auto push = [&sections](SectionId id, auto span) {
+    sections.emplace_back(id, ToDiskBytes(span));
+  };
+  push(kSecSigmas, std::span<const double>(snapshot.sigmas_));
+  push(kSecComponentEscape,
+       std::span<const double>(snapshot.component_escape_));
+  push(kSecNextBegin, std::span<const uint32_t>(snapshot.own_next_begin_));
+  push(kSecChildBegin, std::span<const uint32_t>(snapshot.own_child_begin_));
+  push(kSecTotalCount, std::span<const uint32_t>(snapshot.own_total_count_));
+  push(kSecStartCount, std::span<const uint32_t>(snapshot.own_start_count_));
+  push(kSecCountShift, std::span<const uint8_t>(snapshot.own_count_shift_));
+  push(kSecMask16, std::span<const uint16_t>(snapshot.own_mask16_));
+  push(kSecMask64, std::span<const Pst::ViewMask>(snapshot.own_mask64_));
+  if (snapshot.is_narrow_) {
+    push(kSecNextQuery,
+         std::span<const uint16_t>(snapshot.narrow_.next_query));
+    push(kSecEdgeQuery,
+         std::span<const uint16_t>(snapshot.narrow_.edge_query));
+    push(kSecEdgeChild,
+         std::span<const uint16_t>(snapshot.narrow_.edge_child));
+    push(kSecRootIndex,
+         std::span<const uint16_t>(snapshot.narrow_.root_child_by_query));
+  } else {
+    push(kSecNextQuery, std::span<const uint32_t>(snapshot.wide_.next_query));
+    push(kSecEdgeQuery, std::span<const uint32_t>(snapshot.wide_.edge_query));
+    push(kSecEdgeChild, std::span<const uint32_t>(snapshot.wide_.edge_child));
+    push(kSecRootIndex,
+         std::span<const uint32_t>(snapshot.wide_.root_child_by_query));
+  }
+  push(kSecNextCode, std::span<const uint16_t>(snapshot.own_next_code_));
+
+  // Lay the sections out 64-byte aligned after the table, then assemble.
+  const size_t table_bytes = sections.size() * kSectionRowSize;
+  size_t cursor = AlignUp(kHeaderSize + table_bytes);
+  std::vector<std::tuple<uint32_t, uint64_t, uint64_t, uint32_t>> rows;
+  rows.reserve(sections.size());
+  for (const auto& [id, bytes] : sections) {
+    rows.emplace_back(id, cursor, bytes.size(),
+                      Crc32(bytes.data(), bytes.size()));
+    cursor = AlignUp(cursor + bytes.size());
+  }
+  const uint64_t file_size = cursor;
+
+  std::vector<uint8_t> blob(static_cast<size_t>(file_size), 0);
+  std::memcpy(blob.data(), kSnapshotMagic, sizeof(kSnapshotMagic));
+  StoreLE32(blob.data() + 8, kSnapshotFormatVersion);
+  StoreLE32(blob.data() + 12, static_cast<uint32_t>(sections.size()));
+  StoreLE64(blob.data() + 16, file_size);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    uint8_t* row = blob.data() + kHeaderSize + i * kSectionRowSize;
+    const auto& [id, offset, size, crc] = rows[i];
+    StoreLE32(row, id);
+    StoreLE32(row + 4, crc);
+    StoreLE64(row + 8, offset);
+    StoreLE64(row + 16, size);
+    if (size > 0) {
+      std::memcpy(blob.data() + offset, sections[i].second.data(),
+                  static_cast<size_t>(size));
+    }
+  }
+  StoreLE32(blob.data() + 24,
+            Crc32(blob.data() + kHeaderSize, table_bytes));
+  StoreLE32(blob.data() + 60, Crc32(blob.data(), 60));
+
+  // Atomic publish: a complete, durably flushed write to a sibling tmp
+  // file, then one rename. Readers (and crashed writers) never see a
+  // partial blob, and — because the data is fsync'ed before the rename —
+  // a crash right after publishing cannot replace a previously good blob
+  // with unflushed pages.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return IoError("cannot open", tmp_path);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return IoError("write failed", tmp_path);
+    }
+  }
+#ifdef SQP_HAVE_MMAP  // same platforms that have POSIX fds
+  {
+    const int fd = ::open(tmp_path.c_str(), O_WRONLY);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      if (fd >= 0) ::close(fd);
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return IoError("fsync failed", tmp_path);
+    }
+    ::close(fd);
+  }
+#endif
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return IoError("rename failed", path);
+  }
+#ifdef SQP_HAVE_MMAP
+  // Make the rename itself durable: fsync the containing directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).has_parent_path()
+          ? std::filesystem::path(path).parent_path()
+          : std::filesystem::path(".");
+  const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort — the data itself is already durable
+    ::close(dir_fd);
+  }
+#endif
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- load
+
+Result<std::shared_ptr<const CompactSnapshot>> SnapshotIo::Load(
+    const std::string& path, const SnapshotLoadOptions& options) {
+  std::vector<uint8_t> blob;
+  SQP_RETURN_IF_ERROR(ReadWholeFile(path, &blob));
+  ParsedBlob parsed;
+  SQP_RETURN_IF_ERROR(ParseBlob(blob, path, options, &parsed));
+
+  std::shared_ptr<CompactSnapshot> out(new CompactSnapshot());
+  out->version_ = parsed.snapshot_version;
+  out->options_.top_k = static_cast<size_t>(parsed.top_k);
+  out->weighting_ = parsed.weighting;
+  out->sigmas_ = std::move(parsed.sigmas);
+  out->component_escape_ = std::move(parsed.component_escape);
+  out->is_narrow_ = parsed.narrow_ids;
+
+  CopyArray(parsed.next_begin, &out->own_next_begin_);
+  CopyArray(parsed.child_begin, &out->own_child_begin_);
+  CopyArray(parsed.total_count, &out->own_total_count_);
+  CopyArray(parsed.start_count, &out->own_start_count_);
+  CopyArray(parsed.count_shift, &out->own_count_shift_);
+  CopyArray(parsed.mask16, &out->own_mask16_);
+  CopyArray(parsed.mask64, &out->own_mask64_);
+  CopyArray(parsed.next_code, &out->own_next_code_);
+  if (parsed.narrow_ids) {
+    CopyArray(parsed.next_query, &out->narrow_.next_query);
+    CopyArray(parsed.edge_query, &out->narrow_.edge_query);
+    CopyArray(parsed.edge_child, &out->narrow_.edge_child);
+    CopyArray(parsed.root_index, &out->narrow_.root_child_by_query);
+  } else {
+    CopyArray(parsed.next_query, &out->wide_.next_query);
+    CopyArray(parsed.edge_query, &out->wide_.edge_query);
+    CopyArray(parsed.edge_child, &out->wide_.edge_child);
+    CopyArray(parsed.root_index, &out->wide_.root_child_by_query);
+  }
+  out->BindViews();
+
+  // Structural validation runs over the owned (host-order) arrays so it is
+  // endianness-correct on any host.
+  ParsedBlob host = parsed;
+  host.next_begin = {reinterpret_cast<const uint8_t*>(
+                         out->own_next_begin_.data()),
+                     out->own_next_begin_.size() * 4};
+  host.child_begin = {reinterpret_cast<const uint8_t*>(
+                          out->own_child_begin_.data()),
+                      out->own_child_begin_.size() * 4};
+  host.count_shift = {out->own_count_shift_.data(),
+                      out->own_count_shift_.size()};
+  if (parsed.narrow_ids) {
+    host.edge_query = {reinterpret_cast<const uint8_t*>(
+                           out->narrow_.edge_query.data()),
+                       out->narrow_.edge_query.size() * 2};
+    host.edge_child = {reinterpret_cast<const uint8_t*>(
+                           out->narrow_.edge_child.data()),
+                       out->narrow_.edge_child.size() * 2};
+    host.root_index = {reinterpret_cast<const uint8_t*>(
+                           out->narrow_.root_child_by_query.data()),
+                       out->narrow_.root_child_by_query.size() * 2};
+  } else {
+    host.edge_query = {reinterpret_cast<const uint8_t*>(
+                           out->wide_.edge_query.data()),
+                       out->wide_.edge_query.size() * 4};
+    host.edge_child = {reinterpret_cast<const uint8_t*>(
+                           out->wide_.edge_child.data()),
+                       out->wide_.edge_child.size() * 4};
+    host.root_index = {reinterpret_cast<const uint8_t*>(
+                           out->wide_.root_child_by_query.data()),
+                       out->wide_.root_child_by_query.size() * 4};
+  }
+  SQP_RETURN_IF_ERROR(ValidateParsed(host, path));
+  return std::shared_ptr<const CompactSnapshot>(std::move(out));
+}
+
+// ------------------------------------------------------------------ map
+
+MappedCompactSnapshot::~MappedCompactSnapshot() {
+#ifdef SQP_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, blob_size_);
+  }
+#endif
+}
+
+ModelStats MappedCompactSnapshot::Stats() const {
+  ModelStats stats;
+  stats.name = "MVMM (compact, mapped)";
+  stats.num_states = num_nodes();
+  stats.num_entries = num_entries();
+  stats.memory_bytes = ServingBytes();
+  return stats;
+}
+
+Result<std::shared_ptr<const MappedCompactSnapshot>> SnapshotIo::Map(
+    const std::string& path, const SnapshotLoadOptions& options) {
+  if (!HostIsLittleEndian()) {
+    // The bulk arrays are little-endian on disk; serving them in place on
+    // a big-endian host would transpose every id. Use Load (which
+    // byte-swaps into owned arrays) there.
+    return Status::FailedPrecondition(
+        "zero-copy snapshot mapping requires a little-endian host; "
+        "use LoadCompactSnapshot instead");
+  }
+  std::shared_ptr<MappedCompactSnapshot> out(new MappedCompactSnapshot());
+  std::span<const uint8_t> blob;
+#ifdef SQP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return IoError("cannot stat", path);
+  }
+  out->blob_size_ = static_cast<size_t>(st.st_size);
+  if (out->blob_size_ == 0) {
+    ::close(fd);
+    return Corrupt("empty file", path);
+  }
+  void* base =
+      ::mmap(nullptr, out->blob_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return IoError("mmap failed", path);
+  out->map_base_ = base;
+  blob = {static_cast<const uint8_t*>(base), out->blob_size_};
+#else
+  // No mmap on this platform: fall back to an owned copy with identical
+  // semantics (the views point into the heap buffer instead).
+  SQP_RETURN_IF_ERROR(ReadWholeFile(path, &out->heap_copy_));
+  out->blob_size_ = out->heap_copy_.size();
+  blob = out->heap_copy_;
+#endif
+
+  ParsedBlob parsed;
+  SQP_RETURN_IF_ERROR(ParseBlob(blob, path, options, &parsed));
+  SQP_RETURN_IF_ERROR(ValidateParsed(parsed, path));
+
+  out->version_ = parsed.snapshot_version;
+  out->options_.top_k = static_cast<size_t>(parsed.top_k);
+  out->weighting_ = parsed.weighting;
+  out->sigmas_ = std::move(parsed.sigmas);
+  out->component_escape_ = std::move(parsed.component_escape);
+  out->is_narrow_ = parsed.narrow_ids;
+
+  out->next_begin_ = TypedSpan<uint32_t>(parsed.next_begin);
+  out->child_begin_ = TypedSpan<uint32_t>(parsed.child_begin);
+  out->total_count_ = TypedSpan<uint32_t>(parsed.total_count);
+  out->start_count_ = TypedSpan<uint32_t>(parsed.start_count);
+  out->count_shift_ = TypedSpan<uint8_t>(parsed.count_shift);
+  out->mask16_ = TypedSpan<uint16_t>(parsed.mask16);
+  out->mask64_ = TypedSpan<Pst::ViewMask>(parsed.mask64);
+  out->next_code_ = TypedSpan<uint16_t>(parsed.next_code);
+  if (parsed.narrow_ids) {
+    out->narrow_view_ = CompactPoolsView<uint16_t, uint16_t>{
+        TypedSpan<uint16_t>(parsed.next_query),
+        TypedSpan<uint16_t>(parsed.edge_query),
+        TypedSpan<uint16_t>(parsed.edge_child),
+        TypedSpan<uint16_t>(parsed.root_index)};
+  } else {
+    out->wide_view_ = CompactPoolsView<uint32_t, uint32_t>{
+        TypedSpan<uint32_t>(parsed.next_query),
+        TypedSpan<uint32_t>(parsed.edge_query),
+        TypedSpan<uint32_t>(parsed.edge_child),
+        TypedSpan<uint32_t>(parsed.root_index)};
+  }
+  return std::shared_ptr<const MappedCompactSnapshot>(std::move(out));
+}
+
+}  // namespace sqp

@@ -1,0 +1,137 @@
+#ifndef SQP_CORE_SNAPSHOT_IO_H_
+#define SQP_CORE_SNAPSHOT_IO_H_
+
+/// Persistence for the compact serving snapshot: one versioned,
+/// memory-mappable blob per model generation, so a serving replica boots
+/// in O(file size) page-ins instead of retraining from the corpus.
+///
+/// Blob layout (all multi-byte fields little-endian; the full diagram
+/// lives in docs/ARCHITECTURE.md):
+///
+///   [0,64)    file header: magic "SQPSNAP1", format version, section
+///             count, total file size, CRC32 of the section table, CRC32
+///             of the header itself
+///   [64,...)  section table: one 24-byte row per section
+///             {id u32, crc32 u32, offset u64, size u64}
+///   ...       section payloads, each starting at a 64-byte-aligned
+///             offset (zero padding between) so every CSR array can be
+///             served directly out of the mapped file with natural
+///             alignment
+///
+/// Sections are the CompactSnapshot arrays verbatim (next_begin,
+/// child_begin, counts, shifts, masks, pools, root index) plus a META
+/// section holding the model metadata (snapshot version, weighting, id
+/// widths, element counts) and the sigma / escape arrays. Every section
+/// carries its own CRC32; loading verifies structure always and checksums
+/// by default, and rejects corrupt or truncated input with a Status error
+/// — never undefined behavior.
+///
+/// The format version is a compatibility contract: readers accept exactly
+/// kSnapshotFormatVersion and CI pins a committed golden blob (see
+/// tests/data/) so silent layout drift fails the build.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compact_snapshot.h"
+#include "util/status.h"
+
+namespace sqp {
+
+/// On-disk format version this build writes and accepts.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// The 8-byte magic at offset 0 of every snapshot blob.
+inline constexpr char kSnapshotMagic[8] = {'S', 'Q', 'P', 'S',
+                                           'N', 'A', 'P', '1'};
+
+struct SnapshotLoadOptions {
+  /// Verify every section CRC32 before trusting the payload (one
+  /// sequential pass over the blob — still orders of magnitude cheaper
+  /// than retraining). Structural validation (bounds, CSR monotonicity,
+  /// id ranges) always runs regardless. Leave on outside benchmarks.
+  bool verify_checksums = true;
+};
+
+/// A serving snapshot whose CSR arrays live in a memory-mapped blob: the
+/// zero-copy boot path. Construction (SnapshotIo::Map) validates the blob
+/// and points the CompactServingBase views straight into the mapping, so
+/// a replica starts serving after O(file size) page-ins with no
+/// retraining and no array copies; the mapping is released on
+/// destruction. On hosts without POSIX mmap the class transparently falls
+/// back to an owned aligned heap copy (zero_copy() reports which).
+///
+/// Thread-safety: identical to every ServingSnapshot — deeply immutable
+/// after construction (PROT_READ mapping), any number of concurrent
+/// readers with one SnapshotScratch each.
+class MappedCompactSnapshot final : public CompactServingBase {
+ public:
+  ~MappedCompactSnapshot() override;
+
+  MappedCompactSnapshot(const MappedCompactSnapshot&) = delete;
+  MappedCompactSnapshot& operator=(const MappedCompactSnapshot&) = delete;
+
+  /// Table VII accounting over the mapped arrays — directly comparable to
+  /// CompactSnapshot::Stats of the snapshot the blob was written from.
+  ModelStats Stats() const override;
+
+  /// Total size of the backing blob (header + tables + padding included).
+  uint64_t mapped_bytes() const { return blob_size_; }
+
+  /// True when the arrays are served out of an mmap'ed region; false on
+  /// the non-POSIX heap-copy fallback.
+  bool zero_copy() const { return map_base_ != nullptr; }
+
+ private:
+  friend class SnapshotIo;
+
+  MappedCompactSnapshot() = default;
+
+  void* map_base_ = nullptr;  // POSIX mapping (munmap'ed on destruction)
+  size_t blob_size_ = 0;
+  std::vector<uint8_t> heap_copy_;  // fallback backing when mmap is absent
+};
+
+/// Save / load / map entry points for the snapshot blob format.
+class SnapshotIo {
+ public:
+  /// Writes `snapshot` to `path` as one blob, atomically: the bytes land
+  /// in `path + ".tmp"` first and are renamed over `path` only after a
+  /// complete, flushed write — a reader (or a crashed writer) never
+  /// observes a half-written blob at `path`.
+  static Status Save(const CompactSnapshot& snapshot,
+                     const std::string& path);
+
+  /// Restores a blob by copy: the arrays are read into an owned
+  /// CompactSnapshot, independent of the file afterwards. Serves
+  /// bit-identically to the snapshot Save was given.
+  static Result<std::shared_ptr<const CompactSnapshot>> Load(
+      const std::string& path, const SnapshotLoadOptions& options = {});
+
+  /// Restores a blob zero-copy: validates the file, maps it read-only and
+  /// serves straight out of the mapping. The cold-boot path for serving
+  /// replicas (bench/coldstart measures it against train-from-scratch).
+  static Result<std::shared_ptr<const MappedCompactSnapshot>> Map(
+      const std::string& path, const SnapshotLoadOptions& options = {});
+};
+
+/// Free-function spellings of the SnapshotIo entry points.
+inline Status SaveCompactSnapshot(const CompactSnapshot& snapshot,
+                                  const std::string& path) {
+  return SnapshotIo::Save(snapshot, path);
+}
+inline Result<std::shared_ptr<const CompactSnapshot>> LoadCompactSnapshot(
+    const std::string& path, const SnapshotLoadOptions& options = {}) {
+  return SnapshotIo::Load(path, options);
+}
+inline Result<std::shared_ptr<const MappedCompactSnapshot>>
+MapCompactSnapshot(const std::string& path,
+                   const SnapshotLoadOptions& options = {}) {
+  return SnapshotIo::Map(path, options);
+}
+
+}  // namespace sqp
+
+#endif  // SQP_CORE_SNAPSHOT_IO_H_

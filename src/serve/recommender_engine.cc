@@ -4,6 +4,8 @@
 #include <functional>
 #include <thread>
 
+#include "core/snapshot_io.h"
+
 namespace sqp {
 namespace {
 
@@ -26,6 +28,14 @@ void RecommenderEngine::Publish(
     std::shared_ptr<const ServingSnapshot> snapshot) {
   snapshot_.store(std::move(snapshot));
   snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status RecommenderEngine::LoadAndPublish(const std::string& path) {
+  Result<std::shared_ptr<const MappedCompactSnapshot>> mapped =
+      SnapshotIo::Map(path);
+  if (!mapped.ok()) return mapped.status();
+  Publish(std::move(mapped.value()));
+  return Status::OK();
 }
 
 std::shared_ptr<const ServingSnapshot> RecommenderEngine::CurrentSnapshot()

@@ -6,10 +6,12 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/model_snapshot.h"
 #include "serve/worker_pool.h"
+#include "util/status.h"
 
 namespace sqp {
 
@@ -116,6 +118,15 @@ class RecommenderEngine {
   /// it here; in-flight queries finish on the snapshot they grabbed. Safe
   /// from any thread; never blocks readers.
   void Publish(std::shared_ptr<const ServingSnapshot> snapshot);
+
+  /// Cold-boot path: maps a persisted compact snapshot blob (written by
+  /// core/snapshot_io — e.g. a Retrainer with persist_path set, or
+  /// recommender_cli --save-snapshot) zero-copy and publishes it. The
+  /// replica serves after O(file size) page-ins with no retraining; the
+  /// published snapshot carries the version stored in the blob. On any
+  /// validation failure (missing, truncated or corrupt blob) the current
+  /// snapshot stays live and the error is returned.
+  Status LoadAndPublish(const std::string& path);
 
   /// The currently-published snapshot (null before the first Publish).
   /// Safe from any thread.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/snapshot_io.h"
+
 namespace sqp {
 
 Retrainer::Retrainer(RecommenderEngine* engine, RetrainerOptions options)
@@ -16,10 +18,24 @@ Retrainer::Retrainer(RecommenderEngine* engine, RetrainerOptions options)
 
 Retrainer::~Retrainer() { Stop(); }
 
-std::shared_ptr<const ServingSnapshot> Retrainer::ForPublish(
+Status Retrainer::PublishAndPersist(
     std::shared_ptr<const ModelSnapshot> full) const {
-  if (!options_.publish_compact) return full;
-  return CompactSnapshot::FromSnapshot(*full, options_.compact);
+  // The compact re-pack is needed when it is the published variant or
+  // when a blob must be persisted (the on-disk format IS the compact
+  // layout); one pack serves both purposes.
+  std::shared_ptr<const CompactSnapshot> compact;
+  if (options_.publish_compact || !options_.persist_path.empty()) {
+    compact = CompactSnapshot::FromSnapshot(*full, options_.compact);
+  }
+  if (options_.publish_compact) {
+    engine_->Publish(compact);
+  } else {
+    engine_->Publish(std::move(full));
+  }
+  if (!options_.persist_path.empty()) {
+    return SnapshotIo::Save(*compact, options_.persist_path);
+  }
+  return Status::OK();
 }
 
 size_t Retrainer::EffectiveVocabulary() const {
@@ -59,15 +75,17 @@ Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus) {
     last_status_ = built.status();
     return built.status();
   }
-  engine_->Publish(ForPublish(std::move(built.value())));
+  // Serving goes live even if persistence fails; the persist status is
+  // surfaced to the caller and in last_status().
+  const Status persist = PublishAndPersist(std::move(built.value()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     version_ = 1;
     bootstrapped_ = true;
-    last_status_ = Status::OK();
+    last_status_ = persist;
   }
   version_cv_.notify_all();
-  return Status::OK();
+  return persist;
 }
 
 void Retrainer::AppendSessions(std::vector<AggregatedSession> sessions) {
@@ -123,13 +141,13 @@ Status Retrainer::RebuildAndPublish(std::vector<AggregatedSession> fresh) {
       ModelSnapshot::Build(data, options_.model, next_version);
   if (!built.ok()) return built.status();
 
-  engine_->Publish(ForPublish(std::move(built.value())));
+  const Status persist = PublishAndPersist(std::move(built.value()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     version_ = next_version;
   }
   version_cv_.notify_all();
-  return Status::OK();
+  return persist;
 }
 
 void Retrainer::Start() {

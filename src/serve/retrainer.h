@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,8 +45,21 @@ struct RetrainerOptions {
   /// only the published serving state is re-packed.
   bool publish_compact = false;
 
-  /// Layout parameters used when publish_compact is set.
+  /// Layout parameters used when publish_compact is set and for persisted
+  /// blobs (persist_path).
   CompactOptions compact;
+
+  /// When non-empty, every published rebuild (Bootstrap and each retrain
+  /// cycle) is also written here as a compact snapshot blob
+  /// (core/snapshot_io format), atomically via tmp+rename — a crash or a
+  /// concurrent cold-booting replica never observes a partial file. The
+  /// persisted state is always the CompactSnapshot re-pack of the rebuild
+  /// (the blob format is the compact layout) regardless of
+  /// publish_compact; serving replicas boot from it with
+  /// RecommenderEngine::LoadAndPublish without retraining. A persist
+  /// failure is reported through the returned Status / last_status() but
+  /// does not roll back the in-memory publish.
+  std::string persist_path;
 };
 
 /// The streaming retrain/swap engine: consumes appended session batches,
@@ -116,10 +130,11 @@ class Retrainer {
   Status RebuildAndPublish(std::vector<AggregatedSession> fresh);
   void BackgroundLoop();
   size_t EffectiveVocabulary() const;
-  /// The snapshot actually handed to the engine: the full model, or its
-  /// compact re-pack when options_.publish_compact is set.
-  std::shared_ptr<const ServingSnapshot> ForPublish(
-      std::shared_ptr<const ModelSnapshot> full) const;
+  /// Publishes `full` (or its compact re-pack when publish_compact is set)
+  /// to the engine, then persists the compact re-pack to persist_path if
+  /// configured. Returns the persist status; the publish itself cannot
+  /// fail.
+  Status PublishAndPersist(std::shared_ptr<const ModelSnapshot> full) const;
 
   RecommenderEngine* engine_;
   RetrainerOptions options_;

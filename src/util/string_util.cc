@@ -108,7 +108,9 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   if (!ParseUint64(s, &mag)) return false;
   if (neg) {
     if (mag > static_cast<uint64_t>(INT64_MAX) + 1) return false;
-    *out = -static_cast<int64_t>(mag);
+    // Negate in the unsigned domain: -INT64_MIN is not representable, so
+    // negating after the cast would be UB exactly at the boundary value.
+    *out = static_cast<int64_t>(uint64_t{0} - mag);
   } else {
     if (mag > static_cast<uint64_t>(INT64_MAX)) return false;
     *out = static_cast<int64_t>(mag);

@@ -6,7 +6,10 @@
 // ThreadSanitizer in CI (the SQP_TSAN build) to catch ordering bugs the
 // assertions can't see.
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -14,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "core/compact_snapshot.h"
+#include "core/snapshot_io.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
 #include "serve_test_util.h"
@@ -54,9 +58,12 @@ TEST(EngineStressTest, ReadersAlwaysSeeFullyPublishedSnapshots) {
                  drifted.end());
     corpora.push_back(grown);
   }
-  // Generation 2 is a compact re-pack, so the swap loop keeps hot-swapping
-  // full -> compact -> full serving variants underneath the readers — the
-  // publish seam must not care which variant is live.
+  // Generation 2 is a compact re-pack and generation 4 a memory-mapped
+  // blob restored from disk, so the swap loop keeps hot-swapping
+  // full -> compact -> full -> mapped serving variants underneath the
+  // readers — the publish seam must not care which variant is live, and a
+  // cold-booted (mmap) replica must behave like any other snapshot under
+  // concurrent readers.
   std::vector<std::shared_ptr<const ServingSnapshot>> snapshots;
   for (size_t i = 0; i < corpora.size(); ++i) {
     const std::shared_ptr<const ModelSnapshot> full =
@@ -67,6 +74,22 @@ TEST(EngineStressTest, ReadersAlwaysSeeFullyPublishedSnapshots) {
     } else {
       snapshots.push_back(full);
     }
+  }
+  // Process-unique path: concurrent ctest runs (e.g. release and ASan
+  // trees on one machine) must not race on one blob file.
+  const std::string blob_path =
+      (std::filesystem::temp_directory_path() /
+       ("sqp_stress_gen4_" + std::to_string(::getpid()) + ".blob"))
+          .string();
+  {
+    const std::shared_ptr<const ModelSnapshot> full =
+        BuildSnapshot(corpora.back(), snapshots.size() + 1);
+    const auto compact =
+        CompactSnapshot::FromSnapshot(*full, CompactOptions{.top_k = 10});
+    ASSERT_TRUE(SaveCompactSnapshot(*compact, blob_path).ok());
+    auto mapped = MapCompactSnapshot(blob_path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    snapshots.push_back(std::move(mapped.value()));
   }
 
   const std::vector<std::vector<QueryId>> contexts =
@@ -142,6 +165,12 @@ TEST(EngineStressTest, ReadersAlwaysSeeFullyPublishedSnapshots) {
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_GE(queries.load(), kReaders * kIterations);
   EXPECT_GE(engine.stats().snapshots_published, 151u);
+
+  // The mapped generation must have served during the rotation; drop the
+  // engine's reference before removing the backing file.
+  engine.Publish(snapshots[0]);
+  std::error_code ec;
+  std::filesystem::remove(blob_path, ec);
 }
 
 TEST(EngineStressTest, ReadersHammerWhileRealRetrainerSwaps) {
