@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_*.json outputs against committed
+baseline thresholds (bench/baselines.json) and fail on regression.
+
+Usage:
+    python3 bench/check_regression.py [--dir BUILD_DIR] [--baselines PATH]
+
+Every check names a BENCH file, a row selector (all key/value pairs must
+match the row), a metric and a min or max bound. All matching rows must
+satisfy the bound, and at least one row must match — a renamed or dropped
+bench phase fails the gate instead of silently losing coverage. Bounds are
+intentionally generous (see baselines.json): this gate catches
+order-of-magnitude regressions, not runner noise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def matches(row, select):
+    return all(row.get(key) == value for key, value in select.items())
+
+
+def run_checks(build_dir, baselines_path):
+    baselines = load_json(baselines_path)
+    failures = []
+    lines = []
+    cache = {}
+    for check in baselines["checks"]:
+        name = f'{check["file"]} {check["select"]} -> {check["metric"]}'
+        path = os.path.join(build_dir, check["file"])
+        if check["file"] not in cache:
+            if not os.path.exists(path):
+                failures.append(f"{name}: missing bench output {path}")
+                continue
+            cache[check["file"]] = load_json(path)
+        rows = [r for r in cache[check["file"]] if matches(r, check["select"])]
+        if not rows:
+            failures.append(f"{name}: no row matches the selector "
+                            f"(bench phase renamed or dropped?)")
+            continue
+        for row in rows:
+            if check["metric"] not in row:
+                failures.append(f"{name}: metric absent from row {row}")
+                continue
+            value = row[check["metric"]]
+            bound_kind = "min" if "min" in check else "max"
+            bound = check[bound_kind]
+            ok = value >= bound if bound_kind == "min" else value <= bound
+            verdict = "ok" if ok else "REGRESSION"
+            lines.append(f"  [{verdict:>10}] {name}: {value:g} "
+                         f"({bound_kind} {bound:g}) — {check.get('why', '')}")
+            if not ok:
+                failures.append(
+                    f"{name}: {value:g} violates {bound_kind} {bound:g} "
+                    f"({check.get('why', 'no rationale recorded')})")
+    return lines, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="build",
+                        help="directory holding the BENCH_*.json outputs")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__), "baselines.json"))
+    args = parser.parse_args()
+
+    lines, failures = run_checks(args.dir, args.baselines)
+    print(f"bench-regression gate over {args.dir} "
+          f"(baselines: {args.baselines})")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression check(s) FAILED:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(lines)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

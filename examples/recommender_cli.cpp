@@ -1,32 +1,42 @@
 // Interactive query recommender driving the concurrent serving subsystem:
 // trains an MVMM snapshot on a synthetic corpus (or cold-boots one from a
-// persisted blob), publishes it to a RecommenderEngine, then reads query
-// sessions from stdin and prints top-5 recommendations after every query —
-// the paper's "online query recommendation phase", served the way
-// production would serve it.
+// persisted blob or sharded-fleet manifest), publishes it to the serving
+// engine, then reads query sessions from stdin and prints top-5
+// recommendations after every query — the paper's "online query
+// recommendation phase", served the way production would serve it.
 //
 //   $ ./build/example_recommender_cli                 # interactive
 //   $ printf "first query\nsecond query\n" | ./build/example_recommender_cli
 //
 // Flags:
-//   --threads N   engine worker lanes for batched serving (default 1)
+//   --threads N   worker lanes for batched serving (default 1)
 //   --batch N     buffer N contexts and answer them via one RecommendMany
 //                 (default 1 = answer each query immediately)
+//   --shards N    partition the query-id space across N engine shards
+//                 (serve/sharded_engine); answers are bit-identical to
+//                 --shards 1, only the serving topology changes
 //   --tail        treat stdin as a live log tail: every completed session
 //                 (terminated by an empty line) is appended to the streaming
-//                 retrainer, which rebuilds and hot-swaps the model in the
-//                 background; unseen queries join the vocabulary live
+//                 retrainer(s), which rebuild and hot-swap in the
+//                 background; unseen queries join the vocabulary live.
+//                 With --shards, each session reaches exactly the shards
+//                 whose counts it affects and shards rebuild independently
 //   --compact     publish compact serving snapshots (CSR layout, top-16
-//                 nexts, 16-bit quantized counts) instead of the full
-//                 model — the small-footprint serving-only deployment
+//                 nexts, 16-bit quantized counts) instead of the full model
 //   --save-snapshot PATH
-//                 persist every published rebuild as a compact snapshot
-//                 blob at PATH (atomic tmp+rename; the dictionary lands at
-//                 PATH.dict) — the artifact other replicas cold-boot from
+//                 persist every published rebuild (atomic tmp+rename):
+//                 per-shard blobs at PATH.shard<k> — one at the default
+//                 --shards 1 — indexed by a SnapshotManifest at PATH,
+//                 with the dictionary sidecar at PATH.dict. PATH is
+//                 always a manifest, whatever the shard count
 //   --load-snapshot PATH
-//                 skip training entirely: mmap the blob at PATH (and read
-//                 PATH.dict), publish it and serve. Boot is O(file size)
-//                 page-ins — bench/coldstart measures the speedup
+//                 skip training entirely: cold-boot from the artifact at
+//                 PATH — a single blob boots one engine, a manifest boots
+//                 a sharded fleet (shard count comes from the manifest).
+//                 Flags the cold boot would ignore (--tail,
+//                 --save-snapshot, --compact, --shards) are rejected with
+//                 an explicit error, never silently dropped — see
+//                 serve/cli_config.h for the validation contract.
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
@@ -34,7 +44,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -45,8 +54,10 @@
 #include "log/data_reduction.h"
 #include "log/session_aggregator.h"
 #include "log/session_segmenter.h"
+#include "serve/cli_config.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
+#include "serve/sharded_engine.h"
 #include "synth/log_synthesizer.h"
 #include "util/timer.h"
 
@@ -54,60 +65,24 @@ namespace {
 
 using namespace sqp;
 
-struct CliOptions {
-  size_t threads = 1;
-  size_t batch = 1;
-  bool tail = false;
-  bool compact = false;
-  std::string save_snapshot;
-  std::string load_snapshot;
-};
-
-[[noreturn]] void Usage() {
-  std::cerr << "usage: recommender_cli [--threads N] [--batch N] [--tail] "
-               "[--compact]\n"
-               "                       [--save-snapshot PATH | "
+void PrintUsage() {
+  std::cerr << "usage: recommender_cli [--threads N] [--batch N] "
+               "[--shards N] [--tail]\n"
+               "                       [--compact] [--save-snapshot PATH | "
                "--load-snapshot PATH]\n"
-               "(--load-snapshot serves a persisted blob and is "
-               "incompatible with --tail/--save-snapshot)\n";
-  std::exit(2);
+               "(--load-snapshot cold-boots a read-only replica from a blob "
+               "or manifest and\n"
+               " rejects flags it would ignore: --tail, --save-snapshot, "
+               "--compact, --shards)\n";
 }
 
-size_t ParseCount(const char* text, size_t max_value) {
-  char* end = nullptr;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || value < 1 ||
-      static_cast<unsigned long>(value) > max_value) {
-    Usage();
-  }
-  return static_cast<size_t>(value);
-}
-
-CliOptions ParseArgs(int argc, char** argv) {
-  CliOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--tail") {
-      options.tail = true;
-    } else if (arg == "--compact") {
-      options.compact = true;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      options.threads = ParseCount(argv[++i], 64);
-    } else if (arg == "--batch" && i + 1 < argc) {
-      options.batch = ParseCount(argv[++i], 1 << 16);
-    } else if (arg == "--save-snapshot" && i + 1 < argc) {
-      options.save_snapshot = argv[++i];
-    } else if (arg == "--load-snapshot" && i + 1 < argc) {
-      options.load_snapshot = argv[++i];
-    } else {
-      Usage();
-    }
-  }
-  if (!options.load_snapshot.empty() &&
-      (options.tail || !options.save_snapshot.empty())) {
-    Usage();  // a cold-booted replica has no corpus to retrain or persist
-  }
-  return options;
+/// Exits with a clear message instead of aborting on a Status failure —
+/// a missing .dict sidecar or corrupt blob is an operator error, not a
+/// program bug.
+void ExitIfError(const Status& status, const std::string& what) {
+  if (status.ok()) return;
+  std::cerr << "error: " << what << ": " << status.ToString() << "\n";
+  std::exit(1);
 }
 
 void PrintRecommendation(const QueryDictionary& dictionary,
@@ -130,25 +105,50 @@ void PrintRecommendation(const QueryDictionary& dictionary,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions cli = ParseArgs(argc, argv);
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const Result<RecommenderCliConfig> parsed = ParseRecommenderCliArgs(args);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.status().message() << "\n";
+    PrintUsage();
+    return 2;
+  }
+  RecommenderCliConfig cli = *parsed;
 
   QueryDictionary dictionary;
-  RecommenderEngine engine(EngineOptions{.num_threads = cli.threads});
-  std::unique_ptr<Retrainer> retrainer;  // training mode only
+  // All serving goes through one ShardedEngine; --shards 1 degenerates to
+  // the single-engine path (one shard, identical answers).
+  std::unique_ptr<ShardedEngine> engine;
+  std::unique_ptr<ShardedRetrainerSet> retrainers;  // training mode only
   std::vector<AggregatedSession> example_sessions;
 
   if (!cli.load_snapshot.empty()) {
-    // Cold boot: the model comes straight off the persisted blob, no
-    // synthesis, no training.
+    // Cold boot: the model comes straight off the persisted artifact, no
+    // synthesis, no training. A manifest boots a fleet sized by the file.
     WallTimer timer;
-    SQP_CHECK_OK(
-        LoadDictionary(cli.load_snapshot + ".dict", &dictionary));
-    SQP_CHECK_OK(engine.LoadAndPublish(cli.load_snapshot));
-    const ModelStats stats = engine.CurrentSnapshot()->Stats();
-    std::cerr << "cold-booted model v" << engine.current_version()
-              << " from " << cli.load_snapshot << " in "
-              << timer.ElapsedMillis() << " ms (" << stats.num_states
-              << " states, " << stats.num_entries << " entries, "
+    ExitIfError(LoadDictionary(cli.load_snapshot + ".dict", &dictionary),
+                "loading the dictionary sidecar " + cli.load_snapshot +
+                    ".dict (persisted next to the snapshot by "
+                    "--save-snapshot)");
+    const Result<SnapshotFileKind> kind = SnapshotIo::Probe(cli.load_snapshot);
+    ExitIfError(kind.status(), "classifying " + cli.load_snapshot);
+    ShardedEngineOptions engine_options;
+    engine_options.num_threads = cli.threads;
+    if (*kind == SnapshotFileKind::kManifest) {
+      Result<std::unique_ptr<ShardedEngine>> booted =
+          ShardedEngine::BootFromManifest(cli.load_snapshot, engine_options);
+      ExitIfError(booted.status(),
+                  "cold-booting the fleet from " + cli.load_snapshot);
+      engine = std::move(booted.value());
+    } else {
+      engine_options.num_shards = 1;
+      engine = std::make_unique<ShardedEngine>(engine_options);
+      ExitIfError(engine->shard(0)->LoadAndPublish(cli.load_snapshot),
+                  "cold-booting from " + cli.load_snapshot);
+    }
+    const ShardedStats stats = engine->stats();
+    std::cerr << "cold-booted " << engine->num_shards() << " shard(s) at v"
+              << stats.max_version << " from " << cli.load_snapshot
+              << " in " << timer.ElapsedMillis() << " ms ("
               << dictionary.size() << " dictionary queries)\n";
   } else {
     std::cerr << "training MVMM on a synthetic corpus..." << std::flush;
@@ -174,43 +174,50 @@ int main(int argc, char** argv) {
                             sessions.begin() +
                                 std::min<size_t>(5, sessions.size()));
 
-    // The serving stack: engine + streaming retrainer owning the corpus.
+    // The serving stack: sharded engine + per-shard streaming retrainers
+    // owning the partitioned corpus.
+    engine = std::make_unique<ShardedEngine>(ShardedEngineOptions{
+        .num_shards = cli.shards, .num_threads = cli.threads});
     RetrainerOptions retrain_options;
     retrain_options.model.default_max_depth = 5;
     retrain_options.vocabulary_size = 0;  // grow with live-interned queries
     retrain_options.poll_interval = std::chrono::milliseconds(50);
     retrain_options.publish_compact = cli.compact;
     retrain_options.persist_path = cli.save_snapshot;
-    retrainer = std::make_unique<Retrainer>(&engine, retrain_options);
-    SQP_CHECK_OK(retrainer->Bootstrap(std::move(sessions)));
+    retrainers = std::make_unique<ShardedRetrainerSet>(engine.get(),
+                                                       retrain_options);
+    // With --save-snapshot, Bootstrap also persists every shard blob and
+    // the manifest indexing them; each later background rebuild re-pins
+    // the manifest automatically, so the on-disk fleet stays bootable.
+    ExitIfError(retrainers->Bootstrap(std::move(sessions)), "training");
     if (!cli.save_snapshot.empty()) {
       // The dictionary rides along so a cold-booting replica can map ids
-      // back to query strings. (With --tail, later interned queries only
-      // land in future runs' dictionaries — the blob itself is id-based.)
-      SQP_CHECK_OK(
-          SaveDictionary(dictionary, cli.save_snapshot + ".dict"));
-      std::cerr << " wrote snapshot blob to " << cli.save_snapshot
+      // back to query strings.
+      ExitIfError(SaveDictionary(dictionary, cli.save_snapshot + ".dict"),
+                  "persisting the dictionary sidecar");
+      std::cerr << " wrote manifest + " << engine->num_shards()
+                << " shard blob(s) to " << cli.save_snapshot
                 << " (+ .dict);" << std::flush;
     }
-    if (cli.tail) retrainer->Start();
+    if (cli.tail) retrainers->StartAll();
 
-    std::cerr << " done (" << retrainer->corpus_size()
-              << " unique sessions, " << dictionary.size()
+    size_t corpus_size = 0;
+    for (size_t s = 0; s < retrainers->num_shards(); ++s) {
+      corpus_size += retrainers->shard_retrainer(s)->published_version() > 0
+                         ? retrainers->shard_retrainer(s)->corpus_size()
+                         : 0;
+    }
+    std::cerr << " done (" << corpus_size
+              << " sessions across shard corpora, " << dictionary.size()
               << " unique queries)\n";
   }
 
-  std::cerr << "serving with " << engine.num_threads()
-            << " engine lane(s), batch " << cli.batch
+  std::cerr << "serving with " << engine->num_shards() << " shard(s), "
+            << engine->num_threads() << " lane(s), batch " << cli.batch
             << (cli.compact ? ", compact snapshots" : "")
-            << (!cli.load_snapshot.empty() ? ", mmap-booted snapshot" : "")
+            << (!cli.load_snapshot.empty() ? ", mmap-booted snapshot(s)" : "")
             << (cli.tail ? ", live retraining on session tails" : "")
             << "\n";
-  if (cli.compact || !cli.load_snapshot.empty()) {
-    const ModelStats stats = engine.CurrentSnapshot()->Stats();
-    std::cerr << "compact serving model: " << stats.num_states
-              << " states, " << stats.num_entries << " entries, "
-              << stats.memory_bytes / 1024 << " KiB\n";
-  }
   if (!example_sessions.empty()) {
     std::cerr << "example queries you can try:\n";
     for (const AggregatedSession& session : example_sessions) {
@@ -222,26 +229,26 @@ int main(int argc, char** argv) {
   std::vector<QueryId> context;
   // Batch mode buffers whole contexts (engine spans borrow their storage).
   std::vector<std::vector<QueryId>> buffered;
-  uint64_t seen_version = engine.current_version();
+  uint64_t seen_version = engine->stats().max_version;
 
   const auto flush_batch = [&] {
     if (buffered.empty()) return;
     const std::vector<Recommendation> results =
-        engine.RecommendMany(buffered, 5);
+        engine->RecommendMany(buffered, 5);
     for (size_t i = 0; i < results.size(); ++i) {
       PrintRecommendation(dictionary, buffered[i], results[i]);
     }
     buffered.clear();
   };
   const auto report_version = [&] {
-    const uint64_t now = engine.current_version();
-    if (now != seen_version) {
-      std::cout << "-- model v" << now << " is live";
-      if (retrainer != nullptr) {
-        std::cout << " (corpus " << retrainer->corpus_size() << " sessions)";
+    const ShardedStats stats = engine->stats();
+    if (stats.max_version != seen_version) {
+      std::cout << "-- model v" << stats.max_version << " is live";
+      if (engine->num_shards() > 1) {
+        std::cout << " (oldest shard v" << stats.min_version << ")";
       }
       std::cout << " --\n";
-      seen_version = now;
+      seen_version = stats.max_version;
     }
   };
 
@@ -251,10 +258,11 @@ int main(int argc, char** argv) {
     const std::string normalized = QueryDictionary::Normalize(line);
     if (normalized.empty()) {
       flush_batch();
-      if (cli.tail && retrainer != nullptr && context.size() >= 2) {
-        // One completed session enters the stream; the background retrainer
-        // will fold it into the next snapshot.
-        retrainer->AppendSessions({AggregatedSession{context, 1}});
+      if (cli.tail && retrainers != nullptr && context.size() >= 2) {
+        // One completed session enters the stream; the background
+        // retrainers of the owning shards fold it into their next
+        // snapshots.
+        retrainers->AppendSessions({AggregatedSession{context, 1}});
       }
       context.clear();
       std::cout << "-- new session --\n";
@@ -277,15 +285,15 @@ int main(int argc, char** argv) {
       if (buffered.size() >= cli.batch) flush_batch();
       continue;
     }
-    const Recommendation rec = engine.Recommend(context, 5);
+    const Recommendation rec = engine->Recommend(context, 5);
     PrintRecommendation(dictionary, context, rec);
   }
   flush_batch();
-  if (cli.tail && retrainer != nullptr) {
+  if (cli.tail && retrainers != nullptr) {
     if (context.size() >= 2) {
-      retrainer->AppendSessions({AggregatedSession{context, 1}});
+      retrainers->AppendSessions({AggregatedSession{context, 1}});
     }
-    retrainer->Stop();
+    retrainers->StopAll();
   }
   return 0;
 }

@@ -358,10 +358,28 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Build(
   snapshot->pst_ = std::move(shared);
 
   snapshot->sigmas_.assign(k, snapshot->options_.initial_sigma);
-  if (snapshot->options_.weighting == MixtureWeighting::kGaussianEditDistance) {
+  if (!snapshot->options_.fixed_sigmas.empty()) {
+    if (snapshot->options_.fixed_sigmas.size() != k) {
+      return Status::InvalidArgument(
+          "fixed_sigmas must match the component count");
+    }
+    snapshot->sigmas_ = snapshot->options_.fixed_sigmas;
+  } else if (snapshot->options_.weighting ==
+             MixtureWeighting::kGaussianEditDistance) {
     snapshot->FitSigmas(*data.sessions);
   }
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::WithSigmas(
+    std::vector<double> sigmas) const {
+  if (sigmas.size() != num_components()) {
+    return Status::InvalidArgument(
+        "WithSigmas must supply one sigma per component");
+  }
+  std::shared_ptr<ModelSnapshot> out(new ModelSnapshot(*this));
+  out->sigmas_ = std::move(sigmas);
+  return std::shared_ptr<const ModelSnapshot>(std::move(out));
 }
 
 size_t ModelSnapshot::SharedMatchDepths(std::span<const QueryId> context,

@@ -54,6 +54,14 @@ struct MvmmOptions {
   /// Initial sigma for every component.
   double initial_sigma = 1.0;
 
+  /// When non-empty (size == component count), the Gaussian widths are
+  /// taken verbatim and the per-corpus Newton fit is skipped. This is how
+  /// a sharded deployment keeps every shard serving with ONE globally
+  /// fitted sigma vector (serve/sharded_engine.h) and how a shard rebuild
+  /// stays weight-consistent with the rest of the fleet; it also lets
+  /// ablations replay a previously fitted weighting exactly.
+  std::vector<double> fixed_sigmas;
+
   /// Worker threads for training (paper Section V-F.1). With at most
   /// Pst::kMaxViews components the trees come from one shared single-pass
   /// build and the threads shard the counting pass and the sigma-fit sample
@@ -146,6 +154,14 @@ class ModelSnapshot final : public ServingSnapshot {
   static Result<std::shared_ptr<const ModelSnapshot>> Build(
       const TrainingData& data, const MvmmOptions& options,
       uint64_t version = 0);
+
+  /// A snapshot sharing this snapshot's tree (the Pst is shared_ptr-owned,
+  /// so no node is copied) but serving with `sigmas` instead of the fitted
+  /// ones. Returns InvalidArgument on a component-count mismatch. The
+  /// sharded trainer uses this to stamp one global sigma fit onto
+  /// independently built per-shard trees.
+  Result<std::shared_ptr<const ModelSnapshot>> WithSigmas(
+      std::vector<double> sigmas) const;
 
   /// Mixture recommendation over the shared tree (paper Section IV-C.3).
   Recommendation Recommend(std::span<const QueryId> context, size_t top_n,

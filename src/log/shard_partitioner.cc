@@ -1,0 +1,57 @@
+#include "log/shard_partitioner.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace sqp {
+
+uint32_t ShardOfQuery(QueryId query, uint32_t num_shards) {
+  SQP_CHECK(num_shards > 0);
+  if (num_shards == 1) return 0;
+  // Hash explicit little-endian bytes, not the in-memory representation,
+  // so the id -> shard map is identical on any host — it is persisted
+  // (via the manifest's partition-function id) and must never drift.
+  const uint8_t bytes[4] = {static_cast<uint8_t>(query),
+                            static_cast<uint8_t>(query >> 8),
+                            static_cast<uint8_t>(query >> 16),
+                            static_cast<uint8_t>(query >> 24)};
+  return static_cast<uint32_t>(Fnv1a64(bytes, sizeof(bytes)) % num_shards);
+}
+
+uint32_t ShardOfContext(std::span<const QueryId> context,
+                        uint32_t num_shards) {
+  if (context.empty()) return 0;
+  return ShardOfQuery(context.back(), num_shards);
+}
+
+void OwningShards(const AggregatedSession& session, uint32_t num_shards,
+                  std::vector<uint32_t>* shards) {
+  shards->clear();
+  if (session.queries.size() < 2) return;  // no prediction evidence
+  // Counting only ever ends a context at a non-final position, so the
+  // final query's owner has no stake in this session (unless it also owns
+  // an earlier query).
+  for (size_t i = 0; i + 1 < session.queries.size(); ++i) {
+    shards->push_back(ShardOfQuery(session.queries[i], num_shards));
+  }
+  std::sort(shards->begin(), shards->end());
+  shards->erase(std::unique(shards->begin(), shards->end()), shards->end());
+}
+
+std::vector<std::vector<AggregatedSession>> PartitionSessionsByShard(
+    const std::vector<AggregatedSession>& sessions, uint32_t num_shards) {
+  SQP_CHECK(num_shards > 0);
+  std::vector<std::vector<AggregatedSession>> corpora(num_shards);
+  std::vector<uint32_t> owners;
+  for (const AggregatedSession& session : sessions) {
+    OwningShards(session, num_shards, &owners);
+    for (const uint32_t shard : owners) {
+      corpora[shard].push_back(session);
+    }
+  }
+  return corpora;
+}
+
+}  // namespace sqp

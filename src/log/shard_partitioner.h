@@ -1,0 +1,51 @@
+#ifndef SQP_LOG_SHARD_PARTITIONER_H_
+#define SQP_LOG_SHARD_PARTITIONER_H_
+
+#include <span>
+#include <vector>
+
+#include "log/types.h"
+
+namespace sqp {
+
+/// Identifier of the query-id partition function, recorded in every
+/// SnapshotManifest (core/snapshot_io.h) so a fleet can refuse to serve a
+/// manifest written under a different routing scheme. There is exactly one
+/// function today; new schemes get new ids, never a changed meaning for an
+/// existing id.
+inline constexpr uint32_t kShardPartitionLastQueryFnv1a = 1;
+
+/// Shard owning `query`: FNV-1a over the id's little-endian bytes, mod the
+/// shard count. Stable across platforms, runs and releases — the routing
+/// side of the manifest contract.
+uint32_t ShardOfQuery(QueryId query, uint32_t num_shards);
+
+/// Shard owning an online context: the shard of its most recent query.
+/// The suffix-keyed PST walk for a context only ever touches nodes whose
+/// newest query is context.back() (plus the root, which serving never
+/// scores), so the owning shard's model answers exactly like the unsharded
+/// model. Empty contexts are uncovered everywhere; they route to shard 0.
+uint32_t ShardOfContext(std::span<const QueryId> context,
+                        uint32_t num_shards);
+
+/// Per-shard training corpora: shard s receives every session containing at
+/// least one s-owned query at a non-final position. Every substring
+/// occurrence of a context (its continuation counts *and* its session-start
+/// count) ends at a non-final position of some session, so the shard's
+/// corpus reproduces the exact global counts for every context it owns —
+/// the foundation of the bit-identical sharded serving guarantee. Sessions
+/// shorter than two queries carry no prediction evidence and land nowhere.
+/// A session can land in up to min(num_shards, distinct queries) corpora.
+std::vector<std::vector<AggregatedSession>> PartitionSessionsByShard(
+    const std::vector<AggregatedSession>& sessions, uint32_t num_shards);
+
+/// The shards whose corpora `session` belongs to (ascending, deduplicated):
+/// the owners of its non-final queries. The routing primitive for streaming
+/// appends — a freshly observed session must reach exactly these shards'
+/// retrainers to keep their counts exact.
+void OwningShards(const AggregatedSession& session, uint32_t num_shards,
+                  std::vector<uint32_t>* shards);
+
+}  // namespace sqp
+
+#endif  // SQP_LOG_SHARD_PARTITIONER_H_

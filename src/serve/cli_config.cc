@@ -1,0 +1,97 @@
+#include "serve/cli_config.h"
+
+#include <cstdlib>
+
+namespace sqp {
+namespace {
+
+Status ParseCount(const std::string& flag, const std::string& text,
+                  size_t max_value, size_t* out) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 1 ||
+      static_cast<unsigned long>(value) > max_value) {
+    return Status::InvalidArgument(
+        flag + " expects an integer in [1, " + std::to_string(max_value) +
+        "], got '" + text + "'");
+  }
+  *out = static_cast<size_t>(value);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RecommenderCliConfig> ParseRecommenderCliArgs(
+    std::span<const std::string> args) {
+  RecommenderCliConfig config;
+  bool shards_given = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value_of = [&](const std::string& flag,
+                              std::string* out) -> Status {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(flag + " expects a value");
+      }
+      *out = args[++i];
+      return Status::OK();
+    };
+    std::string value;
+    if (arg == "--tail") {
+      config.tail = true;
+    } else if (arg == "--compact") {
+      config.compact = true;
+    } else if (arg == "--threads") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      SQP_RETURN_IF_ERROR(ParseCount(arg, value, 64, &config.threads));
+    } else if (arg == "--batch") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      SQP_RETURN_IF_ERROR(ParseCount(arg, value, 1 << 16, &config.batch));
+    } else if (arg == "--shards") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      SQP_RETURN_IF_ERROR(ParseCount(arg, value, 4096, &config.shards));
+      shards_given = true;
+    } else if (arg == "--save-snapshot") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &config.save_snapshot));
+      if (config.save_snapshot.empty()) {
+        return Status::InvalidArgument("--save-snapshot expects a path");
+      }
+    } else if (arg == "--load-snapshot") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &config.load_snapshot));
+      if (config.load_snapshot.empty()) {
+        return Status::InvalidArgument("--load-snapshot expects a path");
+      }
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+
+  // A cold-booted replica serves a persisted artifact verbatim; flags
+  // that only affect training would be silently ignored — reject them
+  // loudly instead.
+  if (!config.load_snapshot.empty()) {
+    if (config.tail) {
+      return Status::InvalidArgument(
+          "--load-snapshot is incompatible with --tail: a cold-booted "
+          "replica has no training corpus to retrain");
+    }
+    if (!config.save_snapshot.empty()) {
+      return Status::InvalidArgument(
+          "--load-snapshot is incompatible with --save-snapshot: a "
+          "cold-booted replica never rebuilds, so there is nothing new to "
+          "persist");
+    }
+    if (config.compact) {
+      return Status::InvalidArgument(
+          "--compact is ignored with --load-snapshot: a persisted blob "
+          "already is the compact serving layout");
+    }
+    if (shards_given) {
+      return Status::InvalidArgument(
+          "--shards is ignored with --load-snapshot: the shard count "
+          "comes from the snapshot manifest");
+    }
+  }
+  return config;
+}
+
+}  // namespace sqp

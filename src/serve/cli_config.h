@@ -1,0 +1,43 @@
+#ifndef SQP_SERVE_CLI_CONFIG_H_
+#define SQP_SERVE_CLI_CONFIG_H_
+
+/// Argument parsing and validation for examples/recommender_cli, factored
+/// into the library so the rules are unit-testable
+/// (tests/serve/cli_config_test.cc). The validation contract: a flag that
+/// would be silently ignored is an InvalidArgument error naming the flag
+/// and why — never a silent default.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace sqp {
+
+struct RecommenderCliConfig {
+  size_t threads = 1;  // engine worker lanes, [1, 64]
+  size_t batch = 1;    // contexts buffered per RecommendMany, [1, 65536]
+  size_t shards = 1;   // engine shards, [1, 4096]
+  bool tail = false;
+  bool compact = false;
+  std::string save_snapshot;
+  std::string load_snapshot;
+};
+
+/// Parses recommender_cli arguments (argv[1..], program name excluded).
+/// Later occurrences of a flag override earlier ones; validation then
+/// rejects combinations where a flag would be ignored:
+///  - --load-snapshot with --tail or --save-snapshot (a cold-booted
+///    replica has no training corpus to retrain or persist),
+///  - --load-snapshot with --compact (a persisted blob already IS the
+///    compact layout; the flag would change nothing),
+///  - --load-snapshot with --shards (the shard count comes from the
+///    manifest, not the command line).
+/// Every error message names the offending flag and the reason.
+Result<RecommenderCliConfig> ParseRecommenderCliArgs(
+    std::span<const std::string> args);
+
+}  // namespace sqp
+
+#endif  // SQP_SERVE_CLI_CONFIG_H_

@@ -33,7 +33,8 @@ Status Retrainer::PublishAndPersist(
     engine_->Publish(std::move(full));
   }
   if (!options_.persist_path.empty()) {
-    return SnapshotIo::Save(*compact, options_.persist_path);
+    SQP_RETURN_IF_ERROR(SnapshotIo::Save(*compact, options_.persist_path));
+    if (options_.after_persist) options_.after_persist();
   }
   return Status::OK();
 }
@@ -44,6 +45,11 @@ size_t Retrainer::EffectiveVocabulary() const {
 }
 
 Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus) {
+  return Bootstrap(std::move(corpus), nullptr);
+}
+
+Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus,
+                            std::shared_ptr<const ModelSnapshot> prebuilt) {
   std::lock_guard<std::mutex> retrain_lock(retrain_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -64,20 +70,24 @@ Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus) {
                internal::SharedIndexDepth(options_.model),
                options_.count_workers);
 
-  TrainingData data;
-  data.sessions = &corpus_;
-  data.vocabulary_size = EffectiveVocabulary();
-  data.substring_index = &index_;
-  Result<std::shared_ptr<const ModelSnapshot>> built =
-      ModelSnapshot::Build(data, options_.model, /*version=*/1);
-  if (!built.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_status_ = built.status();
-    return built.status();
+  std::shared_ptr<const ModelSnapshot> snapshot = std::move(prebuilt);
+  if (snapshot == nullptr) {
+    TrainingData data;
+    data.sessions = &corpus_;
+    data.vocabulary_size = EffectiveVocabulary();
+    data.substring_index = &index_;
+    Result<std::shared_ptr<const ModelSnapshot>> built =
+        ModelSnapshot::Build(data, options_.model, /*version=*/1);
+    if (!built.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_status_ = built.status();
+      return built.status();
+    }
+    snapshot = std::move(built.value());
   }
   // Serving goes live even if persistence fails; the persist status is
   // surfaced to the caller and in last_status().
-  const Status persist = PublishAndPersist(std::move(built.value()));
+  const Status persist = PublishAndPersist(std::move(snapshot));
   {
     std::lock_guard<std::mutex> lock(mu_);
     version_ = 1;

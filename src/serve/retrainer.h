@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +61,13 @@ struct RetrainerOptions {
   /// failure is reported through the returned Status / last_status() but
   /// does not roll back the in-memory publish.
   std::string persist_path;
+
+  /// Invoked after every successful persist (Bootstrap and each retrain
+  /// cycle), on the thread that rebuilt, with the publish already live.
+  /// ShardedRetrainerSet uses this to re-pin the fleet manifest whenever
+  /// a shard republishes its blob; anything slow belongs elsewhere (the
+  /// rebuild path blocks on it).
+  std::function<void()> after_persist;
 };
 
 /// The streaming retrain/swap engine: consumes appended session batches,
@@ -94,6 +102,14 @@ class Retrainer {
   /// Seeds the corpus, builds the counting index, and publishes snapshot
   /// version 1. Must be called exactly once, before anything else.
   Status Bootstrap(std::vector<AggregatedSession> corpus);
+
+  /// As Bootstrap, but publishes `prebuilt` — a snapshot already trained
+  /// on exactly `corpus` under this retrainer's model options (e.g. by
+  /// TrainShardedSnapshots) — instead of rebuilding it. The counting
+  /// index is still built so later appends extend it incrementally;
+  /// `prebuilt` must carry version 1.
+  Status Bootstrap(std::vector<AggregatedSession> corpus,
+                   std::shared_ptr<const ModelSnapshot> prebuilt);
 
   /// Queues freshly-observed sessions for the next retrain cycle.
   /// Thread-safe; never blocks on a rebuild.

@@ -1,0 +1,335 @@
+#ifndef SQP_SERVE_SHARDED_ENGINE_H_
+#define SQP_SERVE_SHARDED_ENGINE_H_
+
+/// Sharded serving: the query-id space is partitioned across N independent
+/// RecommenderEngine shards (log/shard_partitioner.h routes by the
+/// context's most recent query), each serving its own snapshot through the
+/// usual atomic-swap seam. The load-bearing property is *bit-identical
+/// output*: the suffix-keyed PST walk for a context only ever visits nodes
+/// whose newest query is context.back(), every such node's counts, KL
+/// growth decision and view mask depend only on data from sessions where
+/// that query occurs at a non-final position — exactly the sessions the
+/// partitioner gives the owning shard — and the serving mixture never
+/// scores the root. A shard therefore answers its contexts exactly as the
+/// unsharded model would (tested for shard counts {1, 2, 4, 7}).
+///
+/// The per-component Gaussian widths are the one global quantity: the
+/// sharded trainer fits them ONCE over the full corpus by routing each
+/// pseudo-test walk of the Eq. 8-10 sample to the owning shard's tree,
+/// then stamps the same sigma vector onto every shard
+/// (ModelSnapshot::WithSigmas / MvmmOptions::fixed_sigmas). Rebuilding one
+/// shard keeps the fleet weight-consistent because rebuilds reuse the
+/// fixed vector.
+///
+/// Persistence: per-shard compact blobs (core/snapshot_io) indexed by a
+/// SnapshotManifest; a fleet cold-boots with one
+/// ShardedEngine::LoadAndPublish(manifest) call.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compact_snapshot.h"
+#include "core/model_snapshot.h"
+#include "core/snapshot_io.h"
+#include "log/shard_partitioner.h"
+#include "serve/recommender_engine.h"
+#include "serve/retrainer.h"
+#include "serve/worker_pool.h"
+#include "util/status.h"
+
+namespace sqp {
+
+struct ShardedEngineOptions {
+  /// Number of engine shards (>= 1; clamped to [1, 4096]).
+  size_t num_shards = 1;
+
+  /// Worker lanes for cross-shard batched serving, including the calling
+  /// thread (0 = hardware concurrency clamped to [1, 16]; explicit values
+  /// clamped to [1, 64]). Shard engines themselves run single-lane — the
+  /// sharded front-end owns all batch parallelism, so lanes are not
+  /// multiplied by shards.
+  size_t num_threads = 0;
+
+  /// Batches smaller than this run inline on the calling thread.
+  size_t min_batch_fanout = 32;
+};
+
+/// Aggregate serving counters plus the per-shard snapshot versions. With
+/// independent shard rebuilds the versions may diverge; max_version -
+/// min_version is the fleet's staleness skew (bounded by however many
+/// rebuilds the slowest shard is behind — tested in
+/// tests/serve/sharded_engine_test.cc).
+struct ShardedStats {
+  uint64_t queries_served = 0;  // single + batched, across all shards
+  uint64_t batches_served = 0;  // sharded RecommendMany calls
+  uint64_t min_version = 0;
+  uint64_t max_version = 0;
+  std::vector<uint64_t> shard_versions;
+};
+
+/// The sharded serving front-end: routes every request to the shard owning
+/// its context and reassembles batch results positionally. Because each
+/// context is answered entirely by its owning shard — which serves the
+/// unsharded model's exact scores for that context, with the same
+/// (score desc, query asc) tie-breaking — the merged global top-N equals
+/// the single-engine output bit for bit.
+///
+/// Thread-safety: mirrors RecommenderEngine — all const methods are safe
+/// from any number of threads concurrently with PublishShard /
+/// LoadAndPublish from any other thread. A batch grabs each shard's
+/// snapshot once, so even a swap landing mid-batch cannot mix generations
+/// within one shard's answers.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_threads() const { return pool_.num_lanes(); }
+
+  /// The shard owning `context` (shard 0 for empty contexts, which are
+  /// uncovered everywhere).
+  uint32_t OwningShard(ContextRef context) const {
+    return ShardOfContext(context,
+                          static_cast<uint32_t>(shards_.size()));
+  }
+
+  /// Direct access to one shard's engine — the seam a per-shard Retrainer
+  /// publishes through, and the hook for per-shard cold boots.
+  RecommenderEngine* shard(size_t s) { return shards_[s].get(); }
+  const RecommenderEngine& shard(size_t s) const { return *shards_[s]; }
+
+  /// Publishes a snapshot to one shard; readers of other shards are
+  /// untouched (the independent-rebuild seam).
+  void PublishShard(size_t s,
+                    std::shared_ptr<const ServingSnapshot> snapshot) {
+    shards_[s]->Publish(std::move(snapshot));
+  }
+
+  /// Fleet cold boot from a SnapshotManifest: verifies the manifest's
+  /// shard count and partition function against this engine, checks every
+  /// blob against its manifest pin, maps all shards zero-copy, and only
+  /// then publishes — on any failure nothing is published and the current
+  /// snapshots stay live.
+  Status LoadAndPublish(const std::string& manifest_path,
+                        const SnapshotLoadOptions& options = {});
+
+  /// Sizes a fresh engine from the manifest (shard count comes from the
+  /// file) and cold-boots it. `base.num_shards` is ignored.
+  static Result<std::unique_ptr<ShardedEngine>> BootFromManifest(
+      const std::string& manifest_path, ShardedEngineOptions base = {},
+      const SnapshotLoadOptions& load_options = {});
+
+  /// Single-query path: one routing decision, then the owning shard's
+  /// engine (its counters and scratch handling included).
+  Recommendation Recommend(ContextRef context, size_t top_n,
+                           uint64_t* served_version = nullptr) const;
+
+  /// Cross-shard batched serving: grabs every shard's snapshot once, fans
+  /// the contexts out across the pool (each answered by its owning
+  /// shard's snapshot), and returns results positionally aligned with
+  /// `contexts`. Contexts owned by a shard with no published snapshot
+  /// yield uncovered empty results, exactly like an unpublished engine.
+  std::vector<Recommendation> RecommendMany(
+      std::span<const ContextRef> contexts, size_t top_n) const;
+
+  /// Convenience overload for callers holding owned query sequences.
+  std::vector<Recommendation> RecommendMany(
+      const std::vector<std::vector<QueryId>>& contexts,
+      size_t top_n) const;
+
+  /// Per-shard snapshot versions (0 for never-published shards), index ==
+  /// shard id.
+  std::vector<uint64_t> shard_versions() const;
+
+  ShardedStats stats() const;
+
+ private:
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<RecommenderEngine>> shards_;
+  mutable WorkerPool pool_;
+  /// One batch job at a time on the pool (as RecommenderEngine).
+  mutable std::mutex batch_mu_;
+  mutable std::vector<SnapshotScratch> lane_scratch_;
+  mutable std::atomic<uint64_t> batch_queries_{0};
+  mutable std::atomic<uint64_t> batches_served_{0};
+};
+
+// --------------------------------------------------------------- training
+
+struct ShardedTrainOptions {
+  /// Model configuration applied to every shard (empty component list =
+  /// the paper's default set). If `model.fixed_sigmas` is set the global
+  /// fit is skipped and every shard serves with the given vector.
+  MvmmOptions model;
+
+  uint32_t num_shards = 1;
+
+  /// |Q| for smoothing; 0 = largest query id in the corpus + 1. The SAME
+  /// value is handed to every shard (per-shard maxima would skew the
+  /// sigma-fit smoothing).
+  size_t vocabulary_size = 0;
+
+  /// Version tag stamped on every shard snapshot.
+  uint64_t version = 1;
+};
+
+struct ShardedTrainResult {
+  /// One snapshot per shard, all serving with `sigmas`.
+  std::vector<std::shared_ptr<const ModelSnapshot>> shards;
+
+  /// The globally fitted (or fixed) per-component Gaussian widths. Feed
+  /// them to MvmmOptions::fixed_sigmas for independent shard rebuilds.
+  std::vector<double> sigmas;
+
+  /// The resolved global vocabulary bound.
+  size_t vocabulary_size = 0;
+
+  /// The per-shard training corpora (`shards[s]` was trained on
+  /// `corpora[s]`), kept so callers seeding per-shard retrainers reuse
+  /// the partition instead of recomputing it.
+  std::vector<std::vector<AggregatedSession>> corpora;
+};
+
+/// Trains a sharded fleet from one corpus: partitions the sessions
+/// (log/shard_partitioner.h), builds every shard's shared-PST snapshot
+/// independently, fits the mixture sigmas ONCE over the full corpus by
+/// routing each sample walk to the owning shard's tree, and stamps the
+/// global vector onto every shard. The resulting fleet answers every
+/// context bit-identically to ModelSnapshot::Build on the undivided
+/// corpus (property-tested for shard counts {1, 2, 4, 7}).
+Result<ShardedTrainResult> TrainShardedSnapshots(
+    const std::vector<AggregatedSession>& corpus,
+    const ShardedTrainOptions& options);
+
+/// Persists a trained fleet: one compact blob per shard at
+/// `manifest_path + ".shard<k>"` plus the SnapshotManifest at
+/// `manifest_path` (shard paths stored relative to it), everything written
+/// atomically. The manifest records `partition_function` =
+/// kShardPartitionLastQueryFnv1a and the version of shards[0].
+Status SaveShardedSnapshots(
+    std::span<const std::shared_ptr<const ModelSnapshot>> shards,
+    const CompactOptions& compact, const std::string& manifest_path);
+
+/// (Re)writes the manifest at `manifest_path` from the per-shard blobs
+/// already on disk at `manifest_path + ".shard<k>"` — e.g. after a
+/// ShardedRetrainerSet with persist_path == manifest_path republished
+/// some shards — re-pinning their current sizes and checksums. `version`
+/// tags the manifest (conventionally the newest shard version).
+Status WriteManifestForShardBlobs(const std::string& manifest_path,
+                                  size_t num_shards, uint64_t version);
+
+// -------------------------------------------------------------- retraining
+
+/// Per-shard streaming retrain: one Retrainer per shard, each owning its
+/// shard's corpus slice and publishing through that shard's engine, all
+/// pinned to the bootstrap's global sigma fit so independently rebuilt
+/// shards stay weight-consistent with the rest of the fleet. Appended
+/// sessions are routed to exactly the shards whose counts they affect
+/// (OwningShards), so a shard rebuild folds in precisely the evidence the
+/// unsharded retrainer would have given it.
+///
+/// Shards rebuild independently: RetrainShard(s) advances one shard's
+/// version while the others keep serving their current snapshots — the
+/// skew between shard versions is bounded by the number of retrain cycles
+/// the slowest shard is behind.
+///
+/// Persistence: when `base.persist_path` is set it doubles as the
+/// manifest path — each shard persists to `persist_path + ".shard<s>"`,
+/// Bootstrap writes the initial manifest once every blob exists, and
+/// every later successful shard persist re-pins the manifest
+/// (Retrainer's after_persist hook), so the on-disk fleet stays
+/// cold-bootable across background rebuilds, not just at clean exit.
+///
+/// Threading: AppendSessions and the observers are safe from any thread;
+/// per-shard rebuild serialization is inherited from Retrainer.
+class ShardedRetrainerSet {
+ public:
+  /// `base` configures every per-shard retrainer; its model's fixed_sigmas
+  /// (if empty) are filled from the bootstrap's global fit, and
+  /// vocabulary_size (if 0) from the bootstrap corpus. base.after_persist
+  /// must be unset (the set owns that hook for manifest re-pinning).
+  ShardedRetrainerSet(ShardedEngine* engine, RetrainerOptions base);
+  ~ShardedRetrainerSet();
+
+  ShardedRetrainerSet(const ShardedRetrainerSet&) = delete;
+  ShardedRetrainerSet& operator=(const ShardedRetrainerSet&) = delete;
+
+  /// Trains the fleet once (TrainShardedSnapshots, global sigma fit),
+  /// seeds one Retrainer per shard with its corpus slice and the prebuilt
+  /// shard snapshot (no second tree build), and publishes version 1
+  /// everywhere — shards whose slice is empty publish (and, with
+  /// persistence, persist) the trained empty snapshot directly. Call
+  /// exactly once.
+  Status Bootstrap(std::vector<AggregatedSession> corpus);
+
+  /// Routes freshly observed sessions to the owning shards' pending
+  /// queues. A shard that bootstrapped empty is lazily bootstrapped on
+  /// its first routed sessions (a one-time synchronous build of that
+  /// tiny corpus); otherwise this never blocks on a rebuild.
+  /// Thread-safe.
+  void AppendSessions(const std::vector<AggregatedSession>& sessions);
+
+  /// Rebuilds and republishes one shard (no-op when nothing is pending
+  /// there); the rest of the fleet keeps serving untouched.
+  Status RetrainShard(size_t s);
+
+  /// RetrainShard over every shard; returns the first error.
+  Status RetrainAll();
+
+  /// Starts/stops every shard's background worker (lazily bootstrapped
+  /// shards join the running set as they appear).
+  void StartAll();
+  void StopAll();
+
+  /// Re-pins the manifest at base.persist_path from the shard blobs on
+  /// disk (no-op without a persist path). Runs automatically after every
+  /// successful shard persist; exposed for callers that move or copy the
+  /// snapshot directory. The most recent outcome — including refreshes
+  /// triggered by background rebuilds, which have no caller to return to
+  /// — is retained in last_manifest_status().
+  Status RefreshManifest() const;
+
+  /// Outcome of the most recent manifest re-pin (OK before the first).
+  /// A failure here means the on-disk manifest may pin stale blobs and a
+  /// fleet cold boot will refuse until a RefreshManifest() succeeds.
+  Status last_manifest_status() const;
+
+  size_t num_shards() const { return retrainers_.size(); }
+  Retrainer* shard_retrainer(size_t s) { return retrainers_[s].get(); }
+
+  /// The global sigma vector every shard is pinned to (empty before
+  /// Bootstrap).
+  const std::vector<double>& sigmas() const { return sigmas_; }
+
+ private:
+  /// Bootstraps one not-yet-bootstrapped retrainer with `corpus` and
+  /// starts its worker if StartAll already ran. append_mu_ must be held.
+  Status LazyBootstrapShard(size_t s, std::vector<AggregatedSession> corpus);
+
+  ShardedEngine* engine_;
+  RetrainerOptions base_;
+  std::vector<std::unique_ptr<Retrainer>> retrainers_;
+  std::vector<double> sigmas_;
+  std::vector<uint32_t> owners_scratch_;
+  std::mutex append_mu_;  // guards owners_scratch_ + lazy bootstraps
+  bool workers_started_ = false;  // guarded by append_mu_
+  /// Sessions routed to a shard whose lazy bootstrap has not succeeded
+  /// yet — retained (never dropped) and retried with the next append.
+  /// Guarded by append_mu_.
+  std::vector<std::vector<AggregatedSession>> lazy_pending_;
+  std::atomic<bool> refresh_enabled_{false};
+  /// Serializes manifest rewrites and guards manifest_status_.
+  mutable std::mutex manifest_mu_;
+  mutable Status manifest_status_;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SERVE_SHARDED_ENGINE_H_

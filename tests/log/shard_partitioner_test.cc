@@ -1,0 +1,114 @@
+// The query-id partition function is a persisted routing contract (the
+// manifest records its id), so these tests pin its exact values and the
+// corpus-partitioning invariants the bit-identical sharded serving
+// guarantee rests on.
+
+#include "log/shard_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sqp {
+namespace {
+
+TEST(ShardPartitionerTest, ShardOfQueryIsPinned) {
+  // FNV-1a over the id's little-endian bytes, mod the shard count. These
+  // literals are the contract: changing the hash, seed or byte order is a
+  // new partition function id, not an edit to this one.
+  EXPECT_EQ(ShardOfQuery(0, 2), 1u);
+  EXPECT_EQ(ShardOfQuery(1, 2), 0u);
+  EXPECT_EQ(ShardOfQuery(2, 4), 3u);
+  EXPECT_EQ(ShardOfQuery(3, 7), 4u);
+  EXPECT_EQ(ShardOfQuery(42, 7), 6u);
+  EXPECT_EQ(ShardOfQuery(65535, 4), 3u);
+  EXPECT_EQ(ShardOfQuery(1u << 20, 7), 1u);
+}
+
+TEST(ShardPartitionerTest, SingleShardOwnsEverything) {
+  for (QueryId q = 0; q < 100; ++q) {
+    EXPECT_EQ(ShardOfQuery(q, 1), 0u);
+  }
+}
+
+TEST(ShardPartitionerTest, ShardOfContextUsesMostRecentQuery) {
+  const std::vector<QueryId> context = {7, 3, 42};
+  EXPECT_EQ(ShardOfContext(context, 7), ShardOfQuery(42, 7));
+  EXPECT_EQ(ShardOfContext(std::span<const QueryId>{}, 7), 0u);
+}
+
+TEST(ShardPartitionerTest, OwningShardsAreNonFinalQueryOwners) {
+  // Session [a, b, c]: counting only ever ends a context at a non-final
+  // position, so c's owner has no stake unless it also owns a or b.
+  const AggregatedSession session{{0, 1, 2}, 3};
+  std::vector<uint32_t> owners;
+  OwningShards(session, 7, &owners);
+  std::set<uint32_t> expected = {ShardOfQuery(0, 7), ShardOfQuery(1, 7)};
+  EXPECT_EQ(std::set<uint32_t>(owners.begin(), owners.end()), expected);
+  // Sorted and deduplicated.
+  EXPECT_TRUE(std::is_sorted(owners.begin(), owners.end()));
+  EXPECT_EQ(owners.size(), expected.size());
+
+  // Single-query sessions carry no prediction evidence.
+  OwningShards(AggregatedSession{{5}, 10}, 7, &owners);
+  EXPECT_TRUE(owners.empty());
+}
+
+TEST(ShardPartitionerTest, PartitionCoversEveryCountedOccurrence) {
+  // The exactness invariant: for every session and every non-final
+  // position i, the session must be present in shard(q_i)'s corpus —
+  // that shard owns every context ending at position i.
+  std::vector<AggregatedSession> sessions;
+  uint64_t state = 12345;
+  for (size_t s = 0; s < 200; ++s) {
+    AggregatedSession session;
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const size_t len = 1 + (state >> 33) % 6;
+    for (size_t i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      session.queries.push_back(static_cast<QueryId>((state >> 33) % 50));
+    }
+    session.frequency = 1 + s % 4;
+    sessions.push_back(std::move(session));
+  }
+
+  for (const uint32_t num_shards : {1u, 2u, 4u, 7u}) {
+    const std::vector<std::vector<AggregatedSession>> corpora =
+        PartitionSessionsByShard(sessions, num_shards);
+    ASSERT_EQ(corpora.size(), num_shards);
+
+    const auto shard_contains = [&](uint32_t shard,
+                                    const AggregatedSession& session) {
+      for (const AggregatedSession& candidate : corpora[shard]) {
+        if (candidate.queries == session.queries &&
+            candidate.frequency == session.frequency) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const AggregatedSession& session : sessions) {
+      if (session.queries.size() < 2) continue;
+      for (size_t i = 0; i + 1 < session.queries.size(); ++i) {
+        EXPECT_TRUE(shard_contains(
+            ShardOfQuery(session.queries[i], num_shards), session));
+      }
+    }
+
+    // And nothing lands where it has no stake: every member session has
+    // at least one owned non-final query.
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      for (const AggregatedSession& member : corpora[shard]) {
+        bool owned = false;
+        for (size_t i = 0; i + 1 < member.queries.size(); ++i) {
+          owned |= ShardOfQuery(member.queries[i], num_shards) == shard;
+        }
+        EXPECT_TRUE(owned);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp

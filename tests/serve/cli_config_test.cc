@@ -1,0 +1,96 @@
+// Argument-validation contract of recommender_cli (serve/cli_config): a
+// flag that would be silently ignored is an explicit error naming the
+// flag, never a silent default.
+
+#include "serve/cli_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sqp {
+namespace {
+
+Result<RecommenderCliConfig> Parse(std::vector<std::string> args) {
+  return ParseRecommenderCliArgs(args);
+}
+
+TEST(CliConfigTest, DefaultsAndBasicFlags) {
+  const auto config = Parse({});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->threads, 1u);
+  EXPECT_EQ(config->batch, 1u);
+  EXPECT_EQ(config->shards, 1u);
+  EXPECT_FALSE(config->tail);
+  EXPECT_FALSE(config->compact);
+
+  const auto parsed = Parse({"--threads", "8", "--batch", "64", "--shards",
+                             "4", "--tail", "--compact"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->threads, 8u);
+  EXPECT_EQ(parsed->batch, 64u);
+  EXPECT_EQ(parsed->shards, 4u);
+  EXPECT_TRUE(parsed->tail);
+  EXPECT_TRUE(parsed->compact);
+}
+
+TEST(CliConfigTest, LaterFlagsOverrideEarlierOnes) {
+  const auto parsed = Parse({"--threads", "2", "--threads", "6"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->threads, 6u);
+}
+
+TEST(CliConfigTest, UnknownFlagsAndBadCountsAreNamedInTheError) {
+  auto bad = Parse({"--frobnicate"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--frobnicate"), std::string::npos);
+
+  bad = Parse({"--threads"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--threads"), std::string::npos);
+
+  for (const std::string value : {"0", "-3", "65", "abc", "4x"}) {
+    bad = Parse({"--threads", value});
+    ASSERT_FALSE(bad.ok()) << value;
+    EXPECT_NE(bad.status().message().find("--threads"), std::string::npos);
+    EXPECT_NE(bad.status().message().find(value), std::string::npos);
+  }
+  EXPECT_FALSE(Parse({"--shards", "4097"}).ok());
+  EXPECT_FALSE(Parse({"--batch", "65537"}).ok());
+}
+
+TEST(CliConfigTest, LoadSnapshotRejectsIgnoredFlags) {
+  // Each invalid combination must produce an error that names the
+  // conflicting flag — the "clear error, not a silent default" contract.
+  const struct {
+    std::vector<std::string> args;
+    std::string must_mention;
+  } cases[] = {
+      {{"--load-snapshot", "x.blob", "--tail"}, "--tail"},
+      {{"--load-snapshot", "x.blob", "--save-snapshot", "y.blob"},
+       "--save-snapshot"},
+      {{"--load-snapshot", "x.blob", "--compact"}, "--compact"},
+      {{"--load-snapshot", "x.manifest", "--shards", "2"}, "--shards"},
+  };
+  for (const auto& test : cases) {
+    const auto parsed = Parse(test.args);
+    ASSERT_FALSE(parsed.ok()) << test.must_mention;
+    EXPECT_NE(parsed.status().message().find(test.must_mention),
+              std::string::npos)
+        << parsed.status().message();
+  }
+}
+
+TEST(CliConfigTest, LoadSnapshotWithServingFlagsIsFine) {
+  // --threads and --batch configure serving, which a cold-booted replica
+  // still does; they must not be rejected.
+  const auto parsed = Parse(
+      {"--load-snapshot", "x.manifest", "--threads", "4", "--batch", "32"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->load_snapshot, "x.manifest");
+  EXPECT_EQ(parsed->threads, 4u);
+}
+
+}  // namespace
+}  // namespace sqp
