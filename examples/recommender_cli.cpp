@@ -37,6 +37,14 @@
 //                 --save-snapshot, --compact, --shards) are rejected with
 //                 an explicit error, never silently dropped — see
 //                 serve/cli_config.h for the validation contract.
+//   --deadline-us N
+//                 per-request latency budget: requests that cannot meet it
+//                 are shed with an explicit message instead of blocking
+//                 past it (serve/admission_queue). Default 0 = unbounded
+//   --lane interactive|bulk
+//                 admission priority lane for served requests (default
+//                 interactive; bulk batches yield the engine to
+//                 interactive traffic under load)
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
@@ -70,6 +78,8 @@ void PrintUsage() {
                "[--shards N] [--tail]\n"
                "                       [--compact] [--save-snapshot PATH | "
                "--load-snapshot PATH]\n"
+               "                       [--deadline-us N] "
+               "[--lane interactive|bulk]\n"
                "(--load-snapshot cold-boots a read-only replica from a blob "
                "or manifest and\n"
                " rejects flags it would ignore: --tail, --save-snapshot, "
@@ -231,12 +241,42 @@ int main(int argc, char** argv) {
   std::vector<std::vector<QueryId>> buffered;
   uint64_t seen_version = engine->stats().max_version;
 
+  // Every request carries the CLI's QoS choice: a fresh deadline per call
+  // (Deadline::After burns from the moment of the call, queue wait
+  // included) and the chosen lane. deadline_us = 0 keeps the unbounded
+  // legacy behavior.
+  const auto serve_options = [&] {
+    ServeOptions options;
+    if (cli.deadline_us > 0) {
+      options.deadline =
+          Deadline::After(std::chrono::microseconds(cli.deadline_us));
+    }
+    options.lane = cli.lane;
+    return options;
+  };
+  const auto print_shed = [](StatusCode code) {
+    std::cout << (code == StatusCode::kUnavailable
+                      ? "(shard unavailable: no published snapshot)\n"
+                      : "(request shed: deadline exceeded)\n");
+  };
+
   const auto flush_batch = [&] {
     if (buffered.empty()) return;
-    const std::vector<Recommendation> results =
-        engine->RecommendMany(buffered, 5);
-    for (size_t i = 0; i < results.size(); ++i) {
-      PrintRecommendation(dictionary, buffered[i], results[i]);
+    std::vector<ContextRef> refs;
+    refs.reserve(buffered.size());
+    for (const std::vector<QueryId>& c : buffered) {
+      refs.emplace_back(c.data(), c.size());
+    }
+    const BatchResult batch = engine->RecommendMany(
+        std::span<const ContextRef>(refs), 5, serve_options());
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+      if (batch.statuses[i] == StatusCode::kOk) {
+        PrintRecommendation(dictionary, buffered[i], batch.results[i]);
+      } else {
+        std::cout << "after \"" << dictionary.Text(buffered[i].back())
+                  << "\": ";
+        print_shed(batch.statuses[i]);
+      }
     }
     buffered.clear();
   };
@@ -285,8 +325,14 @@ int main(int argc, char** argv) {
       if (buffered.size() >= cli.batch) flush_batch();
       continue;
     }
-    const Recommendation rec = engine->Recommend(context, 5);
-    PrintRecommendation(dictionary, context, rec);
+    const ServeResult served = engine->Recommend(context, 5,
+                                                 serve_options());
+    if (served.status == StatusCode::kOk) {
+      PrintRecommendation(dictionary, context, served.recommendation);
+    } else {
+      std::cout << "after \"" << dictionary.Text(context.back()) << "\": ";
+      print_shed(served.status);
+    }
   }
   flush_batch();
   if (cli.tail && retrainers != nullptr) {

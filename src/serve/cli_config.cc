@@ -60,6 +60,24 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
       if (config.load_snapshot.empty()) {
         return Status::InvalidArgument("--load-snapshot expects a path");
       }
+    } else if (arg == "--deadline-us") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      size_t deadline = 0;
+      // Cap at 1e9 us (1000 s): anything longer is indistinguishable
+      // from unbounded, which plain serving (deadline_us = 0) already is.
+      SQP_RETURN_IF_ERROR(
+          ParseCount(arg, value, 1000000000, &deadline));
+      config.deadline_us = deadline;
+    } else if (arg == "--lane") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      if (value == "interactive") {
+        config.lane = QosLane::kInteractive;
+      } else if (value == "bulk") {
+        config.lane = QosLane::kBulk;
+      } else {
+        return Status::InvalidArgument(
+            "--lane expects 'interactive' or 'bulk', got '" + value + "'");
+      }
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }

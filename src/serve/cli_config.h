@@ -8,9 +8,11 @@
 /// and why — never a silent default.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 
+#include "serve/deadline.h"
 #include "util/status.h"
 
 namespace sqp {
@@ -23,6 +25,13 @@ struct RecommenderCliConfig {
   bool compact = false;
   std::string save_snapshot;
   std::string load_snapshot;
+
+  /// Per-request latency budget in microseconds; 0 = unbounded (the
+  /// deadline-free legacy behavior — never shed, never degraded).
+  uint64_t deadline_us = 0;
+
+  /// Admission priority lane for served requests.
+  QosLane lane = QosLane::kInteractive;
 };
 
 /// Parses recommender_cli arguments (argv[1..], program name excluded).

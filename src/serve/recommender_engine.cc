@@ -1,10 +1,12 @@
 #include "serve/recommender_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <thread>
 
 #include "core/snapshot_io.h"
+#include "util/timer.h"
 
 namespace sqp {
 namespace {
@@ -20,7 +22,9 @@ size_t ResolveThreads(size_t requested) {
 }  // namespace
 
 RecommenderEngine::RecommenderEngine(EngineOptions options)
-    : options_(options), pool_(ResolveThreads(options.num_threads)) {
+    : options_(options),
+      pool_(ResolveThreads(options.num_threads)),
+      admission_(options.admission) {
   lane_scratch_.resize(pool_.num_lanes());
 }
 
@@ -67,32 +71,168 @@ Recommendation RecommenderEngine::Recommend(ContextRef context, size_t top_n,
 std::vector<Recommendation> RecommenderEngine::RecommendMany(
     std::span<const ContextRef> contexts, size_t top_n,
     uint64_t* served_version) const {
-  std::vector<Recommendation> results(contexts.size());
+  // The deadline-free API is the QoS path with an unbounded deadline: it
+  // waits however long the backlog takes, is never shed or degraded, and
+  // (equivalence-tested) returns bit-identical results. Pool-sized
+  // batches ride the bulk lane so they never starve interactive traffic.
+  ServeOptions options;
+  options.lane = contexts.size() >= options_.min_batch_fanout
+                     ? QosLane::kBulk
+                     : QosLane::kInteractive;
+  BatchResult batch = RecommendMany(contexts, top_n, options);
+  if (served_version != nullptr) *served_version = batch.served_version;
+  return std::move(batch.results);
+}
+
+BatchResult RecommenderEngine::RecommendMany(
+    std::span<const ContextRef> contexts, size_t top_n,
+    const ServeOptions& options) const {
+  const Deadline::Clock::time_point start = Deadline::Clock::now();
+  const size_t n = contexts.size();
+  BatchResult out;
+  out.results.resize(n);
+  out.statuses.assign(n, StatusCode::kOk);
+  out.effective_top_n = top_n;
+
+  queries_served_[0].value.fetch_add(n, std::memory_order_relaxed);
+  batches_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options.deadline.Expired(start)) {
+    admission_.CountShed(options.lane, StatusCode::kDeadlineExceeded);
+    out.admission = Status::DeadlineExceeded("deadline expired on arrival");
+    std::fill(out.statuses.begin(), out.statuses.end(),
+              StatusCode::kDeadlineExceeded);
+    return out;
+  }
+
   // One snapshot grab for the whole batch: even if a retrain publishes
   // mid-batch, every result comes from the same model generation.
   const std::shared_ptr<const ServingSnapshot> snapshot = CurrentSnapshot();
-  queries_served_[0].value.fetch_add(contexts.size(),
-                                     std::memory_order_relaxed);
-  batches_served_.fetch_add(1, std::memory_order_relaxed);
-  if (served_version != nullptr) {
-    *served_version = snapshot == nullptr ? 0 : snapshot->version();
+  out.served_version = snapshot == nullptr ? 0 : snapshot->version();
+  if (snapshot == nullptr) {
+    // No published model: uncovered-empty answers (legacy contract), with
+    // the per-item status making the cause explicit.
+    std::fill(out.statuses.begin(), out.statuses.end(),
+              StatusCode::kUnavailable);
+    return out;
   }
-  if (snapshot == nullptr || contexts.empty()) return results;
-
-  if (pool_.num_lanes() == 1 || contexts.size() < options_.min_batch_fanout) {
-    SnapshotScratch& scratch = ThreadScratch();
-    for (size_t i = 0; i < contexts.size(); ++i) {
-      results[i] = snapshot->Recommend(contexts[i], top_n, &scratch);
-    }
-    return results;
+  if (n == 0) {
+    out.effective_top_n = top_n;
+    return out;
   }
 
+  const size_t effective_top_n =
+      admission_.DegradedTopN(top_n, options.deadline);
+  out.effective_top_n = effective_top_n;
+  out.degraded = effective_top_n < top_n;
   const ServingSnapshot* model = snapshot.get();
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  pool_.Run(contexts.size(), [&, model](size_t i, size_t lane) {
-    results[i] = model->Recommend(contexts[i], top_n, &lane_scratch_[lane]);
-  });
-  return results;
+  size_t expired_items = 0;
+
+  if (pool_.num_lanes() == 1 || n < options_.min_batch_fanout) {
+    // Inline path: no slot contention, but the deadline still cuts the
+    // batch short so a caller never blocks past it on a huge inline run.
+    SnapshotScratch& scratch = ThreadScratch();
+    for (size_t i = 0; i < n; ++i) {
+      if (options.deadline.bounded() && (i & 31u) == 0 && i != 0 &&
+          options.deadline.Expired()) {
+        for (size_t j = i; j < n; ++j) {
+          out.statuses[j] = StatusCode::kDeadlineExceeded;
+        }
+        expired_items = n - i;
+        break;
+      }
+      out.results[i] = model->Recommend(contexts[i], effective_top_n,
+                                        &scratch);
+    }
+  } else {
+    const Status admitted =
+        admission_.Admit(options.lane, options.deadline, n);
+    if (!admitted.ok()) {
+      std::fill(out.statuses.begin(), out.statuses.end(), admitted.code());
+      out.admission = admitted;
+      return out;
+    }
+    std::atomic<bool> expired{false};
+    const bool bounded = options.deadline.bounded();
+    WallTimer service;
+    pool_.Run(n, [&, model](size_t i, size_t lane) {
+      if (bounded) {
+        // Mid-batch deadline checks: one stride-32 clock read flips the
+        // flag; every task after it returns its item unserved with an
+        // explicit per-item status instead of blocking past the deadline.
+        if (expired.load(std::memory_order_relaxed)) {
+          out.statuses[i] = StatusCode::kDeadlineExceeded;
+          return;
+        }
+        if ((i & 31u) == 0 && options.deadline.Expired()) {
+          expired.store(true, std::memory_order_relaxed);
+          out.statuses[i] = StatusCode::kDeadlineExceeded;
+          return;
+        }
+      }
+      out.results[i] = model->Recommend(contexts[i], effective_top_n,
+                                        &lane_scratch_[lane]);
+    });
+    if (expired.load(std::memory_order_relaxed)) {
+      for (const StatusCode code : out.statuses) {
+        if (code == StatusCode::kDeadlineExceeded) ++expired_items;
+      }
+    }
+    admission_.Release(n - expired_items, service.ElapsedSeconds() * 1e6);
+  }
+
+  out.served = n - expired_items;
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Deadline::Clock::now() -
+                                                start)
+          .count();
+  admission_.RecordServed(options.lane, latency_us, out.degraded,
+                          expired_items);
+  return out;
+}
+
+BatchResult RecommenderEngine::RecommendMany(
+    const std::vector<std::vector<QueryId>>& contexts, size_t top_n,
+    const ServeOptions& options) const {
+  std::vector<ContextRef> refs;
+  refs.reserve(contexts.size());
+  for (const std::vector<QueryId>& context : contexts) {
+    refs.emplace_back(context.data(), context.size());
+  }
+  return RecommendMany(std::span<const ContextRef>(refs), top_n, options);
+}
+
+ServeResult RecommenderEngine::Recommend(ContextRef context, size_t top_n,
+                                         const ServeOptions& options) const {
+  ServeResult out;
+  const Deadline::Clock::time_point start = Deadline::Clock::now();
+  thread_local const size_t counter_slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterShards;
+  queries_served_[counter_slot].value.fetch_add(1,
+                                                std::memory_order_relaxed);
+  if (options.deadline.Expired(start)) {
+    admission_.CountShed(options.lane, StatusCode::kDeadlineExceeded);
+    out.status = StatusCode::kDeadlineExceeded;
+    return out;
+  }
+  const std::shared_ptr<const ServingSnapshot> snapshot = CurrentSnapshot();
+  if (snapshot == nullptr) {
+    out.status = StatusCode::kUnavailable;
+    return out;
+  }
+  out.served_version = snapshot->version();
+  const size_t effective_top_n =
+      admission_.DegradedTopN(top_n, options.deadline);
+  out.degraded = effective_top_n < top_n;
+  out.recommendation =
+      snapshot->Recommend(context, effective_top_n, &ThreadScratch());
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Deadline::Clock::now() -
+                                                start)
+          .count();
+  admission_.RecordServed(options.lane, latency_us, out.degraded, 0);
+  return out;
 }
 
 std::vector<Recommendation> RecommenderEngine::RecommendMany(
@@ -115,6 +255,7 @@ EngineStats RecommenderEngine::stats() const {
   stats.batches_served = batches_served_.load(std::memory_order_relaxed);
   stats.snapshots_published =
       snapshots_published_.load(std::memory_order_relaxed);
+  stats.admission = admission_.stats();
   return stats;
 }
 

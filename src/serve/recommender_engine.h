@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/model_snapshot.h"
+#include "serve/admission_queue.h"
+#include "serve/deadline.h"
 #include "serve/worker_pool.h"
 #include "util/status.h"
 
@@ -79,6 +81,11 @@ struct EngineOptions {
   /// Batches smaller than this run inline on the calling thread — fanning
   /// out a handful of microsecond-scale walks costs more than it buys.
   size_t min_batch_fanout = 32;
+
+  /// Admission-control knobs for the batch execution slot (lane bounds,
+  /// EWMA estimator, degrade ladder). Defaults keep no-deadline traffic
+  /// behaving exactly like the pre-QoS engine.
+  AdmissionOptions admission;
 };
 
 /// Serving counters (monotonic since engine construction).
@@ -86,6 +93,12 @@ struct EngineStats {
   uint64_t queries_served = 0;      // single + batched queries
   uint64_t batches_served = 0;      // RecommendMany calls
   uint64_t snapshots_published = 0; // Publish calls
+
+  /// Per-lane QoS counters (admitted / shed / expired / degraded) and
+  /// latency histograms, plus the admission EWMA. Populated by batch
+  /// traffic and by deadline-aware single queries; the legacy single-query
+  /// path stays out of it to keep its hot path untouched.
+  AdmissionStats admission;
 };
 
 /// The concurrent serving front-end of the recommender: any number of
@@ -155,6 +168,29 @@ class RecommenderEngine {
       const std::vector<std::vector<QueryId>>& contexts, size_t top_n,
       uint64_t* served_version = nullptr) const;
 
+  /// Deadline-aware single-query serving. With an unbounded deadline this
+  /// is bit-identical to the legacy Recommend; with a bounded one the
+  /// request may be shed on arrival (status kDeadlineExceeded) or served
+  /// with a reduced top_n under overload (degraded = true). Single
+  /// queries never wait for the batch slot — the deadline only guards
+  /// against serving a request that is already dead.
+  ServeResult Recommend(ContextRef context, size_t top_n,
+                        const ServeOptions& options) const;
+
+  /// Deadline-aware batched serving. With an unbounded deadline the
+  /// results are bit-identical to the legacy RecommendMany; with a
+  /// bounded one the batch may be shed whole at admission (queue full or
+  /// deadline unmeetable given the EWMA backlog estimate), cut mid-batch
+  /// when the deadline expires (partial results, remaining items marked
+  /// kDeadlineExceeded), or served with a reduced top_n under overload.
+  /// Per-item outcomes are in BatchResult::statuses.
+  BatchResult RecommendMany(std::span<const ContextRef> contexts,
+                            size_t top_n, const ServeOptions& options) const;
+
+  /// Convenience overload for callers holding owned query sequences.
+  BatchResult RecommendMany(const std::vector<std::vector<QueryId>>& contexts,
+                            size_t top_n, const ServeOptions& options) const;
+
   size_t num_threads() const { return pool_.num_lanes(); }
   EngineStats stats() const;
 
@@ -162,10 +198,11 @@ class RecommenderEngine {
   EngineOptions options_;
   AtomicSnapshotPtr snapshot_;
   mutable WorkerPool pool_;
-  /// One job at a time on the pool; concurrent batch callers queue here
-  /// (single-query traffic is unaffected).
-  mutable std::mutex batch_mu_;
-  /// Per-lane scratch for batch jobs, guarded by batch_mu_ ownership.
+  /// The batch execution slot: one job at a time on the pool; concurrent
+  /// batch callers wait (or are shed) in the bounded two-lane admission
+  /// queue instead of convoying on a mutex.
+  mutable AdmissionQueue admission_;
+  /// Per-lane scratch for batch jobs, guarded by admission-slot ownership.
   mutable std::vector<SnapshotScratch> lane_scratch_;
   /// The per-query counter is sharded across cache-line-padded slots
   /// (indexed by a thread-stable hash) so concurrent single-query readers

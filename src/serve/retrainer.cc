@@ -32,11 +32,38 @@ Status Retrainer::PublishAndPersist(
   } else {
     engine_->Publish(std::move(full));
   }
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
   if (!options_.persist_path.empty()) {
-    SQP_RETURN_IF_ERROR(SnapshotIo::Save(*compact, options_.persist_path));
+    // Bounded retry with exponential backoff: a transient persist failure
+    // (full disk, slow rename) must not silently drop this rebuild's
+    // blob. The publish above is already live either way.
+    Status persist;
+    std::chrono::milliseconds backoff = options_.persist_retry_backoff;
+    for (size_t attempt = 0;; ++attempt) {
+      persist = SnapshotIo::Save(*compact, options_.persist_path);
+      if (persist.ok()) break;
+      if (attempt >= options_.persist_max_retries) {
+        persist_failures_.fetch_add(1, std::memory_order_relaxed);
+        return persist;
+      }
+      persist_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
     if (options_.after_persist) options_.after_persist();
   }
   return Status::OK();
+}
+
+RetrainerStats Retrainer::stats() const {
+  RetrainerStats stats;
+  stats.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  stats.retrain_failures =
+      retrain_failures_.load(std::memory_order_relaxed);
+  stats.persist_retries = persist_retries_.load(std::memory_order_relaxed);
+  stats.persist_failures =
+      persist_failures_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 size_t Retrainer::EffectiveVocabulary() const {
@@ -79,6 +106,7 @@ Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus,
     Result<std::shared_ptr<const ModelSnapshot>> built =
         ModelSnapshot::Build(data, options_.model, /*version=*/1);
     if (!built.ok()) {
+      retrain_failures_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu_);
       last_status_ = built.status();
       return built.status();
@@ -149,7 +177,10 @@ Status Retrainer::RebuildAndPublish(std::vector<AggregatedSession> fresh) {
   data.substring_index = &index_;
   Result<std::shared_ptr<const ModelSnapshot>> built =
       ModelSnapshot::Build(data, options_.model, next_version);
-  if (!built.ok()) return built.status();
+  if (!built.ok()) {
+    retrain_failures_.fetch_add(1, std::memory_order_relaxed);
+    return built.status();
+  }
 
   const Status persist = PublishAndPersist(std::move(built.value()));
   {

@@ -68,6 +68,24 @@ struct RetrainerOptions {
   /// a shard republishes its blob; anything slow belongs elsewhere (the
   /// rebuild path blocks on it).
   std::function<void()> after_persist;
+
+  /// Persist failures retry this many times (beyond the first attempt)
+  /// with exponential backoff before the cycle gives up — a transient
+  /// full disk or slow NFS rename no longer silently drops a rebuild's
+  /// blob. The publish itself is never rolled back; after_persist fires
+  /// only once a persist succeeds.
+  size_t persist_max_retries = 3;
+
+  /// Backoff before the first retry; doubles on each subsequent one.
+  std::chrono::milliseconds persist_retry_backoff{10};
+};
+
+/// Rebuild/persist counters (monotonic since construction).
+struct RetrainerStats {
+  uint64_t rebuilds = 0;          // snapshots published (incl. bootstrap)
+  uint64_t retrain_failures = 0;  // rebuild attempts that failed to build
+  uint64_t persist_retries = 0;   // extra persist attempts after a failure
+  uint64_t persist_failures = 0;  // persists that gave up after retries
 };
 
 /// The streaming retrain/swap engine: consumes appended session batches,
@@ -137,6 +155,9 @@ class Retrainer {
   /// Status of the most recent rebuild attempt.
   Status last_status() const;
 
+  /// Rebuild/persist counters (see RetrainerStats).
+  RetrainerStats stats() const;
+
   size_t pending_sessions() const;
   /// Sessions in the training corpus so far; blocks while a rebuild is in
   /// flight (diagnostic accessor, not a serving-path API).
@@ -154,6 +175,13 @@ class Retrainer {
 
   RecommenderEngine* engine_;
   RetrainerOptions options_;
+
+  /// Relaxed counters (read via stats(); bumped on the rebuild thread and
+  /// the persist retry loop).
+  mutable std::atomic<uint64_t> rebuilds_{0};
+  mutable std::atomic<uint64_t> retrain_failures_{0};
+  mutable std::atomic<uint64_t> persist_retries_{0};
+  mutable std::atomic<uint64_t> persist_failures_{0};
 
   /// Guards pending_, version_, last_status_, bootstrapped_.
   mutable std::mutex mu_;

@@ -1,11 +1,13 @@
 #include "serve/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 #include <unordered_map>
 
 #include "core/pst.h"
+#include "util/timer.h"
 
 namespace sqp {
 namespace {
@@ -148,12 +150,14 @@ std::vector<double> FitShardedSigmas(
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(options),
-      pool_(ResolvePoolThreads(options.num_threads)) {
+      pool_(ResolvePoolThreads(options.num_threads)),
+      admission_(options.admission) {
   const size_t shards = std::clamp<size_t>(options.num_shards, 1, 4096);
   shards_.reserve(shards);
+  EngineOptions shard_options;
+  shard_options.num_threads = 1;
   for (size_t s = 0; s < shards; ++s) {
-    shards_.push_back(std::make_unique<RecommenderEngine>(
-        EngineOptions{.num_threads = 1}));
+    shards_.push_back(std::make_unique<RecommenderEngine>(shard_options));
   }
   lane_scratch_.resize(pool_.num_lanes());
 }
@@ -194,6 +198,50 @@ Status ShardedEngine::LoadAndPublish(const std::string& manifest_path,
   return Status::OK();
 }
 
+Result<FleetBootReport> ShardedEngine::LoadAndPublishAvailable(
+    const std::string& manifest_path, const SnapshotLoadOptions& options) {
+  Result<SnapshotManifest> manifest = SnapshotIo::LoadManifest(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+  if (manifest->num_shards() != shards_.size()) {
+    return Status::InvalidArgument(
+        "manifest has " + std::to_string(manifest->num_shards()) +
+        " shards but the engine has " + std::to_string(shards_.size()) +
+        ": " + manifest_path);
+  }
+  if (manifest->partition_function != kShardPartitionLastQueryFnv1a) {
+    return Status::InvalidArgument(
+        "manifest partition function " +
+        std::to_string(manifest->partition_function) +
+        " is not the last-query FNV-1a scheme this build routes with: " +
+        manifest_path);
+  }
+  FleetBootReport report;
+  report.shard_status.reserve(shards_.size());
+  for (size_t s = 0; s < manifest->shards.size(); ++s) {
+    const ShardBlobRef& ref = manifest->shards[s];
+    const std::string blob_path =
+        ResolveAgainstManifest(manifest_path, ref.path);
+    Status status = SnapshotIo::VerifyBlobRef(ref, blob_path);
+    if (status.ok()) {
+      Result<std::shared_ptr<const MappedCompactSnapshot>> mapped =
+          SnapshotIo::Map(blob_path, options);
+      if (mapped.ok()) {
+        shards_[s]->Publish(std::move(mapped.value()));
+        ++report.healthy_shards;
+      } else {
+        status = mapped.status();
+      }
+    }
+    report.shard_status.push_back(std::move(status));
+  }
+  if (report.healthy_shards == 0) {
+    for (const Status& status : report.shard_status) {
+      if (!status.ok()) return status;
+    }
+  }
+  return report;
+}
+
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::BootFromManifest(
     const std::string& manifest_path, ShardedEngineOptions base,
     const SnapshotLoadOptions& load_options) {
@@ -213,10 +261,44 @@ Recommendation ShardedEngine::Recommend(ContextRef context, size_t top_n,
 
 std::vector<Recommendation> ShardedEngine::RecommendMany(
     std::span<const ContextRef> contexts, size_t top_n) const {
-  std::vector<Recommendation> results(contexts.size());
-  if (contexts.empty()) return results;
-  batch_queries_.fetch_add(contexts.size(), std::memory_order_relaxed);
+  // The deadline-free API is the QoS path with an unbounded deadline
+  // (never shed, never degraded, bit-identical results — same contract
+  // as RecommenderEngine).
+  ServeOptions options;
+  options.lane = contexts.size() >= options_.min_batch_fanout
+                     ? QosLane::kBulk
+                     : QosLane::kInteractive;
+  return std::move(RecommendMany(contexts, top_n, options).results);
+}
+
+ServeResult ShardedEngine::Recommend(ContextRef context, size_t top_n,
+                                     const ServeOptions& options) const {
+  // The owning shard's engine handles the deadline check, degrade and
+  // QoS accounting; its counters roll up through stats().
+  return shards_[OwningShard(context)]->Recommend(context, top_n, options);
+}
+
+BatchResult ShardedEngine::RecommendMany(
+    std::span<const ContextRef> contexts, size_t top_n,
+    const ServeOptions& options) const {
+  const Deadline::Clock::time_point start = Deadline::Clock::now();
+  const size_t n = contexts.size();
+  BatchResult out;
+  out.results.resize(n);
+  out.statuses.assign(n, StatusCode::kOk);
+  out.effective_top_n = top_n;
+
+  batch_queries_.fetch_add(n, std::memory_order_relaxed);
   batches_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options.deadline.Expired(start)) {
+    admission_.CountShed(options.lane, StatusCode::kDeadlineExceeded);
+    out.admission = Status::DeadlineExceeded("deadline expired on arrival");
+    std::fill(out.statuses.begin(), out.statuses.end(),
+              StatusCode::kDeadlineExceeded);
+    return out;
+  }
+  if (n == 0) return out;
 
   // One snapshot grab per shard for the whole batch: a swap landing
   // mid-batch cannot mix generations within a shard's answers.
@@ -226,25 +308,81 @@ std::vector<Recommendation> ShardedEngine::RecommendMany(
     snapshots[s] = shards_[s]->CurrentSnapshot();
   }
 
+  const size_t effective_top_n =
+      admission_.DegradedTopN(top_n, options.deadline);
+  out.effective_top_n = effective_top_n;
+  out.degraded = effective_top_n < top_n;
+  size_t expired_items = 0;
+
   const auto answer = [&](size_t i, SnapshotScratch* scratch) {
     const ServingSnapshot* snapshot =
         snapshots[OwningShard(contexts[i])].get();
     if (snapshot != nullptr) {
-      results[i] = snapshot->Recommend(contexts[i], top_n, scratch);
+      out.results[i] =
+          snapshot->Recommend(contexts[i], effective_top_n, scratch);
+    } else {
+      // Dead / never-published shard: uncovered-empty answer with an
+      // explicit status — healthy shards keep serving around it.
+      out.statuses[i] = StatusCode::kUnavailable;
     }
   };
 
-  if (pool_.num_lanes() == 1 ||
-      contexts.size() < options_.min_batch_fanout) {
+  if (pool_.num_lanes() == 1 || n < options_.min_batch_fanout) {
     SnapshotScratch& scratch = internal::ThreadScratch();
-    for (size_t i = 0; i < contexts.size(); ++i) answer(i, &scratch);
-    return results;
+    for (size_t i = 0; i < n; ++i) {
+      if (options.deadline.bounded() && (i & 31u) == 0 && i != 0 &&
+          options.deadline.Expired()) {
+        for (size_t j = i; j < n; ++j) {
+          out.statuses[j] = StatusCode::kDeadlineExceeded;
+        }
+        expired_items = n - i;
+        break;
+      }
+      answer(i, &scratch);
+    }
+  } else {
+    const Status admitted =
+        admission_.Admit(options.lane, options.deadline, n);
+    if (!admitted.ok()) {
+      std::fill(out.statuses.begin(), out.statuses.end(), admitted.code());
+      out.admission = admitted;
+      return out;
+    }
+    std::atomic<bool> expired{false};
+    const bool bounded = options.deadline.bounded();
+    WallTimer service;
+    pool_.Run(n, [&](size_t i, size_t lane) {
+      if (bounded) {
+        if (expired.load(std::memory_order_relaxed)) {
+          out.statuses[i] = StatusCode::kDeadlineExceeded;
+          return;
+        }
+        if ((i & 31u) == 0 && options.deadline.Expired()) {
+          expired.store(true, std::memory_order_relaxed);
+          out.statuses[i] = StatusCode::kDeadlineExceeded;
+          return;
+        }
+      }
+      answer(i, &lane_scratch_[lane]);
+    });
+    if (expired.load(std::memory_order_relaxed)) {
+      for (const StatusCode code : out.statuses) {
+        if (code == StatusCode::kDeadlineExceeded) ++expired_items;
+      }
+    }
+    admission_.Release(n - expired_items, service.ElapsedSeconds() * 1e6);
   }
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  pool_.Run(contexts.size(), [&](size_t i, size_t lane) {
-    answer(i, &lane_scratch_[lane]);
-  });
-  return results;
+
+  for (const StatusCode code : out.statuses) {
+    if (code == StatusCode::kOk) ++out.served;
+  }
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Deadline::Clock::now() -
+                                                start)
+          .count();
+  admission_.RecordServed(options.lane, latency_us, out.degraded,
+                          expired_items);
+  return out;
 }
 
 std::vector<Recommendation> ShardedEngine::RecommendMany(
@@ -277,8 +415,11 @@ ShardedStats ShardedEngine::stats() const {
                           : *std::max_element(stats.shard_versions.begin(),
                                               stats.shard_versions.end());
   stats.queries_served = batch_queries_.load(std::memory_order_relaxed);
+  stats.admission = admission_.stats();
   for (const auto& shard : shards_) {
-    stats.queries_served += shard->stats().queries_served;
+    const EngineStats shard_stats = shard->stats();
+    stats.queries_served += shard_stats.queries_served;
+    stats.admission.MergeFrom(shard_stats.admission);
   }
   stats.batches_served = batches_served_.load(std::memory_order_relaxed);
   return stats;

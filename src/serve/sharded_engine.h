@@ -56,6 +56,12 @@ struct ShardedEngineOptions {
 
   /// Batches smaller than this run inline on the calling thread.
   size_t min_batch_fanout = 32;
+
+  /// Admission-control knobs for the fleet's batch execution slot (see
+  /// serve/admission_queue.h). Shard engines keep their own (single-lane,
+  /// effectively idle) queues; all cross-shard batch admission happens
+  /// here.
+  AdmissionOptions admission;
 };
 
 /// Aggregate serving counters plus the per-shard snapshot versions. With
@@ -69,6 +75,22 @@ struct ShardedStats {
   uint64_t min_version = 0;
   uint64_t max_version = 0;
   std::vector<uint64_t> shard_versions;
+
+  /// Fleet-wide QoS counters: the front-end admission queue's lanes
+  /// summed with every shard engine's (which count deadline-aware
+  /// single-query traffic routed to them). The EWMA is the front-end
+  /// queue's.
+  AdmissionStats admission;
+};
+
+/// Per-shard outcome of a degraded fleet boot (LoadAndPublishAvailable).
+struct FleetBootReport {
+  /// Shards that verified, mapped and published.
+  size_t healthy_shards = 0;
+
+  /// Index == shard id; OK for published shards, the verify/map error for
+  /// dead ones (which keep whatever snapshot they had — typically none).
+  std::vector<Status> shard_status;
 };
 
 /// The sharded serving front-end: routes every request to the shard owning
@@ -120,6 +142,18 @@ class ShardedEngine {
   Status LoadAndPublish(const std::string& manifest_path,
                         const SnapshotLoadOptions& options = {});
 
+  /// Degraded fleet boot: like LoadAndPublish, but a shard whose blob
+  /// fails verification or mapping does not sink the fleet — every
+  /// healthy shard is published and keeps serving its routed traffic,
+  /// while the dead shard stays unpublished (its contexts answer
+  /// uncovered-empty, kUnavailable through the deadline-aware API). The
+  /// manifest itself must still be valid and match this engine; the
+  /// per-shard outcomes land in the report. At least one healthy shard is
+  /// required (an all-dead boot returns the first shard's error).
+  Result<FleetBootReport> LoadAndPublishAvailable(
+      const std::string& manifest_path,
+      const SnapshotLoadOptions& options = {});
+
   /// Sizes a fresh engine from the manifest (shard count comes from the
   /// file) and cold-boots it. `base.num_shards` is ignored.
   static Result<std::unique_ptr<ShardedEngine>> BootFromManifest(
@@ -144,6 +178,20 @@ class ShardedEngine {
       const std::vector<std::vector<QueryId>>& contexts,
       size_t top_n) const;
 
+  /// Deadline-aware single-query serving: one routing decision, then the
+  /// owning shard engine's deadline-aware path (kUnavailable if that
+  /// shard has no published snapshot).
+  ServeResult Recommend(ContextRef context, size_t top_n,
+                        const ServeOptions& options) const;
+
+  /// Deadline-aware cross-shard batched serving, with the same admission
+  /// / mid-batch-expiry / degrade semantics as the single-engine overload
+  /// (per-item outcomes in BatchResult::statuses; items owned by an
+  /// unpublished shard are kUnavailable). BatchResult::served_version is
+  /// 0 — per-shard versions live in stats().
+  BatchResult RecommendMany(std::span<const ContextRef> contexts,
+                            size_t top_n, const ServeOptions& options) const;
+
   /// Per-shard snapshot versions (0 for never-published shards), index ==
   /// shard id.
   std::vector<uint64_t> shard_versions() const;
@@ -154,8 +202,8 @@ class ShardedEngine {
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<RecommenderEngine>> shards_;
   mutable WorkerPool pool_;
-  /// One batch job at a time on the pool (as RecommenderEngine).
-  mutable std::mutex batch_mu_;
+  /// The fleet's batch execution slot (see RecommenderEngine::admission_).
+  mutable AdmissionQueue admission_;
   mutable std::vector<SnapshotScratch> lane_scratch_;
   mutable std::atomic<uint64_t> batch_queries_{0};
   mutable std::atomic<uint64_t> batches_served_{0};

@@ -21,6 +21,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kResourceExhausted,   // admission queue full; request shed
+  kDeadlineExceeded,    // deadline expired before or during serving
+  kUnavailable,         // the responsible replica/shard has no snapshot
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
@@ -49,6 +52,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 
@@ -50,9 +52,12 @@ class PipelineTest : public ::testing::Test {
     const SynthCorpus test_corpus =
         test_synth.Synthesize(404, &state_->oracle);
 
-    // Round-trip the raw training log through the file format.
+    // Round-trip the raw training log through the file format. The path
+    // must be process-unique: ctest runs every case of this suite as its
+    // own process, and parallel runs otherwise race on one file.
     const std::string path =
-        (std::filesystem::temp_directory_path() / "sqp_pipeline_test.tsv")
+        (std::filesystem::temp_directory_path() /
+         ("sqp_pipeline_test_" + std::to_string(::getpid()) + ".tsv"))
             .string();
     SQP_CHECK_OK(WriteLogFile(path, train_corpus.records));
     std::vector<RawLogRecord> loaded;

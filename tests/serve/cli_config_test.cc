@@ -82,6 +82,33 @@ TEST(CliConfigTest, LoadSnapshotRejectsIgnoredFlags) {
   }
 }
 
+TEST(CliConfigTest, DeadlineAndLaneFlags) {
+  // Defaults: unbounded budget, interactive lane.
+  const auto defaults = Parse({});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->deadline_us, 0u);
+  EXPECT_EQ(defaults->lane, QosLane::kInteractive);
+
+  const auto parsed =
+      Parse({"--deadline-us", "2500", "--lane", "bulk"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->deadline_us, 2500u);
+  EXPECT_EQ(parsed->lane, QosLane::kBulk);
+
+  EXPECT_EQ(Parse({"--lane", "interactive"})->lane, QosLane::kInteractive);
+
+  for (const std::string value : {"0", "-5", "soon", "1000000001"}) {
+    const auto bad = Parse({"--deadline-us", value});
+    ASSERT_FALSE(bad.ok()) << value;
+    EXPECT_NE(bad.status().message().find("--deadline-us"),
+              std::string::npos);
+  }
+  const auto bad_lane = Parse({"--lane", "express"});
+  ASSERT_FALSE(bad_lane.ok());
+  EXPECT_NE(bad_lane.status().message().find("--lane"), std::string::npos);
+  EXPECT_NE(bad_lane.status().message().find("express"), std::string::npos);
+}
+
 TEST(CliConfigTest, LoadSnapshotWithServingFlagsIsFine) {
   // --threads and --batch configure serving, which a cold-booted replica
   // still does; they must not be rejected.

@@ -1,0 +1,407 @@
+// Deadline-aware serving: the acceptance property is that with no
+// overload the QoS paths are bit-identical to the legacy API on both
+// engines (unbounded AND generously-bounded deadlines), and that under
+// pressure the engine sheds whole requests, cuts batches mid-flight with
+// explicit per-item statuses, and degrades top_n — never deadlocking and
+// never touching deadline-free traffic.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/recommender_engine.h"
+#include "serve/sharded_engine.h"
+#include "serve_test_util.h"
+
+namespace sqp {
+namespace {
+
+using serve_test::CollectContexts;
+using serve_test::ExpectSameRecommendation;
+using serve_test::SharedCorpus;
+
+constexpr size_t kVocabularyBound = 1 << 20;
+
+std::shared_ptr<const ModelSnapshot> BuildSnapshot(
+    const std::vector<AggregatedSession>& sessions, uint64_t version) {
+  TrainingData data;
+  data.sessions = &sessions;
+  data.vocabulary_size = kVocabularyBound;
+  MvmmOptions options;
+  options.default_max_depth = 5;
+  auto built = ModelSnapshot::Build(data, options, version);
+  SQP_CHECK(built.ok());
+  return built.value();
+}
+
+Deadline Generous() { return Deadline::After(std::chrono::seconds(30)); }
+
+// ------------------------------------------------- no-overload equivalence
+
+TEST(DeadlineServingTest, EngineQosMatchesLegacyWithoutOverload) {
+  const auto snapshot = BuildSnapshot(SharedCorpus().base, 7);
+  RecommenderEngine engine(EngineOptions{.num_threads = 2});
+  engine.Publish(snapshot);
+
+  const std::vector<std::vector<QueryId>> contexts =
+      CollectContexts(SharedCorpus().base, 300);
+  uint64_t version = 0;
+  const std::vector<Recommendation> legacy =
+      engine.RecommendMany(contexts, 5, &version);
+  ASSERT_EQ(version, 7u);
+
+  // Unbounded deadline (the legacy contract spelled out) and a generous
+  // bounded one, on both lanes: same answers, same order, same scores.
+  for (const Deadline& deadline : {Deadline::None(), Generous()}) {
+    for (const QosLane lane : {QosLane::kInteractive, QosLane::kBulk}) {
+      ServeOptions options;
+      options.deadline = deadline;
+      options.lane = lane;
+      const BatchResult batch = engine.RecommendMany(contexts, 5, options);
+      ASSERT_TRUE(batch.admission.ok()) << batch.admission.ToString();
+      EXPECT_EQ(batch.served, contexts.size());
+      EXPECT_EQ(batch.served_version, 7u);
+      EXPECT_EQ(batch.effective_top_n, 5u);
+      EXPECT_FALSE(batch.degraded);
+      ASSERT_EQ(batch.results.size(), contexts.size());
+      ASSERT_EQ(batch.statuses.size(), contexts.size());
+      for (size_t i = 0; i < contexts.size(); ++i) {
+        EXPECT_EQ(batch.statuses[i], StatusCode::kOk);
+        ExpectSameRecommendation(legacy[i], batch.results[i]);
+      }
+    }
+  }
+
+  // Single-query parity.
+  for (size_t i = 0; i < 50; ++i) {
+    ServeOptions options;
+    options.deadline = Generous();
+    const ServeResult served = engine.Recommend(contexts[i], 5, options);
+    EXPECT_EQ(served.status, StatusCode::kOk);
+    EXPECT_EQ(served.served_version, 7u);
+    EXPECT_FALSE(served.degraded);
+    ExpectSameRecommendation(legacy[i], served.recommendation);
+  }
+}
+
+TEST(DeadlineServingTest, ShardedQosMatchesLegacyWithoutOverload) {
+  const std::vector<AggregatedSession>& corpus = SharedCorpus().base;
+  ShardedTrainOptions train;
+  train.model.default_max_depth = 5;
+  train.num_shards = 4;
+  train.vocabulary_size = kVocabularyBound;
+  auto trained = TrainShardedSnapshots(corpus, train);
+  ASSERT_TRUE(trained.ok());
+
+  ShardedEngine engine(
+      ShardedEngineOptions{.num_shards = 4, .num_threads = 2});
+  for (size_t s = 0; s < 4; ++s) {
+    engine.PublishShard(s, trained->shards[s]);
+  }
+
+  const std::vector<std::vector<QueryId>> owned =
+      CollectContexts(corpus, 300);
+  std::vector<ContextRef> contexts(owned.begin(), owned.end());
+  const std::vector<Recommendation> legacy =
+      engine.RecommendMany(owned, 5);
+
+  for (const Deadline& deadline : {Deadline::None(), Generous()}) {
+    ServeOptions options;
+    options.deadline = deadline;
+    const BatchResult batch = engine.RecommendMany(
+        std::span<const ContextRef>(contexts), 5, options);
+    ASSERT_TRUE(batch.admission.ok()) << batch.admission.ToString();
+    EXPECT_EQ(batch.served, owned.size());
+    ASSERT_EQ(batch.results.size(), owned.size());
+    for (size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_EQ(batch.statuses[i], StatusCode::kOk);
+      ExpectSameRecommendation(legacy[i], batch.results[i]);
+    }
+  }
+
+  for (size_t i = 0; i < 50; ++i) {
+    ServeOptions options;
+    options.deadline = Generous();
+    const ServeResult served = engine.Recommend(contexts[i], 5, options);
+    EXPECT_EQ(served.status, StatusCode::kOk);
+    ExpectSameRecommendation(legacy[i], served.recommendation);
+  }
+}
+
+// ----------------------------------------------------------- shed paths
+
+TEST(DeadlineServingTest, EngineShedsRequestsThatArriveExpired) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 2});
+  engine.Publish(BuildSnapshot(SharedCorpus().base, 1));
+  const std::vector<std::vector<QueryId>> contexts =
+      CollectContexts(SharedCorpus().base, 40);
+
+  ServeOptions options;
+  options.deadline =
+      Deadline::At(Deadline::Clock::now() - std::chrono::milliseconds(1));
+  const BatchResult batch = engine.RecommendMany(contexts, 5, options);
+  EXPECT_EQ(batch.admission.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(batch.served, 0u);
+  ASSERT_EQ(batch.statuses.size(), contexts.size());
+  for (const StatusCode code : batch.statuses) {
+    EXPECT_EQ(code, StatusCode::kDeadlineExceeded);
+  }
+
+  const ServeResult single = engine.Recommend(contexts[0], 5, options);
+  EXPECT_EQ(single.status, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(single.recommendation.queries.empty());
+
+  const AdmissionStats stats = engine.stats().admission;
+  EXPECT_GE(stats.lane(QosLane::kInteractive).shed_deadline, 2u);
+  // The legacy path is oblivious: same engine, same instant, full answer.
+  EXPECT_EQ(engine.RecommendMany(contexts, 5).size(), contexts.size());
+}
+
+TEST(DeadlineServingTest, UnpublishedEnginesReportUnavailable) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  ServeOptions options;
+  options.deadline = Generous();
+  const std::vector<QueryId> context = {1, 2, 3};
+  const ServeResult single = engine.Recommend(context, 5, options);
+  EXPECT_EQ(single.status, StatusCode::kUnavailable);
+  EXPECT_FALSE(single.recommendation.covered);
+
+  const BatchResult batch = engine.RecommendMany(
+      std::vector<std::vector<QueryId>>{{1}, {2}}, 5, options);
+  ASSERT_TRUE(batch.admission.ok());
+  EXPECT_EQ(batch.served, 0u);
+  for (const StatusCode code : batch.statuses) {
+    EXPECT_EQ(code, StatusCode::kUnavailable);
+  }
+}
+
+TEST(DeadlineServingTest, ShardWithNoSnapshotIsUnavailableOthersServe) {
+  const std::vector<AggregatedSession>& corpus = SharedCorpus().base;
+  ShardedTrainOptions train;
+  train.model.default_max_depth = 5;
+  train.num_shards = 4;
+  train.vocabulary_size = kVocabularyBound;
+  auto trained = TrainShardedSnapshots(corpus, train);
+  ASSERT_TRUE(trained.ok());
+
+  ShardedEngine engine(
+      ShardedEngineOptions{.num_shards = 4, .num_threads = 2});
+  for (size_t s = 1; s < 4; ++s) {
+    engine.PublishShard(s, trained->shards[s]);
+  }
+
+  const std::vector<std::vector<QueryId>> owned =
+      CollectContexts(corpus, 200);
+  std::vector<ContextRef> contexts(owned.begin(), owned.end());
+  ServeOptions options;
+  options.deadline = Generous();
+  const BatchResult batch = engine.RecommendMany(
+      std::span<const ContextRef>(contexts), 5, options);
+  ASSERT_TRUE(batch.admission.ok());
+  ASSERT_EQ(batch.statuses.size(), owned.size());
+
+  size_t unavailable = 0;
+  for (size_t i = 0; i < owned.size(); ++i) {
+    if (engine.OwningShard(contexts[i]) == 0) {
+      EXPECT_EQ(batch.statuses[i], StatusCode::kUnavailable);
+      EXPECT_FALSE(batch.results[i].covered);
+      ++unavailable;
+    } else {
+      EXPECT_EQ(batch.statuses[i], StatusCode::kOk);
+    }
+  }
+  EXPECT_GT(unavailable, 0u);
+  EXPECT_EQ(batch.served, owned.size() - unavailable);
+
+  // Single-query routing to the dead shard reports the same.
+  for (size_t i = 0; i < owned.size(); ++i) {
+    if (engine.OwningShard(contexts[i]) == 0) {
+      const ServeResult served = engine.Recommend(contexts[i], 5, options);
+      EXPECT_EQ(served.status, StatusCode::kUnavailable);
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------ mid-batch expiry
+
+TEST(DeadlineServingTest, BatchIsCutMidFlightWhenTheDeadlineExpires) {
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  engine.Publish(BuildSnapshot(SharedCorpus().base, 1));
+
+  // ~240k items: far more work than 25 ms even on the fastest box, so the
+  // deadline lands mid-batch. Build the ContextRef view *before* starting
+  // the clock — on a loaded CI box the O(n) setup alone can otherwise eat
+  // the whole budget and the request is shed on arrival instead of cut.
+  const std::vector<std::vector<QueryId>> seed =
+      CollectContexts(SharedCorpus().base, 4000);
+  std::vector<std::vector<QueryId>> contexts;
+  contexts.reserve(seed.size() * 60);
+  for (int rep = 0; rep < 60; ++rep) {
+    contexts.insert(contexts.end(), seed.begin(), seed.end());
+  }
+  std::vector<ContextRef> refs;
+  refs.reserve(contexts.size());
+  for (const auto& context : contexts) refs.emplace_back(context);
+
+  ServeOptions options;
+  options.deadline = Deadline::After(std::chrono::milliseconds(25));
+  const BatchResult batch = engine.RecommendMany(
+      std::span<const ContextRef>(refs), 5, options);
+  ASSERT_TRUE(batch.admission.ok()) << batch.admission.ToString();
+  EXPECT_GT(batch.served, 0u);          // made real progress...
+  EXPECT_LT(batch.served, contexts.size());  // ...but not the whole batch
+  ASSERT_EQ(batch.statuses.size(), contexts.size());
+  EXPECT_EQ(batch.statuses.back(), StatusCode::kDeadlineExceeded);
+
+  // Served prefix is exact; expired suffix is explicit and empty.
+  const std::vector<Recommendation> legacy = engine.RecommendMany(seed, 5);
+  size_t checked = 0;
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    if (batch.statuses[i] == StatusCode::kOk) {
+      ExpectSameRecommendation(legacy[i % seed.size()], batch.results[i]);
+      if (++checked >= 64) break;  // spot-check; the full loop is O(n^2) logs
+    } else {
+      EXPECT_EQ(batch.statuses[i], StatusCode::kDeadlineExceeded);
+      EXPECT_TRUE(batch.results[i].queries.empty());
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  const AdmissionStats stats = engine.stats().admission;
+  EXPECT_GT(stats.lane(QosLane::kInteractive).expired_items, 0u);
+}
+
+// ------------------------------------------- convoy fairness (regression)
+
+// The pre-QoS engine serialized batches on a plain mutex: a convoy of
+// large batches could starve small ones indefinitely. Now every caller
+// either holds the slot or waits in a bounded lane; all of them finish,
+// and interactive batches are never shed by deadline-free bulk traffic.
+TEST(DeadlineServingTest, ConcurrentBatchCallersAllMakeProgress) {
+  const auto snapshot = BuildSnapshot(SharedCorpus().base, 1);
+  RecommenderEngine engine(EngineOptions{.num_threads = 4});
+  engine.Publish(snapshot);
+
+  const std::vector<std::vector<QueryId>> seed =
+      CollectContexts(SharedCorpus().base, 2048);
+  const std::vector<std::vector<QueryId>> small(seed.begin(),
+                                                seed.begin() + 40);
+  const std::vector<Recommendation> expected_small =
+      engine.RecommendMany(small, 5);
+
+  std::atomic<size_t> bulk_done{0};
+  std::atomic<size_t> interactive_done{0};
+  std::atomic<bool> interactive_clean{true};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        const std::vector<Recommendation> got =
+            engine.RecommendMany(seed, 5);
+        if (got.size() == seed.size()) bulk_done.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 15; ++round) {
+        ServeOptions options;
+        options.deadline = Generous();
+        options.lane = QosLane::kInteractive;
+        const BatchResult got = engine.RecommendMany(small, 5, options);
+        if (!got.admission.ok() || got.served != small.size()) {
+          interactive_clean.store(false);
+          continue;
+        }
+        for (size_t i = 0; i < small.size(); ++i) {
+          if (!serve_test::SameRecommendation(expected_small[i],
+                                              got.results[i])) {
+            interactive_clean.store(false);
+          }
+        }
+        interactive_done.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(bulk_done.load(), 9u);
+  EXPECT_EQ(interactive_done.load(), 45u);
+  EXPECT_TRUE(interactive_clean.load());
+}
+
+// -------------------------------------------------- degrade under pressure
+
+TEST(DeadlineServingTest, BoundedRequestsDegradeTopNUnderPressure) {
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.admission.interactive_capacity = 1;
+  engine_options.admission.bulk_capacity = 1;
+  // Threshold = ceil(0.5 * 2) = 1 waiting job triggers the ladder.
+  engine_options.admission.degrade_pressure = 0.5;
+  RecommenderEngine engine(engine_options);
+  engine.Publish(BuildSnapshot(SharedCorpus().base, 1));
+
+  const std::vector<std::vector<QueryId>> seed =
+      CollectContexts(SharedCorpus().base, 4000);
+  std::vector<std::vector<QueryId>> huge;
+  huge.reserve(seed.size() * 25);
+  for (int rep = 0; rep < 25; ++rep) {
+    huge.insert(huge.end(), seed.begin(), seed.end());
+  }
+  const std::vector<std::vector<QueryId>> small(seed.begin(),
+                                                seed.begin() + 4);
+
+  // A holds the batch slot for the duration of a ~100k-item batch; B
+  // queues behind it (deadline-free: it just waits). While B waits, a
+  // bounded request must see the degrade ladder.
+  std::atomic<int> giants_done{0};
+  std::thread holder([&] {
+    engine.RecommendMany(huge, 10);
+    giants_done.fetch_add(1);
+  });
+  std::thread waiter([&] {
+    engine.RecommendMany(huge, 10);
+    giants_done.fetch_add(1);
+  });
+
+  bool saw_degraded = false;
+  while (!saw_degraded && giants_done.load() < 2) {
+    ServeOptions options;
+    options.deadline = Generous();
+    // 4 contexts < min_batch_fanout: runs inline, never queues, so this
+    // probe can't deadlock no matter what the slot is doing.
+    const BatchResult probe = engine.RecommendMany(small, 10, options);
+    if (probe.degraded) {
+      EXPECT_EQ(probe.effective_top_n, 5u);
+      for (size_t i = 0; i < small.size(); ++i) {
+        EXPECT_EQ(probe.statuses[i], StatusCode::kOk);
+        EXPECT_LE(probe.results[i].queries.size(), 5u);
+      }
+      saw_degraded = true;
+    }
+  }
+  holder.join();
+  waiter.join();
+
+  EXPECT_TRUE(saw_degraded)
+      << "no degraded probe observed while a batch was queued";
+  EXPECT_GT(engine.stats().admission.lane(QosLane::kInteractive).degraded,
+            0u);
+
+  // Pressure gone: the same probe serves the full top_n again.
+  ServeOptions options;
+  options.deadline = Generous();
+  const BatchResult after = engine.RecommendMany(small, 10, options);
+  EXPECT_FALSE(after.degraded);
+  EXPECT_EQ(after.effective_top_n, 10u);
+}
+
+}  // namespace
+}  // namespace sqp

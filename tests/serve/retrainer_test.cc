@@ -4,6 +4,10 @@
 // — the incremental counting path (ContextIndex::Append) and the shared
 // rebuild consume the same canonical entries either way.
 
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -129,6 +133,60 @@ TEST(RetrainerTest, LifecycleErrorsAreReported) {
   EXPECT_FALSE(retrainer.Bootstrap({}).ok());  // empty corpus
   ASSERT_TRUE(retrainer.Bootstrap(SharedCorpus().base).ok());
   EXPECT_FALSE(retrainer.Bootstrap(SharedCorpus().base).ok());  // twice
+}
+
+TEST(RetrainerTest, PersistFailuresRetryWithBackoffThenRecover) {
+  // A persist path whose parent directory does not exist: every Save
+  // attempt fails (the atomic tmp file cannot even be opened) — the
+  // injection point for "disk is broken, then comes back".
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("sqp_retrainer_persist_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(root);
+  const std::filesystem::path missing_dir = root / "missing";
+  const std::string persist_path = (missing_dir / "model.blob").string();
+
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  RetrainerOptions options = TestOptions();
+  options.persist_path = persist_path;
+  options.persist_max_retries = 2;
+  options.persist_retry_backoff = std::chrono::milliseconds(1);
+  Retrainer retrainer(&engine, options);
+
+  // Bootstrap: the rebuild publishes (serving goes live), the persist
+  // exhausts its retries and the failure is surfaced — not swallowed.
+  const Status boot = retrainer.Bootstrap(SharedCorpus().base);
+  EXPECT_FALSE(boot.ok());
+  EXPECT_EQ(retrainer.published_version(), 1u);
+  EXPECT_EQ(engine.current_version(), 1u);
+  EXPECT_FALSE(retrainer.last_status().ok());
+
+  RetrainerStats stats = retrainer.stats();
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.persist_retries, 2u);  // persist_max_retries extra tries
+  EXPECT_EQ(stats.persist_failures, 1u);
+  EXPECT_EQ(stats.retrain_failures, 0u);
+
+  // The disk "recovers": the next cycle persists first try and the
+  // blob cold-boots a replica at the new version.
+  std::filesystem::create_directories(missing_dir);
+  retrainer.AppendSessions(SharedCorpus().drifted);
+  ASSERT_TRUE(retrainer.RetrainOnce().ok());
+  EXPECT_TRUE(retrainer.last_status().ok());
+  EXPECT_EQ(retrainer.published_version(), 2u);
+
+  stats = retrainer.stats();
+  EXPECT_EQ(stats.rebuilds, 2u);
+  EXPECT_EQ(stats.persist_retries, 2u);   // unchanged: no new failures
+  EXPECT_EQ(stats.persist_failures, 1u);
+  EXPECT_EQ(stats.retrain_failures, 0u);
+
+  RecommenderEngine replica(EngineOptions{.num_threads = 1});
+  ASSERT_TRUE(replica.LoadAndPublish(persist_path).ok());
+  EXPECT_EQ(replica.current_version(), 2u);
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
 }
 
 TEST(RetrainerTest, BackgroundWorkerRetrainsAppendedSessions) {
