@@ -1,6 +1,7 @@
 #include "core/compact_snapshot.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
@@ -8,6 +9,14 @@
 #include "util/math_util.h"
 
 namespace sqp {
+
+namespace internal {
+std::atomic<bool>& ForceSparseMergeForTest() {
+  static std::atomic<bool> force{false};
+  return force;
+}
+}  // namespace internal
+
 namespace {
 
 /// Saturating narrowing for the per-node count headers. Counts beyond
@@ -137,6 +146,7 @@ void CompactSnapshot::BindViews() {
                                  narrow_.root_child_by_query};
   wide_view_ = WidePoolsView{wide_.next_query, wide_.edge_query,
                              wide_.edge_child, wide_.root_child_by_query};
+  FinalizeDerived();
 }
 
 std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
@@ -280,12 +290,6 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
 template <typename P>
 int32_t CompactServingBase::FindChildIn(const P& pools, int32_t node,
                                         QueryId query) const {
-  if (node == 0) {
-    if (query >= pools.root_child_by_query.size()) return -1;
-    const int32_t child = static_cast<int32_t>(
-        pools.root_child_by_query[query]);
-    return child == 0 ? -1 : child;
-  }
   const uint32_t begin = child_begin_[static_cast<size_t>(node)];
   const uint32_t end = child_begin_[static_cast<size_t>(node) + 1];
   const auto* first = pools.edge_query.data() + begin;
@@ -301,8 +305,19 @@ size_t CompactServingBase::MatchPathIn(const P& pools,
                                        std::span<const QueryId> context,
                                        std::vector<int32_t>* path) const {
   path->clear();
-  int32_t cur = 0;
-  for (size_t back = 0; back < context.size(); ++back) {
+  if (context.empty()) return 0;
+  // Depth 1 is the root's dense fan-out index: one array load instead of a
+  // binary search over the (large) root edge run.
+  int32_t cur = RootChildIn(pools, context.back());
+  if (cur < 0) return 0;
+  path->push_back(cur);
+  for (size_t back = 1; back < context.size(); ++back) {
+    const size_t id = static_cast<size_t>(cur);
+    // Warm the matched node's edge run (the next lookup binary-searches
+    // it) and its nexts slice (the scoring pass streams it).
+    kernels::PrefetchRead(pools.edge_query.data() + child_begin_[id]);
+    kernels::PrefetchRead(pools.next_query.data() + next_begin_[id]);
+    kernels::PrefetchRead(next_code_.data() + next_begin_[id]);
     const int32_t child =
         FindChildIn(pools, cur, context[context.size() - 1 - back]);
     if (child < 0) break;
@@ -312,12 +327,29 @@ size_t CompactServingBase::MatchPathIn(const P& pools,
   return path->size();
 }
 
+size_t CompactServingBase::MatchedDepth(
+    std::span<const QueryId> context) const {
+  std::vector<int32_t> path;
+  return is_narrow_ ? MatchPathIn(narrow_view_, context, &path)
+                    : MatchPathIn(wide_view_, context, &path);
+}
+
+double CompactServingBase::EscapePow(size_t component, size_t power) const {
+  const double* row = escape_pow_.data() + component * (kEscapePowCap + 1);
+  if (power <= kEscapePowCap) return row[power];
+  // Contexts deeper than the table cap are vanishingly rare; extend the
+  // chain from the table's last entry so the rounding sequence matches the
+  // pre-table loop exactly.
+  double escape = row[kEscapePowCap];
+  const double base = component_escape_[component];
+  for (size_t j = kEscapePowCap; j < power; ++j) escape *= base;
+  return escape;
+}
+
 double CompactServingBase::EscapeWeight(int32_t node, size_t dropped,
                                         size_t component) const {
   if (dropped == 0) return 1.0;
-  const double default_escape = component_escape_[component];
-  double escape = 1.0;
-  for (size_t i = 0; i + 1 < dropped; ++i) escape *= default_escape;
+  double escape = EscapePow(component, dropped - 1);
   const size_t id = static_cast<size_t>(node);
   // The same branch EscapeMass takes on exact counts: a real (non-root)
   // state with observed session starts contributes start/total, anything
@@ -326,10 +358,89 @@ double CompactServingBase::EscapeWeight(int32_t node, size_t dropped,
     escape *= static_cast<double>(start_count_[id]) /
               static_cast<double>(total_count_[id]);
   } else {
-    escape *= default_escape;
+    escape *= component_escape_[component];
   }
   return escape;
 }
+
+void CompactServingBase::FinalizeDerived() {
+  // Escape power tables: the same left-to-right multiply chain as the old
+  // per-request loop (1.0 * e * e * ...), so every looked-up power is
+  // bit-identical to what the loop produced.
+  const size_t k = component_escape_.size();
+  escape_pow_.assign(k * (kEscapePowCap + 1), 1.0);
+  for (size_t c = 0; c < k; ++c) {
+    double* row = escape_pow_.data() + c * (kEscapePowCap + 1);
+    for (size_t j = 1; j <= kEscapePowCap; ++j) {
+      row[j] = row[j - 1] * component_escape_[c];
+    }
+  }
+
+  // Dense-accumulator bound: one past the largest query id in the nexts
+  // pool. Blob query ids are not range-validated, so a hand-built wide
+  // blob could claim an arbitrarily sparse id space; past the limit the
+  // walk keeps the legacy sort-merge instead of sizing an O(id space)
+  // per-thread array.
+  uint64_t bound = 0;
+  const auto scan = [&bound](const auto& next_query) {
+    for (const auto q : next_query) {
+      bound = std::max(bound, static_cast<uint64_t>(q) + 1);
+    }
+  };
+  if (is_narrow_) {
+    scan(narrow_view_.next_query);
+  } else {
+    scan(wide_view_.next_query);
+  }
+  scored_query_bound_ = bound;
+  dense_merge_ = bound <= kDenseQueryBoundLimit;
+
+  // The derivations below run before the load path's structural
+  // validation has vetted a blob, so they must stay in-bounds on
+  // malformed CSR offsets (a bad blob merely mis-sizes hints here and is
+  // then rejected by ValidateParsed).
+  max_next_run_ = 0;
+  for (size_t node = 0; node + 1 < next_begin_.size(); ++node) {
+    if (next_begin_[node + 1] > next_begin_[node]) {
+      max_next_run_ =
+          std::max(max_next_run_, next_begin_[node + 1] - next_begin_[node]);
+    }
+  }
+
+  // Tree depth for path-vector pre-sizing: ids are parent-before-child in
+  // every well-formed layout, so one forward sweep settles all depths.
+  size_t max_depth = 0;
+  if (!total_count_.empty()) {
+    std::vector<uint32_t> depth_of(total_count_.size(), 0);
+    const auto sweep = [&](const auto& edge_child) {
+      const size_t num_edges = edge_child.size();
+      for (size_t node = 0; node + 1 < child_begin_.size(); ++node) {
+        const size_t end =
+            std::min<size_t>(child_begin_[node + 1], num_edges);
+        for (size_t e = child_begin_[node]; e < end; ++e) {
+          const size_t child = static_cast<size_t>(edge_child[e]);
+          if (child > node && child < depth_of.size()) {
+            depth_of[child] = depth_of[node] + 1;
+            max_depth = std::max<size_t>(max_depth, depth_of[child]);
+          }
+        }
+      }
+    };
+    if (is_narrow_) {
+      sweep(narrow_view_.edge_child);
+    } else {
+      sweep(wide_view_.edge_child);
+    }
+  }
+  scratch_hint_.path_depth = max_depth;
+  scratch_hint_.num_components = k;
+  scratch_hint_.raw_entries =
+      std::min<size_t>(next_code_.size(), size_t{4096});
+  scratch_hint_.dense_queries =
+      dense_merge_ ? static_cast<size_t>(scored_query_bound_) : 0;
+}
+
+ScratchSizing CompactServingBase::ScratchHint() const { return scratch_hint_; }
 
 template <typename P>
 Recommendation CompactServingBase::RecommendIn(
@@ -381,6 +492,53 @@ Recommendation CompactServingBase::RecommendIn(
       lw *= esc;
     }
   }
+
+  const bool dense =
+      dense_merge_ &&
+      !internal::ForceSparseMergeForTest().load(std::memory_order_relaxed);
+  if (dense) {
+    // Dense level-major accumulation: each level's nexts run streams
+    // through the dispatched scoring kernel into the epoch-stamped
+    // per-query array — no per-entry push_back and no sort-merge. Summing
+    // per query in level order is exactly the order the (stable)
+    // sort-merge sums in, and ldexp folds the dequantization shift into
+    // the scale exactly (power-of-two scaling), so scores and top-N lists
+    // are bit-identical to the sparse path.
+    kernels::DenseAccumulator& acc = scratch->acc;
+    acc.BeginGeneration(static_cast<size_t>(scored_query_bound_));
+    const kernels::KernelTable& kt = kernels::ActiveKernels();
+    for (size_t d = 0; d < depth; ++d) {
+      if (level_weight[d] <= 0.0) continue;
+      const size_t node = static_cast<size_t>(path[d]);
+      if (total_count_[node] == 0) continue;
+      if (d + 1 < depth) {
+        // Warm the next level's slice while this one streams.
+        const size_t nn = static_cast<size_t>(path[d + 1]);
+        kernels::PrefetchRead(pools.next_query.data() + next_begin_[nn]);
+        kernels::PrefetchRead(next_code_.data() + next_begin_[nn]);
+      }
+      const double scale = std::ldexp(
+          level_weight[d] / static_cast<double>(total_count_[node]),
+          count_shift_[node]);
+      const uint32_t begin = next_begin_[node];
+      kernels::ScoreRun(kt, pools.next_query.data() + begin,
+                        next_code_.data() + begin,
+                        next_begin_[node + 1] - begin, scale, &acc);
+    }
+    if (acc.touched.empty()) return rec;
+    raw.reserve(acc.touched.size());
+    for (const uint32_t q : acc.touched) {
+      raw.push_back(ScoredQuery{static_cast<QueryId>(q), acc.score[q]});
+    }
+    rec.covered = true;
+    rec.matched_length = depth;
+    internal::RankTopN(&raw, top_n, &rec);
+    return rec;
+  }
+
+  // Legacy sparse merge: per-entry push then sort-merge. Kept verbatim as
+  // the fallback for pathologically sparse id spaces and as the reference
+  // the kernel equivalence suite pins the dense walk against.
   for (size_t d = 0; d < depth; ++d) {
     if (level_weight[d] <= 0.0) continue;
     const size_t node = static_cast<size_t>(path[d]);
@@ -413,8 +571,8 @@ Recommendation CompactServingBase::Recommend(std::span<const QueryId> context,
 
 bool CompactServingBase::Covers(std::span<const QueryId> context) const {
   if (context.empty()) return false;
-  return (is_narrow_ ? FindChildIn(narrow_view_, 0, context.back())
-                     : FindChildIn(wide_view_, 0, context.back())) >= 0;
+  return (is_narrow_ ? RootChildIn(narrow_view_, context.back())
+                     : RootChildIn(wide_view_, context.back())) >= 0;
 }
 
 uint64_t CompactServingBase::ServingBytes() const {

@@ -12,10 +12,13 @@ namespace internal {
 
 void MergeAndRank(std::vector<ScoredQuery>* raw, size_t top_n,
                   Recommendation* rec) {
-  std::sort(raw->begin(), raw->end(),
-            [](const ScoredQuery& a, const ScoredQuery& b) {
-              return a.query < b.query;
-            });
+  // Stable, so a query's contributions are summed in push order (callers
+  // push level-major). That makes the merged doubles deterministic and is
+  // what pins the dense-accumulator walk bit-identical to this path.
+  std::stable_sort(raw->begin(), raw->end(),
+                   [](const ScoredQuery& a, const ScoredQuery& b) {
+                     return a.query < b.query;
+                   });
   size_t out = 0;
   for (size_t i = 0; i < raw->size();) {
     ScoredQuery merged = (*raw)[i];
@@ -25,19 +28,23 @@ void MergeAndRank(std::vector<ScoredQuery>* raw, size_t top_n,
     (*raw)[out++] = merged;
   }
   raw->resize(out);
+  RankTopN(raw, top_n, rec);
+}
 
+void RankTopN(std::vector<ScoredQuery>* merged, size_t top_n,
+              Recommendation* rec) {
   const auto by_rank = [](const ScoredQuery& a, const ScoredQuery& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.query < b.query;
   };
-  if (raw->size() > top_n) {
-    std::nth_element(raw->begin(),
-                     raw->begin() + static_cast<ptrdiff_t>(top_n), raw->end(),
-                     by_rank);
-    raw->resize(top_n);
+  if (merged->size() > top_n) {
+    std::nth_element(merged->begin(),
+                     merged->begin() + static_cast<ptrdiff_t>(top_n),
+                     merged->end(), by_rank);
+    merged->resize(top_n);
   }
-  std::sort(raw->begin(), raw->end(), by_rank);
-  rec->queries.assign(raw->begin(), raw->end());
+  std::sort(merged->begin(), merged->end(), by_rank);
+  rec->queries.assign(merged->begin(), merged->end());
 }
 
 std::vector<const AggregatedSession*> SelectWeightPool(
@@ -367,6 +374,25 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Build(
   } else if (snapshot->options_.weighting ==
              MixtureWeighting::kGaussianEditDistance) {
     snapshot->FitSigmas(*data.sessions);
+  }
+
+  // Publish-time scratch sizing: the engines hand this to
+  // SnapshotScratch::Prepare so steady-state serving never grows a buffer.
+  {
+    const std::vector<Pst::Node>& nodes = snapshot->pst_->nodes();
+    size_t max_depth = 0;
+    uint64_t entries = 0;
+    for (const Pst::Node& node : nodes) {
+      max_depth = std::max(max_depth, node.context.size());
+      entries += node.nexts.size();
+    }
+    snapshot->scratch_hint_ = ScratchSizing{
+        .path_depth = max_depth,
+        .num_components = k,
+        .raw_entries =
+            static_cast<size_t>(std::min<uint64_t>(entries, 4096)),
+        .dense_queries = 0,  // the full walk ranks via sort-merge
+    };
   }
   return std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
 }

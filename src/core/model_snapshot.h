@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/prediction_model.h"
+#include "core/serve_kernels.h"
 #include "core/vmm_model.h"
 
 namespace sqp {
@@ -81,6 +82,17 @@ struct MvmmFitReport {
   bool used_newton = false;  // false = fell back to gradient ascent only
 };
 
+/// What a snapshot knows about the scratch capacity its inference needs:
+/// published alongside the snapshot so serving threads can reserve every
+/// per-thread buffer up front instead of growing them across the first
+/// requests (ServingSnapshot::ScratchHint / SnapshotScratch::Prepare).
+struct ScratchSizing {
+  size_t path_depth = 0;      // longest possible matched path
+  size_t num_components = 0;  // mixture component count
+  size_t raw_entries = 0;     // candidate list bound for one request
+  size_t dense_queries = 0;   // dense-accumulator slots (0 = unused)
+};
+
 /// Per-thread scratch buffers for snapshot inference. A snapshot itself is
 /// immutable; every mutable byte a query touches lives here, so any number
 /// of threads can serve off one snapshot with one scratch each.
@@ -95,6 +107,25 @@ struct SnapshotScratch {
   std::vector<double> weights;
   std::vector<double> cond_at;
   std::vector<ScoredQuery> raw;
+  /// Epoch-stamped dense per-query score accumulator of the compact
+  /// serving walk (core/serve_kernels.h); unused by the full snapshot.
+  kernels::DenseAccumulator acc;
+  /// Identity of the snapshot this scratch was last Prepare()d for (the
+  /// engines' once-per-generation pre-sizing token; perf-only — serving
+  /// with an unprepared scratch is always correct).
+  const void* prepared_for = nullptr;
+
+  /// Reserves every buffer for `sizing` so steady-state serving performs
+  /// no allocations. Idempotent and cheap once capacities are in place.
+  void Prepare(const ScratchSizing& sizing) {
+    path.reserve(sizing.path_depth);
+    level_weight.reserve(sizing.path_depth);
+    cond_at.reserve(sizing.path_depth + 1);
+    matched.reserve(sizing.num_components);
+    weights.reserve(sizing.num_components);
+    raw.reserve(sizing.raw_entries);
+    acc.Reserve(sizing.dense_queries);
+  }
 };
 
 /// The serving contract every publishable model variant implements: an
@@ -134,6 +165,12 @@ class ServingSnapshot {
   /// The corpus/dictionary generation this snapshot reflects (e.g. a
   /// retrain counter). Carried, never interpreted.
   uint64_t version() const { return version_; }
+
+  /// Scratch capacities one request against this snapshot can need, so an
+  /// engine can pre-size its per-lane scratches once per published
+  /// generation (see SnapshotScratch::Prepare). Purely a sizing hint —
+  /// zeros are always safe.
+  virtual ScratchSizing ScratchHint() const { return {}; }
 
  protected:
   uint64_t version_ = 0;
@@ -181,6 +218,7 @@ class ModelSnapshot final : public ServingSnapshot {
 
   /// Merged-tree accounting (paper Table VII / Section V-F.2).
   ModelStats Stats() const override;
+  ScratchSizing ScratchHint() const override { return scratch_hint_; }
   const std::shared_ptr<const Pst>& pst() const { return pst_; }
   const std::vector<double>& sigmas() const { return sigmas_; }
   const MvmmFitReport& fit_report() const { return fit_report_; }
@@ -218,6 +256,7 @@ class ModelSnapshot final : public ServingSnapshot {
   std::vector<double> sigmas_;
   MvmmFitReport fit_report_;
   size_t vocabulary_size_ = 0;
+  ScratchSizing scratch_hint_;
 };
 
 namespace internal {
@@ -250,6 +289,15 @@ MvmmFitReport FitSigmasFromSamples(std::vector<WeightSample>* samples,
 /// ranking (score desc, query asc). `raw` is scratch owned by the caller.
 void MergeAndRank(std::vector<ScoredQuery>* raw, size_t top_n,
                   Recommendation* rec);
+
+/// The ranking tail of MergeAndRank for already-deduplicated candidates
+/// (each query at most once in `merged`): fills the top-N ranking
+/// (score desc, query asc). The ranking order is a strict total order, so
+/// the result is independent of the input order — the dense-accumulator
+/// walk hands its touched list over in first-touch order and still ranks
+/// identically to the sort-merge path.
+void RankTopN(std::vector<ScoredQuery>* merged, size_t top_n,
+              Recommendation* rec);
 
 /// Per-thread reusable inference scratch. Scratch carries no state between
 /// calls, so sharing one instance per thread across snapshots/models is

@@ -1,0 +1,187 @@
+#include "core/serve_kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/serve_kernels_impl.h"
+
+namespace sqp::kernels {
+namespace {
+
+/// Portable reference kernel: one widening conversion and one multiply per
+/// entry, merged in index order. Every SIMD kernel performs these exact
+/// IEEE operations (vectorized), so all levels are bit-identical.
+template <typename QT>
+void ScoreRunScalar(const QT* queries, const uint16_t* codes, size_t n,
+                    double scale, DenseAccumulator* acc) {
+  for (size_t i = 0; i < n; ++i) {
+    acc->Add(queries[i], scale * static_cast<double>(codes[i]));
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    &ScoreRunScalar<uint16_t>,
+    &ScoreRunScalar<uint32_t>,
+};
+
+#ifdef SQP_HAVE_SSE4_KERNELS
+constexpr KernelTable kSse4Table = {
+    &sse4::ScoreRunU16,
+    &sse4::ScoreRunU32,
+};
+#endif
+#ifdef SQP_HAVE_AVX2_KERNELS
+constexpr KernelTable kAvx2Table = {
+    &avx2::ScoreRunU16,
+    &avx2::ScoreRunU32,
+};
+#endif
+
+bool CpuSupports(SimdLevel level) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse4:
+      return __builtin_cpu_supports("sse4.1") != 0 &&
+             __builtin_cpu_supports("sse4.2") != 0;
+    case SimdLevel::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return level == SimdLevel::kScalar;
+#endif
+}
+
+bool CompiledIn(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse4:
+#ifdef SQP_HAVE_SSE4_KERNELS
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#ifdef SQP_HAVE_AVX2_KERNELS
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Resolves the startup level: the SQP_SIMD override when set and valid
+/// (clamped to host support), otherwise the best supported level.
+SimdLevel InitialLevel() {
+  const char* env = std::getenv("SQP_SIMD");
+  if (env != nullptr && *env != '\0') {
+    SimdLevel requested;
+    if (!ParseSimdLevel(env, &requested)) {
+      std::fprintf(stderr,
+                   "sqp: ignoring unknown SQP_SIMD value '%s' "
+                   "(expected scalar|sse4|avx2)\n",
+                   env);
+    } else if (LevelSupported(requested)) {
+      return requested;
+    } else {
+      const SimdLevel best = BestSupportedLevel();
+      std::fprintf(stderr,
+                   "sqp: SQP_SIMD=%s not supported on this host/build; "
+                   "falling back to %s\n",
+                   env, SimdLevelName(best));
+      return best;
+    }
+  }
+  return BestSupportedLevel();
+}
+
+std::atomic<int>& ActiveLevelStorage() {
+  static std::atomic<int> storage{-1};
+  return storage;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse4:
+      return "sse4";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr) return false;
+  for (int i = 0; i < kNumSimdLevels; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (std::strcmp(name, SimdLevelName(level)) == 0) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LevelSupported(SimdLevel level) {
+  return CompiledIn(level) && CpuSupports(level);
+}
+
+SimdLevel BestSupportedLevel() {
+  for (int i = kNumSimdLevels - 1; i > 0; --i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (LevelSupported(level)) return level;
+  }
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveLevel() {
+  std::atomic<int>& storage = ActiveLevelStorage();
+  int value = storage.load(std::memory_order_acquire);
+  if (value < 0) {
+    // First use: resolve from cpuid + environment. Concurrent first calls
+    // compute the same value, so the race is benign.
+    const SimdLevel initial = InitialLevel();
+    storage.store(static_cast<int>(initial), std::memory_order_release);
+    return initial;
+  }
+  return static_cast<SimdLevel>(value);
+}
+
+SimdLevel SetActiveLevel(SimdLevel level) {
+  const SimdLevel previous = ActiveLevel();
+  const SimdLevel effective =
+      LevelSupported(level) ? level : BestSupportedLevel();
+  ActiveLevelStorage().store(static_cast<int>(effective),
+                             std::memory_order_release);
+  return previous;
+}
+
+const KernelTable& KernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      break;
+    case SimdLevel::kSse4:
+#ifdef SQP_HAVE_SSE4_KERNELS
+      if (CpuSupports(SimdLevel::kSse4)) return kSse4Table;
+#endif
+      break;
+    case SimdLevel::kAvx2:
+#ifdef SQP_HAVE_AVX2_KERNELS
+      if (CpuSupports(SimdLevel::kAvx2)) return kAvx2Table;
+#endif
+      break;
+  }
+  return kScalarTable;
+}
+
+}  // namespace sqp::kernels

@@ -1,0 +1,171 @@
+#ifndef SQP_CORE_SERVE_KERNELS_H_
+#define SQP_CORE_SERVE_KERNELS_H_
+
+/// SIMD-dispatched scoring kernels for the compact serving walk.
+///
+/// The per-request hot path of the compact snapshot is one loop per matched
+/// path level: dequantize every entry of the node's CSR run
+/// (`code << shift`), scale it by the level weight, and merge the score
+/// into the per-query total. This header factors that loop into
+/// width-parameterized kernels (16- and 32-bit query-id pools) with three
+/// implementations selected once at startup by cpuid runtime dispatch:
+///
+///   scalar  — portable reference; always available, bit-exact oracle
+///   sse4    — SSE4.1 widening + SSE2 double math, 4 entries per step
+///   avx2    — AVX2 widening + 256-bit double math, 8 entries per step
+///
+/// Every level computes the same IEEE operations per entry (one widening
+/// u16 -> double conversion and one double multiply), so the kernels are
+/// bit-identical to each other and to the pre-SIMD serving arithmetic —
+/// property-tested in tests/core/serve_kernels_test.cc and
+/// tests/serve/kernel_equivalence_test.cc.
+///
+/// Dispatch: the active level is resolved on first use from cpuid
+/// (best supported wins) with an `SQP_SIMD=scalar|sse4|avx2` environment
+/// override for testing/bench forcing; requesting an unsupported level
+/// clamps to the best the host can run. Tests and benches can re-pin the
+/// level at runtime with SetActiveLevel.
+///
+/// The DenseAccumulator replaces the old push_back + sort-merge ranking
+/// scratch: an O(vocabulary) score array whose validity is tracked by a
+/// per-slot generation stamp, so "resetting" between requests is one
+/// epoch increment instead of a memset, and the touched-query list keeps
+/// result collection O(distinct candidates).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sqp::kernels {
+
+/// Instruction-set tiers of the scoring kernels, ascending capability.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse4 = 1,
+  kAvx2 = 2,
+};
+
+inline constexpr int kNumSimdLevels = 3;
+
+/// Stable lowercase name ("scalar" / "sse4" / "avx2"), as accepted by the
+/// SQP_SIMD environment override.
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a SimdLevelName spelling. Returns false (out untouched) on an
+/// unknown name.
+bool ParseSimdLevel(const char* name, SimdLevel* out);
+
+/// True when `level` is both compiled into this binary and runnable on
+/// this CPU (cpuid-checked once).
+bool LevelSupported(SimdLevel level);
+
+/// The most capable supported level (kScalar at worst).
+SimdLevel BestSupportedLevel();
+
+/// The level serving currently dispatches to. Resolved on first call:
+/// SQP_SIMD override if set (clamped to supported), else
+/// BestSupportedLevel.
+SimdLevel ActiveLevel();
+
+/// Re-pins the active level (clamped to supported); returns the previous
+/// active level. Thread-safe, but intended for tests and benches — serving
+/// threads pick up the change on their next request.
+SimdLevel SetActiveLevel(SimdLevel level);
+
+/// Epoch-stamped dense per-query score accumulator. score[q] is valid iff
+/// stamp[q] == epoch; BeginGeneration invalidates every slot in O(1) by
+/// bumping the epoch (with an exact O(n) re-zero only on the ~4-billion
+/// generation wraparound). `touched` lists the queries written this
+/// generation, in first-touch order.
+struct DenseAccumulator {
+  std::vector<double> score;
+  std::vector<uint32_t> stamp;
+  std::vector<uint32_t> touched;
+  uint32_t epoch = 0;
+
+  /// Grows the slot arrays to `bound` slots (never shrinks). New slots
+  /// carry stamp 0, which is never a live epoch.
+  void Reserve(size_t bound) {
+    if (score.size() < bound) {
+      score.resize(bound, 0.0);
+      stamp.resize(bound, 0u);
+    }
+  }
+
+  /// Starts a new accumulation generation over `bound` query slots.
+  void BeginGeneration(size_t bound) {
+    Reserve(bound);
+    if (++epoch == 0) {
+      // Wrapped: stamps from ~2^32 generations ago could alias the new
+      // epoch, so pay one exact reset. (Regression-tested; a serving
+      // thread reaches this once per 4 billion requests.)
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
+    touched.clear();
+  }
+
+  /// Merges one contribution. First touch of a generation *assigns* (no
+  /// read of the stale score), later touches add — accumulation order is
+  /// the call order, which the serving walk keeps level-major.
+  inline void Add(uint32_t query, double value) {
+    if (stamp[query] != epoch) {
+      stamp[query] = epoch;
+      score[query] = value;
+      touched.push_back(query);
+    } else {
+      score[query] += value;
+    }
+  }
+};
+
+/// Scores one CSR run: for each entry i, merges
+/// `scale * static_cast<double>(codes[i])` into acc->Add(queries[i], ...).
+/// The caller folds the node's block shift into `scale` (exactly, as a
+/// power-of-two scaling), so kernels never see the shift.
+using ScoreRunU16Fn = void (*)(const uint16_t* queries,
+                               const uint16_t* codes, size_t n, double scale,
+                               DenseAccumulator* acc);
+using ScoreRunU32Fn = void (*)(const uint32_t* queries,
+                               const uint16_t* codes, size_t n, double scale,
+                               DenseAccumulator* acc);
+
+/// The dispatch table of one SimdLevel: one scoring kernel per id width.
+struct KernelTable {
+  ScoreRunU16Fn score_run_u16 = nullptr;
+  ScoreRunU32Fn score_run_u32 = nullptr;
+};
+
+/// The kernel table of `level`; unsupported levels fall back to the best
+/// supported table (never null function pointers).
+const KernelTable& KernelsFor(SimdLevel level);
+
+/// The table serving should use right now.
+inline const KernelTable& ActiveKernels() { return KernelsFor(ActiveLevel()); }
+
+/// Width-overloaded spellings so templated callers pick the right slot.
+inline void ScoreRun(const KernelTable& table, const uint16_t* queries,
+                     const uint16_t* codes, size_t n, double scale,
+                     DenseAccumulator* acc) {
+  table.score_run_u16(queries, codes, n, scale, acc);
+}
+inline void ScoreRun(const KernelTable& table, const uint32_t* queries,
+                     const uint16_t* codes, size_t n, double scale,
+                     DenseAccumulator* acc) {
+  table.score_run_u32(queries, codes, n, scale, acc);
+}
+
+/// Best-effort read prefetch of the cache line at `address` (no-op where
+/// the builtin is unavailable). The walk uses it to pull the next path
+/// level's CSR slices in while the current level is being scored.
+inline void PrefetchRead(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace sqp::kernels
+
+#endif  // SQP_CORE_SERVE_KERNELS_H_

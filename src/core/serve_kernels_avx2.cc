@@ -1,0 +1,62 @@
+// AVX2 scoring kernels. This translation unit is compiled with -mavx2
+// (see the CMakeLists SIMD block) and is only ever entered through the
+// cpuid-checked dispatch table in serve_kernels.cc.
+
+#include "core/serve_kernels_impl.h"
+
+#ifdef SQP_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+namespace sqp::kernels::avx2 {
+namespace {
+
+/// Eight entries per step: widen 8 u16 codes to i32 (vpmovzxwd), convert
+/// each 128-bit half to four doubles, multiply by the broadcast scale, and
+/// merge the lane products through the epoch-stamped accumulator in index
+/// order. Per entry this is exactly one u16 -> double widening and one
+/// double multiply — the same IEEE operations as the scalar kernel, so the
+/// merged scores are bit-identical.
+template <typename QT>
+inline void ScoreRunAvx2(const QT* queries, const uint16_t* codes, size_t n,
+                         double scale, DenseAccumulator* acc) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  alignas(32) double lane[8];
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i c16 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256i c32 = _mm256_cvtepu16_epi32(c16);
+    const __m256d lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(c32));
+    const __m256d hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(c32, 1));
+    _mm256_store_pd(lane, _mm256_mul_pd(lo, vscale));
+    _mm256_store_pd(lane + 4, _mm256_mul_pd(hi, vscale));
+    acc->Add(queries[i + 0], lane[0]);
+    acc->Add(queries[i + 1], lane[1]);
+    acc->Add(queries[i + 2], lane[2]);
+    acc->Add(queries[i + 3], lane[3]);
+    acc->Add(queries[i + 4], lane[4]);
+    acc->Add(queries[i + 5], lane[5]);
+    acc->Add(queries[i + 6], lane[6]);
+    acc->Add(queries[i + 7], lane[7]);
+  }
+  for (; i < n; ++i) {
+    acc->Add(queries[i], scale * static_cast<double>(codes[i]));
+  }
+}
+
+}  // namespace
+
+void ScoreRunU16(const uint16_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc) {
+  ScoreRunAvx2(queries, codes, n, scale, acc);
+}
+
+void ScoreRunU32(const uint32_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc) {
+  ScoreRunAvx2(queries, codes, n, scale, acc);
+}
+
+}  // namespace sqp::kernels::avx2
+
+#endif  // SQP_HAVE_AVX2_KERNELS

@@ -1,0 +1,43 @@
+#ifndef SQP_CORE_SERVE_KERNELS_IMPL_H_
+#define SQP_CORE_SERVE_KERNELS_IMPL_H_
+
+/// Internal seam between the kernel dispatcher (serve_kernels.cc) and the
+/// per-ISA translation units (serve_kernels_sse4.cc / serve_kernels_avx2.cc,
+/// each compiled with exactly the -m flags its intrinsics need — see the
+/// CMakeLists SIMD block). The dispatcher only ever calls these after a
+/// cpuid check, so a binary built with the SIMD TUs still runs correctly
+/// on hosts without the instruction sets.
+///
+/// The SQP_HAVE_SSE4_KERNELS / SQP_HAVE_AVX2_KERNELS macros are defined by
+/// the build system for the whole sqp target whenever the compiler accepts
+/// the per-file flags on an x86 host; on other architectures the SIMD TUs
+/// compile to nothing and the dispatcher registers scalar only.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/serve_kernels.h"
+
+namespace sqp::kernels {
+
+#ifdef SQP_HAVE_SSE4_KERNELS
+namespace sse4 {
+void ScoreRunU16(const uint16_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc);
+void ScoreRunU32(const uint32_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc);
+}  // namespace sse4
+#endif  // SQP_HAVE_SSE4_KERNELS
+
+#ifdef SQP_HAVE_AVX2_KERNELS
+namespace avx2 {
+void ScoreRunU16(const uint16_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc);
+void ScoreRunU32(const uint32_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc);
+}  // namespace avx2
+#endif  // SQP_HAVE_AVX2_KERNELS
+
+}  // namespace sqp::kernels
+
+#endif  // SQP_CORE_SERVE_KERNELS_IMPL_H_

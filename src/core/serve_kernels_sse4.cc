@@ -1,0 +1,58 @@
+// SSE4 scoring kernels. This translation unit is compiled with -msse4.2
+// (see the CMakeLists SIMD block) and is only ever entered through the
+// cpuid-checked dispatch table in serve_kernels.cc.
+
+#include "core/serve_kernels_impl.h"
+
+#ifdef SQP_HAVE_SSE4_KERNELS
+
+#include <smmintrin.h>
+
+namespace sqp::kernels::sse4 {
+namespace {
+
+/// Four entries per step: widen 4 u16 codes to i32 (SSE4.1 pmovzxwd),
+/// convert pairwise to double, multiply by the broadcast scale, then merge
+/// the lane products through the epoch-stamped accumulator in index order.
+/// Per entry this is exactly one u16 -> double widening and one double
+/// multiply — the same IEEE operations as the scalar kernel, so the merged
+/// scores are bit-identical.
+template <typename QT>
+inline void ScoreRunSse4(const QT* queries, const uint16_t* codes, size_t n,
+                         double scale, DenseAccumulator* acc) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  alignas(16) double lane[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i c16 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m128i c32 = _mm_cvtepu16_epi32(c16);
+    const __m128d lo = _mm_cvtepi32_pd(c32);
+    const __m128d hi = _mm_cvtepi32_pd(_mm_srli_si128(c32, 8));
+    _mm_store_pd(lane, _mm_mul_pd(lo, vscale));
+    _mm_store_pd(lane + 2, _mm_mul_pd(hi, vscale));
+    acc->Add(queries[i + 0], lane[0]);
+    acc->Add(queries[i + 1], lane[1]);
+    acc->Add(queries[i + 2], lane[2]);
+    acc->Add(queries[i + 3], lane[3]);
+  }
+  for (; i < n; ++i) {
+    acc->Add(queries[i], scale * static_cast<double>(codes[i]));
+  }
+}
+
+}  // namespace
+
+void ScoreRunU16(const uint16_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc) {
+  ScoreRunSse4(queries, codes, n, scale, acc);
+}
+
+void ScoreRunU32(const uint32_t* queries, const uint16_t* codes, size_t n,
+                 double scale, DenseAccumulator* acc) {
+  ScoreRunSse4(queries, codes, n, scale, acc);
+}
+
+}  // namespace sqp::kernels::sse4
+
+#endif  // SQP_HAVE_SSE4_KERNELS

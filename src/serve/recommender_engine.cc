@@ -19,6 +19,20 @@ size_t ResolveThreads(size_t requested) {
   return std::clamp<size_t>(hw == 0 ? 1 : hw, 1, 16);
 }
 
+/// First-touch scratch pre-sizing: the first request a scratch serves
+/// against a given snapshot reserves every buffer to the snapshot's hint,
+/// so steady-state serving allocates nothing. Done lazily per
+/// (scratch, snapshot) pair — publish-time sizing would mutate lane
+/// scratch buffers that in-flight batches are still using.
+SnapshotScratch& PreparedFor(const ServingSnapshot* model,
+                             SnapshotScratch& scratch) {
+  if (scratch.prepared_for != model) {
+    scratch.Prepare(model->ScratchHint());
+    scratch.prepared_for = model;
+  }
+  return scratch;
+}
+
 }  // namespace
 
 RecommenderEngine::RecommenderEngine(EngineOptions options)
@@ -65,7 +79,8 @@ Recommendation RecommenderEngine::Recommend(ContextRef context, size_t top_n,
     return Recommendation{};
   }
   if (served_version != nullptr) *served_version = snapshot->version();
-  return snapshot->Recommend(context, top_n, &ThreadScratch());
+  return snapshot->Recommend(context, top_n,
+                             &PreparedFor(snapshot.get(), ThreadScratch()));
 }
 
 std::vector<Recommendation> RecommenderEngine::RecommendMany(
@@ -131,7 +146,7 @@ BatchResult RecommenderEngine::RecommendMany(
   if (pool_.num_lanes() == 1 || n < options_.min_batch_fanout) {
     // Inline path: no slot contention, but the deadline still cuts the
     // batch short so a caller never blocks past it on a huge inline run.
-    SnapshotScratch& scratch = ThreadScratch();
+    SnapshotScratch& scratch = PreparedFor(model, ThreadScratch());
     for (size_t i = 0; i < n; ++i) {
       if (options.deadline.bounded() && (i & 31u) == 0 && i != 0 &&
           options.deadline.Expired()) {
@@ -170,8 +185,9 @@ BatchResult RecommenderEngine::RecommendMany(
           return;
         }
       }
-      out.results[i] = model->Recommend(contexts[i], effective_top_n,
-                                        &lane_scratch_[lane]);
+      out.results[i] = model->Recommend(
+          contexts[i], effective_top_n,
+          &PreparedFor(model, lane_scratch_[lane]));
     });
     if (expired.load(std::memory_order_relaxed)) {
       for (const StatusCode code : out.statuses) {
@@ -225,8 +241,9 @@ ServeResult RecommenderEngine::Recommend(ContextRef context, size_t top_n,
   const size_t effective_top_n =
       admission_.DegradedTopN(top_n, options.deadline);
   out.degraded = effective_top_n < top_n;
-  out.recommendation =
-      snapshot->Recommend(context, effective_top_n, &ThreadScratch());
+  out.recommendation = snapshot->Recommend(
+      context, effective_top_n,
+      &PreparedFor(snapshot.get(), ThreadScratch()));
   const double latency_us =
       std::chrono::duration<double, std::micro>(Deadline::Clock::now() -
                                                 start)

@@ -318,6 +318,13 @@ BatchResult ShardedEngine::RecommendMany(
     const ServingSnapshot* snapshot =
         snapshots[OwningShard(contexts[i])].get();
     if (snapshot != nullptr) {
+      // First-touch pre-sizing per routed shard; Prepare only ever grows
+      // capacities, so a scratch hopping between shards settles at the
+      // fleet-wide maxima and the re-checks become no-ops.
+      if (scratch->prepared_for != snapshot) {
+        scratch->Prepare(snapshot->ScratchHint());
+        scratch->prepared_for = snapshot;
+      }
       out.results[i] =
           snapshot->Recommend(contexts[i], effective_top_n, scratch);
     } else {

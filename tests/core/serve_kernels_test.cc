@@ -1,0 +1,249 @@
+// Unit suite for the SIMD-dispatched scoring kernels
+// (core/serve_kernels): dispatch-level naming/parsing/clamping, the
+// epoch-stamped dense accumulator's generation semantics (stale
+// generations must never leak into a new one, including across the
+// uint32 epoch wraparound), and the core bit-exactness property — every
+// compiled-in kernel level produces byte-identical scores and identical
+// touched lists to the scalar reference on randomized runs.
+
+#include "core/serve_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace sqp::kernels {
+namespace {
+
+/// Pins the active dispatch level for one scope and restores it after.
+class ActiveLevelGuard {
+ public:
+  explicit ActiveLevelGuard(SimdLevel level)
+      : previous_(SetActiveLevel(level)) {}
+  ~ActiveLevelGuard() { SetActiveLevel(previous_); }
+
+ private:
+  SimdLevel previous_;
+};
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels;
+  for (int i = 0; i < kNumSimdLevels; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (LevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+// ----------------------------------------------------------- dispatch
+
+TEST(SimdDispatchTest, LevelNamesRoundTripThroughParse) {
+  for (int i = 0; i < kNumSimdLevels; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    SimdLevel parsed = SimdLevel::kScalar;
+    ASSERT_TRUE(ParseSimdLevel(SimdLevelName(level), &parsed))
+        << SimdLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+}
+
+TEST(SimdDispatchTest, ParseRejectsUnknownNamesUntouched) {
+  SimdLevel parsed = SimdLevel::kAvx2;
+  EXPECT_FALSE(ParseSimdLevel("avx512", &parsed));
+  EXPECT_FALSE(ParseSimdLevel("", &parsed));
+  EXPECT_FALSE(ParseSimdLevel("Scalar", &parsed));  // case-sensitive
+  EXPECT_EQ(parsed, SimdLevel::kAvx2);
+}
+
+TEST(SimdDispatchTest, ScalarIsAlwaysSupportedAndBestIsSupported) {
+  EXPECT_TRUE(LevelSupported(SimdLevel::kScalar));
+  EXPECT_TRUE(LevelSupported(BestSupportedLevel()));
+}
+
+TEST(SimdDispatchTest, SetActiveLevelClampsToSupportedAndRestores) {
+  const SimdLevel original = ActiveLevel();
+  for (int i = 0; i < kNumSimdLevels; ++i) {
+    const SimdLevel requested = static_cast<SimdLevel>(i);
+    ActiveLevelGuard guard(requested);
+    const SimdLevel active = ActiveLevel();
+    EXPECT_TRUE(LevelSupported(active));
+    if (LevelSupported(requested)) {
+      EXPECT_EQ(active, requested);
+    } else {
+      EXPECT_EQ(active, BestSupportedLevel());
+    }
+  }
+  EXPECT_EQ(ActiveLevel(), original);
+}
+
+TEST(SimdDispatchTest, EveryLevelResolvesToNonNullKernels) {
+  for (int i = 0; i < kNumSimdLevels; ++i) {
+    const KernelTable& table = KernelsFor(static_cast<SimdLevel>(i));
+    EXPECT_NE(table.score_run_u16, nullptr);
+    EXPECT_NE(table.score_run_u32, nullptr);
+  }
+}
+
+// ----------------------------------------------------- dense accumulator
+
+TEST(DenseAccumulatorTest, FirstTouchAssignsLaterTouchesAccumulate) {
+  DenseAccumulator acc;
+  acc.BeginGeneration(8);
+  acc.Add(3, 1.5);
+  acc.Add(5, 2.0);
+  acc.Add(3, 0.25);
+  EXPECT_EQ(acc.score[3], 1.75);
+  EXPECT_EQ(acc.score[5], 2.0);
+  ASSERT_EQ(acc.touched.size(), 2u);  // first-touch order
+  EXPECT_EQ(acc.touched[0], 3u);
+  EXPECT_EQ(acc.touched[1], 5u);
+}
+
+TEST(DenseAccumulatorTest, NewGenerationNeverLeaksStaleScores) {
+  // The regression this scheme must never reintroduce: a slot written in
+  // generation N must read as empty in generation N+1 — the first Add of
+  // the new generation assigns, it must not accumulate onto the stale
+  // value.
+  DenseAccumulator acc;
+  acc.BeginGeneration(8);
+  acc.Add(3, 100.0);
+  acc.Add(6, 7.0);
+  acc.BeginGeneration(8);
+  EXPECT_TRUE(acc.touched.empty());
+  acc.Add(3, 0.5);
+  EXPECT_EQ(acc.score[3], 0.5) << "stale generation leaked into the sum";
+  ASSERT_EQ(acc.touched.size(), 1u);
+  EXPECT_EQ(acc.touched[0], 3u) << "slot 6 belongs to the old generation";
+}
+
+TEST(DenseAccumulatorTest, EpochWraparoundPaysTheExactReset) {
+  DenseAccumulator acc;
+  acc.BeginGeneration(4);
+  acc.Add(1, 5.0);
+  // Simulate a slot last touched ~2^32 generations ago whose stamp would
+  // alias the post-wrap epoch value (1) if BeginGeneration skipped the
+  // exact reset.
+  acc.stamp[2] = 1;
+  acc.epoch = std::numeric_limits<uint32_t>::max();
+  acc.BeginGeneration(4);
+  EXPECT_EQ(acc.epoch, 1u);
+  acc.Add(2, 0.75);
+  EXPECT_EQ(acc.score[2], 0.75) << "aliased stamp survived the wraparound";
+  ASSERT_EQ(acc.touched.size(), 1u);
+  EXPECT_EQ(acc.touched[0], 2u);
+}
+
+TEST(DenseAccumulatorTest, ReserveGrowsWithoutDisturbingLiveSlots) {
+  DenseAccumulator acc;
+  acc.BeginGeneration(4);
+  acc.Add(2, 3.0);
+  acc.Reserve(16);
+  EXPECT_EQ(acc.score[2], 3.0);
+  acc.Add(12, 1.0);  // new slot, same generation
+  EXPECT_EQ(acc.score[12], 1.0);
+  ASSERT_EQ(acc.touched.size(), 2u);
+}
+
+// ------------------------------------------------- kernel bit-exactness
+
+/// Runs one (queries, codes, scale) instance through the kernel of every
+/// supported level and asserts byte-identical scores and touched lists
+/// against the scalar reference.
+template <typename QT>
+void ExpectAllLevelsMatchScalar(const std::vector<QT>& queries,
+                                const std::vector<uint16_t>& codes,
+                                double scale, size_t bound) {
+  DenseAccumulator reference;
+  reference.BeginGeneration(bound);
+  ScoreRun(KernelsFor(SimdLevel::kScalar), queries.data(), codes.data(),
+           queries.size(), scale, &reference);
+
+  for (const SimdLevel level : SupportedLevels()) {
+    DenseAccumulator acc;
+    acc.BeginGeneration(bound);
+    ScoreRun(KernelsFor(level), queries.data(), codes.data(), queries.size(),
+             scale, &acc);
+    ASSERT_EQ(acc.touched, reference.touched)
+        << "touched order diverged at level " << SimdLevelName(level);
+    for (const uint32_t q : reference.touched) {
+      // operator== (not NEAR): the kernels must agree to the last bit.
+      ASSERT_EQ(acc.score[q], reference.score[q])
+          << "score diverged at level " << SimdLevelName(level)
+          << " for query " << q;
+    }
+  }
+}
+
+TEST(ServeKernelsTest, RandomRunsAreBitIdenticalAcrossLevelsU16) {
+  std::mt19937 rng(20260808);
+  std::uniform_real_distribution<double> scales(1e-12, 2.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Lengths 0..99 cover every SIMD main-loop/tail split; a small id
+    // range forces repeat queries so accumulate-vs-assign is exercised.
+    const size_t n = rng() % 100;
+    const uint32_t id_range = 1 + rng() % 64;
+    std::vector<uint16_t> queries(n);
+    std::vector<uint16_t> codes(n);
+    for (size_t i = 0; i < n; ++i) {
+      queries[i] = static_cast<uint16_t>(rng() % id_range);
+      codes[i] = static_cast<uint16_t>(rng() & 0xffff);
+    }
+    ExpectAllLevelsMatchScalar(queries, codes, scales(rng), id_range);
+  }
+}
+
+TEST(ServeKernelsTest, RandomRunsAreBitIdenticalAcrossLevelsU32) {
+  std::mt19937 rng(20260809);
+  std::uniform_real_distribution<double> scales(1e-12, 2.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = rng() % 100;
+    const uint32_t id_base = 70000 + (rng() % 1000);  // beyond u16 range
+    const uint32_t id_range = 1 + rng() % 64;
+    std::vector<uint32_t> queries(n);
+    std::vector<uint16_t> codes(n);
+    for (size_t i = 0; i < n; ++i) {
+      queries[i] = id_base + rng() % id_range;
+      codes[i] = static_cast<uint16_t>(rng() & 0xffff);
+    }
+    ExpectAllLevelsMatchScalar(queries, codes, scales(rng),
+                               id_base + id_range);
+  }
+}
+
+TEST(ServeKernelsTest, AccumulationAcrossRunsMatchesScalar) {
+  // Multiple ScoreRun calls into one generation — the serving walk's
+  // actual shape (one call per matched path level, repeated queries
+  // across levels accumulate).
+  std::mt19937 rng(77);
+  DenseAccumulator reference;
+  DenseAccumulator acc;
+  for (const SimdLevel level : SupportedLevels()) {
+    reference.BeginGeneration(32);
+    acc.BeginGeneration(32);
+    for (int run = 0; run < 5; ++run) {
+      const size_t n = 1 + rng() % 40;
+      std::vector<uint16_t> queries(n);
+      std::vector<uint16_t> codes(n);
+      for (size_t i = 0; i < n; ++i) {
+        queries[i] = static_cast<uint16_t>(rng() % 32);
+        codes[i] = static_cast<uint16_t>(1 + rng() % 1000);
+      }
+      const double scale = 1.0 / static_cast<double>(1 + run);
+      ScoreRun(KernelsFor(SimdLevel::kScalar), queries.data(), codes.data(),
+               n, scale, &reference);
+      ScoreRun(KernelsFor(level), queries.data(), codes.data(), n, scale,
+               &acc);
+    }
+    ASSERT_EQ(acc.touched, reference.touched);
+    for (const uint32_t q : reference.touched) {
+      ASSERT_EQ(acc.score[q], reference.score[q])
+          << "level " << SimdLevelName(level) << " query " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqp::kernels

@@ -278,6 +278,37 @@ TEST(SnapshotIoTest, SkippingChecksumsStillServesIdentically) {
   ExpectBitIdentical(*compact, **mapped, PrefixContexts(corpus, 200), 10);
 }
 
+TEST(SnapshotIoTest, HugepageOptionsServeIdenticallyWhateverTheBacking) {
+  // The hugepage knobs only change how the mapping's memory is backed —
+  // THP advice, an explicit hugetlb copy, or neither — never the served
+  // bytes. Every mode (including silent fallback when the kernel refuses,
+  // e.g. an unprovisioned hugetlb pool) must answer bit-identically.
+  const std::vector<AggregatedSession> corpus = SeededCorpus(29, 300, 90);
+  const auto full = BuildFull(corpus, 1, 1 << 10);
+  const auto compact = CompactSnapshot::FromSnapshot(*full);
+  TempFile file("hugepage.blob");
+  ASSERT_TRUE(SaveCompactSnapshot(*compact, file.path()).ok());
+  const std::vector<std::vector<QueryId>> contexts =
+      PrefixContexts(corpus, 200);
+
+  const auto plain =
+      MapCompactSnapshot(file.path(), {.hugepages = false});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->hugepage_mode(), HugepageMode::kNone);
+  ExpectBitIdentical(*compact, **plain, contexts, 10);
+
+  const auto advised = MapCompactSnapshot(file.path());  // default on
+  ASSERT_TRUE(advised.ok());
+  EXPECT_NE((*advised)->hugepage_mode(), HugepageMode::kHugetlb);
+  ExpectBitIdentical(*compact, **advised, contexts, 10);
+
+  const auto hugetlb =
+      MapCompactSnapshot(file.path(), {.hugetlb = true});
+  ASSERT_TRUE(hugetlb.ok());  // kHugetlb, or a fallback mode if the pool
+                              // is unprovisioned — both must serve
+  ExpectBitIdentical(*compact, **hugetlb, contexts, 10);
+}
+
 // ---------------------------------------------------- corruption suite
 
 TEST(SnapshotIoTest, CorruptBytesAreRejectedEverywhere) {
