@@ -45,6 +45,19 @@
 //                 admission priority lane for served requests (default
 //                 interactive; bulk batches yield the engine to
 //                 interactive traffic under load)
+//   --serve-port P
+//                 network serving mode (requires --load-snapshot): instead
+//                 of answering stdin, expose the cold-booted artifact over
+//                 TCP — one ShardServer per manifest shard on ports
+//                 P..P+N-1 (a single blob serves one shard on P). Runs
+//                 until stdin reaches EOF. Deadlines and lanes arrive
+//                 per-request in the wire frame header
+//   --connect HOST:P
+//                 network client mode (requires --load-snapshot for the
+//                 dictionary + shard count): the stdin loop is served by a
+//                 RouterClient fanning requests across the fleet started
+//                 with --serve-port at HOST, ports P..P+N-1. Answers are
+//                 bit-identical to serving the same artifact in-process
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
@@ -62,6 +75,9 @@
 #include "log/data_reduction.h"
 #include "log/session_aggregator.h"
 #include "log/session_segmenter.h"
+#include "net/router_client.h"
+#include "net/shard_server.h"
+#include "net/tcp_transport.h"
 #include "serve/cli_config.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
@@ -80,10 +96,15 @@ void PrintUsage() {
                "--load-snapshot PATH]\n"
                "                       [--deadline-us N] "
                "[--lane interactive|bulk]\n"
+               "                       [--serve-port P | --connect HOST:P]\n"
                "(--load-snapshot cold-boots a read-only replica from a blob "
                "or manifest and\n"
                " rejects flags it would ignore: --tail, --save-snapshot, "
-               "--compact, --shards)\n";
+               "--compact, --shards;\n"
+               " --serve-port exposes the artifact over TCP, --connect "
+               "serves stdin through a\n"
+               " router fanning across such a fleet — both require "
+               "--load-snapshot)\n";
 }
 
 /// Exits with a clear message instead of aborting on a Status failure —
@@ -112,6 +133,64 @@ void PrintRecommendation(const QueryDictionary& dictionary,
   }
 }
 
+/// --serve-port: stand the artifact up as a TCP fleet (one ShardServer
+/// per shard, consecutive ports) and block until stdin closes — the
+/// process-per-shard topology, runnable as N processes with one shard
+/// each or, as here, one process hosting the whole fleet.
+int RunServeMode(const RecommenderCliConfig& cli) {
+  const Result<SnapshotFileKind> kind = SnapshotIo::Probe(cli.load_snapshot);
+  ExitIfError(kind.status(), "classifying " + cli.load_snapshot);
+
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  std::unique_ptr<RecommenderEngine> blob_engine;  // single-blob mode
+  if (*kind == SnapshotFileKind::kManifest) {
+    const auto manifest = SnapshotIo::LoadManifest(cli.load_snapshot);
+    ExitIfError(manifest.status(), "reading the manifest");
+    for (uint32_t s = 0; s < manifest->num_shards(); ++s) {
+      net::ShardServerOptions options;
+      options.host = "0.0.0.0";
+      options.port = static_cast<uint16_t>(cli.serve_port + s);
+      options.engine.num_threads = cli.threads;
+      auto server = std::make_unique<net::ShardServer>(options);
+      ExitIfError(server->StartFromManifest(cli.load_snapshot, s),
+                  "starting shard " + std::to_string(s));
+      servers.push_back(std::move(server));
+    }
+  } else {
+    blob_engine = std::make_unique<RecommenderEngine>(
+        EngineOptions{.num_threads = cli.threads});
+    ExitIfError(blob_engine->LoadAndPublish(cli.load_snapshot),
+                "cold-booting from " + cli.load_snapshot);
+    auto server = std::make_unique<net::ShardServer>(net::ShardServerOptions{
+        .host = "0.0.0.0", .port = cli.serve_port,
+        .engine = {.num_threads = cli.threads}});
+    ExitIfError(
+        server->StartWithEngine(blob_engine.get(),
+                                blob_engine->current_version()),
+        "starting the server");
+    servers.push_back(std::move(server));
+  }
+  for (const auto& server : servers) {
+    std::cerr << "serving shard " << server->shard_index() << "/"
+              << server->fleet_num_shards() << " (fleet v"
+              << server->fleet_version() << ") on port " << server->port()
+              << "\n";
+  }
+  std::cerr << "fleet is up; EOF on stdin shuts it down\n";
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  for (const auto& server : servers) {
+    const net::ShardServerStats stats = server->stats();
+    std::cerr << "shard " << server->shard_index() << ": "
+              << stats.frames_served << " frames served, "
+              << stats.connections_accepted << " connections ("
+              << stats.connections_dropped << " dropped)\n";
+    server->Stop();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,15 +202,43 @@ int main(int argc, char** argv) {
     return 2;
   }
   RecommenderCliConfig cli = *parsed;
+  if (cli.serve_port != 0) return RunServeMode(cli);
 
   QueryDictionary dictionary;
-  // All serving goes through one ShardedEngine; --shards 1 degenerates to
-  // the single-engine path (one shard, identical answers).
+  // All local serving goes through one ShardedEngine; --shards 1
+  // degenerates to the single-engine path (one shard, identical answers).
+  // In --connect mode the engine stays null and a RouterClient speaks to
+  // the remote fleet instead.
   std::unique_ptr<ShardedEngine> engine;
+  std::unique_ptr<net::RouterClient> router;  // --connect mode only
   std::unique_ptr<ShardedRetrainerSet> retrainers;  // training mode only
   std::vector<AggregatedSession> example_sessions;
 
-  if (!cli.load_snapshot.empty()) {
+  if (!cli.connect_host.empty()) {
+    // Network client: the artifact supplies the dictionary and the fleet
+    // shape; the answers come over TCP from a --serve-port fleet.
+    ExitIfError(LoadDictionary(cli.load_snapshot + ".dict", &dictionary),
+                "loading the dictionary sidecar " + cli.load_snapshot +
+                    ".dict");
+    const Result<SnapshotFileKind> kind = SnapshotIo::Probe(cli.load_snapshot);
+    ExitIfError(kind.status(), "classifying " + cli.load_snapshot);
+    uint32_t fleet_shards = 1;
+    if (*kind == SnapshotFileKind::kManifest) {
+      const auto manifest = SnapshotIo::LoadManifest(cli.load_snapshot);
+      ExitIfError(manifest.status(), "reading the manifest");
+      fleet_shards = manifest->num_shards();
+    }
+    std::vector<uint16_t> ports;
+    for (uint32_t s = 0; s < fleet_shards; ++s) {
+      ports.push_back(static_cast<uint16_t>(cli.connect_port + s));
+    }
+    router = std::make_unique<net::RouterClient>(
+        fleet_shards, net::TcpTransportFactory(cli.connect_host, ports));
+    std::cerr << "routing to " << fleet_shards << " shard server(s) at "
+              << cli.connect_host << ":" << cli.connect_port << "-"
+              << (cli.connect_port + fleet_shards - 1) << " ("
+              << dictionary.size() << " dictionary queries)\n";
+  } else if (!cli.load_snapshot.empty()) {
     // Cold boot: the model comes straight off the persisted artifact, no
     // synthesis, no training. A manifest boots a fleet sized by the file.
     WallTimer timer;
@@ -222,12 +329,18 @@ int main(int argc, char** argv) {
               << " unique queries)\n";
   }
 
-  std::cerr << "serving with " << engine->num_shards() << " shard(s), "
-            << engine->num_threads() << " lane(s), batch " << cli.batch
-            << (cli.compact ? ", compact snapshots" : "")
-            << (!cli.load_snapshot.empty() ? ", mmap-booted snapshot(s)" : "")
-            << (cli.tail ? ", live retraining on session tails" : "")
-            << "\n";
+  if (router != nullptr) {
+    std::cerr << "serving over TCP through " << router->num_shards()
+              << " shard connection(s), batch " << cli.batch << "\n";
+  } else {
+    std::cerr << "serving with " << engine->num_shards() << " shard(s), "
+              << engine->num_threads() << " lane(s), batch " << cli.batch
+              << (cli.compact ? ", compact snapshots" : "")
+              << (!cli.load_snapshot.empty() ? ", mmap-booted snapshot(s)"
+                                             : "")
+              << (cli.tail ? ", live retraining on session tails" : "")
+              << "\n";
+  }
   if (!example_sessions.empty()) {
     std::cerr << "example queries you can try:\n";
     for (const AggregatedSession& session : example_sessions) {
@@ -239,7 +352,24 @@ int main(int argc, char** argv) {
   std::vector<QueryId> context;
   // Batch mode buffers whole contexts (engine spans borrow their storage).
   std::vector<std::vector<QueryId>> buffered;
-  uint64_t seen_version = engine->stats().max_version;
+
+  // The serving seam: identical loop whether answers come from the
+  // in-process fleet or over the wire (they are bit-identical anyway —
+  // that is the network tier's contract).
+  const auto serve_batch = [&](std::span<const ContextRef> refs,
+                               const ServeOptions& options) {
+    return router != nullptr ? router->RecommendMany(refs, 5, options)
+                             : engine->RecommendMany(refs, 5, options);
+  };
+  const auto serve_single = [&](ContextRef ref, const ServeOptions& options) {
+    return router != nullptr ? router->Recommend(ref, 5, options)
+                             : engine->Recommend(ref, 5, options);
+  };
+  const auto live_version = [&] {
+    return router != nullptr ? router->observed_fleet_version()
+                             : engine->stats().max_version;
+  };
+  uint64_t seen_version = live_version();
 
   // Every request carries the CLI's QoS choice: a fresh deadline per call
   // (Deadline::After burns from the moment of the call, queue wait
@@ -255,9 +385,18 @@ int main(int argc, char** argv) {
     return options;
   };
   const auto print_shed = [](StatusCode code) {
-    std::cout << (code == StatusCode::kUnavailable
-                      ? "(shard unavailable: no published snapshot)\n"
-                      : "(request shed: deadline exceeded)\n");
+    switch (code) {
+      case StatusCode::kUnavailable:
+        std::cout << "(shard unavailable: no published snapshot or "
+                     "unreachable server)\n";
+        break;
+      case StatusCode::kDataLoss:
+        std::cout << "(wire corruption: response discarded)\n";
+        break;
+      default:
+        std::cout << "(request shed: deadline exceeded)\n";
+        break;
+    }
   };
 
   const auto flush_batch = [&] {
@@ -267,8 +406,8 @@ int main(int argc, char** argv) {
     for (const std::vector<QueryId>& c : buffered) {
       refs.emplace_back(c.data(), c.size());
     }
-    const BatchResult batch = engine->RecommendMany(
-        std::span<const ContextRef>(refs), 5, serve_options());
+    const BatchResult batch =
+        serve_batch(std::span<const ContextRef>(refs), serve_options());
     for (size_t i = 0; i < batch.results.size(); ++i) {
       if (batch.statuses[i] == StatusCode::kOk) {
         PrintRecommendation(dictionary, buffered[i], batch.results[i]);
@@ -281,14 +420,15 @@ int main(int argc, char** argv) {
     buffered.clear();
   };
   const auto report_version = [&] {
-    const ShardedStats stats = engine->stats();
-    if (stats.max_version != seen_version) {
-      std::cout << "-- model v" << stats.max_version << " is live";
-      if (engine->num_shards() > 1) {
-        std::cout << " (oldest shard v" << stats.min_version << ")";
+    const uint64_t now_live = live_version();
+    if (now_live != seen_version) {
+      std::cout << "-- model v" << now_live << " is live";
+      if (engine != nullptr && engine->num_shards() > 1) {
+        std::cout << " (oldest shard v" << engine->stats().min_version
+                  << ")";
       }
       std::cout << " --\n";
-      seen_version = stats.max_version;
+      seen_version = now_live;
     }
   };
 
@@ -325,8 +465,9 @@ int main(int argc, char** argv) {
       if (buffered.size() >= cli.batch) flush_batch();
       continue;
     }
-    const ServeResult served = engine->Recommend(context, 5,
-                                                 serve_options());
+    const ServeResult served =
+        serve_single(ContextRef(context.data(), context.size()),
+                     serve_options());
     if (served.status == StatusCode::kOk) {
       PrintRecommendation(dictionary, context, served.recommendation);
     } else {

@@ -1,0 +1,70 @@
+#include "net/loopback_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sqp::net {
+
+std::function<Result<std::unique_ptr<Transport>>(uint32_t)>
+LoopbackTransportFactory(std::vector<const RecommenderEngine*> shard_engines,
+                         uint64_t fleet_version) {
+  return [engines = std::move(shard_engines),
+          fleet_version](uint32_t shard) -> Result<std::unique_ptr<Transport>> {
+    if (shard >= engines.size()) {
+      return Status::InvalidArgument("no engine for shard " +
+                                     std::to_string(shard));
+    }
+    return std::unique_ptr<Transport>(
+        new LoopbackTransport(engines[shard], fleet_version));
+  };
+}
+
+Status LoopbackTransport::Write(std::span<const uint8_t> data) {
+  if (closed_) return Status::Unavailable("loopback transport closed");
+  // A real server closes the connection on a poisoned stream; loopback
+  // mirrors that by failing the write and everything after it.
+  Status fed = assembler_.Feed(data);
+  if (!fed.ok()) {
+    closed_ = true;
+    return Status::Unavailable("peer closed connection: " + fed.message());
+  }
+  FrameHeader header;
+  std::vector<uint8_t> body, response;
+  bool ready = false;
+  while (true) {
+    Status next = assembler_.Next(&header, &body, &ready);
+    if (!next.ok()) {
+      closed_ = true;
+      return Status::Unavailable("peer closed connection: " + next.message());
+    }
+    if (!ready) break;
+    if (header.type != FrameType::kRequest) {
+      closed_ = true;
+      return Status::Unavailable("peer closed connection: not a request");
+    }
+    Status served = handler_.HandleRequest(body, &response);
+    if (!served.ok()) {
+      closed_ = true;
+      return Status::Unavailable("peer closed connection: " +
+                                 served.message());
+    }
+    outbox_.insert(outbox_.end(), response.begin(), response.end());
+  }
+  return Status::OK();
+}
+
+Result<size_t> LoopbackTransport::Read(uint8_t* out, size_t max) {
+  if (max == 0) return Status::InvalidArgument("zero-byte read");
+  if (outbox_.empty()) {
+    // A socket would block here; in-process there is nothing that could
+    // ever produce more bytes, so the stream is over.
+    return Status::Unavailable(closed_ ? "loopback transport closed"
+                                       : "no response pending");
+  }
+  const size_t n = std::min(max, outbox_.size());
+  std::copy_n(outbox_.begin(), n, out);
+  outbox_.erase(outbox_.begin(), outbox_.begin() + static_cast<ptrdiff_t>(n));
+  return n;
+}
+
+}  // namespace sqp::net

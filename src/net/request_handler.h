@@ -1,0 +1,46 @@
+#ifndef SQP_NET_REQUEST_HANDLER_H_
+#define SQP_NET_REQUEST_HANDLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/wire_format.h"
+#include "serve/recommender_engine.h"
+#include "util/status.h"
+
+namespace sqp::net {
+
+/// The transport-independent serving core of a shard: decode one request
+/// body, serve it through the embedded engine, encode the response frame.
+/// Both the TCP server's event loop and the in-process LoopbackTransport
+/// run requests through this one class — the reason the loopback path
+/// proves exactly the pipeline the TCP path ships.
+///
+/// Thread-safe: the engine is concurrent and the handler itself is
+/// stateless beyond configuration.
+class ShardRequestHandler {
+ public:
+  /// `engine` must outlive the handler and have a published snapshot (or
+  /// answer kUnavailable, which the wire carries faithfully).
+  /// `fleet_version` is the manifest version this shard was booted from,
+  /// echoed in every response so routers can observe restarts.
+  ShardRequestHandler(const RecommenderEngine* engine, uint64_t fleet_version)
+      : engine_(engine), fleet_version_(fleet_version) {}
+
+  /// Serves one request frame body. On success `response_frame` holds the
+  /// complete encoded response. kDataLoss when the body is malformed —
+  /// the connection carrying it must be closed.
+  Status HandleRequest(std::span<const uint8_t> body,
+                       std::vector<uint8_t>* response_frame) const;
+
+  uint64_t fleet_version() const { return fleet_version_; }
+
+ private:
+  const RecommenderEngine* engine_;
+  uint64_t fleet_version_;
+};
+
+}  // namespace sqp::net
+
+#endif  // SQP_NET_REQUEST_HANDLER_H_

@@ -1,0 +1,39 @@
+#include "net/tcp_transport.h"
+
+#include <utility>
+
+namespace sqp::net {
+
+Result<std::unique_ptr<Transport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port,
+    std::chrono::microseconds io_timeout) {
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  SQP_RETURN_IF_ERROR(SetIoTimeout(fd->get(), io_timeout));
+  return std::unique_ptr<Transport>(new TcpTransport(std::move(*fd)));
+}
+
+std::function<Result<std::unique_ptr<Transport>>(uint32_t)>
+TcpTransportFactory(std::string host, std::vector<uint16_t> ports,
+                    std::chrono::microseconds io_timeout) {
+  return [host = std::move(host), ports = std::move(ports),
+          io_timeout](uint32_t shard) -> Result<std::unique_ptr<Transport>> {
+    if (shard >= ports.size()) {
+      return Status::InvalidArgument("no port for shard " +
+                                     std::to_string(shard));
+    }
+    return TcpTransport::Connect(host, ports[shard], io_timeout);
+  };
+}
+
+Status TcpTransport::Write(std::span<const uint8_t> data) {
+  if (!fd_.valid()) return Status::Unavailable("transport closed");
+  return WriteAllFd(fd_.get(), data.data(), data.size());
+}
+
+Result<size_t> TcpTransport::Read(uint8_t* out, size_t max) {
+  if (!fd_.valid()) return Status::Unavailable("transport closed");
+  return ReadSomeFd(fd_.get(), out, max);
+}
+
+}  // namespace sqp::net

@@ -1,0 +1,48 @@
+#ifndef SQP_NET_TCP_TRANSPORT_H_
+#define SQP_NET_TCP_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace sqp::net {
+
+/// The remote half of the transport seam: one TCP connection to a
+/// ShardServer. Every blocking operation is bounded by `io_timeout`, so a
+/// stalled or half-dead peer surfaces as kUnavailable instead of hanging
+/// the router. Not thread-safe (one connection, one thread at a time).
+class TcpTransport final : public Transport {
+ public:
+  /// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1").
+  static Result<std::unique_ptr<Transport>> Connect(
+      const std::string& host, uint16_t port,
+      std::chrono::microseconds io_timeout = std::chrono::seconds(5));
+
+  Status Write(std::span<const uint8_t> data) override;
+  Result<size_t> Read(uint8_t* out, size_t max) override;
+  void Close() override { fd_.Reset(); }
+
+ private:
+  explicit TcpTransport(OwnedFd fd) : fd_(std::move(fd)) {}
+  OwnedFd fd_;
+};
+
+/// RouterClient transport factory over TCP: shard `s` dials
+/// `host`:`ports[s]`. Reconnects (after a shard restart) simply dial the
+/// same address again.
+std::function<Result<std::unique_ptr<Transport>>(uint32_t)>
+TcpTransportFactory(std::string host, std::vector<uint16_t> ports,
+                    std::chrono::microseconds io_timeout =
+                        std::chrono::seconds(5));
+
+}  // namespace sqp::net
+
+#endif  // SQP_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,46 @@
+#ifndef SQP_NET_TRANSPORT_H_
+#define SQP_NET_TRANSPORT_H_
+
+/// The embedded-vs-remote seam of the network tier. A Transport is one
+/// bidirectional byte stream between a router and a single shard; the
+/// RouterClient speaks the wire protocol over whichever implementation it
+/// is handed. Two live behind the interface:
+///
+///   - LoopbackTransport (loopback_transport.h): in-process, frames are
+///     decoded and served by a ShardRequestHandler on the calling thread.
+///   - TcpTransport (tcp_transport.h): a real socket to a ShardServer.
+///
+/// The seam invariant: every byte the router writes crosses the full
+/// encode -> reassemble -> decode pipeline on both transports, so the
+/// loopback path exercises exactly the wire format the TCP path ships —
+/// which is what lets the equivalence suites prove the networked fleet
+/// bit-identical to in-process serving on either implementation.
+
+#include <cstdint>
+#include <span>
+
+#include "util/status.h"
+
+namespace sqp::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes the whole buffer or fails. kUnavailable when the peer is gone
+  /// (the router treats that as "shard restarting" and may reconnect).
+  virtual Status Write(std::span<const uint8_t> data) = 0;
+
+  /// Blocks until at least one byte is available, returning how many were
+  /// read (1..max). Never returns 0: end-of-stream, reset and timeout are
+  /// all kUnavailable — the framing layer decides whether the stream died
+  /// mid-frame. Implementations must bound the wait (never hang).
+  virtual Result<size_t> Read(uint8_t* out, size_t max) = 0;
+
+  /// Releases the connection. Further Read/Write fail kUnavailable.
+  virtual void Close() = 0;
+};
+
+}  // namespace sqp::net
+
+#endif  // SQP_NET_TRANSPORT_H_

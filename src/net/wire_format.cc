@@ -1,0 +1,352 @@
+#include "net/wire_format.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/byte_io.h"
+
+namespace sqp::net {
+namespace {
+
+// ---------------------------------------------------------------- encode
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  uint8_t b[2];
+  StoreLE16(b, v);
+  out->insert(out->end(), b, b + sizeof(b));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  uint8_t b[4];
+  StoreLE32(b, v);
+  out->insert(out->end(), b, b + sizeof(b));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  uint8_t b[8];
+  StoreLE64(b, v);
+  out->insert(out->end(), b, b + sizeof(b));
+}
+
+/// Bounds-checked little-endian reader over a frame body. Every getter
+/// returns false instead of reading past the span.
+class ByteCursor {
+ public:
+  explicit ByteCursor(std::span<const uint8_t> data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = LoadLE16(data_.data() + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = LoadLE32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = LoadLE64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
+    return true;
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(const char* what) {
+  return Status::DataLoss(std::string("malformed frame body: ") + what);
+}
+
+/// Writes the 16-byte prelude in front of the body already appended at
+/// out[16..], then stamps size + CRC.
+void FinishFrame(FrameType type, std::vector<uint8_t>* out) {
+  uint8_t* p = out->data();
+  std::memcpy(p, kWireMagic, sizeof(kWireMagic));
+  StoreLE16(p + 4, kWireProtocolVersion);
+  p[6] = static_cast<uint8_t>(type);
+  p[7] = 0;
+  const size_t body_size = out->size() - kFramePreludeBytes;
+  StoreLE32(p + 8, static_cast<uint32_t>(body_size));
+  StoreLE32(p + 12, Crc32(p + kFramePreludeBytes, body_size));
+}
+
+}  // namespace
+
+bool WireItem::operator==(const WireItem& other) const {
+  if (status != other.status || covered != other.covered ||
+      matched_length != other.matched_length ||
+      queries.size() != other.queries.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].query != other.queries[i].query ||
+        queries[i].score != other.queries[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint8_t WireStatusOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kIOError: return 3;
+    case StatusCode::kFailedPrecondition: return 4;
+    case StatusCode::kOutOfRange: return 5;
+    case StatusCode::kInternal: return 6;
+    case StatusCode::kResourceExhausted: return 7;
+    case StatusCode::kDeadlineExceeded: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kDataLoss: return 10;
+  }
+  return 6;  // unreachable; treat as Internal
+}
+
+bool StatusFromWire(uint8_t wire, StatusCode* out) {
+  switch (wire) {
+    case 0: *out = StatusCode::kOk; return true;
+    case 1: *out = StatusCode::kInvalidArgument; return true;
+    case 2: *out = StatusCode::kNotFound; return true;
+    case 3: *out = StatusCode::kIOError; return true;
+    case 4: *out = StatusCode::kFailedPrecondition; return true;
+    case 5: *out = StatusCode::kOutOfRange; return true;
+    case 6: *out = StatusCode::kInternal; return true;
+    case 7: *out = StatusCode::kResourceExhausted; return true;
+    case 8: *out = StatusCode::kDeadlineExceeded; return true;
+    case 9: *out = StatusCode::kUnavailable; return true;
+    case 10: *out = StatusCode::kDataLoss; return true;
+    default: return false;
+  }
+}
+
+void EncodeRequestFrame(const WireRequest& request,
+                        std::vector<uint8_t>* out) {
+  out->clear();
+  out->resize(kFramePreludeBytes);
+  PutU64(out, request.request_id);
+  PutU64(out, request.deadline_remaining_us);
+  PutU64(out, request.expected_fleet_version);
+  PutU8(out, static_cast<uint8_t>(request.lane));
+  PutU8(out, 0);
+  PutU8(out, 0);
+  PutU8(out, 0);
+  PutU32(out, request.top_n);
+  PutU32(out, static_cast<uint32_t>(request.contexts.size()));
+  for (const auto& context : request.contexts) {
+    PutU32(out, static_cast<uint32_t>(context.size()));
+    for (QueryId id : context) PutU32(out, id);
+  }
+  FinishFrame(FrameType::kRequest, out);
+}
+
+void EncodeResponseFrame(const WireResponse& response,
+                         std::vector<uint8_t>* out) {
+  out->clear();
+  out->resize(kFramePreludeBytes);
+  PutU64(out, response.request_id);
+  PutU64(out, response.fleet_version);
+  PutU8(out, WireStatusOf(response.admission));
+  PutU8(out, response.degraded ? 1 : 0);
+  PutU16(out, 0);
+  PutU32(out, response.effective_top_n);
+  PutU32(out, static_cast<uint32_t>(response.items.size()));
+  for (const WireItem& item : response.items) {
+    PutU8(out, WireStatusOf(item.status));
+    PutU8(out, item.covered ? 1 : 0);
+    PutU16(out, 0);
+    PutU32(out, item.matched_length);
+    PutU32(out, static_cast<uint32_t>(item.queries.size()));
+    for (const ScoredQuery& sq : item.queries) {
+      PutU32(out, sq.query);
+      PutU64(out, std::bit_cast<uint64_t>(sq.score));
+    }
+  }
+  FinishFrame(FrameType::kResponse, out);
+}
+
+Status DecodeRequestBody(std::span<const uint8_t> body, WireRequest* out) {
+  ByteCursor cursor(body);
+  WireRequest request;
+  uint8_t lane, r0, r1, r2;
+  uint32_t num_contexts;
+  if (!cursor.U64(&request.request_id) ||
+      !cursor.U64(&request.deadline_remaining_us) ||
+      !cursor.U64(&request.expected_fleet_version) || !cursor.U8(&lane) ||
+      !cursor.U8(&r0) || !cursor.U8(&r1) || !cursor.U8(&r2) ||
+      !cursor.U32(&request.top_n) || !cursor.U32(&num_contexts)) {
+    return Malformed("request header truncated");
+  }
+  if (lane > static_cast<uint8_t>(QosLane::kBulk)) {
+    return Malformed("unknown lane");
+  }
+  if ((r0 | r1 | r2) != 0) return Malformed("nonzero reserved byte");
+  if (request.top_n == 0) return Malformed("top_n is zero");
+  request.lane = static_cast<QosLane>(lane);
+  // Each context costs at least 4 bytes, so this bound makes a hostile
+  // count harmless before any reserve.
+  if (num_contexts > cursor.remaining() / 4) {
+    return Malformed("context count exceeds body");
+  }
+  request.contexts.resize(num_contexts);
+  for (auto& context : request.contexts) {
+    uint32_t len;
+    if (!cursor.U32(&len)) return Malformed("context length truncated");
+    if (len > cursor.remaining() / 4) {
+      return Malformed("context length exceeds body");
+    }
+    context.resize(len);
+    for (QueryId& id : context) {
+      if (!cursor.U32(&id)) return Malformed("context ids truncated");
+    }
+  }
+  if (cursor.remaining() != 0) return Malformed("trailing bytes");
+  *out = std::move(request);
+  return Status::OK();
+}
+
+Status DecodeResponseBody(std::span<const uint8_t> body, WireResponse* out) {
+  ByteCursor cursor(body);
+  WireResponse response;
+  uint8_t admission, degraded;
+  uint16_t reserved;
+  uint32_t num_items;
+  if (!cursor.U64(&response.request_id) ||
+      !cursor.U64(&response.fleet_version) || !cursor.U8(&admission) ||
+      !cursor.U8(&degraded) || !cursor.U16(&reserved) ||
+      !cursor.U32(&response.effective_top_n) || !cursor.U32(&num_items)) {
+    return Malformed("response header truncated");
+  }
+  if (!StatusFromWire(admission, &response.admission)) {
+    return Malformed("unknown admission status");
+  }
+  if (degraded > 1) return Malformed("degraded flag out of range");
+  if (reserved != 0) return Malformed("nonzero reserved bytes");
+  response.degraded = degraded == 1;
+  // Each item costs at least 12 bytes.
+  if (num_items > cursor.remaining() / 12) {
+    return Malformed("item count exceeds body");
+  }
+  response.items.resize(num_items);
+  for (WireItem& item : response.items) {
+    uint8_t status, covered;
+    uint16_t item_reserved;
+    uint32_t num_queries;
+    if (!cursor.U8(&status) || !cursor.U8(&covered) ||
+        !cursor.U16(&item_reserved) || !cursor.U32(&item.matched_length) ||
+        !cursor.U32(&num_queries)) {
+      return Malformed("item header truncated");
+    }
+    if (!StatusFromWire(status, &item.status)) {
+      return Malformed("unknown item status");
+    }
+    if (covered > 1) return Malformed("covered flag out of range");
+    if (item_reserved != 0) return Malformed("nonzero reserved bytes");
+    item.covered = covered == 1;
+    // Each scored query costs 12 bytes.
+    if (num_queries > cursor.remaining() / 12) {
+      return Malformed("query count exceeds body");
+    }
+    item.queries.resize(num_queries);
+    for (ScoredQuery& sq : item.queries) {
+      if (!cursor.U32(&sq.query) || !cursor.F64(&sq.score)) {
+        return Malformed("scored query truncated");
+      }
+    }
+  }
+  if (cursor.remaining() != 0) return Malformed("trailing bytes");
+  *out = std::move(response);
+  return Status::OK();
+}
+
+Status FrameAssembler::ValidatePrelude(const uint8_t* p) {
+  if (std::memcmp(p, kWireMagic, sizeof(kWireMagic)) != 0) {
+    return Status::DataLoss("bad frame magic");
+  }
+  const uint16_t version = LoadLE16(p + 4);
+  if (version != kWireProtocolVersion) {
+    return Status::DataLoss("unsupported wire protocol version " +
+                            std::to_string(version));
+  }
+  const uint8_t type = p[6];
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::DataLoss("unknown frame type");
+  }
+  if (p[7] != 0) return Status::DataLoss("nonzero reserved prelude byte");
+  const uint32_t body_size = LoadLE32(p + 8);
+  if (body_size > max_body_bytes_) {
+    return Status::DataLoss("frame body of " + std::to_string(body_size) +
+                            " bytes exceeds limit");
+  }
+  header_.type = static_cast<FrameType>(type);
+  header_.body_size = body_size;
+  header_.body_crc = LoadLE32(p + 12);
+  return Status::OK();
+}
+
+Status FrameAssembler::Feed(std::span<const uint8_t> bytes) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  if (!have_header_ && buffer_.size() - consumed_ >= kFramePreludeBytes) {
+    error_ = ValidatePrelude(buffer_.data() + consumed_);
+    if (!error_.ok()) return error_;
+    consumed_ += kFramePreludeBytes;
+    have_header_ = true;
+  }
+  return Status::OK();
+}
+
+Status FrameAssembler::Next(FrameHeader* header, std::vector<uint8_t>* body,
+                            bool* ready) {
+  *ready = false;
+  if (!error_.ok()) return error_;
+  if (!have_header_ || buffer_.size() - consumed_ < header_.body_size) {
+    return Status::OK();
+  }
+  const uint8_t* begin = buffer_.data() + consumed_;
+  if (Crc32(begin, header_.body_size) != header_.body_crc) {
+    error_ = Status::DataLoss("frame body CRC mismatch");
+    return error_;
+  }
+  *header = header_;
+  body->assign(begin, begin + header_.body_size);
+  consumed_ += header_.body_size;
+  have_header_ = false;
+  // Compact, then eagerly validate the next prelude if it already arrived
+  // (keeps Feed/Next order-insensitive for pipelined frames).
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+  consumed_ = 0;
+  if (buffer_.size() >= kFramePreludeBytes) {
+    error_ = ValidatePrelude(buffer_.data());
+    if (error_.ok()) {
+      consumed_ = kFramePreludeBytes;
+      have_header_ = true;
+    }
+  }
+  *ready = true;
+  return Status::OK();
+}
+
+}  // namespace sqp::net

@@ -25,6 +25,11 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
     std::span<const std::string> args) {
   RecommenderCliConfig config;
   bool shards_given = false;
+  bool batch_given = false;
+  bool threads_given = false;
+  bool deadline_given = false;
+  bool lane_given = false;
+  bool connect_given = false;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const auto value_of = [&](const std::string& flag,
@@ -43,9 +48,11 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
     } else if (arg == "--threads") {
       SQP_RETURN_IF_ERROR(value_of(arg, &value));
       SQP_RETURN_IF_ERROR(ParseCount(arg, value, 64, &config.threads));
+      threads_given = true;
     } else if (arg == "--batch") {
       SQP_RETURN_IF_ERROR(value_of(arg, &value));
       SQP_RETURN_IF_ERROR(ParseCount(arg, value, 1 << 16, &config.batch));
+      batch_given = true;
     } else if (arg == "--shards") {
       SQP_RETURN_IF_ERROR(value_of(arg, &value));
       SQP_RETURN_IF_ERROR(ParseCount(arg, value, 4096, &config.shards));
@@ -68,6 +75,26 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
       SQP_RETURN_IF_ERROR(
           ParseCount(arg, value, 1000000000, &deadline));
       config.deadline_us = deadline;
+      deadline_given = true;
+    } else if (arg == "--serve-port") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      size_t port = 0;
+      SQP_RETURN_IF_ERROR(ParseCount(arg, value, 65535, &port));
+      config.serve_port = static_cast<uint16_t>(port);
+    } else if (arg == "--connect") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &value));
+      const size_t colon = value.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == value.size()) {
+        return Status::InvalidArgument(
+            "--connect expects HOST:PORT, got '" + value + "'");
+      }
+      size_t port = 0;
+      SQP_RETURN_IF_ERROR(
+          ParseCount(arg, value.substr(colon + 1), 65535, &port));
+      config.connect_host = value.substr(0, colon);
+      config.connect_port = static_cast<uint16_t>(port);
+      connect_given = true;
     } else if (arg == "--lane") {
       SQP_RETURN_IF_ERROR(value_of(arg, &value));
       if (value == "interactive") {
@@ -78,6 +105,7 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
         return Status::InvalidArgument(
             "--lane expects 'interactive' or 'bulk', got '" + value + "'");
       }
+      lane_given = true;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -107,6 +135,44 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
       return Status::InvalidArgument(
           "--shards is ignored with --load-snapshot: the shard count "
           "comes from the snapshot manifest");
+    }
+  }
+
+  // The network tier: both modes resolve the fleet shape and the
+  // dictionary off a persisted artifact, so they require --load-snapshot;
+  // flags the chosen mode would silently ignore are rejected loudly.
+  if (config.serve_port != 0 && connect_given) {
+    return Status::InvalidArgument(
+        "--serve-port and --connect are mutually exclusive: a process is "
+        "either a shard server or a routing client");
+  }
+  if (config.serve_port != 0) {
+    if (config.load_snapshot.empty()) {
+      return Status::InvalidArgument(
+          "--serve-port requires --load-snapshot: a shard server "
+          "cold-boots the fleet artifact it serves");
+    }
+    if (batch_given || deadline_given || lane_given) {
+      return Status::InvalidArgument(
+          std::string(batch_given ? "--batch"
+                      : deadline_given ? "--deadline-us"
+                                       : "--lane") +
+          " is ignored with --serve-port: a shard server has no stdin "
+          "loop; batching and QoS travel per-request from the connecting "
+          "router");
+    }
+  }
+  if (connect_given) {
+    if (config.load_snapshot.empty()) {
+      return Status::InvalidArgument(
+          "--connect requires --load-snapshot: the client resolves the "
+          "shard count and the dictionary off the fleet artifact");
+    }
+    if (threads_given) {
+      return Status::InvalidArgument(
+          "--threads is ignored with --connect: the router is a "
+          "single-connection client; engine lanes belong to the serving "
+          "side");
     }
   }
   return config;

@@ -32,6 +32,17 @@ struct RecommenderCliConfig {
 
   /// Admission priority lane for served requests.
   QosLane lane = QosLane::kInteractive;
+
+  /// Network serving mode: expose the cold-booted artifact over TCP (one
+  /// ShardServer per shard on ports serve_port..serve_port+N-1) instead
+  /// of answering stdin. 0 = off.
+  uint16_t serve_port = 0;
+
+  /// Network client mode: "host:baseport" of a fleet started with
+  /// --serve-port; the stdin loop is served through a RouterClient over
+  /// TCP instead of an in-process engine. Empty = off.
+  std::string connect_host;
+  uint16_t connect_port = 0;
 };
 
 /// Parses recommender_cli arguments (argv[1..], program name excluded).
@@ -42,7 +53,14 @@ struct RecommenderCliConfig {
 ///  - --load-snapshot with --compact (a persisted blob already IS the
 ///    compact layout; the flag would change nothing),
 ///  - --load-snapshot with --shards (the shard count comes from the
-///    manifest, not the command line).
+///    manifest, not the command line),
+///  - --serve-port and --connect each require --load-snapshot (both sides
+///    of the network tier resolve the fleet shape and the dictionary off
+///    the persisted artifact) and are mutually exclusive,
+///  - --serve-port with --batch/--deadline-us/--lane (a shard server has
+///    no stdin loop; QoS travels per-request from the connecting router),
+///  - --connect with --threads (the router is a single-connection client;
+///    engine lanes belong to the serving side).
 /// Every error message names the offending flag and the reason.
 Result<RecommenderCliConfig> ParseRecommenderCliArgs(
     std::span<const std::string> args);

@@ -19,7 +19,7 @@ Retrainer::Retrainer(RecommenderEngine* engine, RetrainerOptions options)
 Retrainer::~Retrainer() { Stop(); }
 
 Status Retrainer::PublishAndPersist(
-    std::shared_ptr<const ModelSnapshot> full) const {
+    std::shared_ptr<const ModelSnapshot> full, uint64_t version) {
   // The compact re-pack is needed when it is the published variant or
   // when a blob must be persisted (the on-disk format IS the compact
   // layout); one pack serves both purposes.
@@ -33,6 +33,15 @@ Status Retrainer::PublishAndPersist(
     engine_->Publish(std::move(full));
   }
   rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  // The published version must be visible the moment the engine swap is
+  // live — before the persist loop and before after_persist — so hook
+  // observers (ShardedRetrainerSet's manifest re-pin) read the version
+  // this publish carries, not the previous cycle's.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version_ = version;
+  }
+  version_cv_.notify_all();
   if (!options_.persist_path.empty()) {
     // Bounded retry with exponential backoff: a transient persist failure
     // (full disk, slow rename) must not silently drop this rebuild's
@@ -115,14 +124,12 @@ Status Retrainer::Bootstrap(std::vector<AggregatedSession> corpus,
   }
   // Serving goes live even if persistence fails; the persist status is
   // surfaced to the caller and in last_status().
-  const Status persist = PublishAndPersist(std::move(snapshot));
+  const Status persist = PublishAndPersist(std::move(snapshot), /*version=*/1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    version_ = 1;
     bootstrapped_ = true;
     last_status_ = persist;
   }
-  version_cv_.notify_all();
   return persist;
 }
 
@@ -182,13 +189,7 @@ Status Retrainer::RebuildAndPublish(std::vector<AggregatedSession> fresh) {
     return built.status();
   }
 
-  const Status persist = PublishAndPersist(std::move(built.value()));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    version_ = next_version;
-  }
-  version_cv_.notify_all();
-  return persist;
+  return PublishAndPersist(std::move(built.value()), next_version);
 }
 
 void Retrainer::Start() {

@@ -168,10 +168,14 @@ class Retrainer {
   void BackgroundLoop();
   size_t EffectiveVocabulary() const;
   /// Publishes `full` (or its compact re-pack when publish_compact is set)
-  /// to the engine, then persists the compact re-pack to persist_path if
-  /// configured. Returns the persist status; the publish itself cannot
-  /// fail.
-  Status PublishAndPersist(std::shared_ptr<const ModelSnapshot> full) const;
+  /// to the engine, advances published_version() to `version` as soon as
+  /// the swap is live (persist failures never roll a publish back, so the
+  /// version moves with the publish — and after_persist observers see the
+  /// version the blob they are pinning carries), then persists the compact
+  /// re-pack to persist_path if configured. Returns the persist status;
+  /// the publish itself cannot fail.
+  Status PublishAndPersist(std::shared_ptr<const ModelSnapshot> full,
+                           uint64_t version);
 
   RecommenderEngine* engine_;
   RetrainerOptions options_;

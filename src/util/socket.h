@@ -1,0 +1,83 @@
+#ifndef SQP_UTIL_SOCKET_H_
+#define SQP_UTIL_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sqp {
+
+/// Thin status-returning wrappers over POSIX TCP sockets. Everything the
+/// net/ tier needs and nothing more: listen, accept, connect, exact and
+/// partial reads/writes, timeouts. All functions map errno onto the
+/// library's Status taxonomy — a peer that vanished (EOF, ECONNRESET,
+/// EPIPE, timeout) is kUnavailable, local misuse is kInvalidArgument, and
+/// everything else is kIOError — so callers never branch on errno.
+
+/// Owning file-descriptor handle. Closes on destruction; move-only.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { Reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a TCP listener bound to `host`:`port` (SO_REUSEADDR, so a
+/// restarted shard server can reclaim its port immediately). `port` 0
+/// binds an ephemeral port; recover it with BoundPort.
+Result<OwnedFd> ListenTcp(const std::string& host, uint16_t port,
+                          int backlog = 64);
+
+/// The port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> BoundPort(int fd);
+
+/// Blocking TCP connect. kUnavailable when the peer refuses or the
+/// address is unreachable (the caller may retry against a restarted
+/// server), kInvalidArgument for a malformed host.
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Accepts one pending connection from a listener. kUnavailable when the
+/// listener is nonblocking and no connection is pending.
+Result<OwnedFd> AcceptTcp(int listener_fd);
+
+/// Switches a socket to nonblocking mode (for the epoll event loop).
+Status SetNonBlocking(int fd);
+
+/// Bounds every subsequent blocking recv/send on `fd`. A transfer that
+/// stalls past the timeout fails kUnavailable instead of hanging the
+/// caller forever — the client-side guarantee behind "never hang".
+Status SetIoTimeout(int fd, std::chrono::microseconds timeout);
+
+/// Writes the whole buffer, looping over partial sends. EINTR retries;
+/// a dead peer is kUnavailable.
+Status WriteAllFd(int fd, const uint8_t* data, size_t size);
+
+/// Reads up to `max` bytes, returning how many arrived (>= 1). Clean
+/// EOF, reset and timeout all map to kUnavailable: from the framing
+/// layer's point of view the stream just ended.
+Result<size_t> ReadSomeFd(int fd, uint8_t* out, size_t max);
+
+}  // namespace sqp
+
+#endif  // SQP_UTIL_SOCKET_H_

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kResourceExhausted,   // admission queue full; request shed
   kDeadlineExceeded,    // deadline expired before or during serving
   kUnavailable,         // the responsible replica/shard has no snapshot
+  kDataLoss,            // corrupt bytes on the wire or on disk
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

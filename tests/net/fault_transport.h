@@ -1,0 +1,150 @@
+#ifndef SQP_TESTS_NET_FAULT_TRANSPORT_H_
+#define SQP_TESTS_NET_FAULT_TRANSPORT_H_
+
+// Deterministic fault injection at the transport seam: wraps any real
+// Transport (loopback in the tests, but TCP works identically) and
+// perturbs the byte streams at exact offsets — drop, truncate, delay,
+// bit-flip, short read, chunked write. Because the offsets are absolute
+// positions in the request/response streams, every failure mode a socket
+// can produce is reproduced bit-for-bit on every run: a mid-frame
+// disconnect is "truncate the read stream at byte 20", a corrupted
+// response is "XOR byte 40 with 0x10", a slow peer is "3-byte write
+// chunks with a delay". The suite asserts the client surfaces a clean
+// typed status for each — never a hang, never a crash.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace sqp::net_test {
+
+struct FaultPlan {
+  /// Deliver at most this many bytes per Read call (short reads; the
+  /// client's reassembly must cope with arbitrarily small deliveries).
+  size_t max_read_chunk = SIZE_MAX;
+
+  /// Split every Write into chunks of at most this many bytes before
+  /// handing them to the inner transport (slow-peer partial writes; the
+  /// server's reassembly must cope).
+  size_t max_write_chunk = SIZE_MAX;
+
+  /// The connection dies after this many bytes of the response stream
+  /// have been delivered (mid-frame disconnect when it lands inside a
+  /// frame). Reads at or past the point return kUnavailable.
+  std::optional<size_t> truncate_read_at;
+
+  /// The connection dies after this many bytes of the request stream have
+  /// been written; the write that crosses the point fails kUnavailable
+  /// and the transport is dead from then on.
+  std::optional<size_t> fail_write_at;
+
+  /// XOR the response-stream byte at the given absolute offset with the
+  /// given mask (corruption in flight; the frame CRC or prelude
+  /// validation must catch it).
+  std::vector<std::pair<size_t, uint8_t>> flip_read;
+
+  /// Sleep this long before every chunked read/write (slow peer). Keep it
+  /// small — the suites stay deterministic regardless, the delay only
+  /// widens real interleavings under TSAN.
+  std::chrono::microseconds delay{0};
+};
+
+class FaultTransport final : public net::Transport {
+ public:
+  FaultTransport(std::unique_ptr<net::Transport> inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  Status Write(std::span<const uint8_t> data) override {
+    if (dead_) return Status::Unavailable("connection reset by fault plan");
+    size_t sent = 0;
+    while (sent < data.size()) {
+      if (plan_.delay.count() > 0) std::this_thread::sleep_for(plan_.delay);
+      size_t chunk =
+          std::min(data.size() - sent, std::max<size_t>(1, plan_.max_write_chunk));
+      if (plan_.fail_write_at &&
+          write_offset_ + chunk > *plan_.fail_write_at) {
+        // Deliver the bytes up to the failure point, then die mid-frame.
+        const size_t partial = *plan_.fail_write_at > write_offset_
+                                   ? *plan_.fail_write_at - write_offset_
+                                   : 0;
+        if (partial > 0) {
+          (void)inner_->Write(data.subspan(sent, partial));
+          write_offset_ += partial;
+        }
+        dead_ = true;
+        inner_->Close();
+        return Status::Unavailable("connection reset mid-write");
+      }
+      Status written = inner_->Write(data.subspan(sent, chunk));
+      if (!written.ok()) return written;
+      sent += chunk;
+      write_offset_ += chunk;
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Read(uint8_t* out, size_t max) override {
+    if (dead_) return Status::Unavailable("connection reset by fault plan");
+    if (plan_.delay.count() > 0) std::this_thread::sleep_for(plan_.delay);
+    size_t want = std::min(max, std::max<size_t>(1, plan_.max_read_chunk));
+    if (plan_.truncate_read_at) {
+      if (read_offset_ >= *plan_.truncate_read_at) {
+        dead_ = true;
+        return Status::Unavailable("connection closed mid-frame");
+      }
+      want = std::min(want, *plan_.truncate_read_at - read_offset_);
+    }
+    auto n = inner_->Read(out, want);
+    if (!n.ok()) return n;
+    for (const auto& [offset, mask] : plan_.flip_read) {
+      if (offset >= read_offset_ && offset < read_offset_ + *n) {
+        out[offset - read_offset_] ^= mask;
+      }
+    }
+    read_offset_ += *n;
+    return n;
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<net::Transport> inner_;
+  FaultPlan plan_;
+  size_t read_offset_ = 0;
+  size_t write_offset_ = 0;
+  bool dead_ = false;
+};
+
+/// Wraps a transport factory so every produced connection carries the
+/// fault plan. `faulty_connections` bounds how many connections are
+/// perturbed — after that many, the factory hands out clean transports
+/// (the reconnect-and-recover path).
+inline std::function<Result<std::unique_ptr<net::Transport>>(uint32_t)>
+FaultyFactory(
+    std::function<Result<std::unique_ptr<net::Transport>>(uint32_t)> inner,
+    FaultPlan plan, size_t faulty_connections = SIZE_MAX) {
+  auto remaining = std::make_shared<size_t>(faulty_connections);
+  return [inner = std::move(inner), plan = std::move(plan),
+          remaining](uint32_t shard) -> Result<std::unique_ptr<net::Transport>> {
+    auto transport = inner(shard);
+    if (!transport.ok()) return transport.status();
+    if (*remaining == 0) return std::move(*transport);
+    --*remaining;
+    return std::unique_ptr<net::Transport>(
+        new FaultTransport(std::move(*transport), plan));
+  };
+}
+
+}  // namespace sqp::net_test
+
+#endif  // SQP_TESTS_NET_FAULT_TRANSPORT_H_

@@ -119,5 +119,77 @@ TEST(CliConfigTest, LoadSnapshotWithServingFlagsIsFine) {
   EXPECT_EQ(parsed->threads, 4u);
 }
 
+TEST(CliConfigTest, ServePortParsesAndRequiresLoadSnapshot) {
+  const auto parsed =
+      Parse({"--load-snapshot", "fleet.manifest", "--serve-port", "7400",
+             "--threads", "2"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->serve_port, 7400u);
+  EXPECT_EQ(parsed->threads, 2u);
+
+  const auto bare = Parse({"--serve-port", "7400"});
+  ASSERT_FALSE(bare.ok());
+  EXPECT_NE(bare.status().message().find("--serve-port"), std::string::npos);
+  EXPECT_NE(bare.status().message().find("--load-snapshot"),
+            std::string::npos);
+
+  EXPECT_FALSE(Parse({"--serve-port", "0"}).ok());
+  EXPECT_FALSE(Parse({"--serve-port", "65536"}).ok());
+}
+
+TEST(CliConfigTest, ConnectParsesHostPortAndRequiresLoadSnapshot) {
+  const auto parsed = Parse(
+      {"--load-snapshot", "fleet.manifest", "--connect", "10.0.0.7:7400"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->connect_host, "10.0.0.7");
+  EXPECT_EQ(parsed->connect_port, 7400u);
+
+  const auto bare = Parse({"--connect", "localhost:7400"});
+  ASSERT_FALSE(bare.ok());
+  EXPECT_NE(bare.status().message().find("--connect"), std::string::npos);
+
+  for (const std::string value : {"nohost", ":7400", "host:", "host:0",
+                                  "host:65536", "host:abc"}) {
+    const auto bad = Parse({"--load-snapshot", "m", "--connect", value});
+    ASSERT_FALSE(bad.ok()) << value;
+    EXPECT_NE(bad.status().message().find("--connect"), std::string::npos);
+  }
+}
+
+TEST(CliConfigTest, ServeAndConnectModesRejectIgnoredFlags) {
+  const auto both = Parse({"--load-snapshot", "m", "--serve-port", "7400",
+                           "--connect", "host:7400"});
+  ASSERT_FALSE(both.ok());
+  EXPECT_NE(both.status().message().find("mutually exclusive"),
+            std::string::npos);
+
+  // A shard server has no stdin loop: client-side batching/QoS flags
+  // would be silently ignored.
+  for (const std::vector<std::string> extra :
+       {std::vector<std::string>{"--batch", "8"},
+        std::vector<std::string>{"--deadline-us", "100"},
+        std::vector<std::string>{"--lane", "bulk"}}) {
+    std::vector<std::string> args = {"--load-snapshot", "m", "--serve-port",
+                                     "7400"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    const auto bad = Parse(args);
+    ASSERT_FALSE(bad.ok()) << extra[0];
+    EXPECT_NE(bad.status().message().find(extra[0]), std::string::npos)
+        << bad.status().message();
+  }
+
+  // The router client has no engine lanes.
+  const auto threads = Parse({"--load-snapshot", "m", "--connect",
+                              "host:7400", "--threads", "4"});
+  ASSERT_FALSE(threads.ok());
+  EXPECT_NE(threads.status().message().find("--threads"), std::string::npos);
+
+  // Client-side QoS flags DO apply in connect mode.
+  const auto ok = Parse({"--load-snapshot", "m", "--connect", "host:7400",
+                         "--batch", "16", "--deadline-us", "5000", "--lane",
+                         "bulk"});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 }  // namespace
 }  // namespace sqp

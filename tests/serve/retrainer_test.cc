@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <memory>
@@ -180,6 +181,72 @@ TEST(RetrainerTest, PersistFailuresRetryWithBackoffThenRecover) {
   EXPECT_EQ(stats.persist_retries, 2u);   // unchanged: no new failures
   EXPECT_EQ(stats.persist_failures, 1u);
   EXPECT_EQ(stats.retrain_failures, 0u);
+
+  RecommenderEngine replica(EngineOptions{.num_threads = 1});
+  ASSERT_TRUE(replica.LoadAndPublish(persist_path).ok());
+  EXPECT_EQ(replica.current_version(), 2u);
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+}
+
+TEST(RetrainerTest, AfterPersistHookSeesNewVersionAcrossRetriedPersist) {
+  // Regression: the after_persist hook used to fire before the caller
+  // advanced published_version(), so a hook re-pinning a manifest (the
+  // ShardedRetrainerSet wiring) recorded the PREVIOUS version. The hook
+  // must fire exactly once per successful persist, only after the blob
+  // exists, and observe the version the persisted blob carries — even
+  // when the persist only succeeds on a backoff retry mid-republish.
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("sqp_retrainer_hook_" + std::to_string(::getpid()));
+  const std::filesystem::path blob_dir = root / "blobs";
+  std::filesystem::create_directories(blob_dir);
+  const std::string persist_path = (blob_dir / "model.blob").string();
+
+  std::atomic<uint64_t> hook_fires{0};
+  std::atomic<uint64_t> hook_version{0};
+  std::atomic<bool> hook_saw_blob{false};
+
+  RecommenderEngine engine(EngineOptions{.num_threads = 1});
+  RetrainerOptions options = TestOptions();
+  options.persist_path = persist_path;
+  options.persist_max_retries = 20;
+  options.persist_retry_backoff = std::chrono::milliseconds(5);
+  Retrainer* observed = nullptr;
+  options.after_persist = [&] {
+    hook_fires.fetch_add(1);
+    hook_version.store(observed->published_version());
+    hook_saw_blob.store(std::filesystem::exists(persist_path));
+  };
+  Retrainer hooked(&engine, options);
+  observed = &hooked;
+
+  ASSERT_TRUE(hooked.Bootstrap(SharedCorpus().base).ok());
+  EXPECT_EQ(hook_fires.load(), 1u);
+  EXPECT_EQ(hook_version.load(), 1u);
+  EXPECT_TRUE(hook_saw_blob.load());
+
+  // Break the disk mid-republish: the retrain publishes version 2, the
+  // persist fails and backs off until the directory reappears.
+  hooked.AppendSessions(SharedCorpus().drifted);
+  std::filesystem::remove_all(blob_dir);
+  std::thread heal([&] {
+    // Wait for the first failed attempt (persist_retries moves before the
+    // backoff sleep), then bring the disk back so a retry succeeds.
+    while (hooked.stats().persist_retries == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::filesystem::create_directories(blob_dir);
+  });
+  ASSERT_TRUE(hooked.RetrainOnce().ok());
+  heal.join();
+
+  EXPECT_GE(hooked.stats().persist_retries, 1u);
+  EXPECT_EQ(hooked.stats().persist_failures, 0u);
+  EXPECT_EQ(hook_fires.load(), 2u);  // once per successful persist
+  EXPECT_EQ(hook_version.load(), 2u);  // the version the blob carries
+  EXPECT_TRUE(hook_saw_blob.load());
 
   RecommenderEngine replica(EngineOptions{.num_threads = 1});
   ASSERT_TRUE(replica.LoadAndPublish(persist_path).ok());

@@ -394,6 +394,53 @@ TEST(ShardedRetrainerSetTest, PersistedFleetColdBootsAfterShardRebuild) {
   EXPECT_GT(covered, 0u);
 }
 
+TEST(ShardedRetrainerSetTest, ManifestRePinRecordsRepublishedShardVersion) {
+  // Regression: the automatic manifest re-pin runs inside the retrainer's
+  // after_persist hook, which used to fire before published_version()
+  // advanced — so a shard republishing version 2 re-pinned the manifest
+  // tagged version 1. The manifest version must equal the newest shard
+  // version the moment the hook-driven re-pin lands, with no manual
+  // RefreshManifest() call.
+  constexpr uint32_t kShards = 2;
+  TempDir dir;
+  const std::string manifest_path = dir.file("repin.manifest");
+
+  ShardedEngine engine(ShardedEngineOptions{.num_shards = kShards});
+  RetrainerOptions base;
+  base.model = DefaultModel();
+  base.vocabulary_size = kVocabularyBound;
+  base.persist_path = manifest_path;
+  ShardedRetrainerSet retrainers(&engine, base);
+  ASSERT_TRUE(retrainers.Bootstrap(SharedCorpus().base).ok());
+  {
+    auto manifest = SnapshotIo::LoadManifest(manifest_path);
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ(manifest->version, 1u);
+  }
+
+  std::vector<AggregatedSession> fresh;
+  uint32_t target = 0;
+  for (uint32_t s = 0; s < kShards && fresh.empty(); ++s) {
+    fresh = SessionsOwnedBy(s, kShards, 20);
+    target = s;
+  }
+  ASSERT_FALSE(fresh.empty());
+  retrainers.AppendSessions(fresh);
+  ASSERT_TRUE(retrainers.RetrainShard(target).ok());
+  ASSERT_TRUE(retrainers.last_manifest_status().ok());
+
+  auto manifest = SnapshotIo::LoadManifest(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->version, 2u);  // stale (1) before the ordering fix
+
+  // And the re-pinned fleet cold-boots at the mixed shard versions.
+  auto booted = ShardedEngine::BootFromManifest(manifest_path);
+  ASSERT_TRUE(booted.ok()) << booted.status().ToString();
+  const std::vector<uint64_t> versions = (*booted)->shard_versions();
+  EXPECT_EQ(versions[target], 2u);
+  EXPECT_EQ(versions[1 - target], 1u);
+}
+
 TEST(ShardedRetrainerSetTest, EmptyShardSlicesPersistAndBootstrapLazily) {
   // A corpus over two distinct queries: with 7 shards, most slices are
   // empty. Every shard must still publish AND persist at bootstrap (the
