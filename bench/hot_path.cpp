@@ -78,15 +78,14 @@ double MeasureKernelNs(const kernels::KernelTable& table, size_t run_len,
     queries[i] = static_cast<QT>(rng() % id_range);
     codes[i] = static_cast<uint16_t>(1 + rng() % 60000);
   }
-  kernels::DenseAccumulator acc;
-  acc.Reserve(id_range);
+  kernels::AccumulatorStorage storage;
   // Warm-up + calibration.
-  acc.BeginGeneration(id_range);
+  kernels::DenseAccumulator acc = storage.BeginGeneration(id_range);
   ScoreRun(table, queries.data(), codes.data(), run_len, 1e-3, &acc);
   const size_t iters = std::max<size_t>(1, 2'000'000 / run_len);
   WallTimer timer;
   for (size_t it = 0; it < iters; ++it) {
-    acc.BeginGeneration(id_range);
+    acc = storage.BeginGeneration(id_range);
     ScoreRun(table, queries.data(), codes.data(), run_len, 1e-3, &acc);
   }
   const double seconds = timer.ElapsedSeconds();

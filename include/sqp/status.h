@@ -1,0 +1,61 @@
+#ifndef SQP_INCLUDE_SQP_STATUS_H_
+#define SQP_INCLUDE_SQP_STATUS_H_
+
+/* The canonical status-code taxonomy for the whole repo, pinned once.
+ *
+ * Three consumers share this table and must never drift:
+ *   - util/status.h   (C++ `StatusCode` — enumerator values are pinned
+ *                      to these constants by static_assert)
+ *   - net/wire_format (the wire protocol's u8 status codes are exactly
+ *                      these values; golden frames in tests/data pin them)
+ *   - this C header   (the slim embedded predictor ABI, include/sqp/slim.h)
+ *
+ * The numeric values are a compatibility contract: they are persisted in
+ * golden wire frames and compiled into embedded callers. Append new codes
+ * at the end with the next value; never renumber or remove entries.
+ *
+ * This header is pure C89-compatible declarations (enum + one function),
+ * usable from C, C++, and any FFI layer that can read a C header.
+ */
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* X-macro master list: X(enumerator, value, display-name). */
+#define SQP_STATUS_CODE_LIST(X)                         \
+  X(SQP_STATUS_OK, 0, "OK")                             \
+  X(SQP_STATUS_INVALID_ARGUMENT, 1, "InvalidArgument")  \
+  X(SQP_STATUS_NOT_FOUND, 2, "NotFound")                \
+  X(SQP_STATUS_IO_ERROR, 3, "IOError")                  \
+  X(SQP_STATUS_FAILED_PRECONDITION, 4, "FailedPrecondition") \
+  X(SQP_STATUS_OUT_OF_RANGE, 5, "OutOfRange")           \
+  X(SQP_STATUS_INTERNAL, 6, "Internal")                 \
+  X(SQP_STATUS_RESOURCE_EXHAUSTED, 7, "ResourceExhausted") \
+  X(SQP_STATUS_DEADLINE_EXCEEDED, 8, "DeadlineExceeded") \
+  X(SQP_STATUS_UNAVAILABLE, 9, "Unavailable")           \
+  X(SQP_STATUS_DATA_LOSS, 10, "DataLoss")
+
+typedef enum sqp_status_t {
+#define SQP_STATUS_DEFINE_ENUM(name, value, str) name = value,
+  SQP_STATUS_CODE_LIST(SQP_STATUS_DEFINE_ENUM)
+#undef SQP_STATUS_DEFINE_ENUM
+} sqp_status_t;
+
+/* Number of codes in the table (== last value + 1; values are dense). */
+#define SQP_STATUS_CODE_COUNT 11
+
+/* Stable display name for a status code ("OK", "InvalidArgument", ...).
+ * Returns "Unknown" for values outside the table. Never NULL.
+ * Default visibility explicitly: the slim library builds with
+ * -fvisibility=hidden and this is part of its exported C ABI. */
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((visibility("default")))
+#endif
+const char* sqp_status_name(sqp_status_t status);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* SQP_INCLUDE_SQP_STATUS_H_ */

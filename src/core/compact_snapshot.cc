@@ -1,12 +1,11 @@
 #include "core/compact_snapshot.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <unordered_map>
 
 #include "core/memory_accounting.h"
-#include "util/math_util.h"
+#include "core/serving_walk.h"
 
 namespace sqp {
 
@@ -287,292 +286,126 @@ std::shared_ptr<const CompactSnapshot> CompactSnapshot::FromSnapshot(
   return out;
 }
 
-template <typename P>
-int32_t CompactServingBase::FindChildIn(const P& pools, int32_t node,
-                                        QueryId query) const {
-  const uint32_t begin = child_begin_[static_cast<size_t>(node)];
-  const uint32_t end = child_begin_[static_cast<size_t>(node) + 1];
-  const auto* first = pools.edge_query.data() + begin;
-  const auto* last = pools.edge_query.data() + end;
-  const auto* at = std::lower_bound(first, last, query);
-  if (at == last || *at != query) return -1;
-  return static_cast<int32_t>(
-      pools.edge_child[static_cast<size_t>(begin + (at - first))]);
-}
+void CompactServingBase::FinalizeDerived() {
+  // Bind the runtime-free walk layer's view of this model. The spans stay
+  // the owning truth (vectors or mapped blob); the ModelRef is raw
+  // pointers into exactly that storage.
+  serving::ModelRef m;
+  m.next_begin = next_begin_.data();
+  m.child_begin = child_begin_.data();
+  m.total_count = total_count_.data();
+  m.start_count = start_count_.data();
+  m.count_shift = count_shift_.data();
+  m.mask16 = mask16_.empty() ? nullptr : mask16_.data();
+  m.mask64 = mask64_.empty() ? nullptr : mask64_.data();
+  m.next_code = next_code_.data();
+  m.num_nodes = total_count_.size();
+  m.num_entries = next_code_.size();
+  m.num_edges = is_narrow_ ? narrow_view_.edge_query.size()
+                           : wide_view_.edge_query.size();
+  m.narrow_ids = is_narrow_;
+  m.narrow = serving::PoolsRef<uint16_t, uint16_t>{
+      narrow_view_.next_query.data(), narrow_view_.edge_query.data(),
+      narrow_view_.edge_child.data(), narrow_view_.root_child_by_query.data(),
+      narrow_view_.root_child_by_query.size()};
+  m.wide = serving::PoolsRef<uint32_t, uint32_t>{
+      wide_view_.next_query.data(), wide_view_.edge_query.data(),
+      wide_view_.edge_child.data(), wide_view_.root_child_by_query.data(),
+      wide_view_.root_child_by_query.size()};
+  m.weighting = weighting_;
+  m.sigmas = sigmas_.data();
+  m.component_escape = component_escape_.data();
+  m.num_components = component_escape_.size();
 
-template <typename P>
-size_t CompactServingBase::MatchPathIn(const P& pools,
-                                       std::span<const QueryId> context,
-                                       std::vector<int32_t>* path) const {
-  path->clear();
-  if (context.empty()) return 0;
-  // Depth 1 is the root's dense fan-out index: one array load instead of a
-  // binary search over the (large) root edge run.
-  int32_t cur = RootChildIn(pools, context.back());
-  if (cur < 0) return 0;
-  path->push_back(cur);
-  for (size_t back = 1; back < context.size(); ++back) {
-    const size_t id = static_cast<size_t>(cur);
-    // Warm the matched node's edge run (the next lookup binary-searches
-    // it) and its nexts slice (the scoring pass streams it).
-    kernels::PrefetchRead(pools.edge_query.data() + child_begin_[id]);
-    kernels::PrefetchRead(pools.next_query.data() + next_begin_[id]);
-    kernels::PrefetchRead(next_code_.data() + next_begin_[id]);
-    const int32_t child =
-        FindChildIn(pools, cur, context[context.size() - 1 - back]);
-    if (child < 0) break;
-    cur = child;
-    path->push_back(cur);
-  }
-  return path->size();
+  // Derived block: escape power tables (owned here, referenced by the
+  // ModelRef), dense-accumulator bound, scratch sizing. Safe to run before
+  // a blob's structural validation — the parse layer has already pinned
+  // every section's element count to the META totals, and the depth sweep
+  // is defensive against non-monotone offsets.
+  escape_pow_.assign(m.num_components * (serving::kEscapePowCap + 1), 1.0);
+  std::vector<uint32_t> depth_scratch(m.num_nodes, 0);
+  serving::FinalizeModelRef(&m, escape_pow_.data(),
+                            depth_scratch.empty() ? nullptr
+                                                  : depth_scratch.data());
+  model_ = m;
 }
 
 size_t CompactServingBase::MatchedDepth(
     std::span<const QueryId> context) const {
-  std::vector<int32_t> path;
-  return is_narrow_ ? MatchPathIn(narrow_view_, context, &path)
-                    : MatchPathIn(wide_view_, context, &path);
+  const size_t path_cap = std::min(
+      context.size(), std::max<size_t>(model_.sizing.path_depth, 64));
+  std::vector<int32_t> path(path_cap);
+  return serving::MatchPath(model_, context.data(), context.size(),
+                            path.data(), path.size());
 }
 
-double CompactServingBase::EscapePow(size_t component, size_t power) const {
-  const double* row = escape_pow_.data() + component * (kEscapePowCap + 1);
-  if (power <= kEscapePowCap) return row[power];
-  // Contexts deeper than the table cap are vanishingly rare; extend the
-  // chain from the table's last entry so the rounding sequence matches the
-  // pre-table loop exactly.
-  double escape = row[kEscapePowCap];
-  const double base = component_escape_[component];
-  for (size_t j = kEscapePowCap; j < power; ++j) escape *= base;
-  return escape;
-}
-
-double CompactServingBase::EscapeWeight(int32_t node, size_t dropped,
-                                        size_t component) const {
-  if (dropped == 0) return 1.0;
-  double escape = EscapePow(component, dropped - 1);
-  const size_t id = static_cast<size_t>(node);
-  // The same branch EscapeMass takes on exact counts: a real (non-root)
-  // state with observed session starts contributes start/total, anything
-  // else the component default.
-  if (node != 0 && total_count_[id] > 0 && start_count_[id] > 0) {
-    escape *= static_cast<double>(start_count_[id]) /
-              static_cast<double>(total_count_[id]);
-  } else {
-    escape *= component_escape_[component];
-  }
-  return escape;
-}
-
-void CompactServingBase::FinalizeDerived() {
-  // Escape power tables: the same left-to-right multiply chain as the old
-  // per-request loop (1.0 * e * e * ...), so every looked-up power is
-  // bit-identical to what the loop produced.
-  const size_t k = component_escape_.size();
-  escape_pow_.assign(k * (kEscapePowCap + 1), 1.0);
-  for (size_t c = 0; c < k; ++c) {
-    double* row = escape_pow_.data() + c * (kEscapePowCap + 1);
-    for (size_t j = 1; j <= kEscapePowCap; ++j) {
-      row[j] = row[j - 1] * component_escape_[c];
-    }
-  }
-
-  // Dense-accumulator bound: one past the largest query id in the nexts
-  // pool. Blob query ids are not range-validated, so a hand-built wide
-  // blob could claim an arbitrarily sparse id space; past the limit the
-  // walk keeps the legacy sort-merge instead of sizing an O(id space)
-  // per-thread array.
-  uint64_t bound = 0;
-  const auto scan = [&bound](const auto& next_query) {
-    for (const auto q : next_query) {
-      bound = std::max(bound, static_cast<uint64_t>(q) + 1);
-    }
-  };
-  if (is_narrow_) {
-    scan(narrow_view_.next_query);
-  } else {
-    scan(wide_view_.next_query);
-  }
-  scored_query_bound_ = bound;
-  dense_merge_ = bound <= kDenseQueryBoundLimit;
-
-  // The derivations below run before the load path's structural
-  // validation has vetted a blob, so they must stay in-bounds on
-  // malformed CSR offsets (a bad blob merely mis-sizes hints here and is
-  // then rejected by ValidateParsed).
-  max_next_run_ = 0;
-  for (size_t node = 0; node + 1 < next_begin_.size(); ++node) {
-    if (next_begin_[node + 1] > next_begin_[node]) {
-      max_next_run_ =
-          std::max(max_next_run_, next_begin_[node + 1] - next_begin_[node]);
-    }
-  }
-
-  // Tree depth for path-vector pre-sizing: ids are parent-before-child in
-  // every well-formed layout, so one forward sweep settles all depths.
-  size_t max_depth = 0;
-  if (!total_count_.empty()) {
-    std::vector<uint32_t> depth_of(total_count_.size(), 0);
-    const auto sweep = [&](const auto& edge_child) {
-      const size_t num_edges = edge_child.size();
-      for (size_t node = 0; node + 1 < child_begin_.size(); ++node) {
-        const size_t end =
-            std::min<size_t>(child_begin_[node + 1], num_edges);
-        for (size_t e = child_begin_[node]; e < end; ++e) {
-          const size_t child = static_cast<size_t>(edge_child[e]);
-          if (child > node && child < depth_of.size()) {
-            depth_of[child] = depth_of[node] + 1;
-            max_depth = std::max<size_t>(max_depth, depth_of[child]);
-          }
-        }
-      }
-    };
-    if (is_narrow_) {
-      sweep(narrow_view_.edge_child);
-    } else {
-      sweep(wide_view_.edge_child);
-    }
-  }
-  scratch_hint_.path_depth = max_depth;
-  scratch_hint_.num_components = k;
-  scratch_hint_.raw_entries =
-      std::min<size_t>(next_code_.size(), size_t{4096});
-  scratch_hint_.dense_queries =
-      dense_merge_ ? static_cast<size_t>(scored_query_bound_) : 0;
-}
-
-ScratchSizing CompactServingBase::ScratchHint() const { return scratch_hint_; }
-
-template <typename P>
-Recommendation CompactServingBase::RecommendIn(
-    const P& pools, std::span<const QueryId> context, size_t top_n,
-    SnapshotScratch* scratch) const {
-  Recommendation rec;
-  if (context.empty()) return rec;
-
-  std::vector<int32_t>& path = scratch->path;
-  std::vector<size_t>& matched = scratch->matched;
-  std::vector<double>& level_weight = scratch->level_weight;
-  std::vector<ScoredQuery>& raw = scratch->raw;
-
-  const size_t depth = MatchPathIn(pools, context, &path);
-  if (depth == 0) return rec;
-
-  // Per-component matched depths off the membership masks: view membership
-  // is ancestor-closed, so each component's bit covers a prefix of the path
-  // (exactly ModelSnapshot::SharedMatchDepths).
-  const size_t k = sigmas_.size();
-  matched.assign(k, 0);
-  for (size_t c = 0; c < k; ++c) {
-    const Pst::ViewMask bit = Pst::ViewMask{1} << c;
-    size_t m = depth;
-    while (m > 0 && (mask_of(static_cast<size_t>(path[m - 1])) & bit) == 0) {
-      --m;
-    }
-    matched[c] = m;
-  }
-
-  std::vector<double>& weights = scratch->weights;
-  internal::ComputeRawWeights(weighting_, sigmas_, context.size(), matched,
-                              &weights);
-  NormalizeInPlace(&weights);
-
-  // Escape-weighted per-level accumulation, then one pass over the CSR
-  // nexts slices — operation-for-operation the full snapshot's ranking
-  // loop, with `(code << shift)` standing in for the exact count.
-  raw.clear();
-  level_weight.assign(depth, 0.0);
-  for (size_t c = 0; c < k; ++c) {
-    if (weights[c] <= 0.0 || matched[c] == 0) continue;
-    const int32_t state = path[matched[c] - 1];
-    double lw = weights[c] *
-                EscapeWeight(state, context.size() - matched[c], c);
-    const double esc = component_escape_[c];
-    for (size_t d = matched[c]; d >= 1; --d) {
-      level_weight[d - 1] += lw;
-      lw *= esc;
-    }
-  }
-
-  const bool dense =
-      dense_merge_ &&
-      !internal::ForceSparseMergeForTest().load(std::memory_order_relaxed);
-  if (dense) {
-    // Dense level-major accumulation: each level's nexts run streams
-    // through the dispatched scoring kernel into the epoch-stamped
-    // per-query array — no per-entry push_back and no sort-merge. Summing
-    // per query in level order is exactly the order the (stable)
-    // sort-merge sums in, and ldexp folds the dequantization shift into
-    // the scale exactly (power-of-two scaling), so scores and top-N lists
-    // are bit-identical to the sparse path.
-    kernels::DenseAccumulator& acc = scratch->acc;
-    acc.BeginGeneration(static_cast<size_t>(scored_query_bound_));
-    const kernels::KernelTable& kt = kernels::ActiveKernels();
-    for (size_t d = 0; d < depth; ++d) {
-      if (level_weight[d] <= 0.0) continue;
-      const size_t node = static_cast<size_t>(path[d]);
-      if (total_count_[node] == 0) continue;
-      if (d + 1 < depth) {
-        // Warm the next level's slice while this one streams.
-        const size_t nn = static_cast<size_t>(path[d + 1]);
-        kernels::PrefetchRead(pools.next_query.data() + next_begin_[nn]);
-        kernels::PrefetchRead(next_code_.data() + next_begin_[nn]);
-      }
-      const double scale = std::ldexp(
-          level_weight[d] / static_cast<double>(total_count_[node]),
-          count_shift_[node]);
-      const uint32_t begin = next_begin_[node];
-      kernels::ScoreRun(kt, pools.next_query.data() + begin,
-                        next_code_.data() + begin,
-                        next_begin_[node + 1] - begin, scale, &acc);
-    }
-    if (acc.touched.empty()) return rec;
-    raw.reserve(acc.touched.size());
-    for (const uint32_t q : acc.touched) {
-      raw.push_back(ScoredQuery{static_cast<QueryId>(q), acc.score[q]});
-    }
-    rec.covered = true;
-    rec.matched_length = depth;
-    internal::RankTopN(&raw, top_n, &rec);
-    return rec;
-  }
-
-  // Legacy sparse merge: per-entry push then sort-merge. Kept verbatim as
-  // the fallback for pathologically sparse id spaces and as the reference
-  // the kernel equivalence suite pins the dense walk against.
-  for (size_t d = 0; d < depth; ++d) {
-    if (level_weight[d] <= 0.0) continue;
-    const size_t node = static_cast<size_t>(path[d]);
-    if (total_count_[node] == 0) continue;
-    const double scale =
-        level_weight[d] / static_cast<double>(total_count_[node]);
-    const uint8_t shift = count_shift_[node];
-    const uint32_t begin = next_begin_[node];
-    const uint32_t end = next_begin_[node + 1];
-    for (uint32_t i = begin; i < end; ++i) {
-      const uint64_t count = static_cast<uint64_t>(next_code_[i]) << shift;
-      raw.push_back(ScoredQuery{static_cast<QueryId>(pools.next_query[i]),
-                                scale * static_cast<double>(count)});
-    }
-  }
-  if (raw.empty()) return rec;
-
-  rec.covered = true;
-  rec.matched_length = depth;
-  internal::MergeAndRank(&raw, top_n, &rec);
-  return rec;
+ScratchSizing CompactServingBase::ScratchHint() const {
+  return model_.sizing;
 }
 
 Recommendation CompactServingBase::Recommend(std::span<const QueryId> context,
                                              size_t top_n,
                                              SnapshotScratch* scratch) const {
-  return is_narrow_ ? RecommendIn(narrow_view_, context, top_n, scratch)
-                    : RecommendIn(wide_view_, context, top_n, scratch);
+  Recommendation rec;
+  if (context.empty()) return rec;
+  const serving::ModelRef& m = model_;
+
+  // Per-request capacity top-up off the bind-time sizing — all no-ops in
+  // steady state once Prepare() warmed the scratch. The path capacity
+  // floor covers adversarial mapped blobs whose depth sweep under-reports
+  // (cyclic CSR graphs); every well-formed model fits sizing.path_depth.
+  const size_t path_cap = std::min(
+      context.size(), std::max<size_t>(m.sizing.path_depth, 64));
+  if (scratch->path.size() < path_cap) scratch->path.resize(path_cap);
+  if (scratch->level_weight.size() < path_cap) {
+    scratch->level_weight.resize(path_cap);
+  }
+  const size_t k = m.num_components;
+  if (scratch->matched.size() < k) scratch->matched.resize(k);
+  if (scratch->weights.size() < k) scratch->weights.resize(k);
+  if (scratch->topn_query.size() < top_n) scratch->topn_query.resize(top_n);
+  if (scratch->topn_score.size() < top_n) scratch->topn_score.resize(top_n);
+
+  serving::WalkScratch ws;
+  ws.path = scratch->path.data();
+  ws.path_capacity = path_cap;
+  ws.matched = scratch->matched.data();
+  ws.weights = scratch->weights.data();
+  ws.level_weight = scratch->level_weight.data();
+
+  const bool use_dense =
+      m.dense_merge &&
+      !internal::ForceSparseMergeForTest().load(std::memory_order_relaxed);
+  serving::DenseAccumulator acc;
+  if (use_dense) {
+    acc = scratch->acc.BeginGeneration(m.sizing.dense_queries);
+    ws.acc = &acc;
+  } else {
+    // The sparse sort-merge path can surface every packed entry at once;
+    // num_entries is a true bound (path nodes are distinct in a tree).
+    if (scratch->walk_raw.size() < m.num_entries) {
+      scratch->walk_raw.resize(m.num_entries);
+    }
+    ws.raw = scratch->walk_raw.data();
+    ws.raw_capacity = scratch->walk_raw.size();
+  }
+
+  const serving::WalkResult result = serving::RecommendTopN(
+      m, context.data(), context.size(), top_n, kernels::ActiveKernels(),
+      use_dense, &ws, scratch->topn_query.data(), scratch->topn_score.data());
+  if (!result.covered) return rec;
+  rec.covered = true;
+  rec.matched_length = result.matched_length;
+  rec.queries.resize(result.count);
+  for (size_t i = 0; i < result.count; ++i) {
+    rec.queries[i] = ScoredQuery{static_cast<QueryId>(scratch->topn_query[i]),
+                                 scratch->topn_score[i]};
+  }
+  return rec;
 }
 
 bool CompactServingBase::Covers(std::span<const QueryId> context) const {
-  if (context.empty()) return false;
-  return (is_narrow_ ? RootChildIn(narrow_view_, context.back())
-                     : RootChildIn(wide_view_, context.back())) >= 0;
+  return serving::Covers(model_, context.data(), context.size());
 }
 
 uint64_t CompactServingBase::ServingBytes() const {

@@ -103,49 +103,12 @@ class CompactServingBase : public ServingSnapshot {
   using NarrowPoolsView = CompactPoolsView<uint16_t, uint16_t>;
   using WidePoolsView = CompactPoolsView<uint32_t, uint32_t>;
 
-  /// EscapeMass (Eq. 5-6) off the stored start/total counts. The
-  /// default_escape^k factor comes from the per-component power tables
-  /// built at bind time (FinalizeDerived) — same multiply chain, O(1)
-  /// lookup instead of an O(dropped) loop per component per request.
-  double EscapeWeight(int32_t node, size_t dropped, size_t component) const;
-
-  /// default_escape[component]^power via the bind-time table. Beyond the
-  /// table cap the chain is extended by plain multiplication, so the
-  /// result is bit-identical to the pre-table loop at every power.
-  double EscapePow(size_t component, size_t power) const;
-
-  Pst::ViewMask mask_of(size_t node) const {
-    return mask64_.empty() ? Pst::ViewMask{mask16_[node]} : mask64_[node];
-  }
-
-  /// Depth-1 step: the root's dense fan-out index, one O(1) array load
-  /// (absent = node 0 = -1).
-  template <typename P>
-  int32_t RootChildIn(const P& pools, QueryId query) const {
-    if (query >= pools.root_child_by_query.size()) return -1;
-    const int32_t child =
-        static_cast<int32_t>(pools.root_child_by_query[query]);
-    return child == 0 ? -1 : child;
-  }
-
-  /// Child of non-root `node` along `query` in the CSR edge pool, or -1.
-  /// The root is served by RootChildIn, which keeps this loop branch-lean.
-  template <typename P>
-  int32_t FindChildIn(const P& pools, int32_t node, QueryId query) const;
-  /// Longest-suffix walk recording the matched chain (as Pst::MatchPath).
-  /// Prefetches each matched node's edge run and nexts slice so the
-  /// binary search and the scoring pass hit warm lines.
-  template <typename P>
-  size_t MatchPathIn(const P& pools, std::span<const QueryId> context,
-                     std::vector<int32_t>* path) const;
-  template <typename P>
-  Recommendation RecommendIn(const P& pools, std::span<const QueryId> context,
-                             size_t top_n, SnapshotScratch* scratch) const;
-
-  /// Computes the bind-time serving derivatives off the bound views: the
-  /// escape power tables, the dense-accumulator query bound, and the
-  /// scratch sizing hint. Both storage variants (owned vectors and mapped
-  /// blob) must call this once their views are final.
+  /// Binds the runtime-free walk layer's ModelRef over the views and
+  /// computes its bind-time derivatives (escape power tables, the dense
+  /// accumulator bound, the scratch sizing hint). Both storage variants
+  /// (owned vectors and mapped blob) must call this once their views are
+  /// final — all serving then goes through serving::RecommendTopN, the
+  /// exact same code path the slim embedded predictor runs.
   void FinalizeDerived();
 
   /// Exact bytes of the referenced arrays plus the owned mixture state —
@@ -182,24 +145,13 @@ class CompactServingBase : public ServingSnapshot {
 
   // ----- bind-time derivatives (FinalizeDerived) -----
 
-  /// Escape power tables, row-major k x (kEscapePowCap + 1):
-  /// escape_pow_[c * (cap+1) + j] = component_escape_[c]^j.
+  /// The walk layer's raw-pointer view of this model: every Recommend /
+  /// Covers / MatchedDepth call funnels through it, so the engine serves
+  /// byte-for-byte the arithmetic the slim predictor serves.
+  serving::ModelRef model_;
+  /// Backing storage of model_.escape_pow (row-major
+  /// k x (serving::kEscapePowCap + 1) power tables).
   std::vector<double> escape_pow_;
-  static constexpr size_t kEscapePowCap = 64;
-
-  /// One past the largest query id in the nexts pool: the dense
-  /// accumulator's slot count.
-  uint64_t scored_query_bound_ = 0;
-  /// Largest per-node nexts run (scratch sizing).
-  uint32_t max_next_run_ = 0;
-  /// Dense accumulation is used whenever the id space is small enough for
-  /// an O(vocabulary) per-thread array; pathological sparse id spaces
-  /// (only reachable via hand-built wide blobs) fall back to the legacy
-  /// sort-merge so memory stays bounded.
-  bool dense_merge_ = true;
-  static constexpr uint64_t kDenseQueryBoundLimit = uint64_t{1} << 24;
-
-  ScratchSizing scratch_hint_;
 };
 
 /// A serving-only MVMM variant re-packed for footprint: the shared

@@ -17,12 +17,10 @@ struct WeightSample;
 
 /// How MVMM weighs its components for an online context. The paper uses
 /// the Gaussian-of-edit-distance scheme (Eq. 4); the alternatives exist for
-/// ablation studies.
-enum class MixtureWeighting {
-  kGaussianEditDistance,  // paper Eq. 4, sigmas learned by Newton iteration
-  kUniform,               // every component weighs the same
-  kLongestMatch,          // all weight on the deepest-matching component(s)
-};
+/// ablation studies. The definition lives in the runtime-free walk layer
+/// (core/serving_walk.h) so the slim embedded predictor shares it; this is
+/// the engine-side spelling.
+using MixtureWeighting = serving::MixtureWeighting;
 
 /// Configuration of the Mixture Variable Memory Markov model (paper
 /// Section IV-C). The default component set mirrors the paper's experiment:
@@ -86,12 +84,9 @@ struct MvmmFitReport {
 /// published alongside the snapshot so serving threads can reserve every
 /// per-thread buffer up front instead of growing them across the first
 /// requests (ServingSnapshot::ScratchHint / SnapshotScratch::Prepare).
-struct ScratchSizing {
-  size_t path_depth = 0;      // longest possible matched path
-  size_t num_components = 0;  // mixture component count
-  size_t raw_entries = 0;     // candidate list bound for one request
-  size_t dense_queries = 0;   // dense-accumulator slots (0 = unused)
-};
+/// Defined in the walk layer (core/serving_walk.h), where the compact
+/// model computes it, so slim callers size scratch without engine headers.
+using ScratchSizing = serving::ScratchSizing;
 
 /// Per-thread scratch buffers for snapshot inference. A snapshot itself is
 /// immutable; every mutable byte a query touches lives here, so any number
@@ -107,9 +102,14 @@ struct SnapshotScratch {
   std::vector<double> weights;
   std::vector<double> cond_at;
   std::vector<ScoredQuery> raw;
-  /// Epoch-stamped dense per-query score accumulator of the compact
-  /// serving walk (core/serve_kernels.h); unused by the full snapshot.
-  kernels::DenseAccumulator acc;
+  /// Storage behind the compact walk's epoch-stamped dense accumulator
+  /// (core/serving_walk.h); unused by the full snapshot.
+  kernels::AccumulatorStorage acc;
+  /// Sparse-merge candidate buffer and ranked-list staging of the compact
+  /// walk (the raw-pointer walk layer scores into these).
+  std::vector<serving::RawHit> walk_raw;
+  std::vector<uint32_t> topn_query;
+  std::vector<double> topn_score;
   /// Identity of the snapshot this scratch was last Prepare()d for (the
   /// engines' once-per-generation pre-sizing token; perf-only — serving
   /// with an unprepared scratch is always correct).
@@ -124,6 +124,7 @@ struct SnapshotScratch {
     matched.reserve(sizing.num_components);
     weights.reserve(sizing.num_components);
     raw.reserve(sizing.raw_entries);
+    walk_raw.reserve(sizing.raw_entries);
     acc.Reserve(sizing.dense_queries);
   }
 };

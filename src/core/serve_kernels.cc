@@ -10,22 +10,6 @@
 namespace sqp::kernels {
 namespace {
 
-/// Portable reference kernel: one widening conversion and one multiply per
-/// entry, merged in index order. Every SIMD kernel performs these exact
-/// IEEE operations (vectorized), so all levels are bit-identical.
-template <typename QT>
-void ScoreRunScalar(const QT* queries, const uint16_t* codes, size_t n,
-                    double scale, DenseAccumulator* acc) {
-  for (size_t i = 0; i < n; ++i) {
-    acc->Add(queries[i], scale * static_cast<double>(codes[i]));
-  }
-}
-
-constexpr KernelTable kScalarTable = {
-    &ScoreRunScalar<uint16_t>,
-    &ScoreRunScalar<uint32_t>,
-};
-
 #ifdef SQP_HAVE_SSE4_KERNELS
 constexpr KernelTable kSse4Table = {
     &sse4::ScoreRunU16,
@@ -181,7 +165,9 @@ const KernelTable& KernelsFor(SimdLevel level) {
 #endif
       break;
   }
-  return kScalarTable;
+  // The portable reference tier lives in the runtime-free walk layer
+  // (core/serving_walk.cc) so the slim predictor shares the exact kernels.
+  return serving::ScalarKernels();
 }
 
 }  // namespace sqp::kernels

@@ -36,7 +36,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/serving_walk.h"
+
 namespace sqp::kernels {
+
+/// The kernel vocabulary itself (accumulator view, function-pointer types,
+/// dispatch table, scalar reference kernels, prefetch) lives in the
+/// runtime-free walk layer (core/serving_walk.h) so the slim embedded
+/// predictor can serve without this header. This header adds what only
+/// the engine runtime needs: cpuid dispatch over the SIMD tiers and the
+/// vector-backed accumulator storage behind SnapshotScratch.
+using DenseAccumulator = serving::DenseAccumulator;
+using KernelTable = serving::KernelTable;
+using ScoreRunU16Fn = serving::ScoreRunU16Fn;
+using ScoreRunU32Fn = serving::ScoreRunU32Fn;
+using serving::PrefetchRead;
+using serving::ScoreRun;
 
 /// Instruction-set tiers of the scoring kernels, ascending capability.
 enum class SimdLevel : int {
@@ -72,12 +87,11 @@ SimdLevel ActiveLevel();
 /// threads pick up the change on their next request.
 SimdLevel SetActiveLevel(SimdLevel level);
 
-/// Epoch-stamped dense per-query score accumulator. score[q] is valid iff
-/// stamp[q] == epoch; BeginGeneration invalidates every slot in O(1) by
-/// bumping the epoch (with an exact O(n) re-zero only on the ~4-billion
-/// generation wraparound). `touched` lists the queries written this
-/// generation, in first-touch order.
-struct DenseAccumulator {
+/// Vector-backed storage behind a serving::DenseAccumulator view: the
+/// engine-side owner of the epoch-stamped dense score array (one per
+/// SnapshotScratch). The walk layer itself only ever sees the raw view,
+/// so the same scoring code serves the slim predictor's malloc'ed arena.
+struct AccumulatorStorage {
   std::vector<double> score;
   std::vector<uint32_t> stamp;
   std::vector<uint32_t> touched;
@@ -89,51 +103,24 @@ struct DenseAccumulator {
     if (score.size() < bound) {
       score.resize(bound, 0.0);
       stamp.resize(bound, 0u);
+      touched.resize(bound, 0u);
     }
   }
 
-  /// Starts a new accumulation generation over `bound` query slots.
-  void BeginGeneration(size_t bound) {
+  /// Starts a new accumulation generation over `bound` query slots and
+  /// returns the view to accumulate through. The epoch lives here (the
+  /// view is per-request); the wraparound re-zero happens inside the
+  /// view's BeginGeneration. (Regression-tested; a serving thread reaches
+  /// the wraparound once per 4 billion requests.)
+  serving::DenseAccumulator BeginGeneration(size_t bound) {
     Reserve(bound);
-    if (++epoch == 0) {
-      // Wrapped: stamps from ~2^32 generations ago could alias the new
-      // epoch, so pay one exact reset. (Regression-tested; a serving
-      // thread reaches this once per 4 billion requests.)
-      std::fill(stamp.begin(), stamp.end(), 0u);
-      epoch = 1;
-    }
-    touched.clear();
+    serving::DenseAccumulator acc{score.data(),   stamp.data(),
+                                  touched.data(), score.size(),
+                                  /*touched_count=*/0, epoch};
+    acc.BeginGeneration();
+    epoch = acc.epoch;
+    return acc;
   }
-
-  /// Merges one contribution. First touch of a generation *assigns* (no
-  /// read of the stale score), later touches add — accumulation order is
-  /// the call order, which the serving walk keeps level-major.
-  inline void Add(uint32_t query, double value) {
-    if (stamp[query] != epoch) {
-      stamp[query] = epoch;
-      score[query] = value;
-      touched.push_back(query);
-    } else {
-      score[query] += value;
-    }
-  }
-};
-
-/// Scores one CSR run: for each entry i, merges
-/// `scale * static_cast<double>(codes[i])` into acc->Add(queries[i], ...).
-/// The caller folds the node's block shift into `scale` (exactly, as a
-/// power-of-two scaling), so kernels never see the shift.
-using ScoreRunU16Fn = void (*)(const uint16_t* queries,
-                               const uint16_t* codes, size_t n, double scale,
-                               DenseAccumulator* acc);
-using ScoreRunU32Fn = void (*)(const uint32_t* queries,
-                               const uint16_t* codes, size_t n, double scale,
-                               DenseAccumulator* acc);
-
-/// The dispatch table of one SimdLevel: one scoring kernel per id width.
-struct KernelTable {
-  ScoreRunU16Fn score_run_u16 = nullptr;
-  ScoreRunU32Fn score_run_u32 = nullptr;
 };
 
 /// The kernel table of `level`; unsupported levels fall back to the best
@@ -142,29 +129,6 @@ const KernelTable& KernelsFor(SimdLevel level);
 
 /// The table serving should use right now.
 inline const KernelTable& ActiveKernels() { return KernelsFor(ActiveLevel()); }
-
-/// Width-overloaded spellings so templated callers pick the right slot.
-inline void ScoreRun(const KernelTable& table, const uint16_t* queries,
-                     const uint16_t* codes, size_t n, double scale,
-                     DenseAccumulator* acc) {
-  table.score_run_u16(queries, codes, n, scale, acc);
-}
-inline void ScoreRun(const KernelTable& table, const uint32_t* queries,
-                     const uint16_t* codes, size_t n, double scale,
-                     DenseAccumulator* acc) {
-  table.score_run_u32(queries, codes, n, scale, acc);
-}
-
-/// Best-effort read prefetch of the cache line at `address` (no-op where
-/// the builtin is unavailable). The walk uses it to pull the next path
-/// level's CSR slices in while the current level is being scored.
-inline void PrefetchRead(const void* address) {
-#if defined(__GNUC__) || defined(__clang__)
-  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
-#else
-  (void)address;
-#endif
-}
 
 }  // namespace sqp::kernels
 

@@ -1,0 +1,333 @@
+#ifndef SQP_CORE_SERVING_WALK_H_
+#define SQP_CORE_SERVING_WALK_H_
+
+/// The compact serving walk as a runtime-free layer: pure model arithmetic
+/// over caller-provided memory, with no dependency on the engine runtime
+/// (no threads, no mmap, no exceptions/RTTI, no allocation, no iostreams,
+/// no function-local statics). Everything mutable a request touches lives
+/// in a caller-owned WalkScratch; everything immutable is referenced
+/// through a ModelRef of raw pointers into storage the caller keeps alive.
+///
+/// Two consumers share this layer and must serve bit-identical results:
+///
+///   - the engine tiers (core/compact_snapshot.h binds its CSR views into
+///     a ModelRef; serve/ and net/ ride on top), which add SIMD dispatch,
+///     snapshot swap, admission control and persistence around it;
+///   - the slim embedded predictor (src/slim/, include/sqp/slim.h), a
+///     dependency-free static library that links this layer, the blob
+///     parser and nothing else — the form factor a browser omnibox,
+///     mobile keyboard or JNI/Python/Rust binding embeds.
+///
+/// The arithmetic is operation-for-operation the MVMM serving math of the
+/// paper (Eq. 4-6 weighting, escape-weighted per-level accumulation,
+/// score-desc/query-asc ranking) over the quantized compact layout; the
+/// equivalence is pinned by tests/slim/ and the golden blob sweep, which
+/// serve the same blob through both consumers and compare score bits.
+///
+/// Freestanding-ish discipline (keep it that way):
+///   - headers: C standard headers plus <algorithm> (lower_bound / sort
+///     are header-only) and <cmath> (libm) only;
+///   - no std::vector/string (operator new is a libstdc++ symbol), no
+///     std::stable_sort (allocates), no function-local statics with
+///     dynamic initializers (__cxa_guard), no exceptions/RTTI.
+/// CI's slim-abi job enforces this by linking the slim library from a C99
+/// translation unit without libstdc++ and inspecting its undefined symbols.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace sqp::serving {
+
+/// How the mixture weighs its components for an online context (paper
+/// Eq. 4 plus the ablation variants). This is the canonical definition;
+/// core/model_snapshot.h aliases it for the engine-side spelling
+/// `sqp::MixtureWeighting`. The enumerator order is persisted in snapshot
+/// blobs (META weighting u32) — append, never reorder.
+enum class MixtureWeighting {
+  kGaussianEditDistance,  // paper Eq. 4, sigmas learned by Newton iteration
+  kUniform,               // every component weighs the same
+  kLongestMatch,          // all weight on the deepest-matching component(s)
+};
+
+/// What a model knows about the scratch capacity one request against it
+/// can need. Computed by FinalizeModelRef from the bound arrays, so any
+/// consumer — engine scratch pools and slim's create-time arena alike —
+/// can size every per-thread buffer up front and serve allocation-free.
+struct ScratchSizing {
+  size_t path_depth = 0;      // longest possible matched path
+  size_t num_components = 0;  // mixture component count
+  size_t raw_entries = 0;     // candidate list bound for one request
+  size_t dense_queries = 0;   // dense-accumulator slots (0 = unused)
+};
+
+/// Epoch-stamped dense per-query score accumulator over caller-owned
+/// arrays. score[q] is valid iff stamp[q] == epoch; BeginGeneration
+/// invalidates every slot in O(1) by bumping the epoch (with an exact O(n)
+/// re-zero only on the ~4-billion generation wraparound). `touched` lists
+/// the queries written this generation, in first-touch order.
+///
+/// All three arrays must have `capacity` slots; stamps must start zeroed
+/// (0 is never a live epoch). The struct is the persistent accumulator
+/// state — keep it (or at least its epoch) alive across requests so the
+/// epoch trick stays sound. The engine wraps it in the vector-backed
+/// kernels::AccumulatorStorage; slim carves it from its create-time arena.
+struct DenseAccumulator {
+  double* score = nullptr;
+  uint32_t* stamp = nullptr;
+  uint32_t* touched = nullptr;
+  size_t capacity = 0;
+  size_t touched_count = 0;
+  uint32_t epoch = 0;
+
+  /// Starts a new accumulation generation over every slot.
+  void BeginGeneration() {
+    if (++epoch == 0) {
+      // Wrapped: stamps from ~2^32 generations ago could alias the new
+      // epoch, so pay one exact reset.
+      if (capacity > 0) std::memset(stamp, 0, capacity * sizeof(uint32_t));
+      epoch = 1;
+    }
+    touched_count = 0;
+  }
+
+  /// Merges one contribution. First touch of a generation *assigns* (no
+  /// read of the stale score), later touches add — accumulation order is
+  /// the call order, which the serving walk keeps level-major.
+  inline void Add(uint32_t query, double value) {
+    if (stamp[query] != epoch) {
+      stamp[query] = epoch;
+      score[query] = value;
+      touched[touched_count++] = query;
+    } else {
+      score[query] += value;
+    }
+  }
+};
+
+/// Scores one CSR run: for each entry i, merges
+/// `scale * static_cast<double>(codes[i])` into acc->Add(queries[i], ...).
+/// The caller folds the node's block shift into `scale` (exactly, as a
+/// power-of-two scaling), so kernels never see the shift. The SIMD tiers
+/// (core/serve_kernels.h) implement the same signatures; every tier
+/// performs the same IEEE operations per entry, so all are bit-identical.
+using ScoreRunU16Fn = void (*)(const uint16_t* queries,
+                               const uint16_t* codes, size_t n, double scale,
+                               DenseAccumulator* acc);
+using ScoreRunU32Fn = void (*)(const uint32_t* queries,
+                               const uint16_t* codes, size_t n, double scale,
+                               DenseAccumulator* acc);
+
+/// The dispatch table of one kernel tier: one scoring kernel per id width.
+struct KernelTable {
+  ScoreRunU16Fn score_run_u16 = nullptr;
+  ScoreRunU32Fn score_run_u32 = nullptr;
+};
+
+/// Portable reference kernel: one widening conversion and one multiply per
+/// entry, merged in index order — the bit-exact oracle every SIMD tier is
+/// pinned against.
+template <typename QT>
+void ScoreRunScalar(const QT* queries, const uint16_t* codes, size_t n,
+                    double scale, DenseAccumulator* acc) {
+  for (size_t i = 0; i < n; ++i) {
+    acc->Add(queries[i], scale * static_cast<double>(codes[i]));
+  }
+}
+
+/// The always-available scalar table (constant-initialized; no guards).
+/// Slim serves through exactly this; the engine's runtime dispatch
+/// (core/serve_kernels.h) picks SIMD tiers over it when the host allows.
+const KernelTable& ScalarKernels();
+
+/// Width-overloaded spellings so templated callers pick the right slot.
+inline void ScoreRun(const KernelTable& table, const uint16_t* queries,
+                     const uint16_t* codes, size_t n, double scale,
+                     DenseAccumulator* acc) {
+  table.score_run_u16(queries, codes, n, scale, acc);
+}
+inline void ScoreRun(const KernelTable& table, const uint32_t* queries,
+                     const uint16_t* codes, size_t n, double scale,
+                     DenseAccumulator* acc) {
+  table.score_run_u32(queries, codes, n, scale, acc);
+}
+
+/// Best-effort read prefetch of the cache line at `address` (no-op where
+/// the builtin is unavailable). The walk uses it to pull the next path
+/// level's CSR slices in while the current level is being scored.
+inline void PrefetchRead(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+/// Width-parameterized raw-pointer views of the compact id pools. `QT`
+/// holds query ids, `NT` node ids; the root index uses node id 0 (never a
+/// child) as its absent sentinel.
+template <typename QT, typename NT>
+struct PoolsRef {
+  const QT* next_query = nullptr;   // num_entries
+  const QT* edge_query = nullptr;   // num_edges
+  const NT* edge_child = nullptr;   // num_edges
+  const NT* root_child_by_query = nullptr;  // root_index_size
+  size_t root_index_size = 0;
+};
+
+/// Escape power tables cover powers up to this cap; beyond it the chain is
+/// extended by plain multiplication (bit-identical to the pre-table loop).
+inline constexpr size_t kEscapePowCap = 64;
+
+/// Dense accumulation is used whenever the id space is small enough for an
+/// O(vocabulary) per-thread array; pathological sparse id spaces (only
+/// reachable via hand-built wide blobs) fall back to the sort-merge so
+/// memory stays bounded.
+inline constexpr uint64_t kDenseQueryBoundLimit = uint64_t{1} << 24;
+
+/// One compact model, as raw pointers into caller-owned storage (owned
+/// vectors, a memory-mapped blob, or a caller-provided buffer — the walk
+/// cannot tell). All arrays little-endian-decoded, host-order, naturally
+/// aligned. Exactly one of mask16/mask64 is non-null, and exactly one of
+/// the narrow/wide pools is populated (`narrow_ids` says which).
+///
+/// The `derived` block is computed once per model by FinalizeModelRef;
+/// everything above it is bound by the storage owner.
+struct ModelRef {
+  // Node arrays, parallel, index = node id, 0 = root.
+  const uint32_t* next_begin = nullptr;   // num_nodes + 1 (CSR offsets)
+  const uint32_t* child_begin = nullptr;  // num_nodes + 1 (CSR offsets)
+  const uint32_t* total_count = nullptr;  // num_nodes
+  const uint32_t* start_count = nullptr;  // num_nodes
+  const uint8_t* count_shift = nullptr;   // num_nodes
+  const uint16_t* mask16 = nullptr;       // num_nodes, or null
+  const uint64_t* mask64 = nullptr;       // num_nodes, or null
+  /// Quantized count codes, parallel to the active pools' next_query.
+  const uint16_t* next_code = nullptr;    // num_entries
+  size_t num_nodes = 0;
+  size_t num_entries = 0;
+  size_t num_edges = 0;
+  bool narrow_ids = false;
+  PoolsRef<uint16_t, uint16_t> narrow;
+  PoolsRef<uint32_t, uint32_t> wide;
+
+  // Mixture state.
+  MixtureWeighting weighting = MixtureWeighting::kGaussianEditDistance;
+  const double* sigmas = nullptr;            // num_components
+  const double* component_escape = nullptr;  // num_components
+  size_t num_components = 0;
+
+  // ----- derived (FinalizeModelRef) -----
+
+  /// Escape power tables, row-major k x (kEscapePowCap + 1):
+  /// escape_pow[c * (cap+1) + j] = component_escape[c]^j.
+  const double* escape_pow = nullptr;
+  /// One past the largest query id in the nexts pool: the dense
+  /// accumulator's slot count.
+  uint64_t scored_query_bound = 0;
+  /// Largest per-node nexts run (scratch sizing).
+  uint32_t max_next_run = 0;
+  bool dense_merge = true;
+  ScratchSizing sizing;
+};
+
+/// Computes the derived block of `m` off its bound arrays: the escape
+/// power tables (written into `escape_pow_storage`, which the caller owns
+/// and must size num_components * (kEscapePowCap + 1) and keep alive as
+/// long as `m`), the dense-accumulator bound, and the scratch sizing.
+/// `depth_scratch` is a num_nodes-sized work array used only during the
+/// call (may be null when num_nodes == 0). Runs before a blob's structural
+/// validation has vetted the arrays, so it stays in-bounds on malformed
+/// CSR offsets (a bad blob merely mis-sizes hints and is then rejected).
+void FinalizeModelRef(ModelRef* m, double* escape_pow_storage,
+                      uint32_t* depth_scratch);
+
+/// Longest-suffix walk recording the matched chain into `path` (capacity
+/// `path_capacity`; sizing.path_depth bounds the depth of every
+/// well-formed model, and the walk additionally never writes past the
+/// capacity). Returns the matched depth.
+size_t MatchPath(const ModelRef& m, const uint32_t* context, size_t len,
+                 int32_t* path, size_t path_capacity);
+
+/// True iff the model can match at least the last context query.
+bool Covers(const ModelRef& m, const uint32_t* context, size_t len);
+
+/// Gaussian density N(x; 0, sigma) — the walk-layer twin of
+/// util/math_util's GaussianPdf (same constant, same operations, so the
+/// two are bit-identical; no SQP_CHECK so the layer stays abort-free).
+inline double GaussianPdf(double x, double sigma) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  const double z = x / sigma;
+  return kInvSqrt2Pi / sigma * std::exp(-0.5 * z * z);
+}
+
+/// Unnormalized per-component weights (paper Eq. 4 plus the ablation
+/// variants, including the all-underflow depth fallback). `matched` and
+/// `weights` have `k` = num_components entries; `context_len` is the full
+/// online context length.
+void ComputeWeights(MixtureWeighting weighting, const double* sigmas,
+                    size_t k, size_t context_len, const size_t* matched,
+                    double* weights);
+
+/// Normalizes `weights[0..k)` to sum to 1. No-op if the sum is <= 0.
+void NormalizeWeights(double* weights, size_t k);
+
+/// default_escape[component]^power via the derived table; beyond the cap
+/// the chain is extended by multiplication (bit-identical to the loop).
+double EscapePow(const ModelRef& m, size_t component, size_t power);
+
+/// EscapeMass (Eq. 5-6) off the stored start/total counts.
+double EscapeWeight(const ModelRef& m, int32_t node, size_t dropped,
+                    size_t component);
+
+/// One candidate of the sparse (sort-merge) ranking path. `seq` is the
+/// push sequence number: sorting by (query, seq) reproduces the
+/// stable-sort-by-query order without std::stable_sort's allocation, so
+/// contributions sum in exactly the legacy order and the merged doubles
+/// are bit-identical.
+struct RawHit {
+  uint32_t query = 0;
+  uint32_t seq = 0;
+  double score = 0.0;
+};
+
+/// Caller-owned mutable state of one request. Capacities the caller must
+/// provide (see ScratchSizing): path/level_weight >= path_capacity slots,
+/// matched/weights >= num_components, raw >= raw_capacity RawHits (sparse
+/// path only; sizing.raw_entries bounds it for well-formed models), acc
+/// prepared over sizing.dense_queries slots with BeginGeneration already
+/// called for this request (dense path only).
+struct WalkScratch {
+  int32_t* path = nullptr;
+  size_t path_capacity = 0;
+  size_t* matched = nullptr;
+  double* weights = nullptr;
+  double* level_weight = nullptr;
+  RawHit* raw = nullptr;
+  size_t raw_capacity = 0;
+  DenseAccumulator* acc = nullptr;
+};
+
+struct WalkResult {
+  size_t count = 0;           // entries written to out_queries/out_scores
+  size_t matched_length = 0;  // depth of the matched chain
+  bool covered = false;       // false = no candidates (count == 0)
+};
+
+/// One full recommendation: longest-suffix match, Eq. 4/5 mixture
+/// weighting, escape-weighted per-level accumulation over the CSR nexts
+/// slices, and top-N ranking (score desc, query asc) into the caller's
+/// arrays (capacity `top_n` each). `use_dense` selects the dense
+/// epoch-stamped accumulation (requires scratch->acc) over the sparse
+/// sort-merge (requires scratch->raw); both rank identically — the engine
+/// keeps a test hook on the choice, slim follows m.dense_merge.
+WalkResult RecommendTopN(const ModelRef& m, const uint32_t* context,
+                         size_t len, size_t top_n,
+                         const KernelTable& kernels, bool use_dense,
+                         WalkScratch* scratch, uint32_t* out_queries,
+                         double* out_scores);
+
+}  // namespace sqp::serving
+
+#endif  // SQP_CORE_SERVING_WALK_H_

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <utility>
 
+#include "core/blob_format.h"
 #include "util/byte_io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -20,39 +21,28 @@
 namespace sqp {
 namespace {
 
-// ----------------------------------------------------------- blob layout
+// ------------------------------------------------------------ blob layout
+// The layout itself (constants, section ids, parse + structural
+// validation) is defined once in core/blob_format.h, shared with the slim
+// embedded predictor. This file adds what only the engine needs: file IO,
+// owned/mapped storage, Status wrapping, and the writer.
 
-constexpr size_t kHeaderSize = 64;
-constexpr size_t kSectionRowSize = 24;  // id u32, crc u32, offset u64, size u64
-constexpr size_t kSectionAlignment = 64;
-constexpr size_t kMetaSize = 64;
-constexpr uint32_t kMaxSections = 64;
+using serving::BlobError;
+using serving::BlobLayout;
+using SectionId = serving::BlobSectionId;
+using enum serving::BlobSectionId;
 
-/// Section ids. The writer emits every id below in this order; readers
-/// locate sections by id, so future versions may append new ids without
-/// renumbering (a format-version bump is needed only for incompatible
-/// changes to existing sections).
-enum SectionId : uint32_t {
-  kSecMeta = 1,
-  kSecSigmas = 2,
-  kSecComponentEscape = 3,
-  kSecNextBegin = 4,
-  kSecChildBegin = 5,
-  kSecTotalCount = 6,
-  kSecStartCount = 7,
-  kSecCountShift = 8,
-  kSecMask16 = 9,
-  kSecMask64 = 10,
-  kSecNextQuery = 11,
-  kSecNextCode = 12,
-  kSecEdgeQuery = 13,
-  kSecEdgeChild = 14,
-  kSecRootIndex = 15,
-};
+constexpr size_t kHeaderSize = serving::kBlobHeaderSize;
+constexpr size_t kSectionRowSize = serving::kBlobSectionRowSize;
+constexpr size_t kSectionAlignment = serving::kBlobSectionAlignment;
+constexpr size_t kMetaSize = serving::kBlobMetaSize;
 
-/// META section flags.
-constexpr uint32_t kFlagNarrowIds = 1u << 0;
-constexpr uint32_t kFlagNarrowMasks = 1u << 1;
+constexpr uint32_t kFlagNarrowIds = serving::kBlobFlagNarrowIds;
+constexpr uint32_t kFlagNarrowMasks = serving::kBlobFlagNarrowMasks;
+
+static_assert(kSnapshotFormatVersion == serving::kBlobFormatVersion,
+              "snapshot_io and blob_format disagree on the format version");
+static_assert(sizeof(kSnapshotMagic) == sizeof(serving::kBlobMagic));
 
 size_t AlignUp(size_t offset) {
   return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
@@ -84,13 +74,6 @@ Status Corrupt(const std::string& what, const std::string& path) {
 
 // -------------------------------------------------------------- parsing
 
-struct ParsedSection {
-  uint64_t offset = 0;
-  uint64_t size = 0;
-  uint32_t crc = 0;
-  bool present = false;
-};
-
 /// The decoded blob: META fields plus raw byte spans into the blob for
 /// every bulk array. Spans alias the blob buffer — the buffer must outlive
 /// any use of them.
@@ -121,154 +104,40 @@ std::span<const T> TypedSpan(std::span<const uint8_t> bytes) {
   return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
 }
 
-/// Header + section-table + META validation and decoding. Every length and
-/// offset is checked against the actual blob size before any section byte
-/// is touched: corrupt or truncated input yields a Status, never a read
-/// past the buffer.
+/// Engine-side wrapper of serving::ParseBlobLayout — the shared,
+/// runtime-free header/section-table/META validation the slim predictor
+/// runs too. Maps every BlobError onto the typed Status taxonomy and
+/// materializes the byte spans plus the endian-decoded mixture arrays.
 Status ParseBlob(std::span<const uint8_t> blob, const std::string& path,
                  const SnapshotLoadOptions& options, ParsedBlob* out) {
-  if (blob.size() < kHeaderSize) {
-    return Corrupt("shorter than the file header", path);
-  }
-  if (std::memcmp(blob.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
-    return Corrupt("bad magic", path);
-  }
-  const uint32_t header_crc = LoadLE32(blob.data() + 60);
-  if (header_crc != Crc32(blob.data(), 60)) {
-    return Corrupt("header checksum mismatch", path);
-  }
-  const uint32_t format_version = LoadLE32(blob.data() + 8);
-  if (format_version != kSnapshotFormatVersion) {
+  BlobLayout layout;
+  const BlobError err = serving::ParseBlobLayout(
+      blob.data(), blob.size(), options.verify_checksums, &layout);
+  if (err == BlobError::kVersionMismatch) {
     return Status::InvalidArgument(
         "unsupported snapshot format version " +
-        std::to_string(format_version) + " (this build reads " +
+        std::to_string(layout.format_version) + " (this build reads " +
         std::to_string(kSnapshotFormatVersion) + "): " + path);
   }
-  const uint32_t section_count = LoadLE32(blob.data() + 12);
-  const uint64_t file_size = LoadLE64(blob.data() + 16);
-  const uint32_t table_crc = LoadLE32(blob.data() + 24);
-  if (file_size != blob.size()) {
-    return Corrupt("file size mismatch (truncated or padded)", path);
-  }
-  if (section_count == 0 || section_count > kMaxSections) {
-    return Corrupt("implausible section count", path);
-  }
-  const uint64_t table_bytes =
-      static_cast<uint64_t>(section_count) * kSectionRowSize;
-  if (kHeaderSize + table_bytes > blob.size()) {
-    return Corrupt("section table past end of file", path);
-  }
-  if (table_crc !=
-      Crc32(blob.data() + kHeaderSize, static_cast<size_t>(table_bytes))) {
-    return Corrupt("section table checksum mismatch", path);
+  if (err != BlobError::kNone) {
+    return Corrupt(serving::BlobErrorMessage(err), path);
   }
 
-  ParsedSection sections[kMaxSections + 1];
-  for (uint32_t i = 0; i < section_count; ++i) {
-    const uint8_t* row = blob.data() + kHeaderSize + i * kSectionRowSize;
-    const uint32_t id = LoadLE32(row);
-    const uint32_t crc = LoadLE32(row + 4);
-    const uint64_t offset = LoadLE64(row + 8);
-    const uint64_t size = LoadLE64(row + 16);
-    if (id == 0 || id > kMaxSections) continue;  // unknown ids are skipped
-    if (sections[id].present) return Corrupt("duplicate section", path);
-    if (offset % kSectionAlignment != 0) {
-      return Corrupt("misaligned section", path);
-    }
-    if (offset > blob.size() || size > blob.size() - offset) {
-      return Corrupt("section past end of file", path);
-    }
-    sections[id] = ParsedSection{offset, size, crc, true};
-  }
+  out->snapshot_version = layout.snapshot_version;
+  out->weighting = layout.weighting;
+  out->narrow_ids = layout.narrow_ids;
+  out->narrow_masks = layout.narrow_masks;
+  out->top_k = layout.top_k;
+  out->num_nodes = layout.num_nodes;
+  out->num_entries = layout.num_entries;
+  out->num_edges = layout.num_edges;
+  out->root_index_size = layout.root_index_size;
+  out->num_components = layout.num_components;
 
   const auto section_bytes = [&](SectionId id) -> std::span<const uint8_t> {
-    return blob.subspan(static_cast<size_t>(sections[id].offset),
-                        static_cast<size_t>(sections[id].size));
+    return blob.subspan(static_cast<size_t>(layout.sections[id].offset),
+                        static_cast<size_t>(layout.sections[id].size));
   };
-  for (const SectionId id :
-       {kSecMeta, kSecSigmas, kSecComponentEscape, kSecNextBegin,
-        kSecChildBegin, kSecTotalCount, kSecStartCount, kSecCountShift,
-        kSecMask16, kSecMask64, kSecNextQuery, kSecNextCode, kSecEdgeQuery,
-        kSecEdgeChild, kSecRootIndex}) {
-    if (!sections[id].present) {
-      return Corrupt("missing section " + std::to_string(id), path);
-    }
-    if (options.verify_checksums) {
-      const std::span<const uint8_t> bytes = section_bytes(id);
-      if (sections[id].crc != Crc32(bytes.data(), bytes.size())) {
-        return Corrupt("section " + std::to_string(id) + " checksum mismatch",
-                       path);
-      }
-    }
-  }
-
-  // META: fixed-size field block.
-  const std::span<const uint8_t> meta = section_bytes(kSecMeta);
-  if (meta.size() != kMetaSize) return Corrupt("META size", path);
-  out->snapshot_version = LoadLE64(meta.data());
-  const uint32_t weighting = LoadLE32(meta.data() + 8);
-  const uint32_t flags = LoadLE32(meta.data() + 12);
-  out->top_k = LoadLE64(meta.data() + 16);
-  out->num_nodes = LoadLE64(meta.data() + 24);
-  out->num_entries = LoadLE64(meta.data() + 32);
-  out->num_edges = LoadLE64(meta.data() + 40);
-  out->root_index_size = LoadLE64(meta.data() + 48);
-  out->num_components = LoadLE32(meta.data() + 56);
-  if (weighting > static_cast<uint32_t>(MixtureWeighting::kLongestMatch)) {
-    return Corrupt("unknown weighting scheme", path);
-  }
-  out->weighting = static_cast<MixtureWeighting>(weighting);
-  out->narrow_ids = (flags & kFlagNarrowIds) != 0;
-  out->narrow_masks = (flags & kFlagNarrowMasks) != 0;
-
-  if (out->num_nodes == 0 ||
-      out->num_nodes > static_cast<uint64_t>(
-                           std::numeric_limits<int32_t>::max())) {
-    return Corrupt("implausible node count", path);
-  }
-  if (out->num_entries > std::numeric_limits<uint32_t>::max() ||
-      out->num_edges > std::numeric_limits<uint32_t>::max()) {
-    return Corrupt("entry/edge count exceeds CSR offset width", path);
-  }
-  if (out->num_components == 0 || out->num_components > Pst::kMaxViews) {
-    return Corrupt("implausible component count", path);
-  }
-  if (out->num_components > 16 && out->narrow_masks) {
-    return Corrupt("narrow masks with more than 16 components", path);
-  }
-  if (out->narrow_ids && out->num_nodes > 0xffff) {
-    return Corrupt("narrow ids with more than 65535 nodes", path);
-  }
-
-  // Every section size must match the META element counts exactly.
-  const uint64_t id_width = out->narrow_ids ? 2 : 4;
-  const auto expect_size = [&](SectionId id, uint64_t bytes) -> Status {
-    if (sections[id].size != bytes) {
-      return Corrupt("section " + std::to_string(id) + " size mismatch",
-                     path);
-    }
-    return Status::OK();
-  };
-  SQP_RETURN_IF_ERROR(
-      expect_size(kSecSigmas, uint64_t{8} * out->num_components));
-  SQP_RETURN_IF_ERROR(
-      expect_size(kSecComponentEscape, uint64_t{8} * out->num_components));
-  SQP_RETURN_IF_ERROR(expect_size(kSecNextBegin, 4 * (out->num_nodes + 1)));
-  SQP_RETURN_IF_ERROR(expect_size(kSecChildBegin, 4 * (out->num_nodes + 1)));
-  SQP_RETURN_IF_ERROR(expect_size(kSecTotalCount, 4 * out->num_nodes));
-  SQP_RETURN_IF_ERROR(expect_size(kSecStartCount, 4 * out->num_nodes));
-  SQP_RETURN_IF_ERROR(expect_size(kSecCountShift, out->num_nodes));
-  SQP_RETURN_IF_ERROR(
-      expect_size(kSecMask16, out->narrow_masks ? 2 * out->num_nodes : 0));
-  SQP_RETURN_IF_ERROR(
-      expect_size(kSecMask64, out->narrow_masks ? 0 : 8 * out->num_nodes));
-  SQP_RETURN_IF_ERROR(
-      expect_size(kSecNextQuery, id_width * out->num_entries));
-  SQP_RETURN_IF_ERROR(expect_size(kSecNextCode, 2 * out->num_entries));
-  SQP_RETURN_IF_ERROR(expect_size(kSecEdgeQuery, id_width * out->num_edges));
-  SQP_RETURN_IF_ERROR(expect_size(kSecEdgeChild, id_width * out->num_edges));
-  SQP_RETURN_IF_ERROR(
-      expect_size(kSecRootIndex, id_width * out->root_index_size));
 
   // Mixture arrays are always decoded into owned storage (a handful of
   // doubles), so the endian conversion below covers them on any host.
@@ -299,75 +168,34 @@ Status ParseBlob(std::span<const uint8_t> blob, const std::string& path,
   return Status::OK();
 }
 
-/// Structural invariants the serving walk relies on, checked over the
-/// decoded (host-order) arrays so a validated blob can never push the walk
-/// out of bounds: CSR offsets nondecreasing with the META totals as final
-/// values, child/root ids inside the node table, per-node edge queries
-/// strictly ascending (FindChildIn binary-searches them).
-template <typename QT, typename NT>
-Status ValidateStructure(std::span<const uint32_t> next_begin,
-                         std::span<const uint32_t> child_begin,
-                         std::span<const QT> edge_query,
-                         std::span<const NT> edge_child,
-                         std::span<const NT> root_index, uint64_t num_nodes,
-                         uint64_t num_entries, uint64_t num_edges,
-                         const std::string& path) {
-  if (next_begin[0] != 0 || child_begin[0] != 0) {
-    return Corrupt("CSR offsets must start at 0", path);
+/// Structural validation via the shared serving::ValidateBlobStructure
+/// template (host-order arrays, so it is endianness-correct on any host).
+Status ValidateParsed(const ParsedBlob& parsed, const std::string& path) {
+  BlobError err = serving::ValidateBlobCountShifts(
+      TypedSpan<uint8_t>(parsed.count_shift).data(), parsed.num_nodes);
+  if (err == BlobError::kNone) {
+    const auto next_begin = TypedSpan<uint32_t>(parsed.next_begin);
+    const auto child_begin = TypedSpan<uint32_t>(parsed.child_begin);
+    err = parsed.narrow_ids
+              ? serving::ValidateBlobStructure<uint16_t, uint16_t>(
+                    next_begin.data(), child_begin.data(),
+                    TypedSpan<uint16_t>(parsed.edge_query).data(),
+                    TypedSpan<uint16_t>(parsed.edge_child).data(),
+                    TypedSpan<uint16_t>(parsed.root_index).data(),
+                    parsed.root_index_size, parsed.num_nodes,
+                    parsed.num_entries, parsed.num_edges)
+              : serving::ValidateBlobStructure<uint32_t, uint32_t>(
+                    next_begin.data(), child_begin.data(),
+                    TypedSpan<uint32_t>(parsed.edge_query).data(),
+                    TypedSpan<uint32_t>(parsed.edge_child).data(),
+                    TypedSpan<uint32_t>(parsed.root_index).data(),
+                    parsed.root_index_size, parsed.num_nodes,
+                    parsed.num_entries, parsed.num_edges);
   }
-  if (next_begin[num_nodes] != num_entries ||
-      child_begin[num_nodes] != num_edges) {
-    return Corrupt("CSR terminal offset mismatch", path);
-  }
-  // Offsets first, edges second: full monotonicity (plus the terminal
-  // values above) bounds every CSR slice, so the edge walk below cannot
-  // index past the pools even on input where only a later offset is bad.
-  for (uint64_t i = 0; i < num_nodes; ++i) {
-    if (next_begin[i] > next_begin[i + 1] ||
-        child_begin[i] > child_begin[i + 1]) {
-      return Corrupt("CSR offsets not monotone", path);
-    }
-  }
-  for (uint64_t i = 0; i < num_nodes; ++i) {
-    for (uint32_t e = child_begin[i]; e < child_begin[i + 1]; ++e) {
-      if (e + 1 < child_begin[i + 1] &&
-          edge_query[e] >= edge_query[e + 1]) {
-        return Corrupt("edge queries not strictly ascending", path);
-      }
-      const uint64_t child = edge_child[e];
-      if (child == 0 || child >= num_nodes) {
-        return Corrupt("edge child id out of range", path);
-      }
-    }
-  }
-  for (const NT child : root_index) {
-    if (static_cast<uint64_t>(child) >= num_nodes) {
-      return Corrupt("root index id out of range", path);
-    }
+  if (err != BlobError::kNone) {
+    return Corrupt(serving::BlobErrorMessage(err), path);
   }
   return Status::OK();
-}
-
-Status ValidateParsed(const ParsedBlob& parsed, const std::string& path) {
-  const auto next_begin = TypedSpan<uint32_t>(parsed.next_begin);
-  const auto child_begin = TypedSpan<uint32_t>(parsed.child_begin);
-  for (const uint8_t shift : TypedSpan<uint8_t>(parsed.count_shift)) {
-    if (shift >= 64) return Corrupt("count shift out of range", path);
-  }
-  if (parsed.narrow_ids) {
-    return ValidateStructure(next_begin, child_begin,
-                             TypedSpan<uint16_t>(parsed.edge_query),
-                             TypedSpan<uint16_t>(parsed.edge_child),
-                             TypedSpan<uint16_t>(parsed.root_index),
-                             parsed.num_nodes, parsed.num_entries,
-                             parsed.num_edges, path);
-  }
-  return ValidateStructure(next_begin, child_begin,
-                           TypedSpan<uint32_t>(parsed.edge_query),
-                           TypedSpan<uint32_t>(parsed.edge_child),
-                           TypedSpan<uint32_t>(parsed.root_index),
-                           parsed.num_nodes, parsed.num_entries,
-                           parsed.num_edges, path);
 }
 
 Status ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {

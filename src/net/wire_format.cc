@@ -106,38 +106,28 @@ bool WireItem::operator==(const WireItem& other) const {
   return true;
 }
 
+// The wire protocol persists StatusCode values verbatim as u8 — safe only
+// because the C++ enum is pinned to the canonical table in
+// include/sqp/status.h, whose values are frozen (golden frames in
+// tests/data encode them). Pin every wire value here so a taxonomy edit
+// that would silently shift the wire format fails to compile instead.
+#define SQP_STATUS_PIN_WIRE_VALUE(name, value, str)                        \
+  static_assert(static_cast<uint8_t>(static_cast<StatusCode>(name)) ==     \
+                    (value),                                               \
+                "wire status code drifted from include/sqp/status.h: " str);
+SQP_STATUS_CODE_LIST(SQP_STATUS_PIN_WIRE_VALUE)
+#undef SQP_STATUS_PIN_WIRE_VALUE
+
 uint8_t WireStatusOf(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk: return 0;
-    case StatusCode::kInvalidArgument: return 1;
-    case StatusCode::kNotFound: return 2;
-    case StatusCode::kIOError: return 3;
-    case StatusCode::kFailedPrecondition: return 4;
-    case StatusCode::kOutOfRange: return 5;
-    case StatusCode::kInternal: return 6;
-    case StatusCode::kResourceExhausted: return 7;
-    case StatusCode::kDeadlineExceeded: return 8;
-    case StatusCode::kUnavailable: return 9;
-    case StatusCode::kDataLoss: return 10;
-  }
-  return 6;  // unreachable; treat as Internal
+  const auto wire = static_cast<uint32_t>(code);
+  if (wire >= SQP_STATUS_CODE_COUNT) return SQP_STATUS_INTERNAL;
+  return static_cast<uint8_t>(wire);
 }
 
 bool StatusFromWire(uint8_t wire, StatusCode* out) {
-  switch (wire) {
-    case 0: *out = StatusCode::kOk; return true;
-    case 1: *out = StatusCode::kInvalidArgument; return true;
-    case 2: *out = StatusCode::kNotFound; return true;
-    case 3: *out = StatusCode::kIOError; return true;
-    case 4: *out = StatusCode::kFailedPrecondition; return true;
-    case 5: *out = StatusCode::kOutOfRange; return true;
-    case 6: *out = StatusCode::kInternal; return true;
-    case 7: *out = StatusCode::kResourceExhausted; return true;
-    case 8: *out = StatusCode::kDeadlineExceeded; return true;
-    case 9: *out = StatusCode::kUnavailable; return true;
-    case 10: *out = StatusCode::kDataLoss; return true;
-    default: return false;
-  }
+  if (wire >= SQP_STATUS_CODE_COUNT) return false;
+  *out = static_cast<StatusCode>(wire);
+  return true;
 }
 
 void EncodeRequestFrame(const WireRequest& request,

@@ -66,39 +66,6 @@ uint64_t RecommenderEngine::current_version() const {
   return snapshot == nullptr ? 0 : snapshot->version();
 }
 
-Recommendation RecommenderEngine::Recommend(ContextRef context, size_t top_n,
-                                            uint64_t* served_version) const {
-  const std::shared_ptr<const ServingSnapshot> snapshot = CurrentSnapshot();
-  thread_local const size_t counter_slot =
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
-      kCounterShards;
-  queries_served_[counter_slot].value.fetch_add(1,
-                                                std::memory_order_relaxed);
-  if (snapshot == nullptr) {
-    if (served_version != nullptr) *served_version = 0;
-    return Recommendation{};
-  }
-  if (served_version != nullptr) *served_version = snapshot->version();
-  return snapshot->Recommend(context, top_n,
-                             &PreparedFor(snapshot.get(), ThreadScratch()));
-}
-
-std::vector<Recommendation> RecommenderEngine::RecommendMany(
-    std::span<const ContextRef> contexts, size_t top_n,
-    uint64_t* served_version) const {
-  // The deadline-free API is the QoS path with an unbounded deadline: it
-  // waits however long the backlog takes, is never shed or degraded, and
-  // (equivalence-tested) returns bit-identical results. Pool-sized
-  // batches ride the bulk lane so they never starve interactive traffic.
-  ServeOptions options;
-  options.lane = contexts.size() >= options_.min_batch_fanout
-                     ? QosLane::kBulk
-                     : QosLane::kInteractive;
-  BatchResult batch = RecommendMany(contexts, top_n, options);
-  if (served_version != nullptr) *served_version = batch.served_version;
-  return std::move(batch.results);
-}
-
 BatchResult RecommenderEngine::RecommendMany(
     std::span<const ContextRef> contexts, size_t top_n,
     const ServeOptions& options) const {
@@ -207,26 +174,31 @@ BatchResult RecommenderEngine::RecommendMany(
   return out;
 }
 
-BatchResult RecommenderEngine::RecommendMany(
-    const std::vector<std::vector<QueryId>>& contexts, size_t top_n,
-    const ServeOptions& options) const {
-  std::vector<ContextRef> refs;
-  refs.reserve(contexts.size());
-  for (const std::vector<QueryId>& context : contexts) {
-    refs.emplace_back(context.data(), context.size());
-  }
-  return RecommendMany(std::span<const ContextRef>(refs), top_n, options);
-}
-
 ServeResult RecommenderEngine::Recommend(ContextRef context, size_t top_n,
                                          const ServeOptions& options) const {
   ServeResult out;
-  const Deadline::Clock::time_point start = Deadline::Clock::now();
   thread_local const size_t counter_slot =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) %
       kCounterShards;
   queries_served_[counter_slot].value.fetch_add(1,
                                                 std::memory_order_relaxed);
+  if (!options.deadline.bounded()) {
+    // Unbounded fast path — the legacy single-query hot path: no clock
+    // reads, no degrade check, no QoS accounting (an unbounded request is
+    // by contract never shed or degraded, so there is nothing to record
+    // that the serving counters above don't already).
+    const std::shared_ptr<const ServingSnapshot> snapshot =
+        CurrentSnapshot();
+    if (snapshot == nullptr) {
+      out.status = StatusCode::kUnavailable;
+      return out;
+    }
+    out.served_version = snapshot->version();
+    out.recommendation = snapshot->Recommend(
+        context, top_n, &PreparedFor(snapshot.get(), ThreadScratch()));
+    return out;
+  }
+  const Deadline::Clock::time_point start = Deadline::Clock::now();
   if (options.deadline.Expired(start)) {
     admission_.CountShed(options.lane, StatusCode::kDeadlineExceeded);
     out.status = StatusCode::kDeadlineExceeded;
@@ -250,18 +222,6 @@ ServeResult RecommenderEngine::Recommend(ContextRef context, size_t top_n,
           .count();
   admission_.RecordServed(options.lane, latency_us, out.degraded, 0);
   return out;
-}
-
-std::vector<Recommendation> RecommenderEngine::RecommendMany(
-    const std::vector<std::vector<QueryId>>& contexts, size_t top_n,
-    uint64_t* served_version) const {
-  std::vector<ContextRef> refs;
-  refs.reserve(contexts.size());
-  for (const std::vector<QueryId>& context : contexts) {
-    refs.emplace_back(context.data(), context.size());
-  }
-  return RecommendMany(std::span<const ContextRef>(refs), top_n,
-                       served_version);
 }
 
 EngineStats RecommenderEngine::stats() const {

@@ -253,24 +253,6 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::BootFromManifest(
   return Result<std::unique_ptr<ShardedEngine>>(std::move(engine));
 }
 
-Recommendation ShardedEngine::Recommend(ContextRef context, size_t top_n,
-                                        uint64_t* served_version) const {
-  return shards_[OwningShard(context)]->Recommend(context, top_n,
-                                                  served_version);
-}
-
-std::vector<Recommendation> ShardedEngine::RecommendMany(
-    std::span<const ContextRef> contexts, size_t top_n) const {
-  // The deadline-free API is the QoS path with an unbounded deadline
-  // (never shed, never degraded, bit-identical results — same contract
-  // as RecommenderEngine).
-  ServeOptions options;
-  options.lane = contexts.size() >= options_.min_batch_fanout
-                     ? QosLane::kBulk
-                     : QosLane::kInteractive;
-  return std::move(RecommendMany(contexts, top_n, options).results);
-}
-
 ServeResult ShardedEngine::Recommend(ContextRef context, size_t top_n,
                                      const ServeOptions& options) const {
   // The owning shard's engine handles the deadline check, degrade and
@@ -390,16 +372,6 @@ BatchResult ShardedEngine::RecommendMany(
   admission_.RecordServed(options.lane, latency_us, out.degraded,
                           expired_items);
   return out;
-}
-
-std::vector<Recommendation> ShardedEngine::RecommendMany(
-    const std::vector<std::vector<QueryId>>& contexts, size_t top_n) const {
-  std::vector<ContextRef> refs;
-  refs.reserve(contexts.size());
-  for (const std::vector<QueryId>& context : contexts) {
-    refs.emplace_back(context.data(), context.size());
-  }
-  return RecommendMany(std::span<const ContextRef>(refs), top_n);
 }
 
 std::vector<uint64_t> ShardedEngine::shard_versions() const {

@@ -5,7 +5,7 @@
 namespace sqp {
 namespace {
 
-std::array<uint32_t, 256> MakeCrc32Table() {
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
@@ -17,15 +17,15 @@ std::array<uint32_t, 256> MakeCrc32Table() {
   return table;
 }
 
-const std::array<uint32_t, 256>& Crc32Table() {
-  static const std::array<uint32_t, 256> table = MakeCrc32Table();
-  return table;
-}
+// Constant-initialized (no __cxa_guard lazy init): this translation unit
+// is linked into the runtime-free slim predictor library, which bans
+// function-local statics with dynamic initializers.
+constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
-  const std::array<uint32_t, 256>& table = Crc32Table();
+  const std::array<uint32_t, 256>& table = kCrc32Table;
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   uint32_t c = crc ^ 0xFFFFFFFFu;
   for (size_t i = 0; i < size; ++i) {

@@ -3,29 +3,15 @@
 namespace sqp {
 
 std::string_view StatusCodeName(StatusCode code) {
+  // One string table for the whole repo: the names come from the same
+  // X-macro list (include/sqp/status.h) that pins the C ABI and the wire
+  // protocol's u8 codes.
   switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kInvalidArgument:
-      return "InvalidArgument";
-    case StatusCode::kNotFound:
-      return "NotFound";
-    case StatusCode::kIOError:
-      return "IOError";
-    case StatusCode::kFailedPrecondition:
-      return "FailedPrecondition";
-    case StatusCode::kOutOfRange:
-      return "OutOfRange";
-    case StatusCode::kInternal:
-      return "Internal";
-    case StatusCode::kResourceExhausted:
-      return "ResourceExhausted";
-    case StatusCode::kDeadlineExceeded:
-      return "DeadlineExceeded";
-    case StatusCode::kUnavailable:
-      return "Unavailable";
-    case StatusCode::kDataLoss:
-      return "DataLoss";
+#define SQP_STATUS_NAME_CASE(name, value, str) \
+  case static_cast<StatusCode>(name):          \
+    return str;
+    SQP_STATUS_CODE_LIST(SQP_STATUS_NAME_CASE)
+#undef SQP_STATUS_NAME_CASE
   }
   return "Unknown";
 }

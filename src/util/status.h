@@ -8,23 +8,30 @@
 #include <string_view>
 #include <utility>
 
+#include "sqp/status.h"
+
 namespace sqp {
 
 /// Error categories used across the library. Mirrors the usual
 /// database-engine convention (RocksDB/Arrow style): library code never
 /// throws; fallible operations return a Status or Result<T>.
+///
+/// The numeric values are NOT arbitrary: they are pinned to the canonical
+/// C table in include/sqp/status.h, which the net wire protocol persists
+/// as u8 codes and the slim embedded ABI compiles into callers. Add new
+/// codes by extending SQP_STATUS_CODE_LIST; never renumber.
 enum class StatusCode {
-  kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kIOError,
-  kFailedPrecondition,
-  kOutOfRange,
-  kInternal,
-  kResourceExhausted,   // admission queue full; request shed
-  kDeadlineExceeded,    // deadline expired before or during serving
-  kUnavailable,         // the responsible replica/shard has no snapshot
-  kDataLoss,            // corrupt bytes on the wire or on disk
+  kOk = SQP_STATUS_OK,
+  kInvalidArgument = SQP_STATUS_INVALID_ARGUMENT,
+  kNotFound = SQP_STATUS_NOT_FOUND,
+  kIOError = SQP_STATUS_IO_ERROR,
+  kFailedPrecondition = SQP_STATUS_FAILED_PRECONDITION,
+  kOutOfRange = SQP_STATUS_OUT_OF_RANGE,
+  kInternal = SQP_STATUS_INTERNAL,
+  kResourceExhausted = SQP_STATUS_RESOURCE_EXHAUSTED,  // shed by admission
+  kDeadlineExceeded = SQP_STATUS_DEADLINE_EXCEEDED,  // expired before/during
+  kUnavailable = SQP_STATUS_UNAVAILABLE,  // responsible shard has no snapshot
+  kDataLoss = SQP_STATUS_DATA_LOSS,       // corrupt bytes on the wire
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path

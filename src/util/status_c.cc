@@ -1,0 +1,20 @@
+// C ABI surface for the pinned status taxonomy (include/sqp/status.h).
+//
+// Compiled into both the full `sqp` library and the slim serve-only
+// `sqp_slim` library (they are never linked together). Runtime-free on
+// purpose: no allocation, no statics with dynamic initializers, no
+// exceptions — the slim library's -fno-exceptions/-fno-rtti build and
+// C-only link depend on it.
+
+#include "sqp/status.h"
+
+extern "C" const char* sqp_status_name(sqp_status_t status) {
+  switch (status) {
+#define SQP_STATUS_NAME_CASE(name, value, str) \
+  case name:                                   \
+    return str;
+    SQP_STATUS_CODE_LIST(SQP_STATUS_NAME_CASE)
+#undef SQP_STATUS_NAME_CASE
+  }
+  return "Unknown";
+}

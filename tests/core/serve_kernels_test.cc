@@ -89,62 +89,71 @@ TEST(SimdDispatchTest, EveryLevelResolvesToNonNullKernels) {
 
 // ----------------------------------------------------- dense accumulator
 
+/// The touched list of a view, as a vector (first-touch order).
+std::vector<uint32_t> TouchedOf(const DenseAccumulator& acc) {
+  return std::vector<uint32_t>(acc.touched, acc.touched + acc.touched_count);
+}
+
 TEST(DenseAccumulatorTest, FirstTouchAssignsLaterTouchesAccumulate) {
-  DenseAccumulator acc;
-  acc.BeginGeneration(8);
+  AccumulatorStorage storage;
+  DenseAccumulator acc = storage.BeginGeneration(8);
   acc.Add(3, 1.5);
   acc.Add(5, 2.0);
   acc.Add(3, 0.25);
   EXPECT_EQ(acc.score[3], 1.75);
   EXPECT_EQ(acc.score[5], 2.0);
-  ASSERT_EQ(acc.touched.size(), 2u);  // first-touch order
-  EXPECT_EQ(acc.touched[0], 3u);
-  EXPECT_EQ(acc.touched[1], 5u);
+  EXPECT_EQ(TouchedOf(acc), (std::vector<uint32_t>{3, 5}));
 }
 
 TEST(DenseAccumulatorTest, NewGenerationNeverLeaksStaleScores) {
   // The regression this scheme must never reintroduce: a slot written in
   // generation N must read as empty in generation N+1 — the first Add of
   // the new generation assigns, it must not accumulate onto the stale
-  // value.
-  DenseAccumulator acc;
-  acc.BeginGeneration(8);
+  // value. The epoch lives in the storage, so the guarantee holds across
+  // per-request views.
+  AccumulatorStorage storage;
+  DenseAccumulator acc = storage.BeginGeneration(8);
   acc.Add(3, 100.0);
   acc.Add(6, 7.0);
-  acc.BeginGeneration(8);
-  EXPECT_TRUE(acc.touched.empty());
+  acc = storage.BeginGeneration(8);
+  EXPECT_EQ(acc.touched_count, 0u);
   acc.Add(3, 0.5);
   EXPECT_EQ(acc.score[3], 0.5) << "stale generation leaked into the sum";
-  ASSERT_EQ(acc.touched.size(), 1u);
-  EXPECT_EQ(acc.touched[0], 3u) << "slot 6 belongs to the old generation";
+  EXPECT_EQ(TouchedOf(acc), (std::vector<uint32_t>{3}))
+      << "slot 6 belongs to the old generation";
 }
 
 TEST(DenseAccumulatorTest, EpochWraparoundPaysTheExactReset) {
-  DenseAccumulator acc;
-  acc.BeginGeneration(4);
+  AccumulatorStorage storage;
+  DenseAccumulator acc = storage.BeginGeneration(4);
   acc.Add(1, 5.0);
   // Simulate a slot last touched ~2^32 generations ago whose stamp would
   // alias the post-wrap epoch value (1) if BeginGeneration skipped the
   // exact reset.
-  acc.stamp[2] = 1;
-  acc.epoch = std::numeric_limits<uint32_t>::max();
-  acc.BeginGeneration(4);
+  storage.stamp[2] = 1;
+  storage.epoch = std::numeric_limits<uint32_t>::max();
+  acc = storage.BeginGeneration(4);
   EXPECT_EQ(acc.epoch, 1u);
+  EXPECT_EQ(storage.epoch, 1u) << "wrapped epoch must persist in storage";
   acc.Add(2, 0.75);
   EXPECT_EQ(acc.score[2], 0.75) << "aliased stamp survived the wraparound";
-  ASSERT_EQ(acc.touched.size(), 1u);
-  EXPECT_EQ(acc.touched[0], 2u);
+  EXPECT_EQ(TouchedOf(acc), (std::vector<uint32_t>{2}));
 }
 
-TEST(DenseAccumulatorTest, ReserveGrowsWithoutDisturbingLiveSlots) {
-  DenseAccumulator acc;
-  acc.BeginGeneration(4);
+TEST(DenseAccumulatorTest, LargerBoundRegrowsWithoutStaleLeaks) {
+  AccumulatorStorage storage;
+  DenseAccumulator acc = storage.BeginGeneration(4);
   acc.Add(2, 3.0);
-  acc.Reserve(16);
-  EXPECT_EQ(acc.score[2], 3.0);
-  acc.Add(12, 1.0);  // new slot, same generation
+  // Next request against a bigger model: the storage grows and the new
+  // view starts a clean generation — grown slots stamp as never-touched,
+  // old slots must not leak their previous-generation scores.
+  acc = storage.BeginGeneration(16);
+  EXPECT_GE(acc.capacity, 16u);
+  acc.Add(12, 1.0);
+  acc.Add(2, 0.25);
   EXPECT_EQ(acc.score[12], 1.0);
-  ASSERT_EQ(acc.touched.size(), 2u);
+  EXPECT_EQ(acc.score[2], 0.25) << "stale score from the smaller generation";
+  EXPECT_EQ(TouchedOf(acc), (std::vector<uint32_t>{12, 2}));
 }
 
 // ------------------------------------------------- kernel bit-exactness
@@ -156,19 +165,19 @@ template <typename QT>
 void ExpectAllLevelsMatchScalar(const std::vector<QT>& queries,
                                 const std::vector<uint16_t>& codes,
                                 double scale, size_t bound) {
-  DenseAccumulator reference;
-  reference.BeginGeneration(bound);
+  AccumulatorStorage reference_storage;
+  DenseAccumulator reference = reference_storage.BeginGeneration(bound);
   ScoreRun(KernelsFor(SimdLevel::kScalar), queries.data(), codes.data(),
            queries.size(), scale, &reference);
 
   for (const SimdLevel level : SupportedLevels()) {
-    DenseAccumulator acc;
-    acc.BeginGeneration(bound);
+    AccumulatorStorage storage;
+    DenseAccumulator acc = storage.BeginGeneration(bound);
     ScoreRun(KernelsFor(level), queries.data(), codes.data(), queries.size(),
              scale, &acc);
-    ASSERT_EQ(acc.touched, reference.touched)
+    ASSERT_EQ(TouchedOf(acc), TouchedOf(reference))
         << "touched order diverged at level " << SimdLevelName(level);
-    for (const uint32_t q : reference.touched) {
+    for (const uint32_t q : TouchedOf(reference)) {
       // operator== (not NEAR): the kernels must agree to the last bit.
       ASSERT_EQ(acc.score[q], reference.score[q])
           << "score diverged at level " << SimdLevelName(level)
@@ -218,11 +227,11 @@ TEST(ServeKernelsTest, AccumulationAcrossRunsMatchesScalar) {
   // actual shape (one call per matched path level, repeated queries
   // across levels accumulate).
   std::mt19937 rng(77);
-  DenseAccumulator reference;
-  DenseAccumulator acc;
+  AccumulatorStorage reference_storage;
+  AccumulatorStorage storage;
   for (const SimdLevel level : SupportedLevels()) {
-    reference.BeginGeneration(32);
-    acc.BeginGeneration(32);
+    DenseAccumulator reference = reference_storage.BeginGeneration(32);
+    DenseAccumulator acc = storage.BeginGeneration(32);
     for (int run = 0; run < 5; ++run) {
       const size_t n = 1 + rng() % 40;
       std::vector<uint16_t> queries(n);
@@ -237,8 +246,8 @@ TEST(ServeKernelsTest, AccumulationAcrossRunsMatchesScalar) {
       ScoreRun(KernelsFor(level), queries.data(), codes.data(), n, scale,
                &acc);
     }
-    ASSERT_EQ(acc.touched, reference.touched);
-    for (const uint32_t q : reference.touched) {
+    ASSERT_EQ(TouchedOf(acc), TouchedOf(reference));
+    for (const uint32_t q : TouchedOf(reference)) {
       ASSERT_EQ(acc.score[q], reference.score[q])
           << "level " << SimdLevelName(level) << " query " << q;
     }

@@ -1,0 +1,160 @@
+/* Pure-C smoke test for the slim embedded predictor (include/sqp/slim.h).
+ *
+ * Compiled as C99 and linked against libsqp_slim.a + libm ONLY — no
+ * libstdc++, no pthread, no gtest. The link line is half the test: if the
+ * slim library ever grows a C++-runtime or threading dependency, this
+ * target stops linking, and CI's slim-abi job additionally inspects the
+ * archive's undefined symbols with nm.
+ *
+ * Usage: sqp_slim_c_smoke <path-to-golden-blob>
+ * Exits 0 on success; prints the failing check and exits 1 otherwise.
+ */
+
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "sqp/slim.h"
+
+#define CHECK(cond)                                                   \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      fprintf(stderr, "FAILED at %s:%d: %s\n", __FILE__, __LINE__,    \
+              #cond);                                                 \
+      return 1;                                                       \
+    }                                                                 \
+  } while (0)
+
+static uint8_t* read_file(const char* path, size_t* out_size) {
+  FILE* f = fopen(path, "rb");
+  if (f == NULL) return NULL;
+  if (fseek(f, 0, SEEK_END) != 0) {
+    fclose(f);
+    return NULL;
+  }
+  long size = ftell(f);
+  if (size <= 0) {
+    fclose(f);
+    return NULL;
+  }
+  rewind(f);
+  uint8_t* data = (uint8_t*)malloc((size_t)size); /* malloc: 8+ aligned */
+  if (data == NULL) {
+    fclose(f);
+    return NULL;
+  }
+  if (fread(data, 1, (size_t)size, f) != (size_t)size) {
+    free(data);
+    fclose(f);
+    return NULL;
+  }
+  fclose(f);
+  *out_size = (size_t)size;
+  return data;
+}
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    fprintf(stderr, "usage: %s <golden_snapshot.blob>\n", argv[0]);
+    return 1;
+  }
+
+  size_t blob_size = 0;
+  uint8_t* blob = read_file(argv[1], &blob_size);
+  CHECK(blob != NULL);
+
+  /* Status names come from the shared pinned table. */
+  CHECK(strcmp(sqp_status_name(SQP_STATUS_OK), "OK") == 0);
+  CHECK(strcmp(sqp_status_name(SQP_STATUS_INVALID_ARGUMENT),
+               "InvalidArgument") == 0);
+
+  /* Create over the caller-owned buffer. */
+  sqp_slim_predictor* predictor = NULL;
+  sqp_status_t status =
+      sqp_slim_create_from_buffer(blob, blob_size, &predictor);
+  CHECK(status == SQP_STATUS_OK);
+  CHECK(predictor != NULL);
+
+  /* Stats: plausible model counters and a real resident footprint. */
+  sqp_slim_stats_t stats;
+  memset(&stats, 0, sizeof(stats));
+  stats.struct_size = sizeof(stats);
+  CHECK(sqp_slim_stats(predictor, &stats) == SQP_STATUS_OK);
+  CHECK(stats.num_nodes > 0);
+  CHECK(stats.num_entries > 0);
+  CHECK(stats.num_components > 0);
+  CHECK(stats.resident_bytes > 0);
+
+  /* Serve: sweep single-query contexts until the model covers one (the
+   * golden corpus draws ids from a small vocabulary, so this always
+   * terminates quickly), then check the ranked list invariants. */
+  uint32_t queries[10];
+  double scores[10];
+  size_t count = 0;
+  size_t matched = 0;
+  int served_one = 0;
+  uint32_t q;
+  for (q = 0; q < 100 && !served_one; ++q) {
+    uint32_t context[1];
+    context[0] = q;
+    status = sqp_slim_recommend(predictor, context, 1, 10, queries, scores,
+                                &count, &matched);
+    if (status == SQP_STATUS_NOT_FOUND) continue;
+    CHECK(status == SQP_STATUS_OK);
+    CHECK(count > 0);
+    CHECK(count <= 10);
+    CHECK(matched == 1);
+    {
+      size_t i;
+      for (i = 0; i < count; ++i) {
+        CHECK(scores[i] > 0.0);
+        if (i > 0) {
+          /* Score-descending, query-ascending on ties. */
+          CHECK(scores[i - 1] > scores[i] ||
+                (scores[i - 1] == scores[i] && queries[i - 1] < queries[i]));
+        }
+      }
+    }
+    served_one = 1;
+  }
+  CHECK(served_one);
+
+  /* Determinism: the same context twice yields the same bits. */
+  {
+    uint32_t context[1];
+    uint32_t queries2[10];
+    double scores2[10];
+    size_t count2 = 0;
+    size_t i;
+    context[0] = q - 1; /* the context that served above */
+    status = sqp_slim_recommend(predictor, context, 1, 10, queries2,
+                                scores2, &count2, NULL);
+    CHECK(status == SQP_STATUS_OK);
+    CHECK(count2 == count);
+    for (i = 0; i < count; ++i) {
+      CHECK(queries2[i] == queries[i]);
+      CHECK(scores2[i] == scores[i]);
+    }
+  }
+
+  /* Typed errors, not crashes, on malformed input. */
+  {
+    sqp_slim_predictor* bad = NULL;
+    CHECK(sqp_slim_create_from_buffer(blob, blob_size / 2, &bad) ==
+          SQP_STATUS_INVALID_ARGUMENT);
+    CHECK(bad == NULL);
+    CHECK(sqp_slim_create_from_buffer(NULL, blob_size, &bad) ==
+          SQP_STATUS_INVALID_ARGUMENT);
+    blob[blob_size - 1] ^= 0xFF;
+    blob[64] ^= 0xFF; /* inside the section table: CRC-covered */
+    CHECK(sqp_slim_create_from_buffer(blob, blob_size, &bad) ==
+          SQP_STATUS_INVALID_ARGUMENT);
+  }
+
+  sqp_slim_destroy(predictor);
+  sqp_slim_destroy(NULL); /* no-op by contract */
+  free(blob);
+  printf("slim C smoke: OK\n");
+  return 0;
+}
