@@ -58,6 +58,27 @@
 //                 RouterClient fanning requests across the fleet started
 //                 with --serve-port at HOST, ports P..P+N-1. Answers are
 //                 bit-identical to serving the same artifact in-process
+//   --feedback-log DIR
+//                 closed-loop serving: every served answer is appended to
+//                 the bounded crash-safe feedback log in DIR as an
+//                 impression (context, served top-N, per-item sampling
+//                 propensity); in single-query mode, typing a query that
+//                 was on the previous answer's list records a click
+//                 against that impression. With --tail, each completed
+//                 session consumes the log (ConsumeFeedback): clicked
+//                 impressions — not raw stdin sessions — become the
+//                 retrainers' training stream, closing the
+//                 serve -> log -> retrain -> publish loop in one process.
+//                 Works with --serve-port too (the fleet's servers share
+//                 the log)
+//   --explore POLICY:PARAM
+//                 exploration-aware reranking (requires --feedback-log):
+//                 epsilon:E, softmax:LAMBDA, bag:B, or none. Perturbs
+//                 which item is served at slot 1 (seeded, deterministic
+//                 per logged record) so the feedback log covers more than
+//                 the greedy arm; propensities land in the log for
+//                 unbiased (IPS) evaluation. "none" and epsilon:0 are
+//                 bit-identical to not passing --explore at all
 //
 // An empty line resets the session context. Because the corpus is
 // synthetic, useful inputs are queries the trainer has seen; the program
@@ -79,6 +100,8 @@
 #include "net/shard_server.h"
 #include "net/tcp_transport.h"
 #include "serve/cli_config.h"
+#include "serve/explorer.h"
+#include "serve/feedback.h"
 #include "serve/recommender_engine.h"
 #include "serve/retrainer.h"
 #include "serve/sharded_engine.h"
@@ -97,6 +120,8 @@ void PrintUsage() {
                "                       [--deadline-us N] "
                "[--lane interactive|bulk]\n"
                "                       [--serve-port P | --connect HOST:P]\n"
+               "                       [--feedback-log DIR "
+               "[--explore POLICY:PARAM]]\n"
                "(--load-snapshot cold-boots a read-only replica from a blob "
                "or manifest and\n"
                " rejects flags it would ignore: --tail, --save-snapshot, "
@@ -114,6 +139,47 @@ void ExitIfError(const Status& status, const std::string& what) {
   if (status.ok()) return;
   std::cerr << "error: " << what << ": " << status.ToString() << "\n";
   std::exit(1);
+}
+
+/// The closed-loop state both serving modes share: the feedback log, the
+/// optional explorer, and the hook every served request carries. Null
+/// when --feedback-log was not given.
+struct ClosedLoop {
+  std::unique_ptr<FeedbackLog> log;
+  std::unique_ptr<Explorer> explorer;
+  FeedbackHook hook;
+};
+
+std::unique_ptr<ClosedLoop> OpenClosedLoop(const RecommenderCliConfig& cli) {
+  if (cli.feedback_log.empty()) return nullptr;
+  auto loop = std::make_unique<ClosedLoop>();
+  Result<std::unique_ptr<FeedbackLog>> opened =
+      FeedbackLog::Open({.dir = cli.feedback_log});
+  ExitIfError(opened.status(),
+              "opening the feedback log at " + cli.feedback_log);
+  loop->log = std::move(opened.value());
+  if (!cli.explore.empty()) {
+    const Result<ExplorerOptions> spec = ParseExplorerSpec(cli.explore);
+    ExitIfError(spec.status(), "parsing --explore");
+    loop->explorer = std::make_unique<Explorer>(*spec);
+  }
+  loop->hook.log = loop->log.get();
+  loop->hook.explorer = loop->explorer.get();
+  std::cerr << "feedback log at " << cli.feedback_log
+            << (loop->explorer != nullptr && loop->explorer->enabled()
+                    ? ", exploring with " + cli.explore
+                    : std::string(", greedy serving (no exploration)"))
+            << "\n";
+  return loop;
+}
+
+void PrintFeedbackSummary(const ClosedLoop* loop) {
+  if (loop == nullptr) return;
+  const FeedbackLogStats stats = loop->log->stats();
+  std::cerr << "feedback: " << stats.impressions_appended
+            << " impressions, " << stats.clicks_appended
+            << " clicks logged (" << stats.dropped_appends << " dropped, "
+            << stats.segments_sealed << " segments sealed)\n";
 }
 
 void PrintRecommendation(const QueryDictionary& dictionary,
@@ -141,6 +207,9 @@ int RunServeMode(const RecommenderCliConfig& cli) {
   const Result<SnapshotFileKind> kind = SnapshotIo::Probe(cli.load_snapshot);
   ExitIfError(kind.status(), "classifying " + cli.load_snapshot);
 
+  // One shared closed-loop hook for the whole fleet: every shard server
+  // logs into the same directory with fleet-unique record ids.
+  const std::unique_ptr<ClosedLoop> loop = OpenClosedLoop(cli);
   std::vector<std::unique_ptr<net::ShardServer>> servers;
   std::unique_ptr<RecommenderEngine> blob_engine;  // single-blob mode
   if (*kind == SnapshotFileKind::kManifest) {
@@ -151,6 +220,7 @@ int RunServeMode(const RecommenderCliConfig& cli) {
       options.host = "0.0.0.0";
       options.port = static_cast<uint16_t>(cli.serve_port + s);
       options.engine.num_threads = cli.threads;
+      options.feedback = loop != nullptr ? &loop->hook : nullptr;
       auto server = std::make_unique<net::ShardServer>(options);
       ExitIfError(server->StartFromManifest(cli.load_snapshot, s),
                   "starting shard " + std::to_string(s));
@@ -161,9 +231,12 @@ int RunServeMode(const RecommenderCliConfig& cli) {
         EngineOptions{.num_threads = cli.threads});
     ExitIfError(blob_engine->LoadAndPublish(cli.load_snapshot),
                 "cold-booting from " + cli.load_snapshot);
-    auto server = std::make_unique<net::ShardServer>(net::ShardServerOptions{
-        .host = "0.0.0.0", .port = cli.serve_port,
-        .engine = {.num_threads = cli.threads}});
+    net::ShardServerOptions options;
+    options.host = "0.0.0.0";
+    options.port = cli.serve_port;
+    options.engine.num_threads = cli.threads;
+    options.feedback = loop != nullptr ? &loop->hook : nullptr;
+    auto server = std::make_unique<net::ShardServer>(options);
     ExitIfError(
         server->StartWithEngine(blob_engine.get(),
                                 blob_engine->current_version()),
@@ -188,6 +261,7 @@ int RunServeMode(const RecommenderCliConfig& cli) {
               << stats.connections_dropped << " dropped)\n";
     server->Stop();
   }
+  PrintFeedbackSummary(loop.get());
   return 0;
 }
 
@@ -203,6 +277,10 @@ int main(int argc, char** argv) {
   }
   RecommenderCliConfig cli = *parsed;
   if (cli.serve_port != 0) return RunServeMode(cli);
+
+  // Closed-loop state (--feedback-log): null in plain serving; validation
+  // already rejected the flags in --connect mode.
+  const std::unique_ptr<ClosedLoop> loop = OpenClosedLoop(cli);
 
   QueryDictionary dictionary;
   // All local serving goes through one ShardedEngine; --shards 1
@@ -353,6 +431,12 @@ int main(int argc, char** argv) {
   // Batch mode buffers whole contexts (engine spans borrow their storage).
   std::vector<std::vector<QueryId>> buffered;
 
+  // Click attribution (single-query mode only): the previous answer's
+  // impression id and served ids. Typing a query that was on that list is
+  // a click on its slot.
+  uint64_t last_impression = 0;
+  std::vector<QueryId> last_served;
+
   // The serving seam: identical loop whether answers come from the
   // in-process fleet or over the wire (they are bit-identical anyway —
   // that is the network tier's contract).
@@ -382,6 +466,7 @@ int main(int argc, char** argv) {
           Deadline::After(std::chrono::microseconds(cli.deadline_us));
     }
     options.lane = cli.lane;
+    options.feedback = loop != nullptr ? &loop->hook : nullptr;
     return options;
   };
   const auto print_shed = [](StatusCode code) {
@@ -438,13 +523,32 @@ int main(int argc, char** argv) {
     const std::string normalized = QueryDictionary::Normalize(line);
     if (normalized.empty()) {
       flush_batch();
-      if (cli.tail && retrainers != nullptr && context.size() >= 2) {
-        // One completed session enters the stream; the background
-        // retrainers of the owning shards fold it into their next
-        // snapshots.
-        retrainers->AppendSessions({AggregatedSession{context, 1}});
+      if (cli.tail && retrainers != nullptr) {
+        if (loop != nullptr) {
+          // Closed loop: the training stream is the feedback log, not raw
+          // stdin — clicked impressions (with their contexts) become the
+          // appended sessions, and the watermark makes re-consumes no-ops.
+          (void)loop->log->Flush();
+          const Result<size_t> consumed =
+              retrainers->ConsumeFeedback(cli.feedback_log);
+          if (!consumed.ok()) {
+            std::cerr << "feedback consume failed: "
+                      << consumed.status().ToString() << "\n";
+          } else if (*consumed > 0) {
+            std::cout << "-- " << *consumed
+                      << " clicked impression(s) entered the retrain "
+                         "stream --\n";
+          }
+        } else if (context.size() >= 2) {
+          // One completed session enters the stream; the background
+          // retrainers of the owning shards fold it into their next
+          // snapshots.
+          retrainers->AppendSessions({AggregatedSession{context, 1}});
+        }
       }
       context.clear();
+      last_impression = 0;
+      last_served.clear();
       std::cout << "-- new session --\n";
       continue;
     }
@@ -459,6 +563,20 @@ int main(int argc, char** argv) {
         continue;
       }
     }
+    if (loop != nullptr && last_impression != 0) {
+      // The user typed their next query: if it was on the previous
+      // answer's list, that is a click on its slot.
+      for (size_t pos = 0; pos < last_served.size(); ++pos) {
+        if (last_served[pos] == *id) {
+          (void)loop->log->RecordClick(last_impression,
+                                       static_cast<uint32_t>(pos));
+          std::cout << "(click on slot " << (pos + 1) << " recorded)\n";
+          break;
+        }
+      }
+      last_impression = 0;
+      last_served.clear();
+    }
     context.push_back(*id);
     if (cli.batch > 1) {
       buffered.push_back(context);
@@ -470,6 +588,13 @@ int main(int argc, char** argv) {
                      serve_options());
     if (served.status == StatusCode::kOk) {
       PrintRecommendation(dictionary, context, served.recommendation);
+      if (loop != nullptr && served.feedback_record_id != 0) {
+        last_impression = served.feedback_record_id;
+        last_served.clear();
+        for (const ScoredQuery& sq : served.recommendation.queries) {
+          last_served.push_back(sq.query);
+        }
+      }
     } else {
       std::cout << "after \"" << dictionary.Text(context.back()) << "\": ";
       print_shed(served.status);
@@ -477,10 +602,19 @@ int main(int argc, char** argv) {
   }
   flush_batch();
   if (cli.tail && retrainers != nullptr) {
-    if (context.size() >= 2) {
+    if (loop != nullptr) {
+      (void)loop->log->Flush();
+      const Result<size_t> consumed =
+          retrainers->ConsumeFeedback(cli.feedback_log);
+      if (!consumed.ok()) {
+        std::cerr << "feedback consume failed: "
+                  << consumed.status().ToString() << "\n";
+      }
+    } else if (context.size() >= 2) {
       retrainers->AppendSessions({AggregatedSession{context, 1}});
     }
     retrainers->StopAll();
   }
+  PrintFeedbackSummary(loop.get());
   return 0;
 }

@@ -1,0 +1,81 @@
+#include "eval/ips.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace sqp {
+
+Result<IpsEstimate> EstimateIpsAccuracy(
+    std::span<const FeedbackRecord> records, const TargetTop1& target,
+    const IpsOptions& options) {
+  if (records.empty()) {
+    return Status::InvalidArgument("IPS needs at least one logged record");
+  }
+  if (!target) {
+    return Status::InvalidArgument("IPS needs a target policy");
+  }
+  if (!(options.min_propensity > 0.0)) {
+    return Status::InvalidArgument("min_propensity must be > 0");
+  }
+
+  // Validate the whole log before estimating anything: a degenerate
+  // record anywhere poisons the estimate, so it is an error, not a skip.
+  bool any_exploration = false;
+  for (const FeedbackRecord& record : records) {
+    if (record.served.empty()) {
+      return Status::InvalidArgument(
+          "impression " + std::to_string(record.record_id) +
+          " has no served items");
+    }
+    const double p = record.served[0].propensity;
+    if (!(p > 0.0) || p > 1.0 || !std::isfinite(p)) {
+      return Status::OutOfRange(
+          "impression " + std::to_string(record.record_id) +
+          " has degenerate slot-1 propensity " + std::to_string(p) +
+          " (must be in (0, 1])");
+    }
+    if (p < options.min_propensity) {
+      return Status::OutOfRange(
+          "impression " + std::to_string(record.record_id) +
+          " has slot-1 propensity " + std::to_string(p) +
+          " below min_propensity " + std::to_string(options.min_propensity));
+    }
+    if (p < 1.0) any_exploration = true;
+  }
+  if (!any_exploration) {
+    return Status::FailedPrecondition(
+        "greedy-only log (every slot-1 propensity is 1): no exploration to "
+        "reweight, off-policy estimates are meaningless");
+  }
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const FeedbackRecord& record : records) {
+    const QueryId wanted = target(record.context);
+    double term = 0.0;
+    if (wanted != kInvalidQueryId && record.served[0].query == wanted &&
+        record.clicked_position == 0) {
+      double weight = 1.0 / record.served[0].propensity;
+      if (options.clip_weight > 0.0) {
+        weight = std::min(weight, options.clip_weight);
+      }
+      term = weight;
+    }
+    sum += term;
+    sum_sq += term * term;
+  }
+
+  const double n = static_cast<double>(records.size());
+  IpsEstimate estimate;
+  estimate.records_used = records.size();
+  estimate.value = sum / n;
+  if (records.size() > 1) {
+    const double variance =
+        std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));
+    estimate.std_error = std::sqrt(variance / n);
+  }
+  return estimate;
+}
+
+}  // namespace sqp

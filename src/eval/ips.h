@@ -1,0 +1,84 @@
+#ifndef SQP_EVAL_IPS_H_
+#define SQP_EVAL_IPS_H_
+
+/// Off-policy evaluation over the closed-loop feedback log: the
+/// inverse-propensity-scored (IPS / Horvitz-Thompson) estimator.
+///
+/// A feedback log written under an exploration policy is click-biased —
+/// clicks land on what was *shown*, and what was shown at slot 1 was
+/// sampled from the policy's pmf, not served uniformly. Naively counting
+/// "clicked the slot-1 item" therefore measures the logging policy, not
+/// a candidate policy. IPS corrects the bias: each logged round where the
+/// candidate ("target") policy would have served the same slot-1 item the
+/// log did is reweighted by 1/propensity of that item, making the
+/// estimate unbiased for the candidate's expected slot-1 click rate:
+///
+///   V_hat = (1/N) * sum_i  r_i * 1{target(x_i) == served_top1_i} / p_i
+///
+/// where r_i = 1 iff the click landed on slot 1, and p_i is the logged
+/// sampling propensity of the item at slot 1 (serve/feedback.h logs it
+/// with every impression). The requirement is the usual bandit coverage
+/// condition: p_i > 0 wherever the target has mass — a greedy-only log
+/// (every p_i == 1) cannot evaluate any policy that deviates, and the
+/// estimator refuses with a typed error instead of silently reporting a
+/// half-covered number.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "log/types.h"
+#include "serve/feedback.h"
+#include "util/status.h"
+
+namespace sqp {
+
+struct IpsOptions {
+  /// Records whose slot-1 propensity is below this are rejected
+  /// (kOutOfRange): a tiny propensity makes 1/p explode and one round
+  /// dominates the estimate. Raise it to trade variance for bias.
+  double min_propensity = 1e-3;
+
+  /// When > 0, importance weights are clipped to this bound (clipped
+  /// IPS: biased low, bounded variance). 0 = no clipping (pure IPS).
+  double clip_weight = 0.0;
+};
+
+struct IpsEstimate {
+  /// The propensity-weighted slot-1 click-rate estimate for the target
+  /// policy.
+  double value = 0.0;
+
+  /// Standard error of `value` (sample std-dev of the per-record terms /
+  /// sqrt(N)).
+  double std_error = 0.0;
+
+  /// Records that entered the estimate (all of `records` — rounds where
+  /// the target disagrees with the log contribute 0, they are not
+  /// dropped).
+  size_t records_used = 0;
+};
+
+/// What the target policy would serve at slot 1 for a logged context.
+/// Deterministic targets only (the indicator-match estimator above);
+/// return kInvalidQueryId for contexts the target does not cover —
+/// those rounds contribute 0.
+using TargetTop1 =
+    std::function<QueryId(std::span<const QueryId> context)>;
+
+/// Estimates the target policy's expected slot-1 click rate from logged
+/// feedback. Typed errors:
+///  - kInvalidArgument: `records` is empty, a record has no served items,
+///    or `target` is null;
+///  - kOutOfRange: a slot-1 propensity is outside (0, 1] or below
+///    options.min_propensity (degenerate log);
+///  - kFailedPrecondition: every slot-1 propensity is exactly 1 (a
+///    greedy-only log has no exploration to reweight — the off-policy
+///    estimate would be meaningless for any deviating target).
+Result<IpsEstimate> EstimateIpsAccuracy(
+    std::span<const FeedbackRecord> records, const TargetTop1& target,
+    const IpsOptions& options = {});
+
+}  // namespace sqp
+
+#endif  // SQP_EVAL_IPS_H_

@@ -28,6 +28,7 @@ Status ShardRequestHandler::HandleRequest(
     // like in-process serving.
     ServeOptions options;
     options.lane = request.lane;
+    options.feedback = feedback_;
     if (request.deadline_remaining_us != kUnboundedDeadlineMicros) {
       options.deadline = Deadline::After(
           std::chrono::microseconds(request.deadline_remaining_us));

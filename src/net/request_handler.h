@@ -25,8 +25,13 @@ class ShardRequestHandler {
   /// answer kUnavailable, which the wire carries faithfully).
   /// `fleet_version` is the manifest version this shard was booted from,
   /// echoed in every response so routers can observe restarts.
-  ShardRequestHandler(const RecommenderEngine* engine, uint64_t fleet_version)
-      : engine_(engine), fleet_version_(fleet_version) {}
+  /// `feedback` (optional, must outlive the handler) is the closed-loop
+  /// hook (serve/feedback.h) applied to every served request — feedback
+  /// logging and exploration are a server-side concern, invisible on the
+  /// wire beyond the explored answers themselves.
+  ShardRequestHandler(const RecommenderEngine* engine, uint64_t fleet_version,
+                      const FeedbackHook* feedback = nullptr)
+      : engine_(engine), fleet_version_(fleet_version), feedback_(feedback) {}
 
   /// Serves one request frame body. On success `response_frame` holds the
   /// complete encoded response. kDataLoss when the body is malformed —
@@ -39,6 +44,7 @@ class ShardRequestHandler {
  private:
   const RecommenderEngine* engine_;
   uint64_t fleet_version_;
+  const FeedbackHook* feedback_;
 };
 
 }  // namespace sqp::net

@@ -58,8 +58,8 @@ Status ShardServer::StartFromManifest(const std::string& manifest_path,
   fleet_version_ = manifest->version;
   fleet_num_shards_ = manifest->num_shards();
   shard_index_ = shard_index;
-  handler_ = std::make_unique<ShardRequestHandler>(owned_engine_.get(),
-                                                   fleet_version_);
+  handler_ = std::make_unique<ShardRequestHandler>(
+      owned_engine_.get(), fleet_version_, options_.feedback);
   return Start();
 }
 
@@ -70,7 +70,8 @@ Status ShardServer::StartWithEngine(const RecommenderEngine* engine,
   fleet_version_ = fleet_version;
   fleet_num_shards_ = 1;
   shard_index_ = shard_index;
-  handler_ = std::make_unique<ShardRequestHandler>(engine, fleet_version);
+  handler_ = std::make_unique<ShardRequestHandler>(engine, fleet_version,
+                                                   options_.feedback);
   return Start();
 }
 

@@ -30,6 +30,11 @@ struct ShardServerOptions {
 
   /// Frame-body cap enforced on incoming requests.
   size_t max_frame_body_bytes = kMaxFrameBodyBytes;
+
+  /// Optional closed-loop hook (serve/feedback.h): every request this
+  /// server serves is passed through it (exploration rerank + impression
+  /// logging). Must outlive the server. Null = serve exactly as before.
+  const FeedbackHook* feedback = nullptr;
 };
 
 struct ShardServerStats {

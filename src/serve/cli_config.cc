@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "serve/explorer.h"
+
 namespace sqp {
 namespace {
 
@@ -95,6 +97,18 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
       config.connect_host = value.substr(0, colon);
       config.connect_port = static_cast<uint16_t>(port);
       connect_given = true;
+    } else if (arg == "--feedback-log") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &config.feedback_log));
+      if (config.feedback_log.empty()) {
+        return Status::InvalidArgument("--feedback-log expects a directory");
+      }
+    } else if (arg == "--explore") {
+      SQP_RETURN_IF_ERROR(value_of(arg, &config.explore));
+      if (config.explore.empty()) {
+        return Status::InvalidArgument(
+            "--explore expects POLICY:PARAM (epsilon:E, softmax:L, bag:B) "
+            "or none");
+      }
     } else if (arg == "--lane") {
       SQP_RETURN_IF_ERROR(value_of(arg, &value));
       if (value == "interactive") {
@@ -162,6 +176,26 @@ Result<RecommenderCliConfig> ParseRecommenderCliArgs(
           "router");
     }
   }
+  // Closed-loop serving flags: exploration without a feedback log would
+  // perturb traffic while throwing away the propensities that make the
+  // perturbed log evaluatable; a routing client never serves, so it has
+  // nothing truthful to log.
+  if (!config.explore.empty() && config.feedback_log.empty()) {
+    return Status::InvalidArgument(
+        "--explore requires --feedback-log: exploration must log sampling "
+        "propensities or the perturbed traffic cannot be evaluated");
+  }
+  if (!config.explore.empty()) {
+    // Reject malformed specs at parse time, not at first served request.
+    const Result<ExplorerOptions> parsed = ParseExplorerSpec(config.explore);
+    if (!parsed.ok()) return parsed.status();
+  }
+  if (connect_given && !config.feedback_log.empty()) {
+    return Status::InvalidArgument(
+        "--feedback-log is ignored with --connect: feedback is logged by "
+        "the serving process (start the fleet's --serve-port side with it)");
+  }
+
   if (connect_given) {
     if (config.load_snapshot.empty()) {
       return Status::InvalidArgument(

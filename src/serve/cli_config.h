@@ -43,6 +43,19 @@ struct RecommenderCliConfig {
   /// TCP instead of an in-process engine. Empty = off.
   std::string connect_host;
   uint16_t connect_port = 0;
+
+  /// Closed-loop serving: directory for the append-only feedback log
+  /// (serve/feedback.h). Every served answer is logged as an impression;
+  /// with --tail, session ends fold clicked impressions back into the
+  /// retrainer (ConsumeFeedback). Empty = no feedback logging.
+  std::string feedback_log;
+
+  /// Exploration policy spec "POLICY:PARAM" (serve/explorer.h):
+  /// "epsilon:0.1", "softmax:8", "bag:4", or "none". Requires
+  /// --feedback-log (exploring without logging propensities would make
+  /// the traffic unevaluatable). Empty = greedy serving, bit-identical
+  /// to a build without the explorer.
+  std::string explore;
 };
 
 /// Parses recommender_cli arguments (argv[1..], program name excluded).
@@ -60,7 +73,12 @@ struct RecommenderCliConfig {
 ///  - --serve-port with --batch/--deadline-us/--lane (a shard server has
 ///    no stdin loop; QoS travels per-request from the connecting router),
 ///  - --connect with --threads (the router is a single-connection client;
-///    engine lanes belong to the serving side).
+///    engine lanes belong to the serving side),
+///  - --explore without --feedback-log (exploration must log propensities
+///    or the perturbed traffic cannot be evaluated),
+///  - --connect with --feedback-log/--explore (feedback is a server-side
+///    concern: the serving process owns the log; a router would log
+///    answers it did not serve).
 /// Every error message names the offending flag and the reason.
 Result<RecommenderCliConfig> ParseRecommenderCliArgs(
     std::span<const std::string> args);

@@ -19,6 +19,8 @@
 
 namespace sqp {
 
+struct FeedbackHook;  // serve/feedback.h
+
 /// Admission priority class. Interactive traffic (the paper's live
 /// as-you-type suggestion requests) is always granted the execution slot
 /// ahead of bulk traffic (offline scoring, eval sweeps, backfills),
@@ -91,6 +93,14 @@ struct ServeOptions {
   /// contend for the pool, so the lane only matters for pool-sized
   /// batches.
   QosLane lane = QosLane::kInteractive;
+
+  /// Closed-loop serving hook (serve/feedback.h): when set, every served
+  /// answer is passed through the hook's exploration reranker and logged
+  /// as a feedback impression. Null (the default) — and a hook whose
+  /// exploration is disabled — leave served answers bit-identical to
+  /// hook-free serving. The hook must outlive the request; one hook may
+  /// be shared by any number of concurrent requests.
+  const FeedbackHook* feedback = nullptr;
 };
 
 /// Outcome of one deadline-aware single-query request.
@@ -107,6 +117,11 @@ struct ServeResult {
 
   /// True when overload pressure reduced the effective top_n.
   bool degraded = false;
+
+  /// Feedback record id assigned by ServeOptions::feedback's log (0 when
+  /// no hook was set or nothing was logged). Callers use it to attribute
+  /// a later click to this impression via FeedbackLog::RecordClick.
+  uint64_t feedback_record_id = 0;
 };
 
 /// Outcome of one deadline-aware batch. The batch may be admitted in

@@ -1,0 +1,211 @@
+#include "serve/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "util/random.h"
+
+namespace sqp {
+namespace {
+
+/// Mixes the base seed with the record id so consecutive records get
+/// decorrelated streams; the Rng constructor's SplitMix64 finishes the
+/// job. Pure function — no draw-count coupling between records.
+Rng RecordRng(uint64_t seed, uint64_t record_id) {
+  return Rng(seed ^ (record_id * 0x9E3779B97F4A7C15ULL));
+}
+
+/// Samples an index from a pmf (cumulative walk). The pmf sums to 1 by
+/// construction; the last index absorbs any floating-point shortfall.
+size_t SamplePmf(std::span<const double> pmf, Rng* rng) {
+  const double u = rng->UniformDouble();
+  double cum = 0.0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    cum += pmf[i];
+    if (u < cum) return i;
+  }
+  return pmf.size() - 1;
+}
+
+/// One score-proportional draw (cumulative-weight inversion). Items with
+/// non-positive scores get no mass unless every item is non-positive, in
+/// which case the draw degenerates to uniform.
+size_t SampleProportional(std::span<const ScoredQuery> queries, Rng* rng) {
+  double total = 0.0;
+  for (const ScoredQuery& q : queries) total += std::max(q.score, 0.0);
+  if (!(total > 0.0)) {
+    return static_cast<size_t>(rng->UniformInt(queries.size()));
+  }
+  const double u = rng->UniformDouble() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    cum += std::max(queries[i].score, 0.0);
+    if (u < cum) return i;
+  }
+  return queries.size() - 1;
+}
+
+}  // namespace
+
+Result<ExplorerOptions> ParseExplorerSpec(const std::string& spec,
+                                          uint64_t seed) {
+  ExplorerOptions options;
+  options.seed = seed;
+  if (spec.empty() || spec == "none") {
+    return options;
+  }
+  const size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  double param = 0.0;
+  bool have_param = false;
+  if (colon != std::string::npos) {
+    const std::string text = spec.substr(colon + 1);
+    char* end = nullptr;
+    param = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      return Status::InvalidArgument("bad explore parameter '" + text +
+                                     "' in spec '" + spec + "'");
+    }
+    have_param = true;
+  }
+
+  if (name == "epsilon" || name == "epsilon_greedy") {
+    if (!have_param) {
+      return Status::InvalidArgument(
+          "epsilon policy needs a parameter, e.g. epsilon:0.1");
+    }
+    if (!(param >= 0.0 && param <= 1.0)) {
+      return Status::OutOfRange("epsilon must be in [0,1], got '" + spec + "'");
+    }
+    options.policy = ExplorePolicy::kEpsilonGreedy;
+    options.param = param;
+  } else if (name == "softmax") {
+    if (!have_param) {
+      return Status::InvalidArgument(
+          "softmax policy needs a lambda, e.g. softmax:8");
+    }
+    if (!(param >= 0.0) || !std::isfinite(param)) {
+      return Status::OutOfRange("softmax lambda must be finite and >= 0, got '" +
+                                spec + "'");
+    }
+    options.policy = ExplorePolicy::kSoftmax;
+    options.param = param;
+  } else if (name == "bag") {
+    if (!have_param) {
+      return Status::InvalidArgument("bag policy needs a size, e.g. bag:4");
+    }
+    if (!(param >= 1.0 && param <= 64.0) || param != std::floor(param)) {
+      return Status::OutOfRange("bag size must be an integer in [1,64], got '" +
+                                spec + "'");
+    }
+    options.policy = ExplorePolicy::kBag;
+    options.param = param;
+  } else {
+    return Status::InvalidArgument(
+        "unknown explore policy '" + name +
+        "' (expected none, epsilon, softmax, or bag)");
+  }
+  return options;
+}
+
+Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {
+  switch (options_.policy) {
+    case ExplorePolicy::kNone:
+      enabled_ = false;
+      break;
+    case ExplorePolicy::kEpsilonGreedy:
+      enabled_ = options_.param > 0.0;
+      break;
+    case ExplorePolicy::kSoftmax:
+    case ExplorePolicy::kBag:
+      enabled_ = true;
+      break;
+  }
+}
+
+void Explorer::SlotOnePmf(std::span<const ScoredQuery> queries,
+                          std::vector<double>* pmf) const {
+  pmf->assign(queries.size(), 0.0);
+  if (queries.empty()) return;
+  const size_t k = queries.size();
+  if (!enabled_ || k == 1) {
+    (*pmf)[0] = 1.0;
+    return;
+  }
+  switch (options_.policy) {
+    case ExplorePolicy::kNone:
+      (*pmf)[0] = 1.0;
+      break;
+    case ExplorePolicy::kEpsilonGreedy: {
+      // VW epsilon-greedy: epsilon spread uniformly over all arms, the
+      // remaining 1-epsilon on the greedy (already-first) arm.
+      const double eps = options_.param;
+      for (double& p : *pmf) p = eps / static_cast<double>(k);
+      (*pmf)[0] += 1.0 - eps;
+      break;
+    }
+    case ExplorePolicy::kSoftmax: {
+      // pmf_i ∝ exp(lambda * (score_i - max_score)); the max subtraction
+      // keeps the exponentials in range. lambda = 0 is uniform; larger
+      // lambda sharpens toward greedy.
+      const double lambda = options_.param;
+      double max_score = queries[0].score;
+      for (const ScoredQuery& q : queries) max_score = std::max(max_score, q.score);
+      double total = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        (*pmf)[i] = std::exp(lambda * (queries[i].score - max_score));
+        total += (*pmf)[i];
+      }
+      for (double& p : *pmf) p /= total;
+      break;
+    }
+    case ExplorePolicy::kBag: {
+      // Handled per record in Rerank (the votes are part of the record's
+      // deterministic draw stream); without a record there is no pmf, so
+      // report the greedy point mass.
+      (*pmf)[0] = 1.0;
+      break;
+    }
+  }
+}
+
+void Explorer::Rerank(uint64_t record_id, std::vector<ScoredQuery>* queries,
+                      std::vector<double>* propensities) const {
+  propensities->clear();
+  if (queries->empty()) return;
+  const size_t k = queries->size();
+  if (!enabled_ || k == 1) {
+    propensities->assign(k, 0.0);
+    (*propensities)[0] = 1.0;
+    return;
+  }
+
+  Rng rng = RecordRng(options_.seed, record_id);
+  std::vector<double> pmf;
+  if (options_.policy == ExplorePolicy::kBag) {
+    // Bagging emulation: B pseudo-bags each cast one score-proportional
+    // vote for their "own model's" greedy arm; the slot-1 pmf is the
+    // vote histogram, so any arm with a vote has propensity >= 1/B.
+    const size_t bags = static_cast<size_t>(options_.param);
+    pmf.assign(k, 0.0);
+    for (size_t b = 0; b < bags; ++b) {
+      pmf[SampleProportional(*queries, &rng)] += 1.0;
+    }
+    for (double& p : pmf) p /= static_cast<double>(bags);
+  } else {
+    SlotOnePmf(*queries, &pmf);
+  }
+
+  const size_t winner = SamplePmf(pmf, &rng);
+  if (winner != 0) {
+    // A swap, not a resort: every item keeps its model score bit for bit,
+    // and slots other than {0, winner} keep their order.
+    std::swap((*queries)[0], (*queries)[winner]);
+    std::swap(pmf[0], pmf[winner]);
+  }
+  *propensities = std::move(pmf);
+}
+
+}  // namespace sqp

@@ -1,0 +1,89 @@
+#ifndef SQP_SERVE_EXPLORER_H_
+#define SQP_SERVE_EXPLORER_H_
+
+/// Closed-loop serving, part 2: the exploration-aware reranker. A pure
+/// greedy ranker only ever shows the model's current best guess, so its
+/// feedback log can never teach it that a lower-ranked query would have
+/// been clicked more — the classic bandit feedback problem. The Explorer
+/// perturbs served top-N lists with the policy set of Vowpal Wabbit's
+/// `vw_predict_exploration` (epsilon-greedy / softmax / bag), sampling
+/// which item is promoted to slot 1, and reports the probability each
+/// item had of winning that slot (the sampling propensity) so logged
+/// clicks can be propensity-reweighted into unbiased estimates
+/// (eval/ips.h).
+///
+/// Determinism contract: reranking is a pure function of (options.seed,
+/// record_id, the served list). Two replicas with the same seed serve
+/// identical explored lists for the same record id, and a logged stream
+/// can be replayed bit-exactly. No shared mutable state — Rerank is
+/// const and thread-safe.
+///
+/// Identity contract (the invariant bench/closed_loop enforces): with
+/// policy none, or epsilon-greedy at epsilon == 0, Rerank never touches
+/// the list — same order, same score bits — and reports propensity 1 for
+/// slot 1, 0 elsewhere. Exploration is strictly opt-in.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/prediction_model.h"
+#include "serve/feedback.h"
+#include "util/status.h"
+
+namespace sqp {
+
+struct ExplorerOptions {
+  ExplorePolicy policy = ExplorePolicy::kNone;
+  /// Policy parameter: epsilon in [0,1] for kEpsilonGreedy, lambda >= 0
+  /// for kSoftmax (0 degenerates to uniform), bag count in [1,64] for
+  /// kBag. Ignored for kNone.
+  double param = 0.0;
+  /// Deterministic base seed; combined with each record id.
+  uint64_t seed = 0;
+};
+
+/// Parses the CLI spelling "POLICY:PARAM" — "epsilon:0.1", "softmax:8",
+/// "bag:4" — or "none". Returns InvalidArgument on unknown policies and
+/// OutOfRange on parameters outside the documented domain.
+Result<ExplorerOptions> ParseExplorerSpec(const std::string& spec,
+                                          uint64_t seed = 0);
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options);
+
+  const ExplorerOptions& options() const { return options_; }
+
+  /// False when the policy cannot change any served list (kNone, or
+  /// epsilon-greedy with epsilon == 0) — callers may skip Rerank
+  /// entirely, which keeps the disabled path exactly the pre-explorer
+  /// code path.
+  bool enabled() const { return enabled_; }
+
+  /// Computes the slot-1 pmf over `queries`, samples a winner with an Rng
+  /// derived from (seed, record_id), and swaps the winner to the front
+  /// (VW cb_sample semantics: a swap, not a resort — every item keeps the
+  /// score the model gave it, bit for bit). On return propensities[i] is
+  /// the pmf mass of the item that now sits at slot i; it always sums to
+  /// 1 over the list. Empty lists are left untouched with empty
+  /// propensities. When disabled, the list is untouched and the
+  /// propensities are the greedy point mass [1, 0, ...].
+  void Rerank(uint64_t record_id, std::vector<ScoredQuery>* queries,
+              std::vector<double>* propensities) const;
+
+  /// The slot-1 pmf alone (no sampling, no mutation): propensities[i] is
+  /// the chance item i of `queries` wins slot 1. Exposed for tests and
+  /// offline analysis.
+  void SlotOnePmf(std::span<const ScoredQuery> queries,
+                  std::vector<double>* pmf) const;
+
+ private:
+  ExplorerOptions options_;
+  bool enabled_ = false;
+};
+
+}  // namespace sqp
+
+#endif  // SQP_SERVE_EXPLORER_H_

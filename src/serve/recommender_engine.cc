@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/snapshot_io.h"
+#include "serve/feedback.h"
 #include "util/timer.h"
 
 namespace sqp {
@@ -125,6 +126,10 @@ BatchResult RecommenderEngine::RecommendMany(
       }
       out.results[i] = model->Recommend(contexts[i], effective_top_n,
                                         &scratch);
+      if (options.feedback != nullptr) {
+        options.feedback->OnServed(contexts[i], out.served_version,
+                                   &out.results[i]);
+      }
     }
   } else {
     const Status admitted =
@@ -155,6 +160,10 @@ BatchResult RecommenderEngine::RecommendMany(
       out.results[i] = model->Recommend(
           contexts[i], effective_top_n,
           &PreparedFor(model, lane_scratch_[lane]));
+      if (options.feedback != nullptr) {
+        options.feedback->OnServed(contexts[i], out.served_version,
+                                   &out.results[i]);
+      }
     });
     if (expired.load(std::memory_order_relaxed)) {
       for (const StatusCode code : out.statuses) {
@@ -196,6 +205,10 @@ ServeResult RecommenderEngine::Recommend(ContextRef context, size_t top_n,
     out.served_version = snapshot->version();
     out.recommendation = snapshot->Recommend(
         context, top_n, &PreparedFor(snapshot.get(), ThreadScratch()));
+    if (options.feedback != nullptr) {
+      out.feedback_record_id = options.feedback->OnServed(
+          context, out.served_version, &out.recommendation);
+    }
     return out;
   }
   const Deadline::Clock::time_point start = Deadline::Clock::now();
@@ -216,6 +229,10 @@ ServeResult RecommenderEngine::Recommend(ContextRef context, size_t top_n,
   out.recommendation = snapshot->Recommend(
       context, effective_top_n,
       &PreparedFor(snapshot.get(), ThreadScratch()));
+  if (options.feedback != nullptr) {
+    out.feedback_record_id = options.feedback->OnServed(
+        context, out.served_version, &out.recommendation);
+  }
   const double latency_us =
       std::chrono::duration<double, std::micro>(Deadline::Clock::now() -
                                                 start)

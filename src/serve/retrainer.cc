@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/snapshot_io.h"
+#include "serve/feedback.h"
 
 namespace sqp {
 
@@ -139,6 +140,24 @@ void Retrainer::AppendSessions(std::vector<AggregatedSession> sessions) {
   pending_.insert(pending_.end(),
                   std::make_move_iterator(sessions.begin()),
                   std::make_move_iterator(sessions.end()));
+}
+
+Result<size_t> Retrainer::ConsumeFeedback(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  Result<std::vector<FeedbackRecord>> records = ReadFeedbackLog(dir);
+  if (!records.ok()) return records.status();
+  std::vector<FeedbackRecord> fresh;
+  uint64_t max_id = feedback_watermark_;
+  for (FeedbackRecord& record : *records) {
+    if (record.record_id <= feedback_watermark_) continue;
+    max_id = std::max(max_id, record.record_id);
+    fresh.push_back(std::move(record));
+  }
+  std::vector<AggregatedSession> sessions = SessionsFromFeedback(fresh);
+  const size_t appended = sessions.size();
+  if (!sessions.empty()) AppendSessions(std::move(sessions));
+  feedback_watermark_ = max_id;
+  return appended;
 }
 
 Status Retrainer::RetrainOnce() {

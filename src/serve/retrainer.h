@@ -133,6 +133,19 @@ class Retrainer {
   /// Thread-safe; never blocks on a rebuild.
   void AppendSessions(std::vector<AggregatedSession> sessions);
 
+  /// Closes the serving loop: reads the feedback log at `dir`
+  /// (serve/feedback.h), converts clicked impressions newer than this
+  /// retrainer's consume watermark into sessions (SessionsFromFeedback)
+  /// and queues them via AppendSessions. Returns the number of sessions
+  /// queued. Repeated calls over the same log are idempotent — the
+  /// watermark advances past every record seen, clicked or not, so a
+  /// click must be in the log by the time its impression is consumed
+  /// (consume at session boundaries, as the CLI does; a click logged
+  /// after its impression was consumed is not retroactively folded in).
+  /// Thread-safe; property-tested equal to appending the equivalent
+  /// sessions directly.
+  Result<size_t> ConsumeFeedback(const std::string& dir);
+
   /// Drains pending sessions and, if any were queued, rebuilds and
   /// publishes the next snapshot version synchronously. No-op (OK) when
   /// nothing is pending.
@@ -194,6 +207,11 @@ class Retrainer {
   uint64_t version_ = 0;
   Status last_status_;
   bool bootstrapped_ = false;
+
+  /// Serializes ConsumeFeedback calls and guards feedback_watermark_ (the
+  /// largest feedback record id already consumed).
+  mutable std::mutex feedback_mu_;
+  uint64_t feedback_watermark_ = 0;
 
   /// Serializes rebuilds; corpus_, index_ and observed_max_id_ are only
   /// touched with this held.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/pst.h"
+#include "serve/feedback.h"
 #include "util/timer.h"
 
 namespace sqp {
@@ -309,6 +310,10 @@ BatchResult ShardedEngine::RecommendMany(
       }
       out.results[i] =
           snapshot->Recommend(contexts[i], effective_top_n, scratch);
+      if (options.feedback != nullptr) {
+        options.feedback->OnServed(contexts[i], snapshot->version(),
+                                   &out.results[i]);
+      }
     } else {
       // Dead / never-published shard: uncovered-empty answer with an
       // explicit status — healthy shards keep serving around it.
@@ -648,6 +653,24 @@ void ShardedRetrainerSet::AppendSessions(
     }
     retrainers_[s]->AppendSessions(std::move(routed[s]));
   }
+}
+
+Result<size_t> ShardedRetrainerSet::ConsumeFeedback(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  Result<std::vector<FeedbackRecord>> records = ReadFeedbackLog(dir);
+  if (!records.ok()) return records.status();
+  std::vector<FeedbackRecord> fresh;
+  uint64_t max_id = feedback_watermark_;
+  for (FeedbackRecord& record : *records) {
+    if (record.record_id <= feedback_watermark_) continue;
+    max_id = std::max(max_id, record.record_id);
+    fresh.push_back(std::move(record));
+  }
+  std::vector<AggregatedSession> sessions = SessionsFromFeedback(fresh);
+  const size_t routed = sessions.size();
+  if (!sessions.empty()) AppendSessions(sessions);
+  feedback_watermark_ = max_id;
+  return routed;
 }
 
 Status ShardedRetrainerSet::RetrainShard(size_t s) {

@@ -347,6 +347,15 @@ class ShardedRetrainerSet {
   /// Thread-safe.
   void AppendSessions(const std::vector<AggregatedSession>& sessions);
 
+  /// Fleet spelling of Retrainer::ConsumeFeedback: reads the feedback log
+  /// at `dir`, converts clicked impressions past the set's consume
+  /// watermark into sessions and routes them through AppendSessions (so
+  /// each lands on exactly the shards whose counts it affects, with the
+  /// same lazy-bootstrap handling). Returns the number of sessions
+  /// routed. Idempotent per record id; same click-before-consume ordering
+  /// contract as the single-engine version. Thread-safe.
+  Result<size_t> ConsumeFeedback(const std::string& dir);
+
   /// Rebuilds and republishes one shard (no-op when nothing is pending
   /// there); the rest of the fleet keeps serving untouched.
   Status RetrainShard(size_t s);
@@ -395,6 +404,9 @@ class ShardedRetrainerSet {
   /// yet — retained (never dropped) and retried with the next append.
   /// Guarded by append_mu_.
   std::vector<std::vector<AggregatedSession>> lazy_pending_;
+  /// Serializes ConsumeFeedback and guards the fleet's consume watermark.
+  std::mutex feedback_mu_;
+  uint64_t feedback_watermark_ = 0;
   std::atomic<bool> refresh_enabled_{false};
   /// Serializes manifest rewrites and guards manifest_status_.
   mutable std::mutex manifest_mu_;

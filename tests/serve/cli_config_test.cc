@@ -191,5 +191,67 @@ TEST(CliConfigTest, ServeAndConnectModesRejectIgnoredFlags) {
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
+TEST(CliConfigTest, ClosedLoopFlagsParseAndValidate) {
+  const auto parsed =
+      Parse({"--feedback-log", "/tmp/fb", "--explore", "epsilon:0.1"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->feedback_log, "/tmp/fb");
+  EXPECT_EQ(parsed->explore, "epsilon:0.1");
+
+  // A feedback log without exploration is fine (greedy logging).
+  const auto log_only = Parse({"--feedback-log", "/tmp/fb"});
+  ASSERT_TRUE(log_only.ok());
+  EXPECT_TRUE(log_only->explore.empty());
+
+  // Missing values are named errors.
+  auto bad = Parse({"--feedback-log"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--feedback-log"),
+            std::string::npos);
+  bad = Parse({"--explore"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--explore"), std::string::npos);
+}
+
+TEST(CliConfigTest, ExploreWithoutFeedbackLogIsRejected) {
+  // Exploring without logging propensities would perturb traffic while
+  // making it unevaluatable.
+  const auto bad = Parse({"--explore", "epsilon:0.1"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--explore"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("--feedback-log"),
+            std::string::npos);
+}
+
+TEST(CliConfigTest, MalformedExploreSpecsFailAtParseTimeNotServeTime) {
+  for (const std::string spec : {"thompson:1", "epsilon:nope",
+                                 "epsilon:1.5", "bag:0"}) {
+    const auto bad = Parse({"--feedback-log", "/tmp/fb", "--explore", spec});
+    ASSERT_FALSE(bad.ok()) << spec;
+  }
+  // Every valid policy spelling passes.
+  for (const std::string spec :
+       {"none", "epsilon:0", "epsilon:1", "softmax:8", "bag:4"}) {
+    const auto ok = Parse({"--feedback-log", "/tmp/fb", "--explore", spec});
+    ASSERT_TRUE(ok.ok()) << spec << ": " << ok.status().ToString();
+  }
+}
+
+TEST(CliConfigTest, ConnectModeRejectsFeedbackFlags) {
+  // A routing client never serves, so it has nothing truthful to log;
+  // feedback belongs to the --serve-port side.
+  const auto bad = Parse({"--load-snapshot", "m", "--connect", "host:7400",
+                          "--feedback-log", "/tmp/fb"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--feedback-log"),
+            std::string::npos);
+
+  // But a serving fleet CAN log feedback.
+  const auto ok = Parse({"--load-snapshot", "m", "--serve-port", "7400",
+                         "--feedback-log", "/tmp/fb", "--explore",
+                         "softmax:4"});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 }  // namespace
 }  // namespace sqp

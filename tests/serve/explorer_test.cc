@@ -1,0 +1,241 @@
+// The exploration-aware reranker (serve/explorer). Load-bearing
+// properties: disabled exploration (policy none, epsilon 0) NEVER touches
+// a served list — same order, same score bits — because the epsilon=0
+// serving path must stay bit-identical to a build without the explorer;
+// reranking is a pure function of (seed, record id, list) so logged
+// streams replay exactly; and every policy's propensities are a true pmf
+// over the list (they are what makes the feedback log IPS-evaluatable).
+
+#include "serve/explorer.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+std::vector<ScoredQuery> FiveItems() {
+  return {{10, 0.40}, {11, 0.25}, {12, 0.20}, {13, 0.10}, {14, 0.05}};
+}
+
+double SumOf(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+TEST(ExplorerSpecTest, ParsesEveryPolicySpelling) {
+  auto spec = ParseExplorerSpec("none");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->policy, ExplorePolicy::kNone);
+
+  spec = ParseExplorerSpec("epsilon:0.1");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->policy, ExplorePolicy::kEpsilonGreedy);
+  EXPECT_DOUBLE_EQ(spec->param, 0.1);
+
+  spec = ParseExplorerSpec("epsilon_greedy:0.5", /*seed=*/99);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->policy, ExplorePolicy::kEpsilonGreedy);
+  EXPECT_EQ(spec->seed, 99u);
+
+  spec = ParseExplorerSpec("softmax:8");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->policy, ExplorePolicy::kSoftmax);
+  EXPECT_DOUBLE_EQ(spec->param, 8.0);
+
+  spec = ParseExplorerSpec("bag:4");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->policy, ExplorePolicy::kBag);
+  EXPECT_DOUBLE_EQ(spec->param, 4.0);
+}
+
+TEST(ExplorerSpecTest, RejectsMalformedAndOutOfDomainSpecs) {
+  EXPECT_EQ(ParseExplorerSpec("thompson:1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseExplorerSpec("epsilon").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseExplorerSpec("epsilon:").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseExplorerSpec("epsilon:0.1x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseExplorerSpec("epsilon:1.5").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseExplorerSpec("epsilon:-0.1").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseExplorerSpec("softmax:-1").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseExplorerSpec("bag:0").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseExplorerSpec("bag:65").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ParseExplorerSpec("bag:2.5").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ExplorerTest, DisabledPoliciesNeverTouchTheListBitForBit) {
+  for (const ExplorerOptions options :
+       {ExplorerOptions{.policy = ExplorePolicy::kNone},
+        ExplorerOptions{.policy = ExplorePolicy::kEpsilonGreedy,
+                        .param = 0.0}}) {
+    const Explorer explorer(options);
+    EXPECT_FALSE(explorer.enabled());
+    const std::vector<ScoredQuery> original = FiveItems();
+    for (uint64_t record_id = 1; record_id <= 200; ++record_id) {
+      std::vector<ScoredQuery> list = original;
+      std::vector<double> propensities;
+      explorer.Rerank(record_id, &list, &propensities);
+      ASSERT_EQ(list.size(), original.size());
+      for (size_t i = 0; i < list.size(); ++i) {
+        EXPECT_EQ(list[i].query, original[i].query);
+        // Bit-identity, not approximate equality: the epsilon=0 serving
+        // invariant is about score *bits*.
+        EXPECT_EQ(std::bit_cast<uint64_t>(list[i].score),
+                  std::bit_cast<uint64_t>(original[i].score));
+      }
+      ASSERT_EQ(propensities.size(), list.size());
+      EXPECT_EQ(propensities[0], 1.0);
+      for (size_t i = 1; i < propensities.size(); ++i) {
+        EXPECT_EQ(propensities[i], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ExplorerTest, RerankIsDeterministicPerRecordIdAndVariesAcrossIds) {
+  const Explorer explorer(
+      {.policy = ExplorePolicy::kEpsilonGreedy, .param = 0.8, .seed = 42});
+  ASSERT_TRUE(explorer.enabled());
+
+  bool any_perturbed = false;
+  for (uint64_t record_id = 1; record_id <= 100; ++record_id) {
+    std::vector<ScoredQuery> a = FiveItems();
+    std::vector<ScoredQuery> b = FiveItems();
+    std::vector<double> pa, pb;
+    explorer.Rerank(record_id, &a, &pa);
+    explorer.Rerank(record_id, &b, &pb);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].query, b[i].query) << "record " << record_id;
+      EXPECT_EQ(a[i].score, b[i].score);
+      EXPECT_EQ(pa[i], pb[i]);
+    }
+    if (a[0].query != FiveItems()[0].query) any_perturbed = true;
+  }
+  // epsilon 0.8 over 100 records: the greedy arm cannot have won every
+  // draw.
+  EXPECT_TRUE(any_perturbed);
+}
+
+TEST(ExplorerTest, RerankIsASwapAndScoresTravelWithTheirItems) {
+  const Explorer explorer(
+      {.policy = ExplorePolicy::kSoftmax, .param = 2.0, .seed = 7});
+  const std::vector<ScoredQuery> original = FiveItems();
+  std::map<QueryId, double> score_of;
+  for (const ScoredQuery& sq : original) score_of[sq.query] = sq.score;
+
+  for (uint64_t record_id = 1; record_id <= 300; ++record_id) {
+    std::vector<ScoredQuery> list = original;
+    std::vector<double> propensities;
+    explorer.Rerank(record_id, &list, &propensities);
+    ASSERT_EQ(list.size(), original.size());
+    ASSERT_EQ(propensities.size(), original.size());
+    // VW cb_sample semantics: the winner is SWAPPED to slot 1; every
+    // other slot is untouched, and every item keeps its model score.
+    size_t diffs = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(list[i].score, score_of.at(list[i].query));
+      if (list[i].query != original[i].query) ++diffs;
+    }
+    EXPECT_TRUE(diffs == 0 || diffs == 2) << "not a single swap";
+    EXPECT_NEAR(SumOf(propensities), 1.0, 1e-12);
+  }
+}
+
+TEST(ExplorerTest, EpsilonGreedyPmfMatchesTheClosedForm) {
+  const Explorer explorer(
+      {.policy = ExplorePolicy::kEpsilonGreedy, .param = 0.2, .seed = 1});
+  std::vector<double> pmf;
+  explorer.SlotOnePmf(FiveItems(), &pmf);
+  ASSERT_EQ(pmf.size(), 5u);
+  // epsilon/k on everyone plus (1 - epsilon) on the greedy arm.
+  EXPECT_NEAR(pmf[0], 0.8 + 0.2 / 5, 1e-12);
+  for (size_t i = 1; i < 5; ++i) EXPECT_NEAR(pmf[i], 0.2 / 5, 1e-12);
+
+  // Empirical slot-1 frequencies converge to the pmf.
+  std::map<QueryId, int> wins;
+  const int kRounds = 20000;
+  for (int r = 1; r <= kRounds; ++r) {
+    std::vector<ScoredQuery> list = FiveItems();
+    std::vector<double> propensities;
+    explorer.Rerank(static_cast<uint64_t>(r), &list, &propensities);
+    ++wins[list[0].query];
+    // The logged propensity of the winner is its pmf mass.
+    const size_t winner_index = static_cast<size_t>(
+        list[0].query - 10);  // FiveItems ids are 10..14
+    EXPECT_NEAR(propensities[0], pmf[winner_index], 1e-12);
+  }
+  EXPECT_NEAR(static_cast<double>(wins[10]) / kRounds, pmf[0], 0.02);
+  EXPECT_NEAR(static_cast<double>(wins[14]) / kRounds, pmf[4], 0.01);
+}
+
+TEST(ExplorerTest, SoftmaxPmfIsScoreMonotoneAndLambdaZeroIsUniform) {
+  const Explorer uniform(
+      {.policy = ExplorePolicy::kSoftmax, .param = 0.0, .seed = 1});
+  std::vector<double> pmf;
+  uniform.SlotOnePmf(FiveItems(), &pmf);
+  for (double p : pmf) EXPECT_NEAR(p, 0.2, 1e-12);
+
+  const Explorer sharp(
+      {.policy = ExplorePolicy::kSoftmax, .param = 10.0, .seed = 1});
+  sharp.SlotOnePmf(FiveItems(), &pmf);
+  EXPECT_NEAR(SumOf(pmf), 1.0, 1e-12);
+  for (size_t i = 1; i < pmf.size(); ++i) {
+    EXPECT_GT(pmf[i - 1], pmf[i]);  // higher score, more slot-1 mass
+  }
+  // Closed form for adjacent items: pmf ratio = exp(lambda * score gap).
+  EXPECT_NEAR(pmf[0] / pmf[1], std::exp(10.0 * (0.40 - 0.25)), 1e-9);
+}
+
+TEST(ExplorerTest, BagPropensitiesAreEmpiricalVoteShares) {
+  const Explorer explorer(
+      {.policy = ExplorePolicy::kBag, .param = 8.0, .seed = 3});
+  ASSERT_TRUE(explorer.enabled());
+  for (uint64_t record_id = 1; record_id <= 200; ++record_id) {
+    std::vector<ScoredQuery> list = FiveItems();
+    std::vector<double> propensities;
+    explorer.Rerank(record_id, &list, &propensities);
+    EXPECT_NEAR(SumOf(propensities), 1.0, 1e-12);
+    // 8 votes: every propensity is a multiple of 1/8, and the winner got
+    // at least one vote.
+    for (double p : propensities) {
+      EXPECT_NEAR(p * 8.0, std::round(p * 8.0), 1e-9);
+    }
+    EXPECT_GE(propensities[0], 1.0 / 8.0);
+  }
+}
+
+TEST(ExplorerTest, DegenerateListsAreHandled) {
+  const Explorer explorer(
+      {.policy = ExplorePolicy::kEpsilonGreedy, .param = 0.5, .seed = 1});
+  std::vector<ScoredQuery> empty;
+  std::vector<double> propensities;
+  explorer.Rerank(1, &empty, &propensities);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(propensities.empty());
+
+  std::vector<ScoredQuery> one = {{10, 0.4}};
+  explorer.Rerank(1, &one, &propensities);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].query, 10u);
+  ASSERT_EQ(propensities.size(), 1u);
+  EXPECT_EQ(propensities[0], 1.0);
+}
+
+}  // namespace
+}  // namespace sqp

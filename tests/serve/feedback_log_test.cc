@@ -1,0 +1,416 @@
+// The closed-loop feedback log (serve/feedback): bounded, crash-safe,
+// append-only segments. The load-bearing properties: every intact record
+// survives a roundtrip byte-exactly; a torn or corrupt tail is detected
+// and dropped, never decoded as garbage; rotation keeps the disk
+// footprint bounded; a reopened log continues record ids where the
+// previous writer stopped; and the committed golden segment pins the
+// on-disk byte layout (docs/FEEDBACK.md) against format drift.
+
+#include "serve/feedback.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("sqp_feedback_" + std::to_string(::getpid()) + "_" +
+               std::to_string(counter_++))) {}
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+  static inline int counter_ = 0;
+};
+
+FeedbackRecord MakeImpression(uint64_t record_id,
+                              std::vector<QueryId> context,
+                              std::vector<ServedItem> served) {
+  FeedbackRecord record;
+  record.record_id = record_id;
+  record.snapshot_version = 7;
+  record.policy = ExplorePolicy::kEpsilonGreedy;
+  record.policy_param = 0.25;
+  record.context = std::move(context);
+  record.served = std::move(served);
+  return record;
+}
+
+std::vector<ServedItem> ThreeItems() {
+  return {{10, 0.5, 0.9}, {11, 0.3, 0.05}, {12, 0.2, 0.05}};
+}
+
+std::vector<fs::path> SegmentFiles(const std::string& dir) {
+  std::vector<fs::path> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FeedbackLogTest, RoundtripJoinsClicksFirstClickWins) {
+  TempDir dir;
+  auto log = FeedbackLog::Open({.dir = dir.str()});
+  ASSERT_TRUE(log.ok());
+
+  const uint64_t id1 = (*log)->NextRecordId();
+  const uint64_t id2 = (*log)->NextRecordId();
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(id2, 2u);
+  const FeedbackRecord first = MakeImpression(id1, {1, 2, 3}, ThreeItems());
+  const FeedbackRecord second = MakeImpression(id2, {4}, ThreeItems());
+  ASSERT_TRUE((*log)->AppendImpression(first).ok());
+  ASSERT_TRUE((*log)->AppendImpression(second).ok());
+  ASSERT_TRUE((*log)->RecordClick(id1, 2).ok());
+  // Duplicate click (a retry): the first click wins, this one is inert.
+  ASSERT_TRUE((*log)->RecordClick(id1, 0).ok());
+  // Click referencing an impression that was never logged.
+  ASSERT_TRUE((*log)->RecordClick(999, 0).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+
+  FeedbackReadReport report;
+  const auto records = ReadFeedbackLog(dir.str(), &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ(report.impressions, 2u);
+  EXPECT_EQ(report.clicks, 3u);
+  EXPECT_EQ(report.unmatched_clicks, 1u);
+  EXPECT_EQ(report.torn_records, 0u);
+
+  FeedbackRecord want_first = first;
+  want_first.clicked_position = 2;
+  EXPECT_EQ((*records)[0], want_first);
+  FeedbackRecord want_second = second;
+  want_second.clicked_position = kFeedbackNoClick;
+  EXPECT_EQ((*records)[1], want_second);
+
+  const FeedbackLogStats stats = (*log)->stats();
+  EXPECT_EQ(stats.impressions_appended, 2u);
+  EXPECT_EQ(stats.clicks_appended, 3u);
+  EXPECT_EQ(stats.dropped_appends, 0u);
+}
+
+TEST(FeedbackLogTest, MissingDirectoryReadsEmpty) {
+  TempDir dir;  // never created on disk
+  FeedbackReadReport report;
+  const auto records = ReadFeedbackLog(dir.str() + "/nonexistent", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_EQ(report.impressions, 0u);
+}
+
+TEST(FeedbackLogTest, TornTailIsDroppedNotDecoded) {
+  TempDir dir;
+  {
+    auto log = FeedbackLog::Open({.dir = dir.str()});
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*log)
+                      ->AppendImpression(MakeImpression(
+                          (*log)->NextRecordId(), {1, 2}, ThreeItems()))
+                      .ok());
+    }
+    ASSERT_TRUE((*log)->Seal().ok());
+  }
+  const std::vector<fs::path> files = SegmentFiles(dir.str());
+  fs::path sealed;
+  for (const fs::path& f : files) {
+    if (f.extension() == ".seg") sealed = f;
+  }
+  ASSERT_FALSE(sealed.empty());
+
+  // Tear the last record: chop 5 bytes off the end (mid-CRC).
+  const uintmax_t size = fs::file_size(sealed);
+  fs::resize_file(sealed, size - 5);
+
+  FeedbackReadReport report;
+  const auto records = ReadFeedbackLog(dir.str(), &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);  // the intact prefix survives
+  EXPECT_EQ(report.torn_records, 1u);
+}
+
+TEST(FeedbackLogTest, CrcCorruptionEndsTheSegmentScan) {
+  TempDir dir;
+  {
+    auto log = FeedbackLog::Open({.dir = dir.str()});
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*log)
+                      ->AppendImpression(MakeImpression(
+                          (*log)->NextRecordId(), {1, 2}, ThreeItems()))
+                      .ok());
+    }
+    ASSERT_TRUE((*log)->Seal().ok());
+  }
+  fs::path sealed;
+  for (const fs::path& f : SegmentFiles(dir.str())) {
+    if (f.extension() == ".seg") sealed = f;
+  }
+  ASSERT_FALSE(sealed.empty());
+
+  // Flip one byte inside the second record's body. Records are equal-sized
+  // here; the first body starts at header(8) + len(4).
+  const uintmax_t size = fs::file_size(sealed);
+  const uintmax_t record_bytes = (size - 8) / 3;
+  {
+    std::fstream f(sealed, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(8 + record_bytes + 10));
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(8 + record_bytes + 10));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xff);
+    f.seekp(static_cast<std::streamoff>(8 + record_bytes + 10));
+    f.write(&byte, 1);
+  }
+
+  FeedbackReadReport report;
+  const auto records = ReadFeedbackLog(dir.str(), &report);
+  ASSERT_TRUE(records.ok());
+  // Only the record before the corruption survives: a CRC failure ends
+  // that segment's scan (framing after it cannot be trusted).
+  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(report.torn_records, 1u);
+}
+
+TEST(FeedbackLogTest, RotationSealsSegmentsAndBoundsDiskFootprint) {
+  TempDir dir;
+  FeedbackLogOptions options;
+  options.dir = dir.str();
+  options.max_segment_bytes = 256;  // a few records per segment
+  options.max_segments = 3;
+  auto log = FeedbackLog::Open(options);
+  ASSERT_TRUE(log.ok());
+
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE((*log)
+                    ->AppendImpression(MakeImpression(
+                        (*log)->NextRecordId(), {1, 2, 3}, ThreeItems()))
+                    .ok());
+  }
+  const FeedbackLogStats stats = (*log)->stats();
+  EXPECT_GT(stats.segments_sealed, 3u);
+  EXPECT_GT(stats.segments_deleted, 0u);
+  EXPECT_EQ(stats.segments_sealed - stats.segments_deleted, 3u);
+
+  // On disk: at most max_segments sealed + 1 active.
+  size_t sealed = 0, open = 0;
+  for (const fs::path& f : SegmentFiles(dir.str())) {
+    if (f.extension() == ".seg") ++sealed;
+    if (f.extension() == ".open") ++open;
+  }
+  EXPECT_EQ(sealed, 3u);
+  EXPECT_EQ(open, 1u);
+
+  // The retained tail is still fully readable.
+  const auto records = ReadFeedbackLog(dir.str());
+  ASSERT_TRUE(records.ok());
+  EXPECT_GT(records->size(), 0u);
+  EXPECT_LT(records->size(), 64u);  // oldest segments rotated out
+  // Newest records survive; read is sorted by record id.
+  EXPECT_EQ(records->back().record_id, 64u);
+}
+
+TEST(FeedbackLogTest, ReopenRecoversOpenSegmentAndContinuesRecordIds) {
+  TempDir dir;
+  {
+    auto log = FeedbackLog::Open({.dir = dir.str()});
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*log)
+                      ->AppendImpression(MakeImpression(
+                          (*log)->NextRecordId(), {5, 6}, ThreeItems()))
+                      .ok());
+    }
+    // Destroyed without Seal: the .open segment stays behind.
+  }
+  {
+    std::vector<fs::path> files = SegmentFiles(dir.str());
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files[0].extension(), ".open");
+    // Simulate a crash mid-append: tear the tail of the leftover segment.
+    fs::resize_file(files[0], fs::file_size(files[0]) - 3);
+  }
+
+  auto reopened = FeedbackLog::Open({.dir = dir.str()});
+  ASSERT_TRUE(reopened.ok());
+  // Record 4 was torn away with the tail; the valid prefix (ids 1-3) got
+  // sealed, and ids continue after the largest *recovered* one.
+  EXPECT_EQ((*reopened)->NextRecordId(), 4u);
+  ASSERT_TRUE((*reopened)
+                  ->AppendImpression(
+                      MakeImpression(4, {7}, ThreeItems()))
+                  .ok());
+  ASSERT_TRUE((*reopened)->Flush().ok());
+
+  FeedbackReadReport report;
+  const auto records = ReadFeedbackLog(dir.str(), &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);  // 3 recovered + 1 new
+  EXPECT_EQ(report.torn_records, 0u);  // the torn tail was truncated away
+  EXPECT_EQ((*records)[0].record_id, 1u);
+  EXPECT_EQ((*records)[3].record_id, 4u);
+}
+
+TEST(FeedbackLogTest, SealIsIdempotentAndEmptySegmentsAreNotSealed) {
+  TempDir dir;
+  auto log = FeedbackLog::Open({.dir = dir.str()});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Seal().ok());  // nothing to seal
+  ASSERT_TRUE((*log)->Seal().ok());
+  EXPECT_EQ((*log)->stats().segments_sealed, 0u);
+
+  ASSERT_TRUE((*log)
+                  ->AppendImpression(MakeImpression(
+                      (*log)->NextRecordId(), {1}, ThreeItems()))
+                  .ok());
+  ASSERT_TRUE((*log)->Seal().ok());
+  ASSERT_TRUE((*log)->Seal().ok());  // second seal: empty active, no-op
+  EXPECT_EQ((*log)->stats().segments_sealed, 1u);
+}
+
+TEST(FeedbackLogTest, SessionsFromFeedbackSkipsUnusableRecords) {
+  std::vector<FeedbackRecord> records;
+  // Clicked slot 1 -> session {1, 2, 11}.
+  records.push_back(MakeImpression(1, {1, 2}, ThreeItems()));
+  records.back().clicked_position = 1;
+  // No click: contributes nothing.
+  records.push_back(MakeImpression(2, {3}, ThreeItems()));
+  // Out-of-range click position: contributes nothing.
+  records.push_back(MakeImpression(3, {4}, ThreeItems()));
+  records.back().clicked_position = 9;
+  // Empty context: contributes nothing.
+  records.push_back(MakeImpression(4, {}, ThreeItems()));
+  records.back().clicked_position = 0;
+  // Clicked slot 0 -> session {5, 10}.
+  records.push_back(MakeImpression(5, {5}, ThreeItems()));
+  records.back().clicked_position = 0;
+
+  const std::vector<AggregatedSession> sessions =
+      SessionsFromFeedback(records);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].queries, (std::vector<QueryId>{1, 2, 11}));
+  EXPECT_EQ(sessions[0].frequency, 1u);
+  EXPECT_EQ(sessions[1].queries, (std::vector<QueryId>{5, 10}));
+}
+
+TEST(FeedbackLogTest, RejectsInvalidAppendsAndOptions) {
+  EXPECT_EQ(FeedbackLog::Open({.dir = ""}).status().code(),
+            StatusCode::kInvalidArgument);
+  TempDir dir;
+  FeedbackLogOptions options;
+  options.dir = dir.str();
+  options.max_segments = 0;
+  EXPECT_EQ(FeedbackLog::Open(options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto log = FeedbackLog::Open({.dir = dir.str()});
+  ASSERT_TRUE(log.ok());
+  FeedbackRecord no_id = MakeImpression(0, {1}, ThreeItems());
+  EXPECT_EQ((*log)->AppendImpression(no_id).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*log)->RecordClick(0, 0).code(), StatusCode::kInvalidArgument);
+}
+
+/// The committed golden segment: regenerate with
+///   SQP_REGEN_GOLDEN=1 ./sqp_serve_tests --gtest_filter='*GoldenSegment*'
+/// and commit the new tests/data/golden_feedback_v1.seg ONLY for a
+/// deliberate, versioned format change (docs/FEEDBACK.md documents the
+/// layout). If this test fails, the writer's byte output drifted — v1
+/// readers in the field would stop understanding live logs.
+TEST(FeedbackLogTest, GoldenSegmentBytesArePinned) {
+  const std::string golden_path =
+      std::string(SQP_TEST_DATA_DIR) + "/golden_feedback_v1.seg";
+
+  // A fixed record set with every field exercised: both record types,
+  // a duplicate click, non-trivial doubles (exact binary64 values).
+  TempDir dir;
+  {
+    auto log = FeedbackLog::Open({.dir = dir.str()});
+    ASSERT_TRUE(log.ok());
+    FeedbackRecord first;
+    first.record_id = (*log)->NextRecordId();
+    first.snapshot_version = 3;
+    first.policy = ExplorePolicy::kEpsilonGreedy;
+    first.policy_param = 0.125;
+    first.context = {17, 42, 99};
+    first.served = {{7, 1.5, 0.90625}, {8, 0.75, 0.046875},
+                    {9, 0.25, 0.046875}};
+    ASSERT_TRUE((*log)->AppendImpression(first).ok());
+    FeedbackRecord second;
+    second.record_id = (*log)->NextRecordId();
+    second.snapshot_version = 3;
+    second.policy = ExplorePolicy::kSoftmax;
+    second.policy_param = 8.0;
+    second.context = {1};
+    second.served = {{2, -0.5, 1.0}};
+    ASSERT_TRUE((*log)->AppendImpression(second).ok());
+    ASSERT_TRUE((*log)->RecordClick(first.record_id, 1).ok());
+    ASSERT_TRUE((*log)->RecordClick(first.record_id, 0).ok());
+    ASSERT_TRUE((*log)->Seal().ok());
+  }
+  std::string written_path;
+  for (const fs::path& f : SegmentFiles(dir.str())) {
+    if (f.extension() == ".seg") written_path = f.string();
+  }
+  ASSERT_FALSE(written_path.empty());
+
+  const auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  if (std::getenv("SQP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    out << read_all(written_path);
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << golden_path << " is missing — regenerate with SQP_REGEN_GOLDEN=1";
+
+  // Byte-identical: today's writer must produce exactly the v1 bytes.
+  EXPECT_EQ(read_all(written_path), read_all(golden_path))
+      << "feedback segment byte layout drifted from the committed v1 "
+         "golden — this breaks live-log compatibility";
+
+  // And today's reader must decode the golden bytes into the records
+  // above, clicks joined.
+  TempDir golden_dir;
+  fs::create_directories(golden_dir.path());
+  fs::copy_file(golden_path, golden_dir.path() / "feedback.000001.seg");
+  const auto records = ReadFeedbackLog(golden_dir.str());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].record_id, 1u);
+  EXPECT_EQ((*records)[0].policy, ExplorePolicy::kEpsilonGreedy);
+  EXPECT_EQ((*records)[0].policy_param, 0.125);
+  EXPECT_EQ((*records)[0].context, (std::vector<QueryId>{17, 42, 99}));
+  EXPECT_EQ((*records)[0].clicked_position, 1u);  // first click won
+  EXPECT_EQ((*records)[0].served[0].propensity, 0.90625);
+  EXPECT_EQ((*records)[1].record_id, 2u);
+  EXPECT_EQ((*records)[1].policy, ExplorePolicy::kSoftmax);
+  EXPECT_EQ((*records)[1].clicked_position, kFeedbackNoClick);
+}
+
+}  // namespace
+}  // namespace sqp
